@@ -1,0 +1,106 @@
+// Ablation: accelerator design space around the Table-4 point.
+//
+// Sweeps MAC vector size, PE count and LSTM hidden size and reports
+// per-timestep cycles, throughput, PE-array power proxy and system area
+// for both PE kinds — the trade-off curves behind the paper's choice of
+// 4 PEs with K=16 at 8 bits.
+#include <cstdio>
+
+#include "src/hw/accelerator.hpp"
+#include "src/hw/hfint_pe.hpp"
+#include "src/hw/int_pe.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace af;
+
+void sweep_vector_size() {
+  TextTable table(
+      "Accelerator sweep A — MAC vector size K (4 PEs, 256 hidden, 8-bit)");
+  table.set_header({"K", "cycles/step", "INT area mm^2", "HFINT area mm^2",
+                    "HFINT/INT energy"});
+  for (int k : {4, 8, 16, 32}) {
+    AcceleratorConfig ic;
+    ic.kind = PeKind::kInt;
+    ic.vector_size = k;
+    AcceleratorConfig hc = ic;
+    hc.kind = PeKind::kHfint;
+    Accelerator ia(ic), ha(hc);
+    IntPe ip({8, 16, k, 256});
+    HfintPe hp({8, 3, k, 256});
+    table.add_row({std::to_string(k),
+                   std::to_string(ia.cycles_per_timestep()),
+                   fmt_fixed(ia.area_mm2(), 2), fmt_fixed(ha.area_mm2(), 2),
+                   fmt_fixed(hp.energy_per_op_fj() / ip.energy_per_op_fj(),
+                             3)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_pe_count() {
+  TextTable table(
+      "Accelerator sweep B — PE count (K=16, 256 hidden, 8-bit)");
+  table.set_header({"PEs", "cycles/step", "speedup", "INT area mm^2"});
+  std::int64_t base = 0;
+  for (int pes : {1, 2, 4, 8}) {
+    AcceleratorConfig cfg;
+    cfg.kind = PeKind::kInt;
+    cfg.num_pes = pes;
+    Accelerator acc(cfg);
+    const std::int64_t cycles = acc.cycles_per_timestep();
+    if (base == 0) base = cycles;
+    table.add_row({std::to_string(pes), std::to_string(cycles),
+                   fmt_fixed(static_cast<double>(base) / cycles, 2),
+                   fmt_fixed(acc.area_mm2(), 2)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_hidden() {
+  TextTable table(
+      "Accelerator sweep C — LSTM hidden size (4 PEs, K=16, 8-bit)");
+  table.set_header({"hidden", "cycles/step", "us per 100 steps",
+                    "INT area mm^2"});
+  for (std::int64_t hidden : {64, 128, 256, 512}) {
+    AcceleratorConfig cfg;
+    cfg.kind = PeKind::kInt;
+    cfg.hidden = hidden;
+    cfg.input = hidden;
+    Accelerator acc(cfg);
+    const std::int64_t cycles = acc.cycles_per_timestep();
+    table.add_row({std::to_string(hidden), std::to_string(cycles),
+                   fmt_fixed(cycles * 100 / 1e3, 1),
+                   fmt_fixed(acc.area_mm2(), 2)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_operand_width() {
+  TextTable table(
+      "Accelerator sweep D — operand width (4 PEs, K=16, 256 hidden)");
+  table.set_header({"bits", "INT e/op fJ", "HFINT e/op fJ", "ratio"});
+  for (int bits : {4, 6, 8, 12}) {
+    IntPe ip({bits, bits <= 4 ? 8 : 16, 16, 256});
+    HfintPe hp({bits, 3, 16, 256});
+    table.add_row({std::to_string(bits),
+                   fmt_fixed(ip.energy_per_op_fj(), 2),
+                   fmt_fixed(hp.energy_per_op_fj(), 2),
+                   fmt_fixed(hp.energy_per_op_fj() / ip.energy_per_op_fj(),
+                             3)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  sweep_vector_size();
+  sweep_pe_count();
+  sweep_hidden();
+  sweep_operand_width();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation: AdaptivFloat design choices (DESIGN.md Section 5).
+//
+// 1. Exponent/mantissa split: sweep the exponent width e at fixed total
+//    bits. The paper reports e = 3 as the accuracy sweet spot.
+// 2. Zero handling: the paper's sacrifice-±min-for-0 rule vs. a format
+//    without exact zero (nearest-value encoding of 0 becomes ±value_min).
+// 3. exp_bias granularity: per-tensor (the paper) vs. per-output-channel.
+// All measured as per-layer RMS error on the paper-calibrated ensembles.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/algorithm1.hpp"
+#include "src/data/weight_ensembles.hpp"
+#include "src/numerics/registry.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace af;
+
+double rms(const Tensor& a, const Tensor& b) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = double(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.numel()));
+}
+
+std::vector<Tensor> all_layers(Pcg32& rng) {
+  std::vector<Tensor> layers;
+  for (const auto& spec :
+       {transformer_ensemble(), seq2seq_ensemble(), resnet_ensemble()}) {
+    for (const auto& layer : spec.layers) {
+      layers.push_back(sample_synthetic_layer(layer, rng));
+    }
+  }
+  return layers;
+}
+
+}  // namespace
+
+int main() {
+  Pcg32 rng(99);
+  const std::vector<Tensor> layers = all_layers(rng);
+
+  // --- 1. exponent width sweep ---------------------------------------------
+  {
+    TextTable table(
+        "Ablation 1 — AdaptivFloat exponent width (mean per-layer RMS error "
+        "over all ensembles; paper default e=3)");
+    table.set_header({"bits", "e=1", "e=2", "e=3", "e=4", "e=5"});
+    for (int bits : {6, 8}) {
+      std::vector<std::string> row = {std::to_string(bits)};
+      for (int e = 1; e <= 5; ++e) {
+        if (e > bits - 1) {
+          row.push_back("-");
+          continue;
+        }
+        std::vector<double> errors;
+        for (const Tensor& w : layers) {
+          auto res = adaptivfloat_quantize(w, bits, e);
+          errors.push_back(rms(w, res.quantized));
+        }
+        row.push_back(fmt_sig(mean_of(errors), 3));
+      }
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  // --- 2. zero-handling rule ------------------------------------------------
+  {
+    TextTable table(
+        "Ablation 2 — zero handling: sacrifice +/-min for exact 0 (paper) "
+        "vs. no exact zero");
+    table.set_header({"bits", "with exact 0 (paper)", "without exact 0"});
+    for (int bits : {4, 6, 8}) {
+      std::vector<double> with_zero, without_zero;
+      for (const Tensor& w : layers) {
+        auto res = adaptivfloat_quantize(w, bits, std::min(3, bits - 1));
+        with_zero.push_back(rms(w, res.quantized));
+        // "Without exact zero": sub-minimum magnitudes round to value_min
+        // instead of 0 (the alternative of paper Figure 2, left).
+        Tensor alt(w.shape());
+        const auto& fmt = res.format;
+        for (std::int64_t i = 0; i < w.numel(); ++i) {
+          const float q = fmt.quantize(w[i]);
+          if (q == 0.0f && w[i] != 0.0f) {
+            alt[i] = w[i] < 0 ? -fmt.value_min() : fmt.value_min();
+          } else {
+            alt[i] = q;
+          }
+        }
+        without_zero.push_back(rms(w, alt));
+      }
+      table.add_row({std::to_string(bits), fmt_sig(mean_of(with_zero), 3),
+                     fmt_sig(mean_of(without_zero), 3)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  // --- 3. exp_bias granularity ----------------------------------------------
+  {
+    TextTable table(
+        "Ablation 3 — exp_bias granularity: per-tensor (paper) vs. "
+        "per-output-channel");
+    table.set_header({"bits", "per-tensor", "per-channel"});
+    for (int bits : {4, 6, 8}) {
+      std::vector<double> per_tensor, per_channel;
+      for (const Tensor& w : layers) {
+        if (w.rank() != 2) continue;
+        auto res = adaptivfloat_quantize(w, bits, std::min(3, bits - 1));
+        per_tensor.push_back(rms(w, res.quantized));
+        // Re-derive the bias per row (output channel).
+        Tensor qc(w.shape());
+        const std::int64_t rows = w.dim(0), cols = w.dim(1);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          Tensor rowt({cols});
+          std::copy_n(w.data() + r * cols, cols, rowt.data());
+          auto rres =
+              adaptivfloat_quantize(rowt, bits, std::min(3, bits - 1));
+          std::copy_n(rres.quantized.data(), cols, qc.data() + r * cols);
+        }
+        per_channel.push_back(rms(w, qc));
+      }
+      table.add_row({std::to_string(bits), fmt_sig(mean_of(per_tensor), 3),
+                     fmt_sig(mean_of(per_channel), 3)});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared training recipes for the model-level benches (Tables 1-3,
+// Figures 1 and 4): every harness trains the same FP32 baselines so results
+// are comparable across benches.
+#pragma once
+
+#include <cstdio>
+
+#include "src/models/trainer.hpp"
+
+namespace af::bench {
+
+constexpr std::uint64_t kSeed = 2020;
+
+// FP32 plateau recipes (see EXPERIMENTS.md for the calibration).
+constexpr int kTransformerSteps = 1800;
+constexpr int kSeq2SeqSteps = 900;
+constexpr int kResNetSteps = 400;
+constexpr int kBatch = 16;
+constexpr float kLr = 2e-3f;
+
+// QAR fine-tuning recipe (from the trained plateau, lower learning rate).
+constexpr int kQarSteps = 150;
+constexpr float kQarLr = 5e-4f;
+
+// Evaluation set sizes.
+constexpr int kEvalSentences = 40;
+constexpr int kEvalUtterances = 40;
+constexpr int kEvalImages = 300;
+
+inline TransformerBundle trained_transformer() {
+  std::fprintf(stderr, "[bench] training Transformer baseline (%d steps)...\n",
+               kTransformerSteps);
+  TransformerBundle b(kSeed);
+  train_transformer(b, kTransformerSteps, kBatch, kLr, kSeed + 1);
+  return b;
+}
+
+inline Seq2SeqBundle trained_seq2seq() {
+  std::fprintf(stderr, "[bench] training Seq2Seq baseline (%d steps)...\n",
+               kSeq2SeqSteps);
+  Seq2SeqBundle b(kSeed);
+  train_seq2seq(b, kSeq2SeqSteps, kBatch, kLr, kSeed + 2);
+  return b;
+}
+
+inline ResNetBundle trained_resnet() {
+  std::fprintf(stderr, "[bench] training ResNet baseline (%d steps)...\n",
+               kResNetSteps);
+  ResNetBundle b(kSeed);
+  train_resnet(b, kResNetSteps, 32, kLr, kSeed + 3);
+  return b;
+}
+
+}  // namespace af::bench

@@ -1,0 +1,72 @@
+// Figure 1: range of weights from CNN and NLP models.
+//
+// Trains the three surrogate models and prints their post-training weight
+// ranges; the paper's claim is the *ordering* — LayerNorm sequence models
+// (Transformer widest), then the LSTM seq2seq, then the BatchNorm CNN
+// (narrowest). Also prints the paper-calibrated synthetic ensembles used by
+// the Figure 4 RMS study (which carry the full-scale ranges of the
+// 93M/20M/25M-parameter originals).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/data/weight_ensembles.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace af;
+
+  TextTable trained("Figure 1 — weight ranges of the trained surrogates");
+  trained.set_header({"Model", "Norm", "min(W)", "max(W)", "params"});
+
+  {
+    auto b = bench::trained_transformer();
+    auto s = weight_stats(b.model.parameters());
+    std::printf("[transformer BLEU %.1f]\n",
+                eval_transformer_bleu(b, bench::kEvalSentences));
+    trained.add_row({"Transformer (translation)", "LayerNorm",
+                     fmt_fixed(s.min, 2), fmt_fixed(s.max, 2),
+                     std::to_string(s.count)});
+  }
+  {
+    auto b = bench::trained_seq2seq();
+    auto s = weight_stats(b.model.parameters());
+    std::printf("[seq2seq WER %.1f]\n",
+                eval_seq2seq_wer(b, bench::kEvalUtterances));
+    trained.add_row({"Seq2Seq (speech-to-text)", "none/LSTM",
+                     fmt_fixed(s.min, 2), fmt_fixed(s.max, 2),
+                     std::to_string(s.count)});
+  }
+  {
+    auto b = bench::trained_resnet();
+    auto s = weight_stats(b.model.parameters());
+    std::printf("[resnet Top-1 %.1f]\n", eval_resnet_top1(b, bench::kEvalImages));
+    trained.add_row({"ResNet (image classification)", "BatchNorm",
+                     fmt_fixed(s.min, 2), fmt_fixed(s.max, 2),
+                     std::to_string(s.count)});
+  }
+  trained.print();
+
+  TextTable synth(
+      "\nPaper-calibrated synthetic ensembles (full-scale statistics)");
+  synth.set_header({"Ensemble", "min(W)", "max(W)", "paper range"});
+  Pcg32 rng(7);
+  struct Row {
+    SyntheticModelSpec spec;
+    const char* paper;
+  };
+  for (const auto& [spec, paper] :
+       {Row{transformer_ensemble(), "[-12.46, 20.41]"},
+        Row{seq2seq_ensemble(), "[-2.21, 2.39]"},
+        Row{resnet_ensemble(), "[-0.78, 1.32]"}}) {
+    float mn = 0, mx = 0;
+    for (const auto& layer : spec.layers) {
+      Tensor w = sample_synthetic_layer(layer, rng);
+      mn = std::min(mn, w.min());
+      mx = std::max(mx, w.max());
+    }
+    synth.add_row({spec.name, fmt_fixed(mn, 2), fmt_fixed(mx, 2), paper});
+  }
+  synth.print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 3: the worked AdaptivFloat<4,2> quantization example.
+//
+// Runs Algorithm 1 on the exact 4x4 matrix from the paper's Figure 3 and
+// prints the chosen format parameters and the quantized matrix, which must
+// match the figure entry for entry.
+#include <cstdio>
+
+#include "src/core/algorithm1.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  const af::Tensor w({4, 4}, {-1.17f, 2.71f,  -1.60f, 0.43f,   //
+                              -1.14f, 2.05f,  1.01f,  0.07f,   //
+                              0.16f,  -0.03f, -0.89f, -0.87f,  //
+                              -0.04f, -0.39f, 0.64f,  -2.89f});
+
+  auto res = af::adaptivfloat_quantize(w, 4, 2);
+
+  std::printf("Figure 3 — AdaptivFloat<4,2> quantization of the example matrix\n");
+  std::printf("================================================================\n");
+  std::printf("AdaptivFloat params: exp_bias = %d (paper: -2), abs min = %.3f "
+              "(paper: 0.375), abs max = %.0f (paper: 3)\n\n",
+              res.format.exp_bias(), res.format.value_min(),
+              res.format.value_max());
+
+  std::printf("%-34s %s\n", "W_fp (full precision)", "W_adaptiv (quantized)");
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) std::printf("%6.2f ", w.at({i, j}));
+    std::printf("   |  ");
+    for (int j = 0; j < 4; ++j) {
+      std::printf("%6.3f ", res.quantized.at({i, j}));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n4-bit codes [sign|exp|mant]:\n");
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const std::uint16_t c = res.codes[static_cast<std::size_t>(i * 4 + j)];
+      std::printf("%d%d%d%d ", (c >> 3) & 1, (c >> 2) & 1, (c >> 1) & 1,
+                  c & 1);
+    }
+    std::printf("\n");
+  }
+
+  // Expected result from the paper, for self-checking output.
+  const af::Tensor expect({4, 4}, {-1.0f, 3.0f,    -1.5f, 0.375f,  //
+                                   -1.0f, 2.0f,    1.0f,  0.0f,    //
+                                   0.0f,  0.0f,    -1.0f, -0.75f,  //
+                                   0.0f,  -0.375f, 0.75f, -3.0f});
+  bool match = true;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    match &= (res.quantized[i] == expect[i]);
+  }
+  std::printf("\nmatches the paper's Figure 3 matrix: %s\n",
+              match ? "YES" : "NO");
+  return match ? 0 : 1;
+}

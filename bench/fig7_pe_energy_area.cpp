@@ -1,0 +1,62 @@
+// Figure 7: per-operation energy (top) and throughput per unit area
+// (bottom) of the INT and HFINT PEs across MAC vector sizes K = 4, 8, 16,
+// at 4-bit and 8-bit operand widths.
+//
+// Paper reference series (16nm, post-HLS):
+//   energy fJ/op:  INT4/16/24 127.00/59.75/30.36, HFINT4/22 123.12/56.39/27.77
+//                  INT8/24/40 227.61/105.80/52.21, HFINT8/30 205.27/98.38/46.88
+//   TOPS/mm^2:     INT4 1.31/2.28/3.90, HFINT4 1.26/2.10/3.42
+//                  INT8 1.11/1.59/2.25, HFINT8 1.02/1.39/1.86
+#include <cstdio>
+
+#include "src/hw/hfint_pe.hpp"
+#include "src/hw/int_pe.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  const int kVectors[] = {4, 8, 16};
+
+  af::TextTable energy("Figure 7 (top) — per-operation energy [fJ/op]");
+  energy.set_header({"PE", "K=4", "K=8", "K=16"});
+  af::TextTable density(
+      "Figure 7 (bottom) — performance per area [TOPS/mm^2]");
+  density.set_header({"PE", "K=4", "K=8", "K=16"});
+
+  for (int bits : {4, 8}) {
+    const int scale_bits = bits == 4 ? 8 : 16;
+    std::vector<std::string> int_e, int_d, hf_e, hf_d;
+    std::string int_name, hf_name;
+    for (int k : kVectors) {
+      af::IntPe ip({bits, scale_bits, k, 256});
+      af::HfintPe hp({bits, 3, k, 256});
+      int_name = ip.config().name();
+      hf_name = hp.config().name();
+      int_e.push_back(af::fmt_fixed(ip.energy_per_op_fj(), 2));
+      hf_e.push_back(af::fmt_fixed(hp.energy_per_op_fj(), 2));
+      int_d.push_back(af::fmt_fixed(ip.tops_per_mm2(), 2));
+      hf_d.push_back(af::fmt_fixed(hp.tops_per_mm2(), 2));
+    }
+    energy.add_row({int_name, int_e[0], int_e[1], int_e[2]});
+    energy.add_row({hf_name, hf_e[0], hf_e[1], hf_e[2]});
+    density.add_row({int_name, int_d[0], int_d[1], int_d[2]});
+    density.add_row({hf_name, hf_d[0], hf_d[1], hf_d[2]});
+  }
+  energy.print();
+  std::printf("\n");
+  density.print();
+
+  // The paper's headline ratios for quick comparison.
+  std::printf("\nHFINT/INT ratios (paper: energy 0.90x-0.97x, "
+              "perf/area 1/1.04x-1/1.21x):\n");
+  for (int bits : {4, 8}) {
+    const int scale_bits = bits == 4 ? 8 : 16;
+    for (int k : kVectors) {
+      af::IntPe ip({bits, scale_bits, k, 256});
+      af::HfintPe hp({bits, 3, k, 256});
+      std::printf("  %d-bit K=%-2d  energy %.3fx   perf/area %.3fx\n", bits,
+                  k, hp.energy_per_op_fj() / ip.energy_per_op_fj(),
+                  hp.tops_per_mm2() / ip.tops_per_mm2());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 1: the DNN models under evaluation — structure, parameter count,
+// weight range, and FP32 task performance.
+//
+// Paper reference:
+//   Transformer  93M params, range [-12.46, 20.41], BLEU 27.40
+//   Seq2Seq      20M params, range [-2.21, 2.39],   WER 13.34
+//   ResNet-50    25M params, range [-0.78, 1.32],   Top-1 76.2
+// Our surrogates are scaled down (documented in DESIGN.md); the ordering of
+// ranges and the metric *types* are what carries over.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace af;
+  TextTable table("Table 1 — DNN models under evaluation (surrogates)");
+  table.set_header({"Model", "Application", "Dataset", "Structure",
+                    "Params", "Range of weights", "FP32 performance"});
+
+  {
+    auto b = bench::trained_transformer();
+    auto s = weight_stats(b.model.parameters());
+    const double bleu = eval_transformer_bleu(b, bench::kEvalSentences);
+    table.add_row({"Transformer", "Machine translation",
+                   "synthetic Zipfian reversal (WMT'17 stand-in)",
+                   "Attention, FC layers", std::to_string(s.count),
+                   "[" + fmt_fixed(s.min, 2) + ", " + fmt_fixed(s.max, 2) + "]",
+                   "BLEU: " + fmt_fixed(bleu, 2)});
+  }
+  {
+    auto b = bench::trained_seq2seq();
+    auto s = weight_stats(b.model.parameters());
+    const double wer = eval_seq2seq_wer(b, bench::kEvalUtterances);
+    table.add_row({"Seq2Seq", "Speech-to-text",
+                   "synthetic frames (LibriSpeech stand-in)",
+                   "Attention, LSTM, FC layers", std::to_string(s.count),
+                   "[" + fmt_fixed(s.min, 2) + ", " + fmt_fixed(s.max, 2) + "]",
+                   "WER: " + fmt_fixed(wer, 2)});
+  }
+  {
+    auto b = bench::trained_resnet();
+    auto s = weight_stats(b.model.parameters());
+    const double acc = eval_resnet_top1(b, bench::kEvalImages);
+    table.add_row({"ResNet", "Image classification",
+                   "synthetic prototypes (ImageNet stand-in)",
+                   "CNN, FC layers", std::to_string(s.count),
+                   "[" + fmt_fixed(s.min, 2) + ", " + fmt_fixed(s.max, 2) + "]",
+                   "Top-1 Acc: " + fmt_fixed(acc, 1)});
+  }
+  table.print();
+  return 0;
+}

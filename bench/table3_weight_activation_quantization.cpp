@@ -1,0 +1,124 @@
+// Table 3: impact of quantizing BOTH weights and activations, measured
+// after quantization-aware retraining, at W8/A8, W6/A6 and W4/A4.
+//
+// Protocol: activation ranges are calibrated offline per site (running
+// max-abs over calibration batches, with weights already quantized), then
+// the model is fine-tuned with STE weight quantization while activations
+// are quantized in the forward pass; evaluation runs fully quantized.
+//
+// Expected shape: W8/A8 matches FP32 for AdaptivFloat (sometimes exceeding
+// it through the regularization effect); W4/A4 degrades more steeply on the
+// attention/sequence models than on the CNN.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/numerics/registry.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace af;
+
+constexpr int kWidths[] = {8, 6, 4};
+
+struct ModelHarness {
+  std::string title;
+  ActQuant* act_quant;
+  std::function<double(Quantizer*)> evaluate;
+  std::function<void(Quantizer&)> qar_finetune;
+  std::function<void(Quantizer*)> calibrate;  // record activation ranges
+  std::function<void()> restore;
+  int metric_digits = 1;
+};
+
+void run_table(const ModelHarness& h) {
+  const double fp32 = h.evaluate(nullptr);
+  TextTable table("Table 3 — " + h.title +
+                  " (FP32 = " + fmt_fixed(fp32, h.metric_digits) +
+                  "), after quantization-aware retraining");
+  std::vector<std::string> header = {"Wn/An"};
+  for (FormatKind kind : all_format_kinds()) {
+    header.push_back(format_kind_name(kind));
+  }
+  table.set_header(header);
+
+  for (int bits : kWidths) {
+    std::vector<std::string> row = {"W" + std::to_string(bits) + "/A" +
+                                    std::to_string(bits)};
+    for (FormatKind kind : all_format_kinds()) {
+      auto wq = make_quantizer(kind, bits);
+      h.act_quant->set_quantizer(make_quantizer(kind, bits));
+      h.calibrate(wq.get());
+      h.act_quant->set_mode(ActQuantMode::kApply);
+      h.qar_finetune(*wq);
+      const double metric = h.evaluate(wq.get());
+      h.act_quant->set_mode(ActQuantMode::kOff);
+      h.restore();
+      row.push_back(fmt_fixed(metric, h.metric_digits));
+    }
+    table.add_row(row);
+    std::fprintf(stderr, "[bench] %s: W%d/A%d row done\n", h.title.c_str(),
+                 bits, bits);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace af;
+  using namespace af::bench;
+
+  {
+    auto b = trained_transformer();
+    auto base = snapshot_parameters(b.model.parameters());
+    ModelHarness h{
+        "BLEU score of Transformer (higher is better)",
+        &b.model.act_quant(),
+        [&](Quantizer* q) { return eval_transformer_bleu(b, kEvalSentences, q); },
+        [&](Quantizer& q) {
+          train_transformer(b, kQarSteps, kBatch, kQarLr, kSeed + 21, &q);
+        },
+        [&](Quantizer* q) {
+          calibrate_transformer_activations(b, 6, kSeed + 22, q);
+        },
+        [&] { restore_parameters(b.model.parameters(), base); },
+        1};
+    run_table(h);
+  }
+  {
+    auto b = trained_seq2seq();
+    auto base = snapshot_parameters(b.model.parameters());
+    ModelHarness h{
+        "Word error rate of Seq2Seq (lower is better)",
+        &b.model.act_quant(),
+        [&](Quantizer* q) { return eval_seq2seq_wer(b, kEvalUtterances, q); },
+        [&](Quantizer& q) {
+          train_seq2seq(b, kQarSteps, kBatch, kQarLr, kSeed + 23, &q);
+        },
+        [&](Quantizer* q) { calibrate_seq2seq_activations(b, 6, kSeed + 24, q); },
+        [&] { restore_parameters(b.model.parameters(), base); },
+        2};
+    run_table(h);
+  }
+  {
+    auto b = trained_resnet();
+    auto base = snapshot_parameters(b.model.parameters());
+    ModelHarness h{
+        "Top-1 accuracy of ResNet (higher is better)",
+        &b.model.act_quant(),
+        [&](Quantizer* q) { return eval_resnet_top1(b, kEvalImages, q); },
+        [&](Quantizer& q) {
+          train_resnet(b, kQarSteps, 32, kQarLr, kSeed + 25, &q);
+        },
+        [&](Quantizer* q) { calibrate_resnet_activations(b, 6, kSeed + 26, q); },
+        [&] { restore_parameters(b.model.parameters(), base); },
+        1};
+    run_table(h);
+  }
+  return 0;
+}

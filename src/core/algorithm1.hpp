@@ -1,0 +1,43 @@
+// Algorithm 1 of the paper: AdaptivFloat quantization of a tensor.
+//
+// The algorithm picks the exponent bias that makes the format's dynamic
+// range bracket the tensor's max-abs value, then rounds every element to
+// the nearest representable datapoint:
+//
+//   find exp_max with 2^exp_max <= max(|W|) < 2^(exp_max+1)
+//   exp_bias  = exp_max - (2^e - 1)
+//   value_min = 2^exp_bias * (1 + 2^-m)
+//   value_max = 2^exp_max  * (2 - 2^-m)
+//   round |w| < value_min to 0 or value_min at the halfway threshold
+//   clamp |w| > value_max to value_max
+//   quantize the mantissas at scale 2^-m and reconstruct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/adaptivfloat.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Chooses the exponent bias for data whose max-abs is `max_abs`
+/// (lines 4-5 of Algorithm 1). For an all-zero tensor (max_abs == 0) the
+/// bias defaults to -(2^e - 1), i.e. exp_max = 0.
+AdaptivFloatFormat format_for_max_abs(float max_abs, int bits, int exp_bits);
+
+/// Convenience: bias from a tensor's max-abs.
+AdaptivFloatFormat format_for_tensor(const Tensor& w, int bits, int exp_bits);
+
+/// Result of quantizing one tensor with Algorithm 1.
+struct AdaptivFloatQuantResult {
+  AdaptivFloatFormat format;       ///< chosen format (carries exp_bias)
+  Tensor quantized;                ///< W_adaptiv — reconstructed values
+  std::vector<std::uint16_t> codes;  ///< the n-bit encodings, one per element
+};
+
+/// Runs Algorithm 1 end to end on `w`.
+AdaptivFloatQuantResult adaptivfloat_quantize(const Tensor& w, int bits,
+                                              int exp_bits);
+
+}  // namespace af

@@ -1,0 +1,79 @@
+#include "src/core/bitpack.hpp"
+
+#include "src/core/algorithm1.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+std::vector<std::uint8_t> pack_codes(const std::vector<std::uint16_t>& codes,
+                                     int bits) {
+  AF_CHECK(bits >= 1 && bits <= 16, "code width must be in [1,16]");
+  const std::size_t total_bits = codes.size() * static_cast<std::size_t>(bits);
+  std::vector<std::uint8_t> out((total_bits + 7) / 8, 0);
+  std::size_t bitpos = 0;
+  for (std::uint16_t code : codes) {
+    AF_CHECK(code < (1u << bits), "code wider than declared width");
+    for (int b = 0; b < bits; ++b, ++bitpos) {
+      if ((code >> b) & 1u) {
+        out[bitpos >> 3] |= static_cast<std::uint8_t>(1u << (bitpos & 7));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> unpack_codes(const std::vector<std::uint8_t>& bytes,
+                                        int bits, std::size_t count) {
+  AF_CHECK(bits >= 1 && bits <= 16, "code width must be in [1,16]");
+  AF_CHECK(bytes.size() * 8 >= count * static_cast<std::size_t>(bits),
+           "packed payload too small for the requested element count");
+  std::vector<std::uint16_t> out(count, 0);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint16_t code = 0;
+    for (int b = 0; b < bits; ++b, ++bitpos) {
+      if ((bytes[bitpos >> 3] >> (bitpos & 7)) & 1u) {
+        code |= static_cast<std::uint16_t>(1u << b);
+      }
+    }
+    out[i] = code;
+  }
+  return out;
+}
+
+PackedAdaptivFloatTensor PackedAdaptivFloatTensor::quantize_pack(
+    const Tensor& w, int bits, int exp_bits) {
+  auto res = adaptivfloat_quantize(w, bits, exp_bits);
+  return PackedAdaptivFloatTensor(res.format, w.shape(),
+                                  pack_codes(res.codes, bits));
+}
+
+Tensor PackedAdaptivFloatTensor::unpack() const {
+  const auto count = static_cast<std::size_t>(numel());
+  const auto codes = unpack_codes(bytes_, format_.bits(), count);
+  Tensor out(shape_);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[static_cast<std::int64_t>(i)] = format_.decode(codes[i]);
+  }
+  return out;
+}
+
+std::uint16_t PackedAdaptivFloatTensor::code_at(std::int64_t index) const {
+  AF_CHECK(index >= 0 && index < numel(), "packed index out of range");
+  const int bits = format_.bits();
+  std::size_t bitpos =
+      static_cast<std::size_t>(index) * static_cast<std::size_t>(bits);
+  std::uint16_t code = 0;
+  for (int b = 0; b < bits; ++b, ++bitpos) {
+    if ((bytes_[bitpos >> 3] >> (bitpos & 7)) & 1u) {
+      code |= static_cast<std::uint16_t>(1u << b);
+    }
+  }
+  return code;
+}
+
+float PackedAdaptivFloatTensor::value_at(std::int64_t index) const {
+  return format_.decode(code_at(index));
+}
+
+}  // namespace af

@@ -1,0 +1,46 @@
+#include "src/core/channel_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/algorithm1.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+ChannelQuantResult adaptivfloat_quantize_per_channel(const Tensor& w,
+                                                     int bits, int exp_bits) {
+  AF_CHECK(w.rank() == 2, "per-channel quantization expects [out, in]");
+  const std::int64_t rows = w.dim(0), cols = w.dim(1);
+  ChannelQuantResult res{
+      {}, Tensor(w.shape()), std::vector<std::uint16_t>(
+                                 static_cast<std::size_t>(w.numel()))};
+  res.formats.reserve(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float row_max = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row_max = std::max(row_max, std::fabs(w[r * cols + c]));
+    }
+    AdaptivFloatFormat fmt = format_for_max_abs(row_max, bits, exp_bits);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::uint16_t code = fmt.encode(w[r * cols + c]);
+      res.codes[static_cast<std::size_t>(r * cols + c)] = code;
+      res.quantized[r * cols + c] = fmt.decode(code);
+    }
+    res.formats.push_back(fmt);
+  }
+  return res;
+}
+
+double rms_between(const Tensor& a, const Tensor& b) {
+  AF_CHECK(a.shape() == b.shape(), "rms_between shape mismatch");
+  AF_CHECK(a.numel() > 0, "rms_between on empty tensors");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = double(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.numel()));
+}
+
+}  // namespace af

@@ -1,0 +1,32 @@
+// Per-output-channel AdaptivFloat quantization — a finer-granularity
+// extension of the paper's per-layer scheme (DESIGN.md ablation 3).
+//
+// Each row of a [out, in] weight matrix gets its own exp_bias derived from
+// that row's max-abs. Hardware cost is one extra 4-bit bias register per
+// output channel (the HFINT PE already holds per-tensor bias registers);
+// accuracy improves whenever channel scales differ widely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/adaptivfloat.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Result of per-channel quantization of a rank-2 tensor.
+struct ChannelQuantResult {
+  std::vector<AdaptivFloatFormat> formats;  ///< one per row
+  Tensor quantized;                          ///< reconstructed values
+  std::vector<std::uint16_t> codes;          ///< row-major codes
+};
+
+/// Quantizes each row of w [rows, cols] with its own Algorithm-1 bias.
+ChannelQuantResult adaptivfloat_quantize_per_channel(const Tensor& w,
+                                                     int bits, int exp_bits);
+
+/// RMS error helper shared by the ablation studies.
+double rms_between(const Tensor& a, const Tensor& b);
+
+}  // namespace af

@@ -1,0 +1,111 @@
+#include "src/data/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+// Counts of all n-grams of order n in a sequence.
+std::map<std::vector<std::int64_t>, std::int64_t> ngram_counts(
+    const TokenSeq& seq, std::size_t n) {
+  std::map<std::vector<std::int64_t>, std::int64_t> counts;
+  if (seq.size() < n) return counts;
+  for (std::size_t i = 0; i + n <= seq.size(); ++i) {
+    counts[std::vector<std::int64_t>(seq.begin() + static_cast<std::ptrdiff_t>(i),
+                                     seq.begin() + static_cast<std::ptrdiff_t>(i + n))]++;
+  }
+  return counts;
+}
+
+}  // namespace
+
+double bleu_score(const std::vector<TokenSeq>& references,
+                  const std::vector<TokenSeq>& hypotheses) {
+  AF_CHECK(references.size() == hypotheses.size(),
+           "BLEU needs one hypothesis per reference");
+  AF_CHECK(!references.empty(), "BLEU of an empty corpus");
+
+  double log_precision_sum = 0.0;
+  for (std::size_t n = 1; n <= 4; ++n) {
+    std::int64_t matched = 0, total = 0;
+    for (std::size_t s = 0; s < references.size(); ++s) {
+      auto ref_counts = ngram_counts(references[s], n);
+      auto hyp_counts = ngram_counts(hypotheses[s], n);
+      for (const auto& [gram, count] : hyp_counts) {
+        total += count;
+        auto it = ref_counts.find(gram);
+        if (it != ref_counts.end()) {
+          matched += std::min(count, it->second);
+        }
+      }
+    }
+    double precision;
+    if (n == 1) {
+      if (total == 0) return 0.0;  // empty hypotheses
+      if (matched == 0) return 0.0;
+      precision = static_cast<double>(matched) / static_cast<double>(total);
+    } else {
+      // Add-one smoothing for the higher orders.
+      precision = (static_cast<double>(matched) + 1.0) /
+                  (static_cast<double>(total) + 1.0);
+    }
+    log_precision_sum += std::log(precision);
+  }
+
+  std::int64_t ref_len = 0, hyp_len = 0;
+  for (std::size_t s = 0; s < references.size(); ++s) {
+    ref_len += static_cast<std::int64_t>(references[s].size());
+    hyp_len += static_cast<std::int64_t>(hypotheses[s].size());
+  }
+  double brevity = 1.0;
+  if (hyp_len < ref_len && hyp_len > 0) {
+    brevity = std::exp(1.0 - static_cast<double>(ref_len) /
+                                 static_cast<double>(hyp_len));
+  }
+  return 100.0 * brevity * std::exp(log_precision_sum / 4.0);
+}
+
+std::int64_t edit_distance(const TokenSeq& a, const TokenSeq& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::int64_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<std::int64_t>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<std::int64_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::int64_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double word_error_rate(const std::vector<TokenSeq>& references,
+                       const std::vector<TokenSeq>& hypotheses) {
+  AF_CHECK(references.size() == hypotheses.size(),
+           "WER needs one hypothesis per reference");
+  std::int64_t errors = 0, ref_len = 0;
+  for (std::size_t s = 0; s < references.size(); ++s) {
+    errors += edit_distance(references[s], hypotheses[s]);
+    ref_len += static_cast<std::int64_t>(references[s].size());
+  }
+  AF_CHECK(ref_len > 0, "WER with empty references");
+  return 100.0 * static_cast<double>(errors) / static_cast<double>(ref_len);
+}
+
+double top1_accuracy(const std::vector<std::int64_t>& labels,
+                     const std::vector<std::int64_t>& predictions) {
+  AF_CHECK(labels.size() == predictions.size() && !labels.empty(),
+           "Top-1 needs matching non-empty label/prediction lists");
+  std::int64_t hit = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    hit += (labels[i] == predictions[i]);
+  }
+  return 100.0 * static_cast<double>(hit) / static_cast<double>(labels.size());
+}
+
+}  // namespace af

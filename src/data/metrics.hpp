@@ -1,0 +1,31 @@
+// Task metrics used in the paper's Tables 1-3: BLEU (machine translation),
+// word error rate (speech-to-text) and Top-1 accuracy (classification).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace af {
+
+using TokenSeq = std::vector<std::int64_t>;
+
+/// Corpus-level BLEU-4 (Papineni et al., 2002) on token sequences: geometric
+/// mean of modified n-gram precisions for n = 1..4 with brevity penalty.
+/// Higher-order precisions use add-one smoothing (Lin & Och, 2004) so short
+/// synthetic corpora do not zero out. Returns a percentage in [0, 100].
+double bleu_score(const std::vector<TokenSeq>& references,
+                  const std::vector<TokenSeq>& hypotheses);
+
+/// Word error rate: total Levenshtein edit distance over total reference
+/// length, as a percentage (can exceed 100 for degenerate hypotheses).
+double word_error_rate(const std::vector<TokenSeq>& references,
+                       const std::vector<TokenSeq>& hypotheses);
+
+/// Levenshtein distance between two token sequences.
+std::int64_t edit_distance(const TokenSeq& a, const TokenSeq& b);
+
+/// Fraction of correct predictions, as a percentage.
+double top1_accuracy(const std::vector<std::int64_t>& labels,
+                     const std::vector<std::int64_t>& predictions);
+
+}  // namespace af

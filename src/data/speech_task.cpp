@@ -1,0 +1,86 @@
+#include "src/data/speech_task.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+SpeechTask::SpeechTask(std::int64_t vocab, std::int64_t feature_dim,
+                       std::int64_t min_len, std::int64_t max_len,
+                       std::int64_t frames_per_token, float noise,
+                       std::uint64_t seed)
+    : vocab_(vocab),
+      num_words_(vocab - kFirstWord),
+      feature_dim_(feature_dim),
+      min_len_(min_len),
+      max_len_(max_len),
+      frames_per_token_(frames_per_token),
+      noise_(noise) {
+  AF_CHECK(num_words_ >= 2, "vocabulary too small for the specials");
+  AF_CHECK(frames_per_token >= 1, "need at least one frame per token");
+  Pcg32 rng(seed, 0x5beec);
+  signatures_ =
+      Tensor::randn({num_words_ * frames_per_token_, feature_dim_}, rng);
+}
+
+Tensor SpeechTask::render(const TokenSeq& transcript, Pcg32& rng) const {
+  const auto len = static_cast<std::int64_t>(transcript.size());
+  Tensor frames({len * frames_per_token_, feature_dim_});
+  const float gain = rng.uniform(0.8f, 1.2f);  // per-utterance "speaker" gain
+  for (std::int64_t i = 0; i < len; ++i) {
+    const std::int64_t word = transcript[static_cast<std::size_t>(i)] - kFirstWord;
+    AF_CHECK(word >= 0 && word < num_words_, "transcript token out of range");
+    for (std::int64_t f = 0; f < frames_per_token_; ++f) {
+      const float* sig =
+          signatures_.data() + (word * frames_per_token_ + f) * feature_dim_;
+      float* dst = frames.data() + (i * frames_per_token_ + f) * feature_dim_;
+      for (std::int64_t d = 0; d < feature_dim_; ++d) {
+        dst[d] = gain * sig[d] + rng.normal(0.0f, noise_);
+      }
+    }
+  }
+  return frames;
+}
+
+Utterance SpeechTask::sample(Pcg32& rng) const {
+  const std::int64_t len =
+      min_len_ + static_cast<std::int64_t>(rng.next_below(
+                     static_cast<std::uint32_t>(max_len_ - min_len_ + 1)));
+  Utterance utt;
+  for (std::int64_t i = 0; i < len; ++i) {
+    utt.transcript.push_back(
+        kFirstWord + static_cast<std::int64_t>(
+                         rng.next_below(static_cast<std::uint32_t>(num_words_))));
+  }
+  utt.frames = render(utt.transcript, rng);
+  return utt;
+}
+
+SpeechTask::Batch SpeechTask::sample_batch(std::int64_t batch,
+                                           Pcg32& rng) const {
+  const std::int64_t len =
+      min_len_ + static_cast<std::int64_t>(rng.next_below(
+                     static_cast<std::uint32_t>(max_len_ - min_len_ + 1)));
+  const std::int64_t t_frames = len * frames_per_token_;
+  Batch out;
+  out.frames = Tensor({t_frames, batch, feature_dim_});
+  out.transcripts.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    TokenSeq transcript;
+    for (std::int64_t i = 0; i < len; ++i) {
+      transcript.push_back(
+          kFirstWord + static_cast<std::int64_t>(rng.next_below(
+                           static_cast<std::uint32_t>(num_words_))));
+    }
+    Tensor frames = render(transcript, rng);  // [t_frames, F]
+    for (std::int64_t t = 0; t < t_frames; ++t) {
+      std::copy_n(frames.data() + t * feature_dim_, feature_dim_,
+                  out.frames.data() + (t * batch + b) * feature_dim_);
+    }
+    out.transcripts.push_back(std::move(transcript));
+  }
+  return out;
+}
+
+}  // namespace af

@@ -1,0 +1,64 @@
+// Synthetic speech-to-text task — the stand-in for LibriSpeech.
+//
+// A "recording" is the target token sequence rendered into continuous
+// feature frames: every token emits `frames_per_token` frames of a fixed
+// per-token acoustic signature corrupted by Gaussian noise (and a random
+// per-utterance gain, mimicking speaker variation). The model must learn
+// the signature inventory and the alignment — the same structure an
+// attention-based ASR model learns, at toy scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/metrics.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+
+/// One utterance: frames [T, feature_dim] plus the transcript.
+struct Utterance {
+  Tensor frames;     // [T, feature_dim]
+  TokenSeq transcript;  // word ids, no specials
+};
+
+class SpeechTask {
+ public:
+  static constexpr std::int64_t kPad = 0;
+  static constexpr std::int64_t kBos = 1;
+  static constexpr std::int64_t kEos = 2;
+  static constexpr std::int64_t kFirstWord = 3;
+
+  SpeechTask(std::int64_t vocab, std::int64_t feature_dim,
+             std::int64_t min_len, std::int64_t max_len,
+             std::int64_t frames_per_token, float noise, std::uint64_t seed);
+
+  std::int64_t vocab() const { return vocab_; }
+  std::int64_t feature_dim() const { return feature_dim_; }
+  std::int64_t frames_per_token() const { return frames_per_token_; }
+
+  Utterance sample(Pcg32& rng) const;
+
+  /// Batch with a common transcript length; frames stacked as [T, B, F].
+  struct Batch {
+    Tensor frames;                    // [T, B, F]
+    std::vector<TokenSeq> transcripts;
+  };
+  Batch sample_batch(std::int64_t batch, Pcg32& rng) const;
+
+  /// Renders a transcript into frames (deterministic signatures + noise).
+  Tensor render(const TokenSeq& transcript, Pcg32& rng) const;
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t num_words_;
+  std::int64_t feature_dim_;
+  std::int64_t min_len_;
+  std::int64_t max_len_;
+  std::int64_t frames_per_token_;
+  float noise_;
+  Tensor signatures_;  // [num_words * frames_per_token, feature_dim]
+};
+
+}  // namespace af

@@ -1,0 +1,85 @@
+#include "src/data/translation_task.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+TranslationTask::TranslationTask(std::int64_t vocab, std::int64_t min_len,
+                                 std::int64_t max_len, std::uint64_t seed,
+                                 float zipf_exponent)
+    : vocab_(vocab),
+      num_words_(vocab - kFirstWord),
+      min_len_(min_len),
+      max_len_(max_len) {
+  AF_CHECK(num_words_ >= 2, "vocabulary too small for the specials");
+  AF_CHECK(min_len >= 1 && min_len <= max_len, "bad length range");
+  AF_CHECK(zipf_exponent >= 0.0f, "negative Zipf exponent");
+  // Fixed random bijection over the word ids (the "lexicon").
+  substitution_.resize(static_cast<std::size_t>(num_words_));
+  for (std::int64_t i = 0; i < num_words_; ++i) substitution_[i] = i;
+  Pcg32 rng(seed, 0x7ea1);
+  rng.shuffle(substitution_);
+  // Zipfian CDF: p(rank r) ~ 1 / r^s.
+  word_cdf_.resize(static_cast<std::size_t>(num_words_));
+  double acc = 0.0;
+  for (std::int64_t r = 0; r < num_words_; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1),
+                          static_cast<double>(zipf_exponent));
+    word_cdf_[static_cast<std::size_t>(r)] = acc;
+  }
+  for (double& c : word_cdf_) c /= acc;
+}
+
+std::int64_t TranslationTask::sample_word(Pcg32& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(word_cdf_.begin(), word_cdf_.end(), u);
+  const auto rank = static_cast<std::int64_t>(it - word_cdf_.begin());
+  return kFirstWord + std::min(rank, num_words_ - 1);
+}
+
+TokenSeq TranslationTask::translate(const TokenSeq& source) const {
+  TokenSeq out;
+  out.reserve(source.size());
+  for (auto it = source.rbegin(); it != source.rend(); ++it) {
+    const std::int64_t word = *it - kFirstWord;
+    AF_CHECK(word >= 0 && word < num_words_, "source token out of range");
+    out.push_back(substitution_[static_cast<std::size_t>(word)] + kFirstWord);
+  }
+  return out;
+}
+
+TranslationPair TranslationTask::sample(Pcg32& rng) const {
+  const std::int64_t len =
+      min_len_ + static_cast<std::int64_t>(rng.next_below(
+                     static_cast<std::uint32_t>(max_len_ - min_len_ + 1)));
+  TranslationPair pair;
+  pair.source.reserve(static_cast<std::size_t>(len));
+  for (std::int64_t i = 0; i < len; ++i) {
+    pair.source.push_back(sample_word(rng));
+  }
+  pair.target = translate(pair.source);
+  return pair;
+}
+
+std::vector<TranslationPair> TranslationTask::sample_batch(std::int64_t batch,
+                                                           Pcg32& rng) const {
+  const std::int64_t len =
+      min_len_ + static_cast<std::int64_t>(rng.next_below(
+                     static_cast<std::uint32_t>(max_len_ - min_len_ + 1)));
+  std::vector<TranslationPair> out;
+  out.reserve(static_cast<std::size_t>(batch));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    TranslationPair pair;
+    for (std::int64_t i = 0; i < len; ++i) {
+      pair.source.push_back(sample_word(rng));
+    }
+    pair.target = translate(pair.source);
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+}  // namespace af

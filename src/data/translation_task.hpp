@@ -1,0 +1,65 @@
+// Synthetic machine-translation task — the stand-in for WMT'17 En-De.
+//
+// "Sentences" are random token sequences over a small vocabulary; the
+// "translation" reverses the sequence and applies a fixed bijective token
+// substitution. Solving it requires exactly the machinery the real task
+// exercises — content-dependent attention (reversal) plus a learned lexical
+// mapping — while remaining learnable by a small Transformer in seconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/metrics.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+
+/// One source/target pair (no BOS/EOS; the model adds specials).
+struct TranslationPair {
+  TokenSeq source;
+  TokenSeq target;
+};
+
+/// Generator for the synthetic translation corpus.
+class TranslationTask {
+ public:
+  static constexpr std::int64_t kPad = 0;
+  static constexpr std::int64_t kBos = 1;
+  static constexpr std::int64_t kEos = 2;
+  static constexpr std::int64_t kFirstWord = 3;
+
+  /// vocab: total vocabulary including the three specials. Tokens are drawn
+  /// from a Zipfian distribution with the given exponent (1.0 ~ natural
+  /// language). Zipfian frequencies are what give trained NLP models their
+  /// heavy-tailed weight distributions — frequent-token embeddings grow
+  /// large while rare ones stay near initialization (paper Figure 1).
+  TranslationTask(std::int64_t vocab, std::int64_t min_len,
+                  std::int64_t max_len, std::uint64_t seed,
+                  float zipf_exponent = 1.1f);
+
+  std::int64_t vocab() const { return vocab_; }
+  std::int64_t max_len() const { return max_len_; }
+
+  /// Samples one pair.
+  TranslationPair sample(Pcg32& rng) const;
+
+  /// Samples a batch with a common source length (so tensors stay dense).
+  std::vector<TranslationPair> sample_batch(std::int64_t batch,
+                                            Pcg32& rng) const;
+
+  /// The ground-truth translation of an arbitrary source sequence.
+  TokenSeq translate(const TokenSeq& source) const;
+
+ private:
+  std::int64_t sample_word(Pcg32& rng) const;
+
+  std::int64_t vocab_;
+  std::int64_t num_words_;
+  std::int64_t min_len_;
+  std::int64_t max_len_;
+  std::vector<std::int64_t> substitution_;  // word -> word bijection
+  std::vector<double> word_cdf_;            // Zipfian cumulative distribution
+};
+
+}  // namespace af

@@ -1,0 +1,79 @@
+#include "src/data/vision_task.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+VisionTask::VisionTask(std::int64_t num_classes, std::int64_t channels,
+                       std::int64_t size, float noise, std::uint64_t seed)
+    : num_classes_(num_classes),
+      channels_(channels),
+      size_(size),
+      noise_(noise),
+      prototypes_({num_classes, channels, size, size}) {
+  AF_CHECK(num_classes >= 2 && channels >= 1 && size >= 4,
+           "degenerate vision task");
+  // Deterministic per-class sinusoid mixtures: frequency/orientation/phase
+  // drawn once from the task seed.
+  Pcg32 rng(seed, 0x1111);
+  for (std::int64_t k = 0; k < num_classes_; ++k) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float fx = rng.uniform(0.5f, 2.5f);
+      const float fy = rng.uniform(0.5f, 2.5f);
+      const float phase = rng.uniform(0.0f, 6.28318f);
+      const float angle = rng.uniform(0.0f, 3.14159f);
+      const float ca = std::cos(angle), sa = std::sin(angle);
+      for (std::int64_t y = 0; y < size_; ++y) {
+        for (std::int64_t x = 0; x < size_; ++x) {
+          const float u = (ca * x - sa * y) / static_cast<float>(size_);
+          const float v = (sa * x + ca * y) / static_cast<float>(size_);
+          prototypes_.at({k, c, y, x}) =
+              std::sin(6.28318f * (fx * u + fy * v) + phase);
+        }
+      }
+    }
+  }
+}
+
+Tensor VisionTask::sample_image(std::int64_t label, Pcg32& rng) const {
+  AF_CHECK(label >= 0 && label < num_classes_, "label out of range");
+  Tensor img({channels_, size_, size_});
+  const float gain = rng.uniform(0.7f, 1.3f);
+  // Random cyclic shift: translation tolerance is what convolution buys.
+  const auto dy = static_cast<std::int64_t>(
+      rng.next_below(static_cast<std::uint32_t>(size_)));
+  const auto dx = static_cast<std::int64_t>(
+      rng.next_below(static_cast<std::uint32_t>(size_)));
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    for (std::int64_t y = 0; y < size_; ++y) {
+      for (std::int64_t x = 0; x < size_; ++x) {
+        const std::int64_t sy = (y + dy) % size_;
+        const std::int64_t sx = (x + dx) % size_;
+        img.at({c, y, x}) = gain * prototypes_.at({label, c, sy, sx}) +
+                            rng.normal(0.0f, noise_);
+      }
+    }
+  }
+  return img;
+}
+
+VisionTask::Batch VisionTask::sample_batch(std::int64_t batch,
+                                           Pcg32& rng) const {
+  Batch out;
+  out.images = Tensor({batch, channels_, size_, size_});
+  out.labels.reserve(static_cast<std::size_t>(batch));
+  const std::int64_t plane = channels_ * size_ * size_;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto label = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint32_t>(num_classes_)));
+    Tensor img = sample_image(label, rng);
+    std::copy_n(img.data(), plane, out.images.data() + b * plane);
+    out.labels.push_back(label);
+  }
+  return out;
+}
+
+}  // namespace af

@@ -1,0 +1,45 @@
+// Synthetic image-classification task — the stand-in for ImageNet.
+//
+// Each of the `num_classes` classes owns a deterministic spatial "prototype"
+// image (a mixture of oriented sinusoids, distinct per class and channel).
+// Samples are the prototype under random gain, shift and pixel noise, so the
+// CNN must learn translation-tolerant spatial features rather than trivial
+// pixel matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+
+class VisionTask {
+ public:
+  VisionTask(std::int64_t num_classes, std::int64_t channels,
+             std::int64_t size, float noise, std::uint64_t seed);
+
+  std::int64_t num_classes() const { return num_classes_; }
+  std::int64_t channels() const { return channels_; }
+  std::int64_t size() const { return size_; }
+
+  /// One image [C, H, W] of the given class.
+  Tensor sample_image(std::int64_t label, Pcg32& rng) const;
+
+  /// A labelled batch: images [N, C, H, W] and labels (uniform classes).
+  struct Batch {
+    Tensor images;
+    std::vector<std::int64_t> labels;
+  };
+  Batch sample_batch(std::int64_t batch, Pcg32& rng) const;
+
+ private:
+  std::int64_t num_classes_;
+  std::int64_t channels_;
+  std::int64_t size_;
+  float noise_;
+  Tensor prototypes_;  // [num_classes, C, H, W]
+};
+
+}  // namespace af

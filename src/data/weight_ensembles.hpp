@@ -1,0 +1,52 @@
+// Distribution-calibrated synthetic weight ensembles.
+//
+// The paper's evaluation quantizes the weights of 93M/20M/25M-parameter
+// models trained for days; their per-layer distributions are heavy-tailed
+// (outliers 10-100x the bulk sigma — the reason uniform and BFP collapse at
+// low precision). Toy models trained for seconds cannot grow those tails
+// organically, so the Figure-4 RMS study additionally runs on synthetic
+// layer ensembles whose statistics are calibrated to the paper's Table 1:
+//
+//   model        range (paper)      character
+//   Transformer  [-12.46, 20.41]    wide, heavy outliers (LayerNorm)
+//   Seq2Seq      [-2.21, 2.39]      moderate
+//   ResNet-50    [-0.78, 1.32]      narrow, near-Gaussian (BatchNorm)
+//
+// Each layer is a Gaussian scale mixture: bulk N(0, sigma^2) plus an
+// outlier fraction at outlier_scale * sigma, clamped to the layer range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+
+/// Statistics for one synthetic layer.
+struct SyntheticLayerSpec {
+  std::string name;
+  Shape shape;
+  float sigma = 0.05f;            ///< bulk standard deviation
+  float outlier_fraction = 0.0f;  ///< fraction of elements in the tail
+  float outlier_scale = 1.0f;     ///< tail sigma as a multiple of bulk sigma
+  float max_abs = 1.0f;           ///< hard clamp (the layer's range)
+};
+
+/// A named collection of layer specs standing in for one of Table 1's models.
+struct SyntheticModelSpec {
+  std::string name;
+  std::vector<SyntheticLayerSpec> layers;
+};
+
+/// Draws one layer's weights from its spec.
+Tensor sample_synthetic_layer(const SyntheticLayerSpec& spec, Pcg32& rng);
+
+/// The three paper-calibrated model ensembles (Transformer / Seq2Seq /
+/// ResNet-50 statistics).
+SyntheticModelSpec transformer_ensemble();
+SyntheticModelSpec seq2seq_ensemble();
+SyntheticModelSpec resnet_ensemble();
+
+}  // namespace af

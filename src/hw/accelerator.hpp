@@ -1,0 +1,114 @@
+// Accelerator system model (paper Section 6, Figure 6): four PEs behind a
+// broadcast streaming bus and an arbitrated crossbar into a 1MB global
+// buffer, running an LSTM layer in a weight-stationary dataflow.
+//
+// The model is dual: it *functionally executes* the quantized LSTM through
+// the bit-accurate PE datapaths (so outputs can be checked against a
+// floating-point reference), and it *analytically accounts* cycles, energy
+// and area for the Table 4 PPA comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/activation_unit.hpp"
+#include "src/hw/cost_model.hpp"
+#include "src/hw/hfint_pe.hpp"
+#include "src/hw/int_pe.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+enum class PeKind { kInt, kHfint };
+
+struct AcceleratorConfig {
+  PeKind kind = PeKind::kHfint;
+  int op_bits = 8;
+  int exp_bits = 3;      ///< HFINT only (paper: always 3)
+  int scale_bits = 16;   ///< INT only (8 at 4-bit operands)
+  int vector_size = 16;  ///< K
+  int num_pes = 4;
+  std::int64_t hidden = 256;
+  std::int64_t input = 256;
+  std::int64_t gb_bytes = 1 << 20;  ///< 1MB global buffer
+  double clock_ghz = 1.0;
+
+  std::string name() const;
+};
+
+/// One LSTM layer's weights in gate-fused layout (gate order i, f, g, o).
+struct LstmLayerWeights {
+  Tensor wx;    // [4H, I]
+  Tensor wh;    // [4H, H]
+  Tensor bias;  // [4H]
+};
+
+/// One fully-connected layer of the FC workload (the paper's accelerator
+/// "targets RNN and FC sequence-to-sequence networks").
+struct FcLayer {
+  Tensor weight;  // [out, in]
+  Tensor bias;    // [out]
+  bool relu = true;
+};
+
+/// Result of a functional run.
+struct AcceleratorRun {
+  std::vector<float> final_h;      ///< decoded final hidden state
+  std::int64_t cycles = 0;
+  double energy_fj = 0.0;
+  std::int64_t timesteps = 0;
+};
+
+/// Table 4 row.
+struct PpaReport {
+  double power_mw = 0.0;
+  double area_mm2 = 0.0;
+  double time_us = 0.0;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig cfg,
+                       const CostConstants& costs = default_cost_constants());
+
+  const AcceleratorConfig& config() const { return cfg_; }
+
+  /// Runs the LSTM over per-step inputs (each [input] floats, |x| <= ~2)
+  /// through the quantized datapath.
+  AcceleratorRun run(const LstmLayerWeights& w,
+                     const std::vector<Tensor>& inputs);
+
+  /// Runs a multi-layer fully-connected network on one input vector
+  /// (|x| <= ~2; layer widths must not exceed the configured hidden size so
+  /// the weight buffers hold the slices). Returns the decoded outputs of
+  /// the final layer plus cycles/energy.
+  AcceleratorRun run_fc(const std::vector<FcLayer>& layers, const Tensor& x);
+
+  /// Cycle count for one timestep (identical for both PE kinds — the
+  /// pipeline structure matches; only energy/area differ).
+  std::int64_t cycles_per_timestep() const;
+
+  /// Cycle count for one pass through an FC stack.
+  std::int64_t cycles_per_fc_pass(const std::vector<FcLayer>& layers) const;
+
+  /// Total system area: PE logic + weight/input buffers + global buffer.
+  double area_mm2() const;
+
+  /// PPA from a completed run.
+  PpaReport report(const AcceleratorRun& run) const;
+
+ private:
+  AcceleratorConfig cfg_;
+  CostConstants costs_;
+};
+
+/// Double-precision LSTM reference for validating the functional path.
+std::vector<float> lstm_reference(const LstmLayerWeights& w,
+                                  const std::vector<Tensor>& inputs);
+
+/// Double-precision FC reference for validating run_fc.
+std::vector<float> fc_reference(const std::vector<FcLayer>& layers,
+                                const Tensor& x);
+
+}  // namespace af

@@ -1,0 +1,45 @@
+#include "src/hw/activation_unit.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+double ActivationUnit::reference(Kind kind, double x) {
+  switch (kind) {
+    case Kind::kIdentity: return x;
+    case Kind::kRelu: return x > 0.0 ? x : 0.0;
+    case Kind::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Kind::kTanh: return std::tanh(x);
+  }
+  fail("unknown activation kind");
+}
+
+ActivationUnit::ActivationUnit(Kind kind, int bits, int in_lsb_exp,
+                               int out_lsb_exp)
+    : kind_(kind), bits_(bits), in_lsb_exp_(in_lsb_exp),
+      out_lsb_exp_(out_lsb_exp) {
+  AF_CHECK(bits >= 2 && bits <= 16, "LUT width out of range");
+  const std::int32_t half = 1 << (bits_ - 1);
+  const std::int32_t lim = half - 1;
+  table_.resize(static_cast<std::size_t>(1) << bits_);
+  for (std::int32_t v = -half; v < half; ++v) {
+    const double x = std::ldexp(static_cast<double>(v), in_lsb_exp_);
+    const double y = reference(kind_, x);
+    auto q = static_cast<std::int64_t>(
+        std::nearbyint(std::ldexp(y, -out_lsb_exp_)));
+    if (q > lim) q = lim;
+    if (q < -half) q = -half;
+    table_[static_cast<std::size_t>(v + half)] =
+        static_cast<std::int32_t>(q);
+  }
+}
+
+std::int32_t ActivationUnit::apply(std::int32_t x) const {
+  const std::int32_t half = 1 << (bits_ - 1);
+  AF_CHECK(x >= -half && x < half, "activation input exceeds LUT width");
+  return table_[static_cast<std::size_t>(x + half)];
+}
+
+}  // namespace af

@@ -1,0 +1,47 @@
+// Lookup-table activation unit (the sigma block of paper Figure 5).
+//
+// Hardware PEs apply nonlinearities to n-bit integer activations with a
+// 2^n-entry LUT. Inputs and outputs are fixed-point integers with explicit
+// LSB exponents: value = v_int * 2^lsb_exp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/cost_model.hpp"
+
+namespace af {
+
+class ActivationUnit {
+ public:
+  enum class Kind { kIdentity, kRelu, kSigmoid, kTanh };
+
+  /// Builds the LUT for all 2^bits signed inputs in the given fixed-point
+  /// domains.
+  ActivationUnit(Kind kind, int bits, int in_lsb_exp, int out_lsb_exp);
+
+  /// LUT lookup; x must fit `bits` signed.
+  std::int32_t apply(std::int32_t x) const;
+
+  /// The exact real-valued function the LUT approximates.
+  static double reference(Kind kind, double x);
+
+  Kind kind() const { return kind_; }
+  int bits() const { return bits_; }
+  int in_lsb_exp() const { return in_lsb_exp_; }
+  int out_lsb_exp() const { return out_lsb_exp_; }
+
+  /// Energy of one lookup (LUT read modeled as a small SRAM access).
+  double energy_fj(const CostConstants& c) const {
+    return c.sram_fj_per_bit * bits_ * 0.25;
+  }
+
+ private:
+  Kind kind_;
+  int bits_;
+  int in_lsb_exp_;
+  int out_lsb_exp_;
+  std::vector<std::int32_t> table_;  // indexed by (v + 2^(bits-1))
+};
+
+}  // namespace af

@@ -1,0 +1,46 @@
+#include "src/hw/cost_model.hpp"
+
+#include <cmath>
+
+namespace af {
+
+const CostConstants& default_cost_constants() {
+  static const CostConstants c{};
+  return c;
+}
+
+double mult_energy_fj(const CostConstants& c, int a_bits, int b_bits) {
+  return c.mult_fj_per_bit2 * a_bits * b_bits;
+}
+
+double add_energy_fj(const CostConstants& c, int bits) {
+  return c.add_fj_per_bit * bits;
+}
+
+double reg_energy_fj(const CostConstants& c, int bits) {
+  return c.reg_fj_per_bit * bits;
+}
+
+double shift_energy_fj(const CostConstants& c, int bits, int positions) {
+  const double stages = positions > 1 ? std::log2(static_cast<double>(positions)) : 1.0;
+  return c.shift_fj_per_bit * bits * stages;
+}
+
+double mult_area_um2(const CostConstants& c, int a_bits, int b_bits) {
+  return c.mult_um2_per_bit2 * a_bits * b_bits;
+}
+
+double add_area_um2(const CostConstants& c, int bits) {
+  return c.add_um2_per_bit * bits;
+}
+
+double reg_area_um2(const CostConstants& c, int bits) {
+  return c.reg_um2_per_bit * bits;
+}
+
+double shift_area_um2(const CostConstants& c, int bits, int positions) {
+  const double stages = positions > 1 ? std::log2(static_cast<double>(positions)) : 1.0;
+  return c.shift_um2_per_bit * bits * stages;
+}
+
+}  // namespace af

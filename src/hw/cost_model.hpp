@@ -1,0 +1,54 @@
+// Component-level energy/area model standing in for the paper's post-HLS
+// 16nm-FinFET synthesis numbers (Section 6.1).
+//
+// Every PE datapath is decomposed into multipliers, adders, registers,
+// shifters, SRAM ports and control; each component has an energy-per-use
+// and an area cost parameterized by bit width. The constants below are
+// calibrated to 16nm-class publications so that the INT-vs-HFINT *ratios*
+// and the trends across vector size/bit width reproduce the paper's
+// Figure 7 and Table 4; absolute fJ and mm^2 are indicative only.
+#pragma once
+
+namespace af {
+
+/// Energy in femtojoules, area in square micrometers (um^2); 1 mm^2 = 1e6.
+struct CostConstants {
+  // Energy per use.
+  double mult_fj_per_bit2 = 0.19;   ///< array multiplier ~ a_bits * b_bits
+  double add_fj_per_bit = 0.12;     ///< carry-select adder per bit
+  double reg_fj_per_bit = 2.2;      ///< flip-flop write+read per bit
+  double shift_fj_per_bit = 0.05;   ///< barrel shifter per (bit * stage)
+  double sram_fj_per_bit = 40.0;    ///< local SRAM buffer read per bit
+  double gb_fj_per_bit = 70.0;      ///< 1MB global buffer access per bit
+  double lane_ctrl_fj = 250.0;      ///< per-lane sequencing per cycle
+  double pe_ctrl_fj = 600.0;        ///< per-PE control/clock per cycle
+  double encoder_fj_per_bit = 0.5;  ///< priority encode / leading-one detect
+
+  // Area.
+  double mult_um2_per_bit2 = 1.9;
+  double add_um2_per_bit = 3.2;
+  double reg_um2_per_bit = 4.4;
+  double shift_um2_per_bit = 4.2;
+  double encoder_um2_per_bit = 3.4;
+  double lane_ctrl_um2 = 240.0;
+  double pe_ctrl_um2 = 9200.0;
+  double sram_um2_per_byte = 2.2;   ///< dense SRAM macro
+};
+
+/// The default 16nm-class constants used by all benches and tests.
+const CostConstants& default_cost_constants();
+
+// Convenience component formulas -----------------------------------------
+
+double mult_energy_fj(const CostConstants& c, int a_bits, int b_bits);
+double add_energy_fj(const CostConstants& c, int bits);
+double reg_energy_fj(const CostConstants& c, int bits);
+/// Barrel shifter moving `bits`-wide data across up to `positions` slots.
+double shift_energy_fj(const CostConstants& c, int bits, int positions);
+
+double mult_area_um2(const CostConstants& c, int a_bits, int b_bits);
+double add_area_um2(const CostConstants& c, int bits);
+double reg_area_um2(const CostConstants& c, int bits);
+double shift_area_um2(const CostConstants& c, int bits, int positions);
+
+}  // namespace af

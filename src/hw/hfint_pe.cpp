@@ -1,0 +1,163 @@
+#include "src/hw/hfint_pe.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+int ceil_log2(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+int HfintPeConfig::acc_bits() const {
+  return 2 * ((1 << exp_bits) - 1) + 2 * mant_bits() + ceil_log2(h_accum);
+}
+
+std::string HfintPeConfig::name() const {
+  return "HFINT" + std::to_string(op_bits) + "/" + std::to_string(acc_bits());
+}
+
+HfintPe::HfintPe(HfintPeConfig cfg, const CostConstants& costs)
+    : cfg_(cfg), costs_(costs) {
+  AF_CHECK(cfg_.op_bits >= 2 && cfg_.op_bits <= 16, "op width out of range");
+  AF_CHECK(cfg_.exp_bits >= 0 && cfg_.exp_bits <= cfg_.op_bits - 1,
+           "exponent width out of range");
+  AF_CHECK(cfg_.vector_size >= 1, "vector size must be positive");
+  // +3 headroom below keeps the 64-bit carrier honest.
+  AF_CHECK(cfg_.acc_bits() + 3 <= 62, "accumulator exceeds model carrier");
+}
+
+std::int64_t HfintPe::accumulate(std::int64_t acc,
+                                 const std::vector<std::uint16_t>& w_codes,
+                                 const std::vector<std::uint16_t>& a_codes) const {
+  AF_CHECK(w_codes.size() == a_codes.size(), "operand vectors must match");
+  const int m = cfg_.mant_bits();
+  // A scratch format with bias 0 gives us the field extractors.
+  const AdaptivFloatFormat fields(cfg_.op_bits, cfg_.exp_bits, 0);
+
+  for (std::size_t i = 0; i < w_codes.size(); ++i) {
+    const std::uint16_t wc = w_codes[i];
+    const std::uint16_t ac = a_codes[i];
+    if (fields.is_zero_code(wc) || fields.is_zero_code(ac)) continue;
+    const int sign = (fields.sign_of(wc) ^ fields.sign_of(ac)) ? -1 : 1;
+    // (1.Mw) * (1.Ma) as an integer with 2m fractional bits.
+    const std::int64_t mant_prod =
+        (std::int64_t{1} << m | fields.mant_field(wc)) *
+        (std::int64_t{1} << m | fields.mant_field(ac));
+    const int exp_sum = fields.exp_field(wc) + fields.exp_field(ac);
+    acc += sign * (mant_prod << exp_sum);
+  }
+  // Register sizing: the paper's 2(2^e-1) + 2m + log2(H) counts magnitude
+  // bits of the largest exponent window; worst-case mantissa growth
+  // ((2-2^-m)^2 < 4) and the sign add 3 bits of physical headroom.
+  const std::int64_t lim = (std::int64_t{1} << (cfg_.acc_bits() + 2)) - 1;
+  AF_CHECK(acc >= -lim - 1 && acc <= lim, "HFINT accumulator overflow");
+  return acc;
+}
+
+double HfintPe::acc_to_value(std::int64_t acc, const AdaptivFloatFormat& wf,
+                             const AdaptivFloatFormat& af) const {
+  return static_cast<double>(acc) *
+         std::ldexp(1.0, wf.exp_bias() + af.exp_bias() - 2 * cfg_.mant_bits());
+}
+
+std::int32_t HfintPe::postprocess_to_int(std::int64_t acc,
+                                         const AdaptivFloatFormat& wf,
+                                         const AdaptivFloatFormat& af,
+                                         int out_lsb_exp, bool relu) const {
+  // acc is in units of 2^(bias_w + bias_a - 2m); rescale to units of
+  // 2^out_lsb_exp with a shift — this is the whole "adaptive" step, no
+  // multiplier needed (contrast IntPe::postprocess).
+  const int unit_exp = wf.exp_bias() + af.exp_bias() - 2 * cfg_.mant_bits();
+  const int shift = out_lsb_exp - unit_exp;
+  std::int64_t v;
+  if (shift >= 0) {
+    v = acc >> shift;  // arithmetic shift: truncation toward -inf
+  } else {
+    v = acc << (-shift);
+  }
+  const std::int64_t lim = (1 << (cfg_.op_bits - 1)) - 1;
+  if (v > lim) v = lim;
+  if (v < -lim - 1) v = -lim - 1;
+  if (relu && v < 0) v = 0;
+  return static_cast<std::int32_t>(v);
+}
+
+std::uint16_t HfintPe::int_to_adaptivfloat(std::int32_t v_int, int out_lsb_exp,
+                                           const AdaptivFloatFormat& out) const {
+  // Hardware: priority-encode the leading one, round the mantissa, add the
+  // output exp_bias. Bit-for-bit equal to the reference encoder on the
+  // value v_int * 2^out_lsb_exp.
+  const float value = std::ldexp(static_cast<float>(v_int), out_lsb_exp);
+  return out.encode(value);
+}
+
+namespace {
+int tree_log2(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+}  // namespace
+
+double HfintPe::energy_per_cycle_fj() const {
+  const int k = cfg_.vector_size;
+  const int n = cfg_.op_bits;
+  const int m = cfg_.mant_bits();
+  const int e = cfg_.exp_bits;
+  const int acc = cfg_.acc_bits();
+  const int align_positions = 2 * ((1 << e) - 1) + 1;
+  const int aligned_width = 2 * m + 2 + 2 * ((1 << e) - 1);
+
+  // Mantissa multiplier is (m+1)x(m+1) instead of n x n; the exponent adder
+  // and the product-alignment shifter are the float-specific extras, and
+  // the adder tree runs at the full aligned-product width.
+  const double mac = mult_energy_fj(costs_, m + 1, m + 1) +
+                     add_energy_fj(costs_, e + 1) +
+                     shift_energy_fj(costs_, 2 * m + 2, align_positions) +
+                     add_energy_fj(costs_, aligned_width + tree_log2(k));
+  // Per lane, per cycle: wider accumulator register than the INT PE, the
+  // operand fetch, control, and the pipelined post-processing stage — an
+  // exp_bias *shift* plus the integer-to-AdaptivFloat encoder; no S-bit
+  // multiplier (the paper's key energy argument, Section 5.2).
+  const double lane = reg_energy_fj(costs_, acc) +
+                      costs_.sram_fj_per_bit * n + costs_.lane_ctrl_fj +
+                      shift_energy_fj(costs_, acc, 1 << e) +
+                      costs_.encoder_fj_per_bit * acc +
+                      reg_energy_fj(costs_, n);
+
+  return static_cast<double>(k) * k * mac + static_cast<double>(k) * lane +
+         costs_.pe_ctrl_fj;
+}
+
+double HfintPe::area_mm2() const {
+  const int k = cfg_.vector_size;
+  const int n = cfg_.op_bits;
+  const int m = cfg_.mant_bits();
+  const int e = cfg_.exp_bits;
+  const int acc = cfg_.acc_bits();
+  const int align_positions = 2 * ((1 << e) - 1) + 1;
+  const int aligned_width = 2 * m + 2 + 2 * ((1 << e) - 1);
+
+  const double mac = mult_area_um2(costs_, m + 1, m + 1) +
+                     add_area_um2(costs_, e + 1) +
+                     shift_area_um2(costs_, 2 * m + 2, align_positions) +
+                     add_area_um2(costs_, aligned_width + tree_log2(k)) +
+                     reg_area_um2(costs_, n);  // stationary weight register
+  const double lane = reg_area_um2(costs_, acc) +
+                      shift_area_um2(costs_, acc, 1 << e) +
+                      costs_.encoder_um2_per_bit * acc +
+                      reg_area_um2(costs_, 4 * 2) +  // exp_bias registers
+                      add_area_um2(costs_, n) + costs_.lane_ctrl_um2;
+  const double um2 = static_cast<double>(k) * k * mac +
+                     static_cast<double>(k) * lane + costs_.pe_ctrl_um2;
+  return um2 / 1e6;
+}
+
+}  // namespace af

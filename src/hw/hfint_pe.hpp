@@ -1,0 +1,93 @@
+// Hybrid Float-Integer processing element (paper Section 5.2, Figure 5b).
+//
+// The vector MAC multiplies AdaptivFloat operands — a small (m+1)x(m+1)
+// mantissa multiplier plus an e-bit exponent adder per lane element — and
+// accumulates *exactly* into a fixed-point register of width
+// 2*(2^e - 1) + 2m + log2(H): every possible product aligns into that
+// window, so accumulation is error-free. Post-processing shifts by the sum
+// of the weight/activation exp_bias values (a shift, not the S-bit multiply
+// an integer PE needs), clips/truncates to an n-bit integer, applies the
+// activation, and re-encodes to AdaptivFloat (integer-to-float block).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/adaptivfloat.hpp"
+#include "src/hw/cost_model.hpp"
+
+namespace af {
+
+/// HFINT<op_bits>/<acc_bits> in the paper's naming: HFINT8/30 = {8, 3, 16,
+/// 256} (acc = 2(2^e-1) + 2m + log2 H).
+struct HfintPeConfig {
+  int op_bits = 8;      ///< n: operand width
+  int exp_bits = 3;     ///< e: AdaptivFloat exponent field (paper: always 3)
+  int vector_size = 16; ///< K: MAC width = number of lanes
+  int h_accum = 256;    ///< H: accumulations without overflow
+
+  int mant_bits() const { return op_bits - exp_bits - 1; }
+  /// 2*(2^e - 1) + 2m + log2(H).
+  int acc_bits() const;
+  std::string name() const;  ///< "HFINT8/30"
+};
+
+/// Bit-accurate hybrid float-integer datapath + analytic PPA.
+class HfintPe {
+ public:
+  explicit HfintPe(HfintPeConfig cfg,
+                   const CostConstants& costs = default_cost_constants());
+
+  const HfintPeConfig& config() const { return cfg_; }
+
+  // ----- functional datapath ----------------------------------------------
+
+  /// Vector MAC over AdaptivFloat codes. The exp_bias values of the two
+  /// formats do NOT enter the loop — products are accumulated in the
+  /// bias-free fixed-point domain; biases apply once in postprocess().
+  /// Returns acc + sum_i decode_biasfree(w[i]) * decode_biasfree(a[i]),
+  /// an integer in units of 2^(-2m).
+  std::int64_t accumulate(std::int64_t acc,
+                          const std::vector<std::uint16_t>& w_codes,
+                          const std::vector<std::uint16_t>& a_codes) const;
+
+  /// The real value represented by an accumulator, given the two formats:
+  /// acc * 2^(bias_w + bias_a - 2m).
+  double acc_to_value(std::int64_t acc, const AdaptivFloatFormat& wf,
+                      const AdaptivFloatFormat& af) const;
+
+  /// Shift by the exp_bias sum, truncate/clip to an n-bit integer in the
+  /// output activation's integer domain (lsb = 2^out_lsb_exp), optional
+  /// ReLU. out_lsb_exp is chosen by the caller from the output format:
+  /// typically out.exp_max() + 1 - (n - 1) so the integer range covers it.
+  std::int32_t postprocess_to_int(std::int64_t acc,
+                                  const AdaptivFloatFormat& wf,
+                                  const AdaptivFloatFormat& af,
+                                  int out_lsb_exp, bool relu) const;
+
+  /// Integer-to-float output stage: encodes (v_int * 2^out_lsb_exp) into
+  /// the output AdaptivFloat format.
+  std::uint16_t int_to_adaptivfloat(std::int32_t v_int, int out_lsb_exp,
+                                    const AdaptivFloatFormat& out) const;
+
+  // ----- analytic PPA -------------------------------------------------------
+
+  double energy_per_cycle_fj() const;
+  double energy_per_op_fj() const {
+    const double ops = static_cast<double>(cfg_.vector_size) * cfg_.vector_size;
+    return energy_per_cycle_fj() / ops;
+  }
+  double area_mm2() const;
+  double tops_per_mm2() const {
+    const double ops =
+        static_cast<double>(cfg_.vector_size) * cfg_.vector_size * 1e9;
+    return ops / 1e12 / area_mm2();
+  }
+
+ private:
+  HfintPeConfig cfg_;
+  CostConstants costs_;
+};
+
+}  // namespace af

@@ -1,0 +1,127 @@
+#include "src/hw/int_pe.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+int ceil_log2(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+int IntPeConfig::acc_bits() const { return 2 * op_bits + ceil_log2(h_accum); }
+
+std::string IntPeConfig::name() const {
+  return "INT" + std::to_string(op_bits) + "/" + std::to_string(acc_bits()) +
+         "/" + std::to_string(scaled_bits());
+}
+
+IntPe::IntPe(IntPeConfig cfg, const CostConstants& costs)
+    : cfg_(cfg), costs_(costs) {
+  AF_CHECK(cfg_.op_bits >= 2 && cfg_.op_bits <= 16, "op width out of range");
+  AF_CHECK(cfg_.vector_size >= 1, "vector size must be positive");
+  AF_CHECK(cfg_.h_accum >= 1, "H must be positive");
+  AF_CHECK(cfg_.acc_bits() + cfg_.scale_bits <= 62,
+           "scaled width exceeds the model's 64-bit carrier");
+}
+
+std::int64_t IntPe::accumulate(std::int64_t acc,
+                               const std::vector<std::int32_t>& w,
+                               const std::vector<std::int32_t>& a) const {
+  AF_CHECK(w.size() == a.size(), "operand vectors must match");
+  const std::int32_t lim = op_max();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    AF_CHECK(w[i] >= -lim - 1 && w[i] <= lim, "weight exceeds operand width");
+    AF_CHECK(a[i] >= -lim - 1 && a[i] <= lim,
+             "activation exceeds operand width");
+    acc += static_cast<std::int64_t>(w[i]) * a[i];
+  }
+  // The hardware accumulator is acc_bits wide; with <= H accumulations it
+  // cannot overflow — enforce the same invariant on the model.
+  const std::int64_t acc_lim = (std::int64_t{1} << (cfg_.acc_bits() - 1)) - 1;
+  AF_CHECK(acc >= -acc_lim - 1 && acc <= acc_lim,
+           "accumulator overflow: more than H partial sums?");
+  return acc;
+}
+
+std::int32_t IntPe::postprocess(std::int64_t acc, std::int32_t scale,
+                                int shift, bool relu) const {
+  AF_CHECK(scale >= 0 && scale < (std::int64_t{1} << cfg_.scale_bits),
+           "scale exceeds scale width");
+  AF_CHECK(shift >= 0 && shift < 63, "bad shift");
+  // Widened product (acc_bits + S), then arithmetic shift right (truncate
+  // toward negative infinity, as a hardware shifter does).
+  const std::int64_t scaled = acc * scale;
+  std::int64_t v = scaled >> shift;
+  const std::int64_t lim = op_max();
+  if (v > lim) v = lim;
+  if (v < -lim - 1) v = -lim - 1;
+  if (relu && v < 0) v = 0;
+  return static_cast<std::int32_t>(v);
+}
+
+namespace {
+int tree_log2(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+}  // namespace
+
+double IntPe::energy_per_cycle_fj() const {
+  const int k = cfg_.vector_size;
+  const int n = cfg_.op_bits;
+  const int acc = cfg_.acc_bits();
+
+  // K^2 multipliers + adder tree (widths grow from 2n at the leaves by one
+  // bit per level; use the widest tree level, 2n + log2 K).
+  const double mac = mult_energy_fj(costs_, n, n) +
+                     add_energy_fj(costs_, 2 * n + tree_log2(k));
+  // Per lane, per cycle: accumulator register, activation operand fetch
+  // from the input buffer (weights are stationary in local registers),
+  // lane control, and the fully-pipelined post-processing stage — the
+  // paper's designs are HLS-pipelined for maximum throughput, so the S-bit
+  // scale multiplier, the shifter and the scaled register clock every
+  // cycle. The scale multiply is the price integer PEs pay for the
+  // adaptive (dequantize/requantize) step (Section 5.2).
+  const double lane = reg_energy_fj(costs_, acc) +
+                      costs_.sram_fj_per_bit * n + costs_.lane_ctrl_fj +
+                      mult_energy_fj(costs_, acc, cfg_.scale_bits) +
+                      shift_energy_fj(costs_, cfg_.scaled_bits(),
+                                      cfg_.scale_bits) +
+                      reg_energy_fj(costs_, cfg_.scaled_bits() - acc) +
+                      reg_energy_fj(costs_, n);
+
+  return static_cast<double>(k) * k * mac + static_cast<double>(k) * lane +
+         costs_.pe_ctrl_fj;
+}
+
+double IntPe::area_mm2() const {
+  const int k = cfg_.vector_size;
+  const int n = cfg_.op_bits;
+  const int acc = cfg_.acc_bits();
+
+  const double mac = mult_area_um2(costs_, n, n) +
+                     add_area_um2(costs_, 2 * n + tree_log2(k)) +
+                     reg_area_um2(costs_, n);  // stationary weight register
+  const double lane = reg_area_um2(costs_, acc) +
+                      // post-processing: scale multiplier, shifter, scaled
+                      // register, clip.
+                      mult_area_um2(costs_, acc, cfg_.scale_bits) +
+                      shift_area_um2(costs_, cfg_.scaled_bits(),
+                                     cfg_.scale_bits) +
+                      reg_area_um2(costs_, cfg_.scaled_bits() - acc) +
+                      add_area_um2(costs_, n) + costs_.lane_ctrl_um2;
+  const double um2 = static_cast<double>(k) * k * mac +
+                     static_cast<double>(k) * lane + costs_.pe_ctrl_um2;
+  return um2 / 1e6;
+}
+
+}  // namespace af

@@ -1,0 +1,85 @@
+// NVDLA-like monolithic integer processing element (paper Section 5.1,
+// Figure 5a).
+//
+// Datapath per lane: an n-bit integer vector MAC accumulating into a
+// (2n + log2 H)-bit register; an S-bit fixed-point scaling multiply
+// (the dequantize/requantize step of uniform quantization, cf. TensorRT);
+// a right shift by the scale's fractional width; clip/truncate back to
+// n bits; activation. The PE has `vector_size` lanes, each `vector_size`
+// wide (K lanes x K-wide MACs = K^2 MACs per cycle, the paper's
+// "throughput = K^2 1e9 OPS" convention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/cost_model.hpp"
+
+namespace af {
+
+/// Static configuration: INT<op_bits>/<acc_bits>/<scaled_bits> in the
+/// paper's naming, e.g. INT8/24/40 = {8, 24, 16} (scaled = acc + scale).
+struct IntPeConfig {
+  int op_bits = 8;      ///< n: MAC operand width
+  int scale_bits = 16;  ///< S: requantization scale width
+  int vector_size = 16; ///< K: MAC width = number of lanes
+  int h_accum = 256;    ///< H: accumulations without overflow
+
+  /// 2n + log2(H).
+  int acc_bits() const;
+  /// Post-scaling register width: acc + S.
+  int scaled_bits() const { return acc_bits() + scale_bits; }
+  /// "INT8/24/40"-style designation.
+  std::string name() const;
+};
+
+/// Bit-accurate integer datapath + analytic PPA.
+class IntPe {
+ public:
+  explicit IntPe(IntPeConfig cfg,
+                 const CostConstants& costs = default_cost_constants());
+
+  const IntPeConfig& config() const { return cfg_; }
+
+  // ----- functional datapath ----------------------------------------------
+
+  /// Vector MAC: acc += sum_i w[i] * a[i]. Operands must fit op_bits
+  /// (signed); the result is checked against acc_bits overflow, mirroring
+  /// the hardware's sized accumulator.
+  std::int64_t accumulate(std::int64_t acc,
+                          const std::vector<std::int32_t>& w,
+                          const std::vector<std::int32_t>& a) const;
+
+  /// Requantization: (acc * scale) >> shift, clipped to n-bit signed,
+  /// optional ReLU. scale must fit scale_bits (unsigned).
+  std::int32_t postprocess(std::int64_t acc, std::int32_t scale, int shift,
+                           bool relu) const;
+
+  /// Largest representable operand magnitude: 2^(n-1) - 1.
+  std::int32_t op_max() const { return (1 << (cfg_.op_bits - 1)) - 1; }
+
+  // ----- analytic PPA -------------------------------------------------------
+
+  /// Energy of one fully-utilized PE cycle (K^2 MACs), femtojoules.
+  double energy_per_cycle_fj() const;
+  /// Energy per MAC operation (the paper's per-op energy), femtojoules.
+  double energy_per_op_fj() const {
+    const double ops = static_cast<double>(cfg_.vector_size) * cfg_.vector_size;
+    return energy_per_cycle_fj() / ops;
+  }
+  /// PE logic area in mm^2 (MAC array + accumulators + post-processing).
+  double area_mm2() const;
+  /// Throughput per area at 1 GHz: K^2 * 1e9 ops/s / area.
+  double tops_per_mm2() const {
+    const double ops =
+        static_cast<double>(cfg_.vector_size) * cfg_.vector_size * 1e9;
+    return ops / 1e12 / area_mm2();
+  }
+
+ private:
+  IntPeConfig cfg_;
+  CostConstants costs_;
+};
+
+}  // namespace af

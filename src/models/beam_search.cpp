@@ -1,0 +1,174 @@
+#include "src/models/beam_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+struct Hypothesis {
+  TokenSeq tokens;     // includes the leading BOS
+  double logprob = 0.0;
+};
+
+double length_norm(std::size_t generated, float alpha) {
+  return std::pow((5.0 + static_cast<double>(generated)) / 6.0,
+                  static_cast<double>(alpha));
+}
+
+/// log softmax of one logits row, evaluated at every vocabulary entry.
+std::vector<double> log_softmax_row(const float* row, std::int64_t v) {
+  float mx = row[0];
+  for (std::int64_t j = 1; j < v; ++j) mx = std::max(mx, row[j]);
+  double denom = 0.0;
+  for (std::int64_t j = 0; j < v; ++j) denom += std::exp(double(row[j]) - mx);
+  const double log_denom = std::log(denom);
+  std::vector<double> out(static_cast<std::size_t>(v));
+  for (std::int64_t j = 0; j < v; ++j) {
+    out[static_cast<std::size_t>(j)] = double(row[j]) - mx - log_denom;
+  }
+  return out;
+}
+
+/// Final selection: best completed hypothesis by normalized score, falling
+/// back to the best live one. Strips the leading BOS.
+TokenSeq best_of(const std::vector<std::pair<double, TokenSeq>>& completed,
+                 const std::vector<Hypothesis>& live, float alpha) {
+  const TokenSeq* best = nullptr;
+  double best_score = -1e300;
+  for (const auto& [score, tokens] : completed) {
+    if (score > best_score) {
+      best_score = score;
+      best = &tokens;
+    }
+  }
+  for (const auto& h : live) {
+    const double score =
+        h.logprob / length_norm(h.tokens.size() - 1, alpha);
+    if (score > best_score) {
+      best_score = score;
+      best = &h.tokens;
+    }
+  }
+  AF_CHECK(best != nullptr, "beam search produced no hypothesis");
+  return TokenSeq(best->begin() + 1, best->end());
+}
+
+/// Shared beam expansion: scores [live][V] log-probabilities, grows each
+/// hypothesis, splits finished ones off into `completed`.
+std::vector<std::size_t> expand_beam(
+    std::vector<Hypothesis>& live,
+    const std::vector<std::vector<double>>& scores, std::int64_t eos,
+    int beam_size, float alpha,
+    std::vector<std::pair<double, TokenSeq>>& completed) {
+  struct Candidate {
+    double logprob;
+    std::size_t parent;
+    std::int64_t token;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t h = 0; h < live.size(); ++h) {
+    for (std::size_t t = 0; t < scores[h].size(); ++t) {
+      candidates.push_back({live[h].logprob + scores[h][t], h,
+                            static_cast<std::int64_t>(t)});
+    }
+  }
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() +
+                        std::min<std::size_t>(candidates.size(),
+                                              static_cast<std::size_t>(
+                                                  2 * beam_size)),
+                    candidates.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      return a.logprob > b.logprob;
+                    });
+
+  std::vector<Hypothesis> next;
+  std::vector<std::size_t> parents;
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(next.size()) >= beam_size) break;
+    Hypothesis h = live[c.parent];
+    h.logprob = c.logprob;
+    if (c.token == eos) {
+      completed.emplace_back(
+          c.logprob / length_norm(h.tokens.size() - 1 + 1, alpha), h.tokens);
+      continue;
+    }
+    h.tokens.push_back(c.token);
+    next.push_back(std::move(h));
+    parents.push_back(c.parent);
+  }
+  live = std::move(next);
+  return parents;
+}
+
+}  // namespace
+
+TokenSeq transformer_beam_decode(TransformerMT& model, const TokenSeq& src,
+                                 std::int64_t pad, std::int64_t bos,
+                                 std::int64_t eos, const BeamConfig& cfg) {
+  AF_CHECK(cfg.beam_size >= 1, "beam size must be positive");
+  const std::int64_t vocab = model.config().tgt_vocab;
+  std::vector<Hypothesis> live = {{{bos}, 0.0}};
+  std::vector<std::pair<double, TokenSeq>> completed;
+
+  for (std::int64_t step = 0; step < cfg.max_steps && !live.empty(); ++step) {
+    // All live hypotheses share a length: batch one forward pass.
+    std::vector<TokenSeq> srcs(live.size(), src);
+    std::vector<TokenSeq> tgts;
+    tgts.reserve(live.size());
+    for (const auto& h : live) tgts.push_back(h.tokens);
+    Tensor logits = model.forward(srcs, tgts, pad);
+    model.clear_caches();
+
+    const std::int64_t t_len = static_cast<std::int64_t>(tgts[0].size());
+    std::vector<std::vector<double>> scores(live.size());
+    for (std::size_t h = 0; h < live.size(); ++h) {
+      const float* row =
+          logits.data() +
+          (static_cast<std::int64_t>(h) * t_len + (t_len - 1)) * vocab;
+      scores[h] = log_softmax_row(row, vocab);
+    }
+    expand_beam(live, scores, eos, cfg.beam_size, cfg.length_alpha,
+                completed);
+    if (static_cast<std::int64_t>(live.empty() ? 0 : live[0].tokens.size()) >=
+        model.config().max_len) {
+      break;
+    }
+  }
+  return best_of(completed, live, cfg.length_alpha);
+}
+
+TokenSeq seq2seq_beam_decode(Seq2SeqAttn& model, const Tensor& frames,
+                             std::int64_t bos, std::int64_t eos,
+                             const BeamConfig& cfg) {
+  AF_CHECK(cfg.beam_size >= 1, "beam size must be positive");
+  AF_CHECK(frames.rank() == 3 && frames.dim(1) == 1,
+           "beam decode expects one utterance [Ts, 1, F]");
+  const std::int64_t vocab = model.config().vocab;
+
+  std::vector<Hypothesis> live = {{{bos}, 0.0}};
+  std::vector<std::pair<double, TokenSeq>> completed;
+  for (std::int64_t step = 0; step < cfg.max_steps && !live.empty(); ++step) {
+    // Re-run the decoder over each hypothesis prefix (O(T^2) but trivial at
+    // toy scale and keeps the model's cache discipline simple).
+    std::vector<std::vector<double>> scores(live.size());
+    for (std::size_t h = 0; h < live.size(); ++h) {
+      std::vector<TokenSeq> tgt_in = {live[h].tokens};
+      Tensor logits = model.forward(frames, tgt_in);
+      model.clear_caches();
+      const std::int64_t t_len =
+          static_cast<std::int64_t>(live[h].tokens.size());
+      scores[h] = log_softmax_row(
+          logits.data() + (t_len - 1) * vocab, vocab);
+    }
+    expand_beam(live, scores, eos, cfg.beam_size, cfg.length_alpha,
+                completed);
+  }
+  return best_of(completed, live, cfg.length_alpha);
+}
+
+}  // namespace af

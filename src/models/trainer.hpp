@@ -1,0 +1,109 @@
+// Training and evaluation harnesses for the three evaluation models.
+//
+// These implement the experimental protocol of the paper's Section 4:
+//  * train an FP32 baseline to plateau;
+//  * post-training quantization (PTQ): evaluate with weights replaced by
+//    Q(W) per layer (all layers, including first/last);
+//  * quantization-aware retraining (QAR): fine-tune from the FP32 baseline
+//    with the straight-through estimator, then evaluate quantized;
+//  * optional activation quantization with ranges calibrated offline.
+#pragma once
+
+#include <memory>
+
+#include "src/data/speech_task.hpp"
+#include "src/data/translation_task.hpp"
+#include "src/data/vision_task.hpp"
+#include "src/models/resnet.hpp"
+#include "src/models/seq2seq.hpp"
+#include "src/models/transformer.hpp"
+#include "src/numerics/quantizer.hpp"
+
+namespace af {
+
+/// Copies every parameter value (for restoring a trained baseline between
+/// QAR runs — each Table 2/3 cell retrains from the same FP32 plateau).
+std::vector<Tensor> snapshot_parameters(const std::vector<Parameter*>& params);
+
+/// Restores values captured by snapshot_parameters (shapes must match).
+void restore_parameters(const std::vector<Parameter*>& params,
+                        const std::vector<Tensor>& snapshot);
+
+/// Weight statistics across a parameter list (paper Figure 1 / Table 1).
+struct WeightStats {
+  float min = 0.0f;
+  float max = 0.0f;
+  std::int64_t count = 0;
+};
+WeightStats weight_stats(const std::vector<Parameter*>& params);
+
+// ----- Transformer / machine translation ------------------------------------
+
+struct TransformerBundle {
+  TransformerConfig cfg;
+  TranslationTask task;
+  TransformerMT model;
+
+  explicit TransformerBundle(std::uint64_t seed,
+                             TransformerConfig config = {});
+};
+
+/// Teacher-forced Adam training; returns the final-epoch mean loss. When
+/// `weight_q` is non-null every step runs with STE-quantized weights (QAR).
+float train_transformer(TransformerBundle& b, int steps, int batch, float lr,
+                        std::uint64_t seed, Quantizer* weight_q = nullptr);
+
+/// Corpus BLEU of greedy decodes on a fixed held-out set. When `weight_q`
+/// is non-null, evaluation runs under per-layer weight quantization.
+double eval_transformer_bleu(TransformerBundle& b, int num_sentences,
+                             Quantizer* weight_q = nullptr);
+
+/// Runs `batches` calibration batches in ActQuantMode::kCalibrate (under
+/// weight quantization when given) to record activation ranges.
+void calibrate_transformer_activations(TransformerBundle& b, int batches,
+                                       std::uint64_t seed,
+                                       Quantizer* weight_q = nullptr);
+
+// ----- Seq2Seq / speech-to-text ----------------------------------------------
+
+struct Seq2SeqBundle {
+  Seq2SeqConfig cfg;
+  SpeechTask task;
+  Seq2SeqAttn model;
+
+  explicit Seq2SeqBundle(std::uint64_t seed, Seq2SeqConfig config = {});
+};
+
+float train_seq2seq(Seq2SeqBundle& b, int steps, int batch, float lr,
+                    std::uint64_t seed, Quantizer* weight_q = nullptr);
+
+/// Word error rate (%) on a fixed held-out set of utterances.
+double eval_seq2seq_wer(Seq2SeqBundle& b, int num_utterances,
+                        Quantizer* weight_q = nullptr);
+
+void calibrate_seq2seq_activations(Seq2SeqBundle& b, int batches,
+                                   std::uint64_t seed,
+                                   Quantizer* weight_q = nullptr);
+
+// ----- ResNet / image classification -----------------------------------------
+
+struct ResNetBundle {
+  ResNetConfig cfg;
+  VisionTask task;
+  ResNetClassifier model;
+
+  explicit ResNetBundle(std::uint64_t seed, ResNetConfig config = {});
+};
+
+float train_resnet(ResNetBundle& b, int steps, int batch, float lr,
+                   std::uint64_t seed, Quantizer* weight_q = nullptr);
+
+/// Top-1 accuracy (%) on a fixed held-out set.
+double eval_resnet_top1(ResNetBundle& b, int num_images,
+                        Quantizer* weight_q = nullptr);
+
+void calibrate_resnet_activations(ResNetBundle& b, int batches,
+                                  std::uint64_t seed,
+                                  Quantizer* weight_q = nullptr);
+
+}  // namespace af

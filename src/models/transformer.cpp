@@ -1,0 +1,284 @@
+#include "src/models/transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+std::vector<std::int64_t> valid_lengths(const std::vector<TokenSeq>& batch,
+                                        std::int64_t pad_id) {
+  std::vector<std::int64_t> lengths;
+  lengths.reserve(batch.size());
+  for (const auto& seq : batch) {
+    std::int64_t len = static_cast<std::int64_t>(seq.size());
+    while (len > 0 && seq[static_cast<std::size_t>(len - 1)] == pad_id) --len;
+    lengths.push_back(len);
+  }
+  return lengths;
+}
+
+}  // namespace
+
+TransformerMT::EncoderBlock::EncoderBlock(const TransformerConfig& cfg,
+                                          Pcg32& rng, int index)
+    : ln1(cfg.d_model, "enc" + std::to_string(index) + ".ln1"),
+      ln2(cfg.d_model, "enc" + std::to_string(index) + ".ln2"),
+      attn(cfg.d_model, cfg.num_heads, rng,
+           "enc" + std::to_string(index) + ".attn"),
+      fc1(cfg.d_model, cfg.d_ffn, rng, true,
+          "enc" + std::to_string(index) + ".fc1"),
+      fc2(cfg.d_ffn, cfg.d_model, rng, true,
+          "enc" + std::to_string(index) + ".fc2") {}
+
+Tensor TransformerMT::EncoderBlock::forward(
+    const Tensor& x, const std::vector<std::int64_t>& lengths) {
+  const std::int64_t b = x.dim(0), t = x.dim(1), d = x.dim(2);
+  // Post-LN (original Vaswani / OpenNMT) ordering: sublayer, residual add,
+  // then normalize. Unlike pre-LN this keeps scale pressure on the
+  // embeddings and residual stream — the source of the wide NLP weight
+  // distributions in paper Figure 1.
+  Tensor sa = attn.forward(x, x, /*causal=*/false, &lengths);
+  Tensor x1 =
+      ln1.forward(add(x, sa).reshaped({b * t, d})).reshaped({b, t, d});
+  Tensor h = fc2.forward(gelu.forward(fc1.forward(x1.reshaped({b * t, d}))));
+  return ln2.forward(add(x1, h.reshaped({b, t, d})).reshaped({b * t, d}))
+      .reshaped({b, t, d});
+}
+
+Tensor TransformerMT::EncoderBlock::backward(const Tensor& dy) {
+  const std::int64_t b = dy.dim(0), t = dy.dim(1), d = dy.dim(2);
+  Tensor d2 = ln2.backward(dy.reshaped({b * t, d}));
+  Tensor dh = fc1.backward(gelu.backward(fc2.backward(d2)));
+  Tensor dx1 = add(d2, dh).reshaped({b, t, d});
+  Tensor d1 = ln1.backward(dx1.reshaped({b * t, d}));
+  auto [dq, dkv] = attn.backward(d1.reshaped({b, t, d}));
+  return add(add(d1.reshaped({b, t, d}), dq), dkv);
+}
+
+std::vector<Module*> TransformerMT::EncoderBlock::modules() {
+  return {&ln1, &ln2, &attn, &fc1, &fc2, &gelu};
+}
+
+TransformerMT::DecoderBlock::DecoderBlock(const TransformerConfig& cfg,
+                                          Pcg32& rng, int index)
+    : ln1(cfg.d_model, "dec" + std::to_string(index) + ".ln1"),
+      ln2(cfg.d_model, "dec" + std::to_string(index) + ".ln2"),
+      ln3(cfg.d_model, "dec" + std::to_string(index) + ".ln3"),
+      self_attn(cfg.d_model, cfg.num_heads, rng,
+                "dec" + std::to_string(index) + ".self"),
+      cross_attn(cfg.d_model, cfg.num_heads, rng,
+                 "dec" + std::to_string(index) + ".cross"),
+      fc1(cfg.d_model, cfg.d_ffn, rng, true,
+          "dec" + std::to_string(index) + ".fc1"),
+      fc2(cfg.d_ffn, cfg.d_model, rng, true,
+          "dec" + std::to_string(index) + ".fc2") {}
+
+Tensor TransformerMT::DecoderBlock::forward(
+    const Tensor& x, const Tensor& enc,
+    const std::vector<std::int64_t>& src_lengths) {
+  const std::int64_t b = x.dim(0), t = x.dim(1), d = x.dim(2);
+  // Post-LN ordering throughout (see EncoderBlock::forward).
+  Tensor sa = self_attn.forward(x, x, /*causal=*/true);
+  Tensor x1 =
+      ln1.forward(add(x, sa).reshaped({b * t, d})).reshaped({b, t, d});
+  Tensor ca = cross_attn.forward(x1, enc, false, &src_lengths);
+  Tensor x2 =
+      ln2.forward(add(x1, ca).reshaped({b * t, d})).reshaped({b, t, d});
+  Tensor h = fc2.forward(gelu.forward(fc1.forward(x2.reshaped({b * t, d}))));
+  return ln3.forward(add(x2, h.reshaped({b, t, d})).reshaped({b * t, d}))
+      .reshaped({b, t, d});
+}
+
+std::pair<Tensor, Tensor> TransformerMT::DecoderBlock::backward(
+    const Tensor& dy) {
+  const std::int64_t b = dy.dim(0), t = dy.dim(1), d = dy.dim(2);
+  Tensor d3 = ln3.backward(dy.reshaped({b * t, d}));
+  Tensor dh = fc1.backward(gelu.backward(fc2.backward(d3)));
+  Tensor dx2 = add(d3, dh);
+  Tensor d2 = ln2.backward(dx2);
+  auto [dc, denc] = cross_attn.backward(d2.reshaped({b, t, d}));
+  Tensor dx1 = add(d2.reshaped({b, t, d}), dc);
+  Tensor d1 = ln1.backward(dx1.reshaped({b * t, d}));
+  auto [dq, dkv] = self_attn.backward(d1.reshaped({b, t, d}));
+  return {add(add(d1.reshaped({b, t, d}), dq), dkv), std::move(denc)};
+}
+
+std::vector<Module*> TransformerMT::DecoderBlock::modules() {
+  return {&ln1, &ln2, &ln3, &self_attn, &cross_attn, &fc1, &fc2, &gelu};
+}
+
+TransformerMT::TransformerMT(const TransformerConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      src_emb_([&] {
+        Pcg32 r(seed, 1);
+        // Unscaled-embedding parameterization (no sqrt(D) multiplier):
+        // the table itself carries representation scale, and under Zipfian
+        // data the frequent-token rows keep growing — the source of the
+        // wide NLP weight ranges in paper Figure 1.
+        return Embedding(cfg.src_vocab, cfg.d_model, r, "src_emb", 1.0f);
+      }()),
+      tgt_emb_([&] {
+        Pcg32 r(seed, 2);
+        return Embedding(cfg.tgt_vocab, cfg.d_model, r, "tgt_emb", 1.0f);
+      }()),
+      enc_final_(cfg.d_model, "enc_final"),
+      dec_final_(cfg.d_model, "dec_final"),
+      out_proj_([&] {
+        Pcg32 r(seed, 3);
+        return Linear(cfg.d_model, cfg.tgt_vocab, r, true, "out_proj");
+      }()),
+      pos_table_({cfg.max_len, cfg.d_model}) {
+  Pcg32 rng(seed, 4);
+  enc_blocks_.reserve(static_cast<std::size_t>(cfg.enc_layers));
+  for (int i = 0; i < cfg.enc_layers; ++i) enc_blocks_.emplace_back(cfg, rng, i);
+  dec_blocks_.reserve(static_cast<std::size_t>(cfg.dec_layers));
+  for (int i = 0; i < cfg.dec_layers; ++i) dec_blocks_.emplace_back(cfg, rng, i);
+
+  // Sinusoidal positional encodings (Vaswani et al., Eq. 5).
+  for (std::int64_t t = 0; t < cfg.max_len; ++t) {
+    for (std::int64_t i = 0; i < cfg.d_model; i += 2) {
+      const double rate =
+          std::pow(10000.0, -static_cast<double>(i) / cfg.d_model);
+      pos_table_.at({t, i}) = static_cast<float>(std::sin(t * rate));
+      if (i + 1 < cfg.d_model) {
+        pos_table_.at({t, i + 1}) = static_cast<float>(std::cos(t * rate));
+      }
+    }
+  }
+}
+
+Tensor TransformerMT::embed(Embedding& emb, const std::vector<TokenSeq>& batch) {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  AF_CHECK(b > 0, "empty batch");
+  const auto t = static_cast<std::int64_t>(batch[0].size());
+  AF_CHECK(t <= cfg_.max_len, "sequence longer than max_len");
+  std::vector<std::int64_t> flat;
+  flat.reserve(static_cast<std::size_t>(b * t));
+  for (const auto& seq : batch) {
+    AF_CHECK(static_cast<std::int64_t>(seq.size()) == t,
+             "ragged batch: all sequences must share a length");
+    flat.insert(flat.end(), seq.begin(), seq.end());
+  }
+  Tensor e = emb.forward(flat);
+  for (std::int64_t r = 0; r < b * t; ++r) {
+    const std::int64_t pos = r % t;
+    float* row = e.data() + r * cfg_.d_model;
+    const float* prow = pos_table_.data() + pos * cfg_.d_model;
+    for (std::int64_t j = 0; j < cfg_.d_model; ++j) {
+      row[j] += prow[j];
+    }
+  }
+  return e;
+}
+
+Tensor TransformerMT::forward(const std::vector<TokenSeq>& src,
+                              const std::vector<TokenSeq>& tgt_in,
+                              std::int64_t pad_id) {
+  AF_CHECK(src.size() == tgt_in.size(), "batch size mismatch");
+  StepCtx ctx;
+  ctx.b = static_cast<std::int64_t>(src.size());
+  ctx.ts = static_cast<std::int64_t>(src[0].size());
+  ctx.tt = static_cast<std::int64_t>(tgt_in[0].size());
+  ctx.src_lengths = valid_lengths(src, pad_id);
+  const std::int64_t d = cfg_.d_model;
+
+  // Encoder.
+  Tensor x = act_quant_.process("enc.embed", embed(src_emb_, src))
+                 .reshaped({ctx.b, ctx.ts, d});
+  for (std::size_t i = 0; i < enc_blocks_.size(); ++i) {
+    x = act_quant_.process("enc.block" + std::to_string(i),
+                           enc_blocks_[i].forward(x, ctx.src_lengths));
+  }
+  Tensor enc = act_quant_.process(
+      "enc.out", enc_final_.forward(x.reshaped({ctx.b * ctx.ts, d})))
+                   .reshaped({ctx.b, ctx.ts, d});
+
+  // Decoder.
+  Tensor y = act_quant_.process("dec.embed", embed(tgt_emb_, tgt_in))
+                 .reshaped({ctx.b, ctx.tt, d});
+  for (std::size_t i = 0; i < dec_blocks_.size(); ++i) {
+    y = act_quant_.process("dec.block" + std::to_string(i),
+                           dec_blocks_[i].forward(y, enc, ctx.src_lengths));
+  }
+  Tensor out = dec_final_.forward(y.reshaped({ctx.b * ctx.tt, d}));
+  out = act_quant_.process("dec.out", out);
+  ctx_.push_back(std::move(ctx));
+  return out_proj_.forward(out);
+}
+
+void TransformerMT::backward(const Tensor& dlogits) {
+  AF_CHECK(!ctx_.empty(), "TransformerMT backward without forward");
+  StepCtx ctx = std::move(ctx_.back());
+  ctx_.pop_back();
+  const std::int64_t d = cfg_.d_model;
+
+  Tensor dy = dec_final_.backward(out_proj_.backward(dlogits))
+                  .reshaped({ctx.b, ctx.tt, d});
+  Tensor denc({ctx.b, ctx.ts, d});
+  for (std::size_t i = dec_blocks_.size(); i-- > 0;) {
+    auto [dx, de] = dec_blocks_[i].backward(dy);
+    dy = std::move(dx);
+    add_inplace(denc, de);
+  }
+  // The positional term is constant; the table gradient is dy itself.
+  tgt_emb_.backward(dy.reshaped({ctx.b * ctx.tt, d}));
+
+  Tensor dx = enc_final_.backward(denc.reshaped({ctx.b * ctx.ts, d}))
+                  .reshaped({ctx.b, ctx.ts, d});
+  for (std::size_t i = enc_blocks_.size(); i-- > 0;) {
+    dx = enc_blocks_[i].backward(dx);
+  }
+  src_emb_.backward(dx.reshaped({ctx.b * ctx.ts, d}));
+}
+
+TokenSeq TransformerMT::greedy_decode(const TokenSeq& src, std::int64_t pad_id,
+                                      std::int64_t bos, std::int64_t eos,
+                                      std::int64_t max_steps) {
+  TokenSeq tgt = {bos};
+  TokenSeq out;
+  for (std::int64_t step = 0; step < max_steps; ++step) {
+    Tensor logits = forward({src}, {tgt}, pad_id);
+    clear_caches();
+    const std::int64_t t_last = static_cast<std::int64_t>(tgt.size()) - 1;
+    Tensor last({1, cfg_.tgt_vocab});
+    std::copy_n(logits.data() + t_last * cfg_.tgt_vocab, cfg_.tgt_vocab,
+                last.data());
+    const std::int64_t next = argmax_rows(last)[0];
+    if (next == eos) break;
+    out.push_back(next);
+    tgt.push_back(next);
+    if (static_cast<std::int64_t>(tgt.size()) >= cfg_.max_len) break;
+  }
+  return out;
+}
+
+std::vector<Module*> TransformerMT::all_modules() {
+  std::vector<Module*> mods = {&src_emb_, &tgt_emb_, &enc_final_, &dec_final_,
+                               &out_proj_};
+  for (auto& blk : enc_blocks_) {
+    for (Module* m : blk.modules()) mods.push_back(m);
+  }
+  for (auto& blk : dec_blocks_) {
+    for (Module* m : blk.modules()) mods.push_back(m);
+  }
+  return mods;
+}
+
+std::vector<Parameter*> TransformerMT::parameters() {
+  return collect_parameters(all_modules());
+}
+
+void TransformerMT::zero_grad() {
+  for (Module* m : all_modules()) m->zero_grad();
+}
+
+void TransformerMT::clear_caches() {
+  for (Module* m : all_modules()) m->clear_cache();
+  ctx_.clear();
+}
+
+}  // namespace af

@@ -1,0 +1,66 @@
+#include "src/nn/activations.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+Tensor Activation::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = f(x[i]);
+  cache_.push_back({x, y});
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& dy) {
+  AF_CHECK(!cache_.empty(), "Activation backward without matching forward");
+  Cache c = std::move(cache_.back());
+  cache_.pop_back();
+  AF_CHECK(dy.shape() == c.x.shape(), "Activation backward shape mismatch");
+  Tensor dx(dy.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i) {
+    dx[i] = dy[i] * df(c.x[i], c.y[i]);
+  }
+  return dx;
+}
+
+float ReLU::f(float x) const { return x > 0.0f ? x : 0.0f; }
+float ReLU::df(float x, float) const { return x > 0.0f ? 1.0f : 0.0f; }
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+float GELU::f(float x) const {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+float GELU::df(float x, float) const {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+float Tanh::f(float x) const { return std::tanh(x); }
+float Tanh::df(float, float y) const { return 1.0f - y * y; }
+
+float Sigmoid::f(float x) const { return sigmoid_value(x); }
+float Sigmoid::df(float, float y) const { return y * (1.0f - y); }
+
+float sigmoid_value(float x) {
+  // Split by sign for numerical stability at large |x|.
+  if (x >= 0.0f) {
+    const float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+float tanh_value(float x) { return std::tanh(x); }
+
+}  // namespace af

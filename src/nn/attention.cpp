@@ -1,0 +1,155 @@
+#include "src/nn/attention.hpp"
+
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+constexpr float kMaskValue = -1e30f;
+}
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
+                                       std::int64_t num_heads, Pcg32& rng,
+                                       const std::string& name)
+    : d_model_(d_model),
+      heads_(num_heads),
+      d_head_(d_model / num_heads),
+      wq_(d_model, d_model, rng, true, name + ".wq"),
+      wk_(d_model, d_model, rng, true, name + ".wk"),
+      wv_(d_model, d_model, rng, true, name + ".wv"),
+      wo_(d_model, d_model, rng, true, name + ".wo") {
+  AF_CHECK(d_model % num_heads == 0, "d_model must divide by num_heads");
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& q_in, const Tensor& kv_in,
+                                   bool causal,
+                                   const std::vector<std::int64_t>* kv_lengths) {
+  AF_CHECK(q_in.rank() == 3 && q_in.dim(2) == d_model_,
+           "attention q must be [B, Tq, D]");
+  AF_CHECK(kv_in.rank() == 3 && kv_in.dim(2) == d_model_ &&
+               kv_in.dim(0) == q_in.dim(0),
+           "attention kv must be [B, Tk, D] with matching batch");
+  const std::int64_t b = q_in.dim(0), tq = q_in.dim(1), tk = kv_in.dim(1);
+  AF_CHECK(!causal || tq == tk, "causal mask requires square attention");
+  AF_CHECK(!kv_lengths || static_cast<std::int64_t>(kv_lengths->size()) == b,
+           "kv_lengths must have one entry per batch");
+
+  Cache c;
+  c.b = b;
+  c.tq = tq;
+  c.tk = tk;
+  c.q = wq_.forward(q_in.reshaped({b * tq, d_model_}));
+  c.k = wk_.forward(kv_in.reshaped({b * tk, d_model_}));
+  c.v = wv_.forward(kv_in.reshaped({b * tk, d_model_}));
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  Tensor ctx({b * tq, d_model_});
+  c.attn.reserve(static_cast<std::size_t>(b * heads_));
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const std::int64_t valid =
+        kv_lengths ? (*kv_lengths)[static_cast<std::size_t>(bi)] : tk;
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * d_head_;
+      Tensor scores({tq, tk});
+      for (std::int64_t i = 0; i < tq; ++i) {
+        const float* qrow = c.q.data() + (bi * tq + i) * d_model_ + col;
+        float* srow = scores.data() + i * tk;
+        for (std::int64_t j = 0; j < tk; ++j) {
+          if ((causal && j > i) || j >= valid) {
+            srow[j] = kMaskValue;
+            continue;
+          }
+          const float* krow = c.k.data() + (bi * tk + j) * d_model_ + col;
+          double dot = 0;
+          for (std::int64_t d = 0; d < d_head_; ++d) dot += double(qrow[d]) * krow[d];
+          srow[j] = static_cast<float>(dot) * inv_sqrt_dh;
+        }
+      }
+      Tensor attn = softmax_rows(scores);
+      for (std::int64_t i = 0; i < tq; ++i) {
+        const float* arow = attn.data() + i * tk;
+        float* crow = ctx.data() + (bi * tq + i) * d_model_ + col;
+        for (std::int64_t j = 0; j < tk; ++j) {
+          const float a = arow[j];
+          if (a == 0.0f) continue;
+          const float* vrow = c.v.data() + (bi * tk + j) * d_model_ + col;
+          for (std::int64_t d = 0; d < d_head_; ++d) crow[d] += a * vrow[d];
+        }
+      }
+      c.attn.push_back(std::move(attn));
+    }
+  }
+  Tensor out = wo_.forward(ctx).reshaped({b, tq, d_model_});
+  cache_.push_back(std::move(c));
+  return out;
+}
+
+std::pair<Tensor, Tensor> MultiHeadAttention::backward(const Tensor& dy) {
+  AF_CHECK(!cache_.empty(), "attention backward without matching forward");
+  Cache c = std::move(cache_.back());
+  cache_.pop_back();
+  AF_CHECK(dy.rank() == 3 && dy.dim(0) == c.b && dy.dim(1) == c.tq &&
+               dy.dim(2) == d_model_,
+           "attention backward shape mismatch");
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  Tensor dctx = wo_.backward(dy.reshaped({c.b * c.tq, d_model_}));
+  Tensor dq(c.q.shape()), dk(c.k.shape()), dv(c.v.shape());
+
+  for (std::int64_t bi = 0; bi < c.b; ++bi) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * d_head_;
+      const Tensor& attn = c.attn[static_cast<std::size_t>(bi * heads_ + h)];
+      // dattn and dv.
+      Tensor dattn({c.tq, c.tk});
+      for (std::int64_t i = 0; i < c.tq; ++i) {
+        const float* dcrow = dctx.data() + (bi * c.tq + i) * d_model_ + col;
+        const float* arow = attn.data() + i * c.tk;
+        float* darow = dattn.data() + i * c.tk;
+        for (std::int64_t j = 0; j < c.tk; ++j) {
+          const float* vrow = c.v.data() + (bi * c.tk + j) * d_model_ + col;
+          float* dvrow = dv.data() + (bi * c.tk + j) * d_model_ + col;
+          double dot = 0;
+          const float a = arow[j];
+          for (std::int64_t d = 0; d < d_head_; ++d) {
+            dot += double(dcrow[d]) * vrow[d];
+            dvrow[d] += a * dcrow[d];
+          }
+          darow[j] = static_cast<float>(dot);
+        }
+      }
+      Tensor dscores = softmax_rows_backward(attn, dattn);
+      // dq and dk through the scaled dot product.
+      for (std::int64_t i = 0; i < c.tq; ++i) {
+        const float* qrow = c.q.data() + (bi * c.tq + i) * d_model_ + col;
+        float* dqrow = dq.data() + (bi * c.tq + i) * d_model_ + col;
+        const float* dsrow = dscores.data() + i * c.tk;
+        for (std::int64_t j = 0; j < c.tk; ++j) {
+          const float ds = dsrow[j] * inv_sqrt_dh;
+          if (ds == 0.0f) continue;
+          const float* krow = c.k.data() + (bi * c.tk + j) * d_model_ + col;
+          float* dkrow = dk.data() + (bi * c.tk + j) * d_model_ + col;
+          for (std::int64_t d = 0; d < d_head_; ++d) {
+            dqrow[d] += ds * krow[d];
+            dkrow[d] += ds * qrow[d];
+          }
+        }
+      }
+    }
+  }
+
+  Tensor dq_in = wq_.backward(dq);
+  Tensor dk_in = wk_.backward(dk);
+  Tensor dv_in = wv_.backward(dv);
+  add_inplace(dk_in, dv_in);
+  return {dq_in.reshaped({c.b, c.tq, d_model_}),
+          dk_in.reshaped({c.b, c.tk, d_model_})};
+}
+
+std::vector<Parameter*> MultiHeadAttention::parameters() {
+  return collect_parameters({&wq_, &wk_, &wv_, &wo_});
+}
+
+}  // namespace af

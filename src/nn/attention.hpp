@@ -1,0 +1,60 @@
+// Scaled dot-product multi-head attention (Vaswani et al., 2017).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/nn/linear.hpp"
+#include "src/nn/module.hpp"
+
+namespace af {
+
+/// Multi-head attention over batched sequences.
+///
+/// Inputs are rank-3 [B, T, D]; projections run on the flattened [B*T, D]
+/// matrix and the attention itself loops over (batch, head) pairs.
+/// Supports causal masking (self-attention in the decoder) and key padding
+/// via per-batch valid lengths (cross-attention onto padded encodings).
+class MultiHeadAttention final : public Module {
+ public:
+  MultiHeadAttention(std::int64_t d_model, std::int64_t num_heads, Pcg32& rng,
+                     const std::string& name = "mha");
+
+  /// q_in: [B, Tq, D]; kv_in: [B, Tk, D]. When `causal`, requires Tq == Tk
+  /// and masks j > i. `kv_lengths` (optional, size B) masks keys at
+  /// positions >= length.
+  Tensor forward(const Tensor& q_in, const Tensor& kv_in, bool causal,
+                 const std::vector<std::int64_t>* kv_lengths = nullptr);
+
+  /// dy: [B, Tq, D] -> (dq_in, dkv_in). For self-attention the caller adds
+  /// the two input gradients.
+  std::pair<Tensor, Tensor> backward(const Tensor& dy);
+
+  std::vector<Parameter*> parameters() override;
+  void clear_cache() override {
+    cache_.clear();
+    wq_.clear_cache();
+    wk_.clear_cache();
+    wv_.clear_cache();
+    wo_.clear_cache();
+  }
+
+  std::int64_t d_model() const { return d_model_; }
+  std::int64_t num_heads() const { return heads_; }
+
+ private:
+  struct Cache {
+    Tensor q, k, v;                // projected, flattened [B*T, D]
+    std::vector<Tensor> attn;      // per (b, h): [Tq, Tk] softmax weights
+    std::int64_t b = 0, tq = 0, tk = 0;
+  };
+
+  std::int64_t d_model_;
+  std::int64_t heads_;
+  std::int64_t d_head_;
+  Linear wq_, wk_, wv_, wo_;
+  std::vector<Cache> cache_;
+};
+
+}  // namespace af

@@ -1,0 +1,45 @@
+#include "src/nn/linear.hpp"
+
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Pcg32& rng,
+               bool has_bias, const std::string& name)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(has_bias),
+      weight_(name + ".weight",
+              xavier_uniform({out_features, in_features}, in_features,
+                             out_features, rng)),
+      bias_(name + ".bias", Tensor({out_features})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
+           "Linear input must be [m, " + std::to_string(in_) + "], got " +
+               shape_str(x.shape()));
+  Tensor y = matmul(x, weight_.value, false, /*trans_b=*/true);
+  if (has_bias_) add_row_bias_inplace(y, bias_.value);
+  cached_x_.push_back(x);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  AF_CHECK(!cached_x_.empty(), "Linear backward without matching forward");
+  Tensor x = std::move(cached_x_.back());
+  cached_x_.pop_back();
+  AF_CHECK(dy.rank() == 2 && dy.dim(1) == out_ && dy.dim(0) == x.dim(0),
+           "Linear backward shape mismatch");
+  // dW = dy^T x, db = sum_rows(dy), dx = dy W.
+  matmul_acc(weight_.grad, dy, x, /*trans_a=*/true);
+  if (has_bias_) add_inplace(bias_.grad, sum_rows(dy));
+  return matmul(dy, weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace af

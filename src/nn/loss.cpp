@@ -1,0 +1,59 @@
+#include "src/nn/loss.hpp"
+
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& targets,
+                                 std::int64_t ignore_index,
+                                 float label_smoothing) {
+  AF_CHECK(logits.rank() == 2, "logits must be [m, vocab]");
+  const std::int64_t m = logits.dim(0), v = logits.dim(1);
+  AF_CHECK(static_cast<std::int64_t>(targets.size()) == m,
+           "one target per logits row required");
+  AF_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f,
+           "label_smoothing must be in [0, 1)");
+
+  LossResult res;
+  res.dlogits = Tensor(logits.shape());
+  const Tensor probs = softmax_rows(logits);
+  double loss_acc = 0.0;
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t t = targets[static_cast<std::size_t>(i)];
+    if (t == ignore_index) continue;
+    AF_CHECK(t >= 0 && t < v, "target id out of vocabulary");
+    ++res.count;
+    const float* prow = probs.data() + i * v;
+    float* drow = res.dlogits.data() + i * v;
+    // Smoothed target: (1-eps) on the gold label, eps/V uniformly.
+    const float on = 1.0f - label_smoothing;
+    const float off = label_smoothing / static_cast<float>(v);
+    double row_loss = 0.0;
+    for (std::int64_t j = 0; j < v; ++j) {
+      const float y = (j == t ? on + off : off);
+      // log via the stabilized softmax output; clamp to avoid log(0).
+      const double logp = std::log(std::max(prow[j], 1e-30f));
+      row_loss -= double(y) * logp;
+      drow[j] = prow[j] - y;
+    }
+    loss_acc += row_loss;
+  }
+
+  if (res.count == 0) {
+    res.loss = 0.0f;
+    return res;
+  }
+  const float inv = 1.0f / static_cast<float>(res.count);
+  res.loss = static_cast<float>(loss_acc) * inv;
+  for (std::int64_t i = 0; i < res.dlogits.numel(); ++i) {
+    res.dlogits[i] *= inv;
+  }
+  return res;
+}
+
+}  // namespace af

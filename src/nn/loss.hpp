@@ -1,0 +1,27 @@
+// Classification losses with fused softmax adjoints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Loss value plus the gradient w.r.t. the logits.
+struct LossResult {
+  float loss = 0.0f;       ///< mean over non-ignored rows
+  Tensor dlogits;          ///< [m, vocab], already divided by that count
+  std::int64_t count = 0;  ///< rows contributing to the mean
+};
+
+/// Mean softmax cross-entropy over rows of logits [m, V] against integer
+/// targets (size m). Rows whose target equals `ignore_index` contribute
+/// nothing (padding). `label_smoothing` in [0, 1) spreads that much
+/// probability mass uniformly over the vocabulary.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& targets,
+                                 std::int64_t ignore_index = -1,
+                                 float label_smoothing = 0.0f);
+
+}  // namespace af

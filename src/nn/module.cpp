@@ -1,0 +1,28 @@
+#include "src/nn/module.hpp"
+
+#include <cmath>
+
+namespace af {
+
+std::vector<Parameter*> collect_parameters(
+    const std::vector<Module*>& modules) {
+  std::vector<Parameter*> out;
+  for (Module* m : modules) {
+    for (Parameter* p : m->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Pcg32& rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor he_normal(Shape shape, std::int64_t fan_in, Pcg32& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace af

@@ -1,0 +1,74 @@
+// Base machinery for trainable layers.
+//
+// The library uses explicit forward/backward methods per layer (Caffe-style)
+// rather than a dynamic autograd graph: every backward pass in the paper's
+// workloads is structurally fixed, and explicit adjoints keep the
+// quantization hooks (straight-through estimators) easy to reason about.
+//
+// Caching convention: forward() pushes whatever the adjoint needs onto an
+// internal stack; backward() pops it. Backward calls must mirror forward
+// calls in exact reverse order — BPTT and per-step decoding both satisfy
+// this naturally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// A named trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for trainable layers; stateless layers return no parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Pointers to every trainable parameter (stable for the module lifetime).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Drops any cached forward state. Inference-only forward passes (greedy
+  /// decoding, evaluation) never call backward, so callers must clear the
+  /// cache stacks afterwards to keep them balanced.
+  virtual void clear_cache() {}
+
+  /// Clears gradient accumulators.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  /// Total number of trainable scalars.
+  std::int64_t num_parameters() {
+    std::int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+};
+
+/// Collects parameters from several modules into one flat list.
+std::vector<Parameter*> collect_parameters(
+    const std::vector<Module*>& modules);
+
+// ----- weight initialization ------------------------------------------------
+
+/// Xavier/Glorot uniform: U[-sqrt(6/(fan_in+fan_out)), +...]. The standard
+/// choice for tanh/sigmoid-flavoured layers (LSTM, attention projections).
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Pcg32& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2/fan_in)) for ReLU-flavoured layers.
+Tensor he_normal(Shape shape, std::int64_t fan_in, Pcg32& rng);
+
+}  // namespace af

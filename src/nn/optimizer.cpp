@@ -1,0 +1,96 @@
+#include "src/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+      sq += double(p->grad[i]) * p->grad[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) {
+      for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+        p->grad[i] *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    Tensor& vel = velocity_[k];
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      vel[i] = momentum_ * vel[i] + p->grad[i];
+      p->value[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::set_weight_decay(float wd, const std::vector<Parameter*>& subset) {
+  weight_decay_ = wd;
+  decays_.assign(params_.size(), false);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    for (const Parameter* s : subset) {
+      if (s == params_[k]) {
+        decays_[k] = true;
+        break;
+      }
+    }
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    const float decay =
+        (weight_decay_ > 0.0f && k < decays_.size() && decays_[k])
+            ? lr_ * weight_decay_
+            : 0.0f;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_) + decay * p->value[i];
+    }
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,58 @@
+// First-order optimizers over flat parameter lists.
+#pragma once
+
+#include <vector>
+
+#include "src/nn/module.hpp"
+
+namespace af {
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the norm before clipping.
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm);
+
+/// SGD with classical momentum.
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Parameter*> params, float lr,
+               float momentum = 0.0f);
+
+  void step();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Enables decoupled (AdamW-style) weight decay on a subset of the
+  /// parameters — typically the conv/linear weights but not biases or
+  /// normalization scales.
+  void set_weight_decay(float wd, const std::vector<Parameter*>& subset);
+
+  void step();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  std::int64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  float lr_;
+  float beta1_, beta2_, eps_;
+  float weight_decay_ = 0.0f;
+  std::vector<bool> decays_;  // per-parameter decay flag
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace af

@@ -1,0 +1,40 @@
+#include "src/nn/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+std::int64_t prune_by_magnitude(Tensor& w, float sparsity) {
+  AF_CHECK(sparsity >= 0.0f && sparsity <= 1.0f, "sparsity must be in [0,1]");
+  const std::int64_t n = w.numel();
+  const auto k = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(sparsity) * static_cast<double>(n)));
+  if (k == 0) return 0;
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + k - 1, order.end(),
+                   [&w](std::int64_t a, std::int64_t b) {
+                     const float fa = std::fabs(w[a]);
+                     const float fb = std::fabs(w[b]);
+                     return fa != fb ? fa < fb : a < b;
+                   });
+  for (std::int64_t i = 0; i < k; ++i) {
+    w[order[static_cast<std::size_t>(i)]] = 0.0f;
+  }
+  return k;
+}
+
+double sparsity_of(const Tensor& w) {
+  if (w.numel() == 0) return 0.0;
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) zeros += (w[i] == 0.0f);
+  return static_cast<double>(zeros) / static_cast<double>(w.numel());
+}
+
+}  // namespace af

@@ -1,0 +1,23 @@
+// Magnitude pruning — the Deep Compression technique the paper notes
+// "can be used in combination" with AdaptivFloat (Section 2).
+//
+// Pruning zeroes the smallest-magnitude weights; AdaptivFloat's exact-zero
+// code represents them losslessly, so the two compose: a pruned tensor
+// quantizes with *lower* error than a dense one at the same bit width
+// (fewer distinct magnitudes to cover). Tests and the ablation bench
+// quantify this.
+#pragma once
+
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Zeroes the `sparsity` fraction (in [0, 1]) of smallest-|w| elements.
+/// Returns the number of weights pruned. Deterministic tie-breaking by
+/// index order.
+std::int64_t prune_by_magnitude(Tensor& w, float sparsity);
+
+/// Fraction of exactly-zero elements.
+double sparsity_of(const Tensor& w);
+
+}  // namespace af

@@ -1,0 +1,57 @@
+#include "src/nn/quant.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+WeightQuantScope::WeightQuantScope(std::vector<Parameter*> params,
+                                   Quantizer& q)
+    : params_(std::move(params)) {
+  saved_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    saved_.push_back(p->value);
+    p->value = q.calibrate_and_quantize(p->value);
+  }
+}
+
+WeightQuantScope::~WeightQuantScope() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->value = std::move(saved_[i]);
+  }
+}
+
+void ActQuant::set_mode(ActQuantMode mode) {
+  AF_CHECK(mode != ActQuantMode::kApply || quantizer_ != nullptr,
+           "ActQuant: set a quantizer before enabling kApply");
+  mode_ = mode;
+}
+
+Tensor ActQuant::process(const std::string& site, const Tensor& x) {
+  switch (mode_) {
+    case ActQuantMode::kOff:
+      return x;
+    case ActQuantMode::kCalibrate: {
+      float& mx = site_max_[site];
+      mx = std::max(mx, x.max_abs());
+      return x;
+    }
+    case ActQuantMode::kApply: {
+      auto it = site_max_.find(site);
+      // Sites never seen during calibration fall back to per-tensor range
+      // (dynamic quantization) so a missing calibration pass fails soft.
+      const float mx = it != site_max_.end() ? it->second : x.max_abs();
+      quantizer_->calibrate_max_abs(mx);
+      return quantizer_->quantize(x);
+    }
+  }
+  fail("unreachable ActQuant mode");
+}
+
+float ActQuant::site_max(const std::string& site) const {
+  auto it = site_max_.find(site);
+  return it == site_max_.end() ? 0.0f : it->second;
+}
+
+}  // namespace af

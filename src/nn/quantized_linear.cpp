@@ -1,0 +1,27 @@
+#include "src/nn/quantized_linear.hpp"
+
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+QuantizedLinear::QuantizedLinear(Linear& source, int bits, int exp_bits)
+    : in_(source.in_features()),
+      out_(source.out_features()),
+      weight_(PackedAdaptivFloatTensor::quantize_pack(source.weight().value,
+                                                      bits, exp_bits)),
+      bias_(source.bias().value) {}
+
+Tensor QuantizedLinear::forward(const Tensor& x) const {
+  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
+           "QuantizedLinear input must be [m, in]");
+  // Decode once per call; for repeated inference a caller can hoist this,
+  // but decoding is cheap relative to the matmul and keeps memory at the
+  // packed footprint between calls.
+  const Tensor w = weight_.unpack();
+  Tensor y = matmul(x, w, false, /*trans_b=*/true);
+  if (bias_.numel() == out_) add_row_bias_inplace(y, bias_);
+  return y;
+}
+
+}  // namespace af

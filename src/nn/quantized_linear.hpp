@@ -1,0 +1,41 @@
+// Deployment-form linear layer: weights stored as packed AdaptivFloat
+// codes, decoded on the fly during inference.
+//
+// This is the software mirror of what the HFINT accelerator's weight
+// buffers hold — the fake-quantization used during evaluation (carrying
+// quantized values in FP32) and this packed execution path must agree
+// bit-for-bit, which the tests assert.
+#pragma once
+
+#include <memory>
+
+#include "src/core/bitpack.hpp"
+#include "src/nn/linear.hpp"
+
+namespace af {
+
+/// Inference-only linear layer over packed AdaptivFloat weights.
+class QuantizedLinear {
+ public:
+  /// Quantizes the given trained layer's weights with Algorithm 1. The bias
+  /// stays FP32 (biases are accumulated at full precision in the PE too).
+  QuantizedLinear(Linear& source, int bits, int exp_bits);
+
+  /// x: [m, in] -> [m, out], decoding weights on the fly.
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  const PackedAdaptivFloatTensor& packed_weight() const { return weight_; }
+
+  /// Storage for the weights in bytes (vs 4 bytes/element FP32).
+  std::size_t weight_bytes() const { return weight_.payload_bytes(); }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  PackedAdaptivFloatTensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace af

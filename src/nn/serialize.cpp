@@ -1,0 +1,92 @@
+#include "src/nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'F', 'W', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n) {
+  AF_CHECK(std::fwrite(data, 1, n, f) == n, "short write");
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n) {
+  AF_CHECK(std::fread(data, 1, n, f) == n, "short read / truncated file");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, T v) {
+  write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  read_bytes(f, &v, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  AF_CHECK(f != nullptr, "cannot open " + path + " for writing");
+  write_bytes(f.get(), kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(f.get(), params.size());
+  for (const Parameter* p : params) {
+    write_pod<std::uint32_t>(f.get(),
+                             static_cast<std::uint32_t>(p->name.size()));
+    write_bytes(f.get(), p->name.data(), p->name.size());
+    write_pod<std::uint32_t>(f.get(),
+                             static_cast<std::uint32_t>(p->value.rank()));
+    for (std::int64_t d : p->value.shape()) {
+      write_pod<std::int64_t>(f.get(), d);
+    }
+    write_bytes(f.get(), p->value.data(),
+                sizeof(float) * static_cast<std::size_t>(p->value.numel()));
+  }
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  AF_CHECK(f != nullptr, "cannot open " + path + " for reading");
+  char magic[4];
+  read_bytes(f.get(), magic, sizeof(magic));
+  AF_CHECK(std::equal(std::begin(magic), std::end(magic), kMagic),
+           path + " is not an AFW1 parameter file");
+  const auto count = read_pod<std::uint64_t>(f.get());
+  AF_CHECK(count == params.size(),
+           "parameter count mismatch: file has " + std::to_string(count) +
+               ", model has " + std::to_string(params.size()));
+  for (Parameter* p : params) {
+    const auto name_len = read_pod<std::uint32_t>(f.get());
+    std::string name(name_len, '\0');
+    read_bytes(f.get(), name.data(), name_len);
+    AF_CHECK(name == p->name, "parameter name mismatch: file '" + name +
+                                  "' vs model '" + p->name + "'");
+    const auto rank = read_pod<std::uint32_t>(f.get());
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(f.get());
+    AF_CHECK(shape == p->value.shape(),
+             "shape mismatch for " + name + ": file " + shape_str(shape) +
+                 " vs model " + shape_str(p->value.shape()));
+    read_bytes(f.get(), p->value.data(),
+               sizeof(float) * static_cast<std::size_t>(p->value.numel()));
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,27 @@
+// Binary serialization of parameter sets.
+//
+// Lets trained baselines be saved once and reloaded by other tools (the
+// benches retrain in-process, but a downstream user will not want to).
+// Format (little-endian):
+//   magic "AFW1" | u64 param count | per parameter:
+//     u32 name length | name bytes | u32 rank | i64 dims... | f32 data...
+// Loading verifies names, shapes and the magic; mismatches throw.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nn/module.hpp"
+
+namespace af {
+
+/// Writes every parameter's name, shape and values.
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+/// Restores values into an identically-structured parameter list (names
+/// and shapes must match, in order).
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+}  // namespace af

@@ -1,0 +1,42 @@
+#include "src/numerics/block_float.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+BlockFloatQuantizer::BlockFloatQuantizer(int bits) : bits_(bits) {
+  AF_CHECK(bits >= 2 && bits <= 16, "BFP width must be in [2,16]");
+  mant_max_ = (1 << (bits_ - 1)) - 1;
+}
+
+void BlockFloatQuantizer::calibrate(const Tensor& t) {
+  calibrate_max_abs(t.max_abs());
+}
+
+void BlockFloatQuantizer::calibrate_max_abs(float max_abs) {
+  AF_CHECK(max_abs >= 0.0f && std::isfinite(max_abs),
+           "max_abs must be finite and non-negative");
+  if (max_abs == 0.0f) {
+    shared_exp_ = 0;
+    step_ = 0.0f;
+    return;
+  }
+  int e = 0;
+  (void)std::frexp(max_abs, &e);
+  shared_exp_ = e - 1;  // 2^shared_exp <= max_abs < 2^(shared_exp + 1)
+  // Mantissas span [-(2^(n-1)-1), 2^(n-1)-1]; the max element maps near the
+  // top of that range: max_abs / step < 2^(n-1).
+  step_ = std::ldexp(1.0f, shared_exp_ - (bits_ - 2));
+}
+
+float BlockFloatQuantizer::quantize_value(float x) const {
+  if (step_ == 0.0f || x == 0.0f || std::isnan(x)) return 0.0f;
+  auto q = static_cast<std::int64_t>(std::nearbyint(x / step_));
+  if (q > mant_max_) q = mant_max_;
+  if (q < -mant_max_) q = -mant_max_;
+  return static_cast<float>(q) * step_;
+}
+
+}  // namespace af

@@ -1,0 +1,42 @@
+// Block floating-point (BFP) comparison format.
+//
+// BFP collapses the exponent of every element in a block (here: the whole
+// tensor, matching the paper's per-layer granularity) to the exponent of
+// the largest-magnitude element; each element keeps only a sign and an
+// (n-1)-bit mantissa scaled by the shared exponent. Cheap like fixed-point,
+// but small-magnitude elements lose precision — the failure mode the paper
+// highlights on wide weight distributions.
+#pragma once
+
+#include <string>
+
+#include "src/numerics/quantizer.hpp"
+
+namespace af {
+
+/// Self-adaptive BFP<n> quantizer: shared exponent from max-abs, symmetric
+/// (n-1)-bit signed mantissas.
+class BlockFloatQuantizer final : public Quantizer {
+ public:
+  explicit BlockFloatQuantizer(int bits);
+
+  std::string name() const override { return "BFP"; }
+  int bits() const override { return bits_; }
+  bool self_adaptive() const override { return true; }
+  void calibrate(const Tensor& t) override;
+  void calibrate_max_abs(float max_abs) override;
+  float quantize_value(float x) const override;
+
+  /// Shared (unbiased) exponent chosen by the last calibration.
+  int shared_exp() const { return shared_exp_; }
+  /// Quantization step: 2^(shared_exp - (n - 2)).
+  float step() const { return step_; }
+
+ private:
+  int bits_;
+  int shared_exp_ = 0;
+  float step_ = 0.0f;   // 0 until calibrated or when the block is all-zero
+  int mant_max_ = 0;    // 2^(n-1) - 1
+};
+
+}  // namespace af

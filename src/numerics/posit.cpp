@@ -1,0 +1,107 @@
+#include "src/numerics/posit.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+int bit_at(std::uint32_t v, int pos) { return (v >> pos) & 1u; }
+
+}  // namespace
+
+PositFormat::PositFormat(int bits, int es) : bits_(bits), es_(es) {
+  AF_CHECK(bits >= 2 && bits <= 16, "posit width must be in [2,16]");
+  AF_CHECK(es >= 0 && es <= 4, "posit es must be in [0,4]");
+}
+
+double PositFormat::decode(std::uint16_t code) const {
+  const std::uint32_t mask = (1u << bits_) - 1u;
+  AF_CHECK(code <= mask, "code wider than the format");
+  if (code == 0) return 0.0;
+  const std::uint32_t nar = 1u << (bits_ - 1);
+  if (code == nar) return std::numeric_limits<double>::quiet_NaN();
+
+  double sign = 1.0;
+  std::uint32_t p = code;
+  if (p & nar) {
+    // Negative posits decode as the negation of their two's complement.
+    sign = -1.0;
+    p = (~p + 1u) & mask;
+  }
+
+  // Regime: run of identical bits starting just below the sign bit.
+  int pos = bits_ - 2;
+  const int r0 = bit_at(p, pos);
+  int run = 0;
+  while (pos >= 0 && bit_at(p, pos) == r0) {
+    ++run;
+    --pos;
+  }
+  const int k = r0 ? run - 1 : -run;
+  if (pos >= 0) --pos;  // consume the terminating (opposite) regime bit
+
+  // Exponent: up to es bits; missing (truncated) bits are zero.
+  int exp = 0;
+  int got = 0;
+  while (got < es_ && pos >= 0) {
+    exp = (exp << 1) | bit_at(p, pos);
+    --pos;
+    ++got;
+  }
+  exp <<= (es_ - got);
+
+  // Fraction: whatever bits remain.
+  const int fbits = pos + 1;
+  const std::uint32_t f = p & ((1u << fbits) - 1u);
+  const double frac = std::ldexp(static_cast<double>(f), -fbits);
+
+  return sign * std::ldexp(1.0 + frac, k * (1 << es_) + exp);
+}
+
+double PositFormat::minpos() const {
+  // Code 0...01 — the most negative regime.
+  return decode(1);
+}
+
+double PositFormat::maxpos() const {
+  // Code 01...1 — the most positive regime.
+  return decode(static_cast<std::uint16_t>((1u << (bits_ - 1)) - 1u));
+}
+
+std::vector<float> PositFormat::representable_values() const {
+  std::vector<float> vals;
+  vals.reserve((1u << bits_) - 1u);
+  const std::uint32_t nar = 1u << (bits_ - 1);
+  for (std::uint32_t c = 0; c < (1u << bits_); ++c) {
+    if (c == nar) continue;
+    vals.push_back(static_cast<float>(decode(static_cast<std::uint16_t>(c))));
+  }
+  std::sort(vals.begin(), vals.end());
+  return vals;
+}
+
+std::string PositFormat::to_string() const {
+  return "Posit<" + std::to_string(bits_) + "," + std::to_string(es_) + ">";
+}
+
+PositQuantizer::PositQuantizer(int bits, int es) : fmt_(bits, es) {
+  for (float v : fmt_.representable_values()) {
+    if (v > 0.0f) positives_.push_back(v);
+  }
+}
+
+float PositQuantizer::quantize_value(float x) const {
+  if (x == 0.0f || std::isnan(x)) return 0.0f;
+  const float sign = x < 0.0f ? -1.0f : 1.0f;
+  const float a = std::fabs(x);
+  // Posit semantics: nonzero magnitudes saturate at minpos/maxpos instead of
+  // rounding to 0 or overflowing.
+  if (a <= positives_.front()) return sign * positives_.front();
+  if (a >= positives_.back()) return sign * positives_.back();
+  return sign * nearest_in_sorted(positives_, a);
+}
+
+}  // namespace af

@@ -1,0 +1,69 @@
+// Posit arithmetic (Gustafson & Yonemoto, 2017) as a comparison format.
+//
+// Posit<n,es> packs sign, a variable-length unary regime, up to `es`
+// exponent bits, and fraction bits. The tapered accuracy profile gives it
+// a wide dynamic range with fine precision near 1.0, which is why the paper
+// includes it among the floating-point-inspired contenders.
+//
+// The codec here decodes every bit pattern exactly; quantization follows
+// posit semantics: nonzero inputs never round to zero (they saturate at
+// +/-minpos) and overflow saturates at +/-maxpos. NaR is never produced.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/numerics/quantizer.hpp"
+
+namespace af {
+
+/// Posit<n,es> codec, n in [2,16].
+class PositFormat {
+ public:
+  PositFormat(int bits, int es);
+
+  int bits() const { return bits_; }
+  int es() const { return es_; }
+  /// useed = 2^(2^es).
+  double useed() const { return std::ldexp(1.0, 1 << es_); }
+
+  /// Decodes a code. Returns NaN for the NaR pattern (1 0...0).
+  double decode(std::uint16_t code) const;
+
+  /// Smallest / largest positive representable magnitudes.
+  double minpos() const;
+  double maxpos() const;
+
+  /// All finite representable values sorted ascending (NaR excluded,
+  /// single 0 entry). Size 2^n - 1.
+  std::vector<float> representable_values() const;
+
+  std::string to_string() const;
+
+ private:
+  int bits_;
+  int es_;
+};
+
+/// Quantizer adapter (non-adaptive). Rounds to the nearest representable
+/// posit value with posit saturation semantics.
+class PositQuantizer final : public Quantizer {
+ public:
+  PositQuantizer(int bits, int es);
+
+  std::string name() const override { return "Posit"; }
+  int bits() const override { return fmt_.bits(); }
+  bool self_adaptive() const override { return false; }
+  void calibrate(const Tensor&) override {}
+  float quantize_value(float x) const override;
+
+  const PositFormat& format() const { return fmt_; }
+
+ private:
+  PositFormat fmt_;
+  std::vector<float> positives_;  // sorted positive values
+};
+
+}  // namespace af

@@ -1,0 +1,35 @@
+#include "src/numerics/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+Tensor Quantizer::quantize(const Tensor& t) const {
+  Tensor out(t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    out[i] = quantize_value(t[i]);
+  }
+  return out;
+}
+
+float nearest_in_sorted(const std::vector<float>& sorted, float x) {
+  AF_CHECK(!sorted.empty(), "nearest_in_sorted on empty table");
+  if (std::isnan(x)) return 0.0f;
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), x);
+  if (it == sorted.begin()) return sorted.front();
+  if (it == sorted.end()) return sorted.back();
+  const float hi = *it;
+  const float lo = *(it - 1);
+  const float dh = hi - x;
+  const float dl = x - lo;
+  if (dl < dh) return lo;
+  if (dh < dl) return hi;
+  // Exact tie: pick the even-index entry, mirroring round-half-to-even.
+  const auto hi_idx = static_cast<std::size_t>(it - sorted.begin());
+  return (hi_idx % 2 == 0) ? hi : lo;
+}
+
+}  // namespace af

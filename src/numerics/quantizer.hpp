@@ -1,0 +1,62 @@
+// The common interface every number format under evaluation implements.
+//
+// The paper compares five encodings at equal bit width: AdaptivFloat,
+// IEEE-like float, posit, block floating-point, and uniform (integer).
+// Three of them ("self-adaptive": AdaptivFloat, BFP, uniform) have
+// per-tensor parameters derived from the tensor's statistics; calibrate()
+// sets those. Float and posit are non-adaptive: calibrate() is a no-op.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Abstract fake-quantizer: maps FP32 values onto the representable set of
+/// a low-precision format (carried in FP32, exactly like the paper's PyTorch
+/// templates).
+class Quantizer {
+ public:
+  virtual ~Quantizer() = default;
+
+  /// Human-readable format name ("AdaptivFloat", "Posit", ...).
+  virtual std::string name() const = 0;
+
+  /// Total encoding width in bits.
+  virtual int bits() const = 0;
+
+  /// True when the format derives per-tensor parameters in calibrate().
+  virtual bool self_adaptive() const = 0;
+
+  /// Derives per-tensor parameters (scale / shared exponent / exp_bias)
+  /// from the data. No-op for non-adaptive formats.
+  virtual void calibrate(const Tensor& t) = 0;
+
+  /// Calibrates from a max-abs statistic alone — how activation ranges are
+  /// set from offline batch statistics in the paper's accelerator (Sec. 5.2).
+  /// No-op for non-adaptive formats.
+  virtual void calibrate_max_abs(float max_abs) { (void)max_abs; }
+
+  /// Quantizes a single value to the nearest representable datapoint.
+  virtual float quantize_value(float x) const = 0;
+
+  /// Elementwise tensor quantization (default: quantize_value per element).
+  virtual Tensor quantize(const Tensor& t) const;
+
+  /// calibrate(t) followed by quantize(t) — the per-layer flow of the paper.
+  Tensor calibrate_and_quantize(const Tensor& t) {
+    calibrate(t);
+    return quantize(t);
+  }
+};
+
+/// Round-to-nearest against a sorted table of representable values.
+/// Ties resolve toward the entry with even index (the analogue of
+/// ties-to-even for tabulated formats). `sorted` must be non-empty and
+/// strictly increasing.
+float nearest_in_sorted(const std::vector<float>& sorted, float x);
+
+}  // namespace af

@@ -1,0 +1,32 @@
+#include "src/numerics/uniform.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+UniformQuantizer::UniformQuantizer(int bits) : bits_(bits) {
+  AF_CHECK(bits >= 2 && bits <= 16, "uniform width must be in [2,16]");
+  level_max_ = (1 << (bits_ - 1)) - 1;
+}
+
+void UniformQuantizer::calibrate(const Tensor& t) {
+  calibrate_max_abs(t.max_abs());
+}
+
+void UniformQuantizer::calibrate_max_abs(float max_abs) {
+  AF_CHECK(max_abs >= 0.0f && std::isfinite(max_abs),
+           "max_abs must be finite and non-negative");
+  scale_ = max_abs == 0.0f ? 0.0f : max_abs / static_cast<float>(level_max_);
+}
+
+float UniformQuantizer::quantize_value(float x) const {
+  if (scale_ == 0.0f || x == 0.0f || std::isnan(x)) return 0.0f;
+  auto q = static_cast<std::int64_t>(std::nearbyint(x / scale_));
+  if (q > level_max_) q = level_max_;
+  if (q < -level_max_) q = -level_max_;
+  return static_cast<float>(q) * scale_;
+}
+
+}  // namespace af

@@ -1,0 +1,38 @@
+// Uniform (integer) quantization — the TensorRT-style baseline.
+//
+// Symmetric linear quantization with a full-precision scale factor:
+//   scale = max|x| / (2^(n-1) - 1),  q = clamp(round(x / scale)) * scale.
+// This is the "Uniform" column of the paper's tables and the arithmetic of
+// the NVDLA-like integer PE in Section 5.1.
+#pragma once
+
+#include <string>
+
+#include "src/numerics/quantizer.hpp"
+
+namespace af {
+
+/// Self-adaptive symmetric uniform quantizer over n-bit signed integers.
+class UniformQuantizer final : public Quantizer {
+ public:
+  explicit UniformQuantizer(int bits);
+
+  std::string name() const override { return "Uniform"; }
+  int bits() const override { return bits_; }
+  bool self_adaptive() const override { return true; }
+  void calibrate(const Tensor& t) override;
+  void calibrate_max_abs(float max_abs) override;
+  float quantize_value(float x) const override;
+
+  /// Scale chosen by the last calibration (0 for an all-zero tensor).
+  float scale() const { return scale_; }
+  /// Largest integer level: 2^(n-1) - 1.
+  int level_max() const { return level_max_; }
+
+ private:
+  int bits_;
+  int level_max_ = 0;
+  float scale_ = 0.0f;
+};
+
+}  // namespace af

@@ -1,0 +1,122 @@
+#include "src/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace af {
+
+std::int64_t numel_of(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    AF_CHECK(d >= 0, "negative dimension in shape " + shape_str(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(numel_of(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  AF_CHECK(static_cast<std::int64_t>(data_.size()) == numel_of(shape_),
+           "data size does not match shape " + shape_str(shape_));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Pcg32& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Pcg32& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  AF_CHECK(numel_of(new_shape) == numel(),
+           "reshape " + shape_str(shape_) + " -> " + shape_str(new_shape) +
+               " changes element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::min() const {
+  AF_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  AF_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::sum() const {
+  // Kahan summation: sums over large layers must not drift, because the
+  // quantization-error statistics in Figure 4 are computed from them.
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  AF_CHECK(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+std::size_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  AF_CHECK(idx.size() == shape_.size(),
+           "index rank does not match tensor rank");
+  std::int64_t off = 0;
+  std::size_t axis = 0;
+  for (std::int64_t i : idx) {
+    AF_CHECK(i >= 0 && i < shape_[axis], "index out of bounds on axis " +
+                                             std::to_string(axis));
+    off = off * shape_[axis] + i;
+    ++axis;
+  }
+  return static_cast<std::size_t>(off);
+}
+
+}  // namespace af

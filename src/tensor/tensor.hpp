@@ -1,0 +1,104 @@
+// Minimal dense tensor type used throughout the library.
+//
+// Design constraints, chosen deliberately for a numerics-research codebase:
+//  * always contiguous, row-major — no stride/view machinery to get wrong;
+//  * float32 storage only — the quantizers model other formats *on top of*
+//    float32 carriers, exactly as the paper's PyTorch "fake quantization"
+//    templates did;
+//  * shapes are std::vector<int64_t>; rank is small (<= 4 in practice).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::int64_t numel_of(const Shape& shape);
+
+/// "[2, 3, 4]" — for error messages.
+std::string shape_str(const Shape& shape);
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of size 0.
+  Tensor() : shape_{0} {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(Shape(shape)) {}
+
+  /// Tensor with explicit contents; data.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ----- factories ---------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// Values drawn i.i.d. from N(0, stddev^2).
+  static Tensor randn(Shape shape, Pcg32& rng, float stddev = 1.0f);
+  /// Values drawn i.i.d. from U[lo, hi).
+  static Tensor rand_uniform(Shape shape, Pcg32& rng, float lo, float hi);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(std::int64_t n);
+
+  // ----- structure ---------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t axis) const {
+    AF_CHECK(axis < shape_.size(), "axis out of range");
+    return shape_[axis];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+
+  /// Returns a copy with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  // ----- element access ----------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Bounds-checked multi-index access (rank must match).
+  float& at(std::initializer_list<std::int64_t> idx) {
+    return data_[offset(idx)];
+  }
+  float at(std::initializer_list<std::int64_t> idx) const {
+    return data_[offset(idx)];
+  }
+
+  // ----- small conveniences used everywhere --------------------------------
+  void fill(float value);
+  /// max over elements of |x|; 0 for an empty tensor.
+  float max_abs() const;
+  float min() const;
+  float max() const;
+  float sum() const;
+  float mean() const;
+
+  /// True iff shapes and all elements are exactly equal.
+  bool equals(const Tensor& other) const;
+
+ private:
+  std::size_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace af

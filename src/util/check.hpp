@@ -1,0 +1,29 @@
+// Error-handling helpers shared by every module.
+//
+// The library reports precondition violations by throwing af::Error so that
+// tests can assert on failure modes without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace af {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace af
+
+/// Checks a precondition; throws af::Error with location info on failure.
+#define AF_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::af::fail(std::string(__FILE__) + ":" + std::to_string(__LINE__) +    \
+                 ": check failed: " #cond " — " + (msg));                    \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,25 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+
+namespace af {
+
+float Pcg32::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box–Muller transform; u1 is kept away from 0 so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-12);
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_ = static_cast<float>(r * std::sin(theta));
+  has_cached_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+}  // namespace af

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (weight init, synthetic data,
+// noise injection) flows through Pcg32 so every experiment is exactly
+// reproducible from a seed. We deliberately avoid std::mt19937 /
+// std::normal_distribution because their outputs are not guaranteed to be
+// identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace af {
+
+/// PCG32 (O'Neill, 2014): small, fast, statistically strong 32-bit generator.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit integer.
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound) {
+    // Debiased modulo (Lemire-style rejection).
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Standard normal via Box–Muller (deterministic, stateless between calls
+  /// except for the cached second deviate).
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = next_below(static_cast<std::uint32_t>(i + 1));
+      std::swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  bool has_cached_ = false;
+  float cached_ = 0.0f;
+};
+
+}  // namespace af

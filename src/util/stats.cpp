@@ -1,0 +1,43 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+// Linear-interpolated quantile of a sorted vector, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+BoxStats box_stats(std::vector<double> values) {
+  AF_CHECK(!values.empty(), "box_stats on empty vector");
+  std::sort(values.begin(), values.end());
+  BoxStats s;
+  s.n = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.50);
+  s.q3 = quantile_sorted(values, 0.75);
+  s.mean = mean_of(values);
+  return s;
+}
+
+double mean_of(const std::vector<double>& values) {
+  AF_CHECK(!values.empty(), "mean of empty vector");
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace af

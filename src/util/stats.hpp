@@ -1,0 +1,24 @@
+// Small descriptive-statistics helpers used by the Figure-4 boxplot bench
+// and by tests that reason about distributions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace af {
+
+/// Five-number summary plus mean, as drawn in a boxplot.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+  std::size_t n = 0;
+};
+
+/// Computes the summary of `values`. Quartiles use linear interpolation
+/// between order statistics (the same convention as numpy's default).
+/// Throws af::Error when `values` is empty.
+BoxStats box_stats(std::vector<double> values);
+
+/// Arithmetic mean; throws on empty input.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace af

@@ -1,0 +1,63 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace af {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream out;
+  auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  if (total < title_.size()) total = title_.size();
+
+  out << title_ << '\n' << std::string(total, '=') << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_sig(double v, int digits) {
+  char buf[64];
+  if (v != 0.0 && (std::fabs(v) < 1e-3 || std::fabs(v) >= 1e6)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  }
+  return buf;
+}
+
+}  // namespace af

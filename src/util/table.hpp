@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper; this
+// helper prints aligned rows so the output can be compared to the paper
+// side by side (and grepped / parsed by scripts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace af {
+
+/// Column-aligned text table with a title, header row and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table; pads every cell to the widest entry of its column.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places ("3.142").
+std::string fmt_fixed(double v, int digits);
+
+/// Formats a double with `digits` significant figures ("3.14e-05" style when
+/// small). Used for RMS-error tables.
+std::string fmt_sig(double v, int digits);
+
+}  // namespace af

@@ -1,0 +1,113 @@
+// Exhaustive parameterized property sweep over AdaptivFloat configurations:
+// every invariant checked for every (bits, exp_bits, exp_bias) combination
+// in a realistic grid, with brute-force nearest-value verification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/adaptivfloat.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+struct FormatParams {
+  int bits;
+  int exp_bits;
+  int exp_bias;
+};
+
+std::string param_name(const testing::TestParamInfo<FormatParams>& info) {
+  const auto& p = info.param;
+  return "b" + std::to_string(p.bits) + "e" + std::to_string(p.exp_bits) +
+         (p.exp_bias < 0 ? "m" + std::to_string(-p.exp_bias)
+                         : "p" + std::to_string(p.exp_bias));
+}
+
+class AdaptivFloatSweep : public testing::TestWithParam<FormatParams> {
+ protected:
+  AdaptivFloatFormat fmt() const {
+    const auto& p = GetParam();
+    return AdaptivFloatFormat(p.bits, p.exp_bits, p.exp_bias);
+  }
+};
+
+TEST_P(AdaptivFloatSweep, CodeCountAndBounds) {
+  const auto f = fmt();
+  auto vals = f.representable_values();
+  EXPECT_EQ(static_cast<int>(vals.size()), f.num_codes() - 1);
+  EXPECT_FLOAT_EQ(vals.front(), -f.value_max());
+  EXPECT_FLOAT_EQ(vals.back(), f.value_max());
+  // Smallest positive value is value_min.
+  auto it = std::upper_bound(vals.begin(), vals.end(), 0.0f);
+  ASSERT_NE(it, vals.end());
+  EXPECT_FLOAT_EQ(*it, f.value_min());
+}
+
+TEST_P(AdaptivFloatSweep, DecodeEncodeIdentityOnAllCodes) {
+  const auto f = fmt();
+  for (int c = 0; c < f.num_codes(); ++c) {
+    const auto code = static_cast<std::uint16_t>(c);
+    const float v = f.decode(code);
+    if (v == 0.0f) {
+      EXPECT_EQ(f.encode(v), 0);
+    } else {
+      EXPECT_EQ(f.encode(v), code);
+    }
+  }
+}
+
+TEST_P(AdaptivFloatSweep, QuantizeEqualsBruteForceNearest) {
+  const auto f = fmt();
+  const auto vals = f.representable_values();
+  Pcg32 rng(123);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Sample across the whole dynamic range, including out-of-range tails.
+    const float mag = std::ldexp(1.0f, static_cast<int>(rng.next_below(
+                                           static_cast<std::uint32_t>(
+                                               f.exp_bits() + 4))) +
+                                           f.exp_bias() - 2);
+    const float x = rng.uniform(-2.0f * mag, 2.0f * mag);
+    const float q = f.quantize(x);
+    float best = std::numeric_limits<float>::max();
+    for (float v : vals) best = std::min(best, std::fabs(v - x));
+    EXPECT_LE(std::fabs(q - x), best * 1.0000005f + 1e-12f)
+        << "x=" << x << " q=" << q;
+  }
+}
+
+TEST_P(AdaptivFloatSweep, QuantizeMonotoneOverRange) {
+  const auto f = fmt();
+  const float hi = 1.5f * f.value_max();
+  float prev = f.quantize(-hi);
+  const float step = hi / 500.0f;
+  for (float x = -hi; x <= hi; x += step) {
+    const float cur = f.quantize(x);
+    EXPECT_GE(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+TEST_P(AdaptivFloatSweep, ValueMinMaxFormulas) {
+  const auto f = fmt();
+  const float two_pow_m = std::ldexp(1.0f, -f.mant_bits());
+  EXPECT_FLOAT_EQ(f.value_min(),
+                  std::ldexp(1.0f + two_pow_m, f.exp_bias()));
+  EXPECT_FLOAT_EQ(f.value_max(),
+                  std::ldexp(2.0f - two_pow_m, f.exp_max()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptivFloatSweep,
+    testing::Values(FormatParams{4, 2, -2}, FormatParams{4, 3, -8},
+                    FormatParams{5, 3, -4}, FormatParams{6, 2, 0},
+                    FormatParams{6, 3, -7}, FormatParams{7, 4, -12},
+                    FormatParams{8, 1, -2}, FormatParams{8, 3, -6},
+                    FormatParams{8, 5, -20}, FormatParams{10, 3, 2},
+                    FormatParams{12, 4, -10}, FormatParams{16, 3, -9}),
+    param_name);
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/core/algorithm1.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(FormatForMaxAbs, PaperFigure3Parameters) {
+  // Figure 3: max |W| = 2.89 with AdaptivFloat<4,2> gives exp_bias = -2,
+  // abs-min 0.375, abs-max 3.
+  auto f = format_for_max_abs(2.89f, 4, 2);
+  EXPECT_EQ(f.exp_bias(), -2);
+  EXPECT_FLOAT_EQ(f.value_min(), 0.375f);
+  EXPECT_FLOAT_EQ(f.value_max(), 3.0f);
+}
+
+TEST(FormatForMaxAbs, BracketsMaxAbs) {
+  // 2^exp_max <= max_abs < 2^(exp_max+1) for assorted magnitudes.
+  for (float m : {0.001f, 0.49f, 0.5f, 1.0f, 1.9f, 20.41f, 300.0f}) {
+    auto f = format_for_max_abs(m, 8, 3);
+    const float lo = std::ldexp(1.0f, f.exp_max());
+    EXPECT_LE(lo, m) << m;
+    EXPECT_LT(m, 2 * lo) << m;
+    // And max_abs is representable-range covered: value_max >= max_abs
+    // whenever mantissa bits exist (value_max = 2^exp_max * (2 - 2^-m)).
+    EXPECT_GE(f.value_max(), m * (1.0f - 1.0f / 32.0f)) << m;
+  }
+}
+
+TEST(FormatForMaxAbs, PowerOfTwoBoundaryExact) {
+  auto f = format_for_max_abs(4.0f, 8, 3);
+  EXPECT_EQ(f.exp_max(), 2);
+  auto g = format_for_max_abs(3.999f, 8, 3);
+  EXPECT_EQ(g.exp_max(), 1);
+}
+
+TEST(FormatForMaxAbs, ZeroTensorGetsDefaultBias) {
+  auto f = format_for_max_abs(0.0f, 8, 3);
+  EXPECT_EQ(f.exp_bias(), -7);
+  EXPECT_EQ(f.exp_max(), 0);
+}
+
+TEST(FormatForMaxAbs, RejectsNegativeOrNonFinite) {
+  EXPECT_THROW(format_for_max_abs(-1.0f, 8, 3), Error);
+  EXPECT_THROW(format_for_max_abs(std::numeric_limits<float>::infinity(), 8, 3),
+               Error);
+}
+
+TEST(Algorithm1, PaperFigure3MatrixExact) {
+  // The worked example from Figure 3 of the paper, including signed zeros
+  // (compared as values, so -0 == 0).
+  Tensor w({4, 4}, {-1.17f, 2.71f,  -1.60f, 0.43f,  //
+                    -1.14f, 2.05f,  1.01f,  0.07f,  //
+                    0.16f,  -0.03f, -0.89f, -0.87f, //
+                    -0.04f, -0.39f, 0.64f,  -2.89f});
+  Tensor expect({4, 4}, {-1.0f, 3.0f,    -1.5f, 0.375f,  //
+                         -1.0f, 2.0f,    1.0f,  0.0f,    //
+                         0.0f,  0.0f,    -1.0f, -0.75f,  //
+                         0.0f,  -0.375f, 0.75f, -3.0f});
+  auto res = adaptivfloat_quantize(w, 4, 2);
+  EXPECT_EQ(res.format.exp_bias(), -2);
+  ASSERT_EQ(res.quantized.shape(), w.shape());
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_FLOAT_EQ(res.quantized[i], expect[i]) << "element " << i;
+  }
+}
+
+TEST(Algorithm1, CodesMatchReconstruction) {
+  // The bit codes returned by Algorithm 1 decode to exactly the
+  // reconstructed tensor (matrix path == codec path).
+  Pcg32 rng(21);
+  Tensor w = Tensor::randn({32, 16}, rng, 2.0f);
+  for (int bits : {4, 5, 6, 8, 12, 16}) {
+    const int e = std::min(3, bits - 1);
+    auto res = adaptivfloat_quantize(w, bits, e);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      EXPECT_FLOAT_EQ(res.quantized[i],
+                      res.format.decode(res.codes[static_cast<std::size_t>(i)]))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(Algorithm1, MatchesFormatQuantizeElementwise) {
+  Pcg32 rng(22);
+  Tensor w = Tensor::randn({10, 10}, rng, 5.0f);
+  auto res = adaptivfloat_quantize(w, 8, 3);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_FLOAT_EQ(res.quantized[i], res.format.quantize(w[i]));
+  }
+}
+
+TEST(Algorithm1, AllZeroTensor) {
+  Tensor w({3, 3});
+  auto res = adaptivfloat_quantize(w, 8, 3);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_EQ(res.quantized[i], 0.0f);
+    EXPECT_EQ(res.codes[static_cast<std::size_t>(i)], 0);
+  }
+}
+
+TEST(Algorithm1, ErrorBoundedByHalfUlpInRange) {
+  // For values inside [value_min, value_max], the quantization error is at
+  // most half the local step: 2^(exp - m - 1).
+  Pcg32 rng(23);
+  auto res_fmt = format_for_max_abs(3.5f, 8, 3);
+  for (int i = 0; i < 2000; ++i) {
+    const float x = rng.uniform(res_fmt.value_min(), 3.5f);
+    const float q = res_fmt.quantize(x);
+    const int exp = std::ilogb(x);
+    const float half_step = std::ldexp(1.0f, exp - res_fmt.mant_bits() - 1);
+    EXPECT_LE(std::fabs(q - x), half_step * 1.0001f) << "x=" << x;
+  }
+}
+
+TEST(Algorithm1, WiderBitsNeverIncreaseError) {
+  // Monotone refinement: at fixed exponent width, adding mantissa bits can
+  // only shrink the RMS error.
+  Pcg32 rng(24);
+  Tensor w = Tensor::randn({64, 64}, rng, 3.0f);
+  double prev = 1e30;
+  for (int bits : {5, 6, 8, 10, 12, 14, 16}) {
+    auto res = adaptivfloat_quantize(w, bits, 3);
+    double se = 0;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const double d = double(res.quantized[i]) - w[i];
+      se += d * d;
+    }
+    const double rms = std::sqrt(se / static_cast<double>(w.numel()));
+    EXPECT_LE(rms, prev * 1.0001) << "bits=" << bits;
+    prev = rms;
+  }
+}
+
+TEST(Algorithm1, NarrowTensorGetsMoreNegativeBias) {
+  // "The narrower the datapoints ... the more negative exp_bias gets."
+  auto wide = format_for_max_abs(20.0f, 8, 3);
+  auto narrow = format_for_max_abs(0.05f, 8, 3);
+  EXPECT_LT(narrow.exp_bias(), wide.exp_bias());
+}
+
+}  // namespace
+}  // namespace af

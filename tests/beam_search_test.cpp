@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/models/beam_search.hpp"
+#include "src/models/trainer.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TransformerConfig small_tf() {
+  TransformerConfig cfg;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ffn = 64;
+  cfg.enc_layers = 1;
+  cfg.dec_layers = 1;
+  return cfg;
+}
+
+TEST(BeamSearch, BeamOneMatchesGreedyTransformer) {
+  TransformerBundle b(31, small_tf());
+  train_transformer(b, 250, 16, 2e-3f, 32);  // partially trained: imperfect
+  Pcg32 rng(1);
+  for (int i = 0; i < 5; ++i) {
+    auto pair = b.task.sample(rng);
+    const auto greedy = b.model.greedy_decode(
+        pair.source, TranslationTask::kPad, TranslationTask::kBos,
+        TranslationTask::kEos,
+        static_cast<std::int64_t>(pair.source.size()) + 4);
+    BeamConfig cfg;
+    cfg.beam_size = 1;
+    cfg.max_steps = static_cast<std::int64_t>(pair.source.size()) + 4;
+    // Note: beam-1 with length normalization can stop earlier than greedy
+    // (it may prefer a completed shorter hypothesis); with alpha = 0 the
+    // scores are raw log-probs and the argmax path is identical.
+    cfg.length_alpha = 0.0f;
+    const auto beam = transformer_beam_decode(
+        b.model, pair.source, TranslationTask::kPad, TranslationTask::kBos,
+        TranslationTask::kEos, cfg);
+    EXPECT_EQ(beam, greedy) << "sentence " << i;
+  }
+}
+
+TEST(BeamSearch, WiderBeamNeverHurtsModelScore) {
+  // The defining property of beam search: the (unnormalized) model log-prob
+  // of the returned hypothesis is monotone in beam width. We check the
+  // corpus BLEU instead, which on the deterministic toy task is a faithful
+  // proxy: beam-4 must not be significantly worse than greedy.
+  TransformerBundle b(33, small_tf());
+  train_transformer(b, 400, 16, 2e-3f, 34);
+  Pcg32 rng(2);
+  std::vector<TokenSeq> refs, greedy_hyps, beam_hyps;
+  for (int i = 0; i < 20; ++i) {
+    auto pair = b.task.sample(rng);
+    refs.push_back(pair.target);
+    greedy_hyps.push_back(b.model.greedy_decode(
+        pair.source, TranslationTask::kPad, TranslationTask::kBos,
+        TranslationTask::kEos,
+        static_cast<std::int64_t>(pair.source.size()) + 4));
+    BeamConfig cfg;
+    cfg.beam_size = 4;
+    cfg.max_steps = static_cast<std::int64_t>(pair.source.size()) + 4;
+    beam_hyps.push_back(transformer_beam_decode(
+        b.model, pair.source, TranslationTask::kPad, TranslationTask::kBos,
+        TranslationTask::kEos, cfg));
+  }
+  const double greedy_bleu = bleu_score(refs, greedy_hyps);
+  const double beam_bleu = bleu_score(refs, beam_hyps);
+  EXPECT_GE(beam_bleu, greedy_bleu - 3.0);
+}
+
+TEST(BeamSearch, Seq2SeqBeamDecodesSanely) {
+  Seq2SeqConfig cfg;
+  cfg.hidden = 32;
+  cfg.feature_dim = 12;
+  cfg.enc_layers = 1;
+  Seq2SeqBundle b(35, cfg);
+  train_seq2seq(b, 800, 16, 2e-3f, 36);
+  Pcg32 rng(3);
+  std::vector<TokenSeq> refs, greedy_hyps, beam_hyps;
+  for (int i = 0; i < 10; ++i) {
+    Utterance utt = b.task.sample(rng);
+    refs.push_back(utt.transcript);
+    Tensor frames =
+        utt.frames.reshaped({utt.frames.dim(0), 1, b.cfg.feature_dim});
+    greedy_hyps.push_back(
+        b.model.greedy_decode(frames, SpeechTask::kBos, SpeechTask::kEos));
+    BeamConfig bc;
+    bc.beam_size = 3;
+    bc.max_steps = b.cfg.max_decode_len;
+    beam_hyps.push_back(seq2seq_beam_decode(b.model, frames, SpeechTask::kBos,
+                                            SpeechTask::kEos, bc));
+  }
+  // Beam decoding tracks greedy on a trained model (usually beats it).
+  const double greedy_wer = word_error_rate(refs, greedy_hyps);
+  const double beam_wer = word_error_rate(refs, beam_hyps);
+  EXPECT_LE(beam_wer, greedy_wer + 10.0);
+  EXPECT_LT(beam_wer, 60.0);
+}
+
+TEST(BeamSearch, InvalidBeamSizeThrows) {
+  TransformerBundle b(37, small_tf());
+  BeamConfig cfg;
+  cfg.beam_size = 0;
+  EXPECT_THROW(transformer_beam_decode(b.model, {3, 4, 5}, 0, 1, 2, cfg),
+               Error);
+}
+
+TEST(BeamSearch, DeterministicAcrossCalls) {
+  TransformerBundle b(38, small_tf());
+  BeamConfig cfg;
+  cfg.beam_size = 4;
+  cfg.max_steps = 8;
+  const auto a =
+      transformer_beam_decode(b.model, {3, 4, 5, 6}, 0, 1, 2, cfg);
+  const auto c =
+      transformer_beam_decode(b.model, {3, 4, 5, 6}, 0, 1, 2, cfg);
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/core/algorithm1.hpp"
+#include "src/core/bitpack.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(PackCodes, RoundTripAllWidths) {
+  Pcg32 rng(1);
+  for (int bits = 1; bits <= 16; ++bits) {
+    std::vector<std::uint16_t> codes(101);  // odd count: partial final byte
+    for (auto& c : codes) {
+      c = static_cast<std::uint16_t>(rng.next_below(1u << bits));
+    }
+    auto bytes = pack_codes(codes, bits);
+    EXPECT_EQ(bytes.size(), (101u * bits + 7) / 8) << bits;
+    auto back = unpack_codes(bytes, bits, codes.size());
+    EXPECT_EQ(back, codes) << "width " << bits;
+  }
+}
+
+TEST(PackCodes, KnownLayout4Bit) {
+  // Two 4-bit codes share one byte, first code in the low nibble.
+  auto bytes = pack_codes({0x3, 0xA}, 4);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xA3);
+}
+
+TEST(PackCodes, RejectsOversizedCode) {
+  EXPECT_THROW(pack_codes({16}, 4), Error);
+}
+
+TEST(UnpackCodes, RejectsShortPayload) {
+  EXPECT_THROW(unpack_codes({0xFF}, 4, 3), Error);
+}
+
+TEST(PackedTensor, QuantizePackUnpackMatchesAlgorithm1) {
+  Pcg32 rng(2);
+  Tensor w = Tensor::randn({17, 9}, rng, 2.0f);
+  for (int bits : {4, 5, 8, 12}) {
+    auto packed = PackedAdaptivFloatTensor::quantize_pack(w, bits, 3);
+    Tensor unpacked = packed.unpack();
+    // Must equal the fake-quantized tensor exactly.
+    auto ref = adaptivfloat_quantize(w, bits, 3);
+    EXPECT_TRUE(unpacked.equals(ref.quantized)) << bits;
+    EXPECT_EQ(packed.shape(), w.shape());
+  }
+}
+
+TEST(PackedTensor, PayloadSizeMatchesCompressionClaim) {
+  Pcg32 rng(3);
+  Tensor w = Tensor::randn({64, 64}, rng);
+  auto p8 = PackedAdaptivFloatTensor::quantize_pack(w, 8, 3);
+  auto p4 = PackedAdaptivFloatTensor::quantize_pack(w, 4, 3);
+  EXPECT_EQ(p8.payload_bytes(), 64u * 64u);       // 1 byte per weight
+  EXPECT_EQ(p4.payload_bytes(), 64u * 64u / 2);   // half a byte per weight
+  EXPECT_DOUBLE_EQ(p8.compression_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(p4.compression_ratio(), 0.125);
+}
+
+TEST(PackedTensor, RandomAccessMatchesUnpack) {
+  Pcg32 rng(4);
+  Tensor w = Tensor::randn({31}, rng, 0.7f);
+  auto packed = PackedAdaptivFloatTensor::quantize_pack(w, 6, 3);
+  Tensor full = packed.unpack();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_EQ(packed.value_at(i), full[i]) << i;
+  }
+  EXPECT_THROW(packed.value_at(31), Error);
+  EXPECT_THROW(packed.value_at(-1), Error);
+}
+
+TEST(PackedTensor, ZeroTensor) {
+  Tensor w({8});
+  auto packed = PackedAdaptivFloatTensor::quantize_pack(w, 4, 3);
+  Tensor out = packed.unpack();
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace af

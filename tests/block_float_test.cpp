@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/numerics/block_float.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(BlockFloat, CalibrationPicksBracketingExponent) {
+  BlockFloatQuantizer q(8);
+  q.calibrate_max_abs(2.89f);
+  EXPECT_EQ(q.shared_exp(), 1);  // 2^1 <= 2.89 < 2^2
+  EXPECT_FLOAT_EQ(q.step(), std::ldexp(1.0f, 1 - 6));
+}
+
+TEST(BlockFloat, MaxValueRepresentableAfterCalibration) {
+  BlockFloatQuantizer q(8);
+  Tensor t({3}, {0.01f, -2.89f, 1.0f});
+  q.calibrate(t);
+  // The max element must quantize with error below one step.
+  EXPECT_NEAR(q.quantize_value(-2.89f), -2.89f, q.step());
+}
+
+TEST(BlockFloat, SmallMagnitudesLoseFidelity) {
+  // The paper's criticism of BFP: with a wide distribution, small elements
+  // collapse. shared_exp from max 20 makes step = 2^4 / 64 = 0.25 for n=8...
+  BlockFloatQuantizer q(8);
+  q.calibrate_max_abs(20.0f);
+  // Anything below step/2 flushes to zero.
+  EXPECT_EQ(q.quantize_value(0.03f), 0.0f);
+  EXPECT_GT(q.step(), 0.06f);
+}
+
+TEST(BlockFloat, UniformGridSpacing) {
+  BlockFloatQuantizer q(6);
+  q.calibrate_max_abs(1.0f);
+  const float s = q.step();
+  for (int k = -10; k <= 10; ++k) {
+    const float x = static_cast<float>(k) * s;
+    EXPECT_FLOAT_EQ(q.quantize_value(x), x) << k;  // grid points are exact
+    EXPECT_FLOAT_EQ(q.quantize_value(x + 0.2f * s), x) << k;
+  }
+}
+
+TEST(BlockFloat, SymmetricClamping) {
+  BlockFloatQuantizer q(4);
+  q.calibrate_max_abs(1.0f);
+  // mant_max = 7, step = 2^0 / 4 = 0.25 -> clamp at +/-1.75.
+  EXPECT_FLOAT_EQ(q.quantize_value(100.0f), 7 * q.step());
+  EXPECT_FLOAT_EQ(q.quantize_value(-100.0f), -7 * q.step());
+}
+
+TEST(BlockFloat, AllZeroBlock) {
+  BlockFloatQuantizer q(8);
+  Tensor t({4});
+  q.calibrate(t);
+  EXPECT_EQ(q.step(), 0.0f);
+  EXPECT_EQ(q.quantize_value(123.0f), 0.0f);  // uncalibrated block is dead
+}
+
+TEST(BlockFloat, Idempotent) {
+  BlockFloatQuantizer q(8);
+  q.calibrate_max_abs(3.0f);
+  Pcg32 rng(41);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.normal(0.0f, 2.0f);
+    const float once = q.quantize_value(x);
+    EXPECT_EQ(q.quantize_value(once), once);
+  }
+}
+
+TEST(BlockFloat, InterfaceBasics) {
+  BlockFloatQuantizer q(8);
+  EXPECT_EQ(q.name(), "BFP");
+  EXPECT_EQ(q.bits(), 8);
+  EXPECT_TRUE(q.self_adaptive());
+  EXPECT_THROW(q.calibrate_max_abs(-1.0f), Error);
+}
+
+}  // namespace
+}  // namespace af

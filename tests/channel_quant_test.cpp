@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/algorithm1.hpp"
+#include "src/core/channel_quant.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(ChannelQuant, EachRowGetsItsOwnBias) {
+  // Rows with very different scales: per-channel biases must differ.
+  Tensor w({2, 4}, {10.0f, -8.0f, 5.0f, 2.0f,       //
+                    0.01f, -0.02f, 0.005f, 0.015f});
+  auto res = adaptivfloat_quantize_per_channel(w, 8, 3);
+  ASSERT_EQ(res.formats.size(), 2u);
+  EXPECT_GT(res.formats[0].exp_bias(), res.formats[1].exp_bias());
+}
+
+TEST(ChannelQuant, NeverWorseThanPerTensorOnMixedScales) {
+  // The small-scale row is annihilated by a per-tensor range but preserved
+  // per-channel.
+  Pcg32 rng(1);
+  Tensor w({2, 64});
+  for (int c = 0; c < 64; ++c) {
+    w[c] = rng.normal(0.0f, 5.0f);
+    w[64 + c] = rng.normal(0.0f, 0.01f);
+  }
+  auto per_tensor = adaptivfloat_quantize(w, 6, 3);
+  auto per_channel = adaptivfloat_quantize_per_channel(w, 6, 3);
+  const double e_tensor = rms_between(w, per_tensor.quantized);
+  const double e_channel = rms_between(w, per_channel.quantized);
+  EXPECT_LT(e_channel, e_tensor);
+  // The small row survives per-channel quantization.
+  float small_max = 0.0f;
+  for (int c = 0; c < 64; ++c) {
+    small_max = std::max(small_max, std::fabs(per_channel.quantized[64 + c]));
+  }
+  EXPECT_GT(small_max, 0.005f);
+}
+
+TEST(ChannelQuant, MatchesPerTensorWhenRowsShareScale) {
+  // With equal-scale rows, the two granularities pick the same bias per row
+  // as the whole tensor would, when each row realizes the tensor max.
+  Tensor w({2, 2}, {1.5f, -0.5f, -1.5f, 0.5f});
+  auto per_tensor = adaptivfloat_quantize(w, 8, 3);
+  auto per_channel = adaptivfloat_quantize_per_channel(w, 8, 3);
+  EXPECT_TRUE(per_channel.quantized.equals(per_tensor.quantized));
+}
+
+TEST(ChannelQuant, CodesDecodeToQuantizedValues) {
+  Pcg32 rng(2);
+  Tensor w = Tensor::randn({8, 16}, rng, 1.5f);
+  auto res = adaptivfloat_quantize_per_channel(w, 6, 2);
+  for (std::int64_t r = 0; r < 8; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      EXPECT_EQ(res.quantized[r * 16 + c],
+                res.formats[static_cast<std::size_t>(r)].decode(
+                    res.codes[static_cast<std::size_t>(r * 16 + c)]));
+    }
+  }
+}
+
+TEST(ChannelQuant, RequiresRank2) {
+  EXPECT_THROW(adaptivfloat_quantize_per_channel(Tensor({8}), 8, 3), Error);
+}
+
+TEST(RmsBetween, BasicsAndErrors) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {1, 4});
+  EXPECT_NEAR(rms_between(a, b), std::sqrt(2.0), 1e-9);
+  EXPECT_THROW(rms_between(a, Tensor({3})), Error);
+}
+
+}  // namespace
+}  // namespace af

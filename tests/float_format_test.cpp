@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/numerics/float_format.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(FloatFormat, FieldWidthsAndBias) {
+  FloatFormat f(8, 4);
+  EXPECT_EQ(f.bits(), 8);
+  EXPECT_EQ(f.exp_bits(), 4);
+  EXPECT_EQ(f.mant_bits(), 3);
+  EXPECT_EQ(f.bias(), 7);
+}
+
+TEST(FloatFormat, InvalidParamsThrow) {
+  EXPECT_THROW(FloatFormat(8, 0), Error);
+  EXPECT_THROW(FloatFormat(8, 8), Error);
+  EXPECT_THROW(FloatFormat(1, 1), Error);
+}
+
+TEST(FloatFormat, Fp16LikeDecodesStandardValues) {
+  // FloatFormat<16,5> has IEEE half-precision semantics for finite normal
+  // values; denormal codes flush to zero.
+  FloatFormat f(16, 5);
+  EXPECT_EQ(f.bias(), 15);
+  EXPECT_FLOAT_EQ(f.decode(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(f.decode(0xBC00), -1.0f);
+  EXPECT_FLOAT_EQ(f.decode(0x4000), 2.0f);
+  EXPECT_FLOAT_EQ(f.decode(0x3555), 0.333251953125f);
+  // Denormal pattern flushes to zero (hardware small-float behaviour).
+  EXPECT_EQ(f.decode(0x0001), 0.0f);
+}
+
+TEST(FloatFormat, FlushToZeroBelowMinNormal) {
+  FloatFormat f(8, 4);
+  // Smallest normal: 2^(1-7) = 2^-6; no denormals below it.
+  EXPECT_FLOAT_EQ(f.value_min(), std::ldexp(1.0f, -6));
+  EXPECT_EQ(f.decode(0x01), 0.0f);  // would-be denormal
+  // Sub-minimum halfway rule: below vmin/2 -> 0, above -> vmin.
+  EXPECT_EQ(f.quantize(std::ldexp(0.4f, -6)), 0.0f);
+  EXPECT_FLOAT_EQ(f.quantize(std::ldexp(0.6f, -6)), std::ldexp(1.0f, -6));
+}
+
+TEST(FloatFormat, RoundTripAllCodes) {
+  for (int e : {1, 2, 4, 5}) {
+    FloatFormat f(8, e);
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint16_t>(c);
+      const float v = f.decode(code);
+      if (v == 0.0f) {
+        EXPECT_EQ(f.encode(v), 0);  // all flushed codes canonicalize to 0
+      } else {
+        EXPECT_EQ(f.encode(v), code) << "e=" << e << " code=" << c;
+      }
+    }
+  }
+}
+
+TEST(FloatFormat, SaturatesInsteadOfOverflowing) {
+  FloatFormat f(8, 4);
+  // emax = 15 - 7 = 8; value_max = 2^8 * (2 - 2^-3) = 480.
+  EXPECT_FLOAT_EQ(f.value_max(), 480.0f);
+  EXPECT_FLOAT_EQ(f.quantize(1e9f), 480.0f);
+  EXPECT_FLOAT_EQ(f.quantize(-1e9f), -480.0f);
+  EXPECT_FLOAT_EQ(f.quantize(std::numeric_limits<float>::infinity()), 480.0f);
+}
+
+TEST(FloatFormat, FixedRangeUnlikeAdaptivFloat) {
+  // The non-adaptive failure mode of Table 2: a wide-distribution tensor
+  // overflows a small-exponent float. Float<8,2>: bias 1, emax 2,
+  // value_max = 4 * (2 - 2^-5) < 8.
+  FloatFormat f(8, 2);
+  EXPECT_LT(f.value_max(), 8.0f);
+  EXPECT_FLOAT_EQ(f.quantize(20.41f), f.value_max());
+}
+
+TEST(FloatFormat, QuantizeIdempotent) {
+  FloatFormat f(8, 4);
+  for (float x : {0.0f, 0.1f, -2.7f, 479.0f, 1e-4f}) {
+    const float q = f.quantize(x);
+    EXPECT_EQ(f.quantize(q), q);
+  }
+}
+
+TEST(FloatFormat, NearestOptimality) {
+  FloatFormat f(6, 3);
+  auto vals = f.representable_values();
+  for (float x = -15.0f; x <= 15.0f; x += 0.0173f) {
+    const float q = f.quantize(x);
+    float best = std::numeric_limits<float>::max();
+    for (float v : vals) best = std::min(best, std::fabs(v - x));
+    EXPECT_LE(std::fabs(q - x), best + 1e-6f) << "x=" << x;
+  }
+}
+
+TEST(FloatFormat, TiesToEvenMantissa) {
+  FloatFormat f(8, 4);  // m=3: step between 1.0 and 2.0 is 0.125
+  EXPECT_FLOAT_EQ(f.quantize(1.0625f), 1.0f);   // midpoint 1.0..1.125 -> even
+  EXPECT_FLOAT_EQ(f.quantize(1.1875f), 1.25f);  // midpoint 1.125..1.25 -> even
+}
+
+TEST(FloatQuantizer, InterfaceBasics) {
+  FloatQuantizer q(8, 4);
+  EXPECT_EQ(q.name(), "Float");
+  EXPECT_EQ(q.bits(), 8);
+  EXPECT_FALSE(q.self_adaptive());
+  Tensor t({3}, {0.5f, -1.0f, 1000.0f});
+  q.calibrate(t);  // no-op
+  Tensor out = q.quantize(t);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+  EXPECT_FLOAT_EQ(out[2], 480.0f);
+}
+
+}  // namespace
+}  // namespace af

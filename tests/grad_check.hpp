@@ -1,0 +1,50 @@
+// Finite-difference gradient checking helpers shared by the layer tests.
+//
+// Convention: the test defines a scalar loss L = <dy, forward(x)> with a
+// fixed random dy. The analytic gradient of L w.r.t. x is backward(dy);
+// the gradient w.r.t. a parameter is its .grad after backward. Both are
+// compared against central differences of L.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/nn/module.hpp"
+
+namespace af {
+
+/// Inner product <a, b> in double precision.
+inline double dot_all(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double acc = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += double(a[i]) * b[i];
+  return acc;
+}
+
+/// Central-difference check of `analytic` (dL/dtheta for the tensor `theta`)
+/// against the loss functional `loss_of`, which must re-run the forward pass
+/// using the current contents of theta.
+inline void expect_grad_matches(Tensor& theta, const Tensor& analytic_ref,
+                                const std::function<double()>& loss_of,
+                                float eps = 1e-2f, float tol = 2e-2f) {
+  // Copy: loss_of() re-runs backward passes, which accumulate into the very
+  // gradient tensor the caller handed us.
+  const Tensor analytic = analytic_ref;
+  ASSERT_EQ(theta.shape(), analytic.shape());
+  for (std::int64_t i = 0; i < theta.numel(); ++i) {
+    const float saved = theta[i];
+    theta[i] = saved + eps;
+    const double lp = loss_of();
+    theta[i] = saved - eps;
+    const double lm = loss_of();
+    theta[i] = saved;
+    const double fd = (lp - lm) / (2.0 * eps);
+    const double scale = std::max({1.0, std::fabs(fd),
+                                   std::fabs(double(analytic[i]))});
+    EXPECT_NEAR(analytic[i], fd, tol * scale) << "component " << i;
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hw/accelerator.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+LstmLayerWeights make_weights(std::int64_t hidden, std::int64_t input,
+                              Pcg32& rng) {
+  LstmLayerWeights w;
+  w.wx = Tensor::randn({4 * hidden, input}, rng, 0.08f);
+  w.wh = Tensor::randn({4 * hidden, hidden}, rng, 0.08f);
+  w.bias = Tensor::randn({4 * hidden}, rng, 0.1f);
+  return w;
+}
+
+std::vector<Tensor> make_inputs(std::int64_t steps, std::int64_t input,
+                                Pcg32& rng) {
+  std::vector<Tensor> xs;
+  for (std::int64_t t = 0; t < steps; ++t) {
+    xs.push_back(Tensor::rand_uniform({input}, rng, -1.0f, 1.0f));
+  }
+  return xs;
+}
+
+AcceleratorConfig small_cfg(PeKind kind) {
+  AcceleratorConfig cfg;
+  cfg.kind = kind;
+  cfg.hidden = 32;
+  cfg.input = 32;
+  cfg.vector_size = 8;
+  return cfg;
+}
+
+TEST(ActivationUnitLut, MatchesReferenceWithinStep) {
+  const ActivationUnit sig(ActivationUnit::Kind::kSigmoid, 8, -4, -6);
+  const ActivationUnit tnh(ActivationUnit::Kind::kTanh, 8, -4, -6);
+  for (int v = -128; v < 128; ++v) {
+    const double x = std::ldexp(static_cast<double>(v), -4);
+    EXPECT_NEAR(std::ldexp(static_cast<double>(sig.apply(v)), -6),
+                1.0 / (1.0 + std::exp(-x)), std::ldexp(1.0, -6) * 0.51)
+        << v;
+    EXPECT_NEAR(std::ldexp(static_cast<double>(tnh.apply(v)), -6),
+                std::tanh(x), std::ldexp(1.0, -6) * 0.51 + 1.0 / 64.0)
+        << v;
+  }
+}
+
+TEST(ActivationUnitLut, MonotoneNondecreasing) {
+  const ActivationUnit sig(ActivationUnit::Kind::kSigmoid, 8, -4, -6);
+  for (int v = -127; v < 128; ++v) {
+    EXPECT_GE(sig.apply(v), sig.apply(v - 1));
+  }
+}
+
+TEST(ActivationUnitLut, OutOfRangeInputThrows) {
+  const ActivationUnit sig(ActivationUnit::Kind::kSigmoid, 8, -4, -6);
+  EXPECT_THROW(sig.apply(128), Error);
+  EXPECT_THROW(sig.apply(-129), Error);
+}
+
+TEST(Accelerator, HfintLstmTracksFloatReference) {
+  Pcg32 rng(3);
+  auto w = make_weights(32, 32, rng);
+  auto xs = make_inputs(8, 32, rng);
+  Accelerator acc(small_cfg(PeKind::kHfint));
+  auto run = acc.run(w, xs);
+  auto ref = lstm_reference(w, xs);
+  double err = 0.0, mag = 0.0;
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    err += std::fabs(run.final_h[j] - ref[j]);
+    mag += std::fabs(ref[j]);
+  }
+  // 8-bit datapath: a few percent relative error after 8 recurrent steps.
+  EXPECT_LT(err / ref.size(), 0.05) << "mean |h| = " << mag / ref.size();
+}
+
+TEST(Accelerator, IntLstmTracksFloatReference) {
+  Pcg32 rng(4);
+  auto w = make_weights(32, 32, rng);
+  auto xs = make_inputs(8, 32, rng);
+  Accelerator acc(small_cfg(PeKind::kInt));
+  auto run = acc.run(w, xs);
+  auto ref = lstm_reference(w, xs);
+  double err = 0.0;
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    err += std::fabs(run.final_h[j] - ref[j]);
+  }
+  EXPECT_LT(err / ref.size(), 0.05);
+}
+
+TEST(Accelerator, BothKindsShareTheCycleModel) {
+  // Paper Table 4: identical compute time for INT and HFINT systems.
+  Accelerator a(small_cfg(PeKind::kInt));
+  Accelerator b(small_cfg(PeKind::kHfint));
+  EXPECT_EQ(a.cycles_per_timestep(), b.cycles_per_timestep());
+}
+
+TEST(Accelerator, CycleCountScalesWithWork) {
+  AcceleratorConfig big = small_cfg(PeKind::kInt);
+  big.hidden = 64;
+  big.input = 64;
+  Accelerator small(small_cfg(PeKind::kInt));
+  Accelerator large(big);
+  EXPECT_GT(large.cycles_per_timestep(), 2 * small.cycles_per_timestep());
+}
+
+TEST(Accelerator, Table4PpaRelations) {
+  // 8-bit, K=16, 4 PEs, 256 hidden — the Table 4 design point, at reduced
+  // timestep count for test speed.
+  AcceleratorConfig ic;
+  ic.kind = PeKind::kInt;
+  AcceleratorConfig hc;
+  hc.kind = PeKind::kHfint;
+  Accelerator ia(ic), ha(hc);
+  Pcg32 rng(5);
+  auto w = make_weights(256, 256, rng);
+  auto xs = make_inputs(4, 256, rng);
+  auto ir = ia.run(w, xs);
+  auto hr = ha.run(w, xs);
+  auto ip = ia.report(ir);
+  auto hp = ha.report(hr);
+  // Same compute time; HFINT lower power; HFINT more area.
+  EXPECT_EQ(ir.cycles, hr.cycles);
+  EXPECT_DOUBLE_EQ(ip.time_us, hp.time_us);
+  EXPECT_LT(hp.power_mw, ip.power_mw);
+  EXPECT_GT(hp.power_mw, 0.75 * ip.power_mw);
+  EXPECT_GT(hp.area_mm2, ip.area_mm2);
+  // Sanity magnitudes: tens of mW, a few mm^2, sub-ms.
+  EXPECT_GT(ip.power_mw, 5.0);
+  EXPECT_LT(ip.power_mw, 500.0);
+  EXPECT_GT(ip.area_mm2, 1.0);
+  EXPECT_LT(ip.area_mm2, 20.0);
+}
+
+TEST(Accelerator, RunValidatesShapes) {
+  Accelerator acc(small_cfg(PeKind::kInt));
+  Pcg32 rng(6);
+  auto w = make_weights(16, 32, rng);  // wrong hidden size
+  auto xs = make_inputs(2, 32, rng);
+  EXPECT_THROW(acc.run(w, xs), Error);
+}
+
+TEST(Accelerator, HiddenMustSplitAcrossPes) {
+  AcceleratorConfig cfg = small_cfg(PeKind::kInt);
+  cfg.hidden = 30;  // not divisible by 4 PEs
+  EXPECT_THROW(Accelerator a(cfg), Error);
+}
+
+}  // namespace
+}  // namespace af

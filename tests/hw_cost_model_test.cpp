@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/cost_model.hpp"
+
+namespace af {
+namespace {
+
+TEST(CostModel, MultiplierScalesWithBothOperands) {
+  const auto& c = default_cost_constants();
+  EXPECT_GT(mult_energy_fj(c, 8, 8), mult_energy_fj(c, 4, 8));
+  EXPECT_GT(mult_energy_fj(c, 8, 8), mult_energy_fj(c, 8, 4));
+  EXPECT_DOUBLE_EQ(mult_energy_fj(c, 8, 8), 4.0 * mult_energy_fj(c, 4, 4));
+  EXPECT_DOUBLE_EQ(mult_area_um2(c, 8, 8), 4.0 * mult_area_um2(c, 4, 4));
+}
+
+TEST(CostModel, AdderAndRegisterLinearInWidth) {
+  const auto& c = default_cost_constants();
+  EXPECT_DOUBLE_EQ(add_energy_fj(c, 32), 2.0 * add_energy_fj(c, 16));
+  EXPECT_DOUBLE_EQ(reg_energy_fj(c, 32), 2.0 * reg_energy_fj(c, 16));
+  EXPECT_DOUBLE_EQ(add_area_um2(c, 32), 2.0 * add_area_um2(c, 16));
+  EXPECT_DOUBLE_EQ(reg_area_um2(c, 32), 2.0 * reg_area_um2(c, 16));
+}
+
+TEST(CostModel, ShifterScalesWithStages) {
+  const auto& c = default_cost_constants();
+  // Doubling the positions adds one mux stage (log2 growth), not double.
+  const double s16 = shift_energy_fj(c, 32, 16);
+  const double s32 = shift_energy_fj(c, 32, 32);
+  EXPECT_GT(s32, s16);
+  EXPECT_LT(s32, 1.5 * s16);
+  // Degenerate single-position shifter still costs one stage.
+  EXPECT_GT(shift_energy_fj(c, 8, 1), 0.0);
+  EXPECT_GT(shift_area_um2(c, 8, 1), 0.0);
+}
+
+TEST(CostModel, RelativeComponentCostsAreSane) {
+  // SRAM access dominates a register read; a register read dominates an
+  // adder bit — the orderings every architecture paper relies on.
+  const auto& c = default_cost_constants();
+  EXPECT_GT(c.sram_fj_per_bit, c.reg_fj_per_bit);
+  EXPECT_GT(c.gb_fj_per_bit, c.sram_fj_per_bit);
+  EXPECT_GT(c.reg_fj_per_bit, c.add_fj_per_bit);
+  // An 8x8 multiply costs more than an 8-bit add.
+  EXPECT_GT(mult_energy_fj(c, 8, 8), add_energy_fj(c, 8));
+}
+
+TEST(CostModel, DefaultsAreSingleton) {
+  EXPECT_EQ(&default_cost_constants(), &default_cost_constants());
+}
+
+}  // namespace
+}  // namespace af

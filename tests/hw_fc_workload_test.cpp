@@ -1,0 +1,120 @@
+// The accelerator's FC workload (the second network class the paper's
+// system targets): functional correctness of multi-layer fully-connected
+// inference through both PE datapaths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hw/accelerator.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+std::vector<FcLayer> make_mlp(Pcg32& rng) {
+  std::vector<FcLayer> layers;
+  const std::int64_t dims[] = {32, 48, 48, 16};
+  for (int l = 0; l < 3; ++l) {
+    FcLayer layer;
+    layer.weight = Tensor::randn({dims[l + 1], dims[l]}, rng, 0.12f);
+    layer.bias = Tensor::randn({dims[l + 1]}, rng, 0.05f);
+    layer.relu = (l != 2);  // linear head
+    layers.push_back(std::move(layer));
+  }
+  return layers;
+}
+
+AcceleratorConfig fc_cfg(PeKind kind, int bits = 8) {
+  AcceleratorConfig cfg;
+  cfg.kind = kind;
+  cfg.op_bits = bits;
+  cfg.scale_bits = bits <= 4 ? 8 : 16;
+  cfg.hidden = 32;
+  cfg.input = 32;
+  cfg.vector_size = 8;
+  return cfg;
+}
+
+TEST(FcWorkload, HfintTracksReference) {
+  Pcg32 rng(1);
+  auto layers = make_mlp(rng);
+  Tensor x = Tensor::rand_uniform({32}, rng, -1.0f, 1.0f);
+  Accelerator acc(fc_cfg(PeKind::kHfint));
+  auto run = acc.run_fc(layers, x);
+  auto ref = fc_reference(layers, x);
+  ASSERT_EQ(run.final_h.size(), ref.size());
+  double err = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    err += std::fabs(run.final_h[i] - ref[i]);
+  }
+  EXPECT_LT(err / ref.size(), 0.06);
+}
+
+TEST(FcWorkload, IntTracksReference) {
+  Pcg32 rng(2);
+  auto layers = make_mlp(rng);
+  Tensor x = Tensor::rand_uniform({32}, rng, -1.0f, 1.0f);
+  Accelerator acc(fc_cfg(PeKind::kInt));
+  auto run = acc.run_fc(layers, x);
+  auto ref = fc_reference(layers, x);
+  double err = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    err += std::fabs(run.final_h[i] - ref[i]);
+  }
+  EXPECT_LT(err / ref.size(), 0.06);
+}
+
+TEST(FcWorkload, ReluClampsAtZeroThroughTheDatapath) {
+  // A layer with large negative bias: ReLU output must be exactly zero.
+  FcLayer layer;
+  layer.weight = Tensor::full({4, 4}, 0.01f);
+  layer.bias = Tensor::full({4}, -1.5f);
+  layer.relu = true;
+  Tensor x = Tensor::full({4}, 0.5f);
+  for (PeKind kind : {PeKind::kInt, PeKind::kHfint}) {
+    AcceleratorConfig cfg = fc_cfg(kind);
+    cfg.hidden = 4;
+    cfg.input = 4;
+    Accelerator acc(cfg);
+    auto run = acc.run_fc({layer}, x);
+    for (float v : run.final_h) EXPECT_EQ(v, 0.0f) << (int)kind;
+  }
+}
+
+TEST(FcWorkload, CyclesScaleWithLayerArea) {
+  Accelerator acc(fc_cfg(PeKind::kInt));
+  Pcg32 rng(3);
+  FcLayer small{Tensor::randn({16, 16}, rng, 0.1f), Tensor({16}), true};
+  FcLayer big{Tensor::randn({64, 64}, rng, 0.1f), Tensor({64}), true};
+  const auto c_small = acc.cycles_per_fc_pass({small});
+  const auto c_big = acc.cycles_per_fc_pass({big});
+  EXPECT_GT(c_big, 2 * c_small);
+  // Two layers cost more than one.
+  EXPECT_GT(acc.cycles_per_fc_pass({small, small}), c_small);
+}
+
+TEST(FcWorkload, ValidatesShapes) {
+  Accelerator acc(fc_cfg(PeKind::kInt));
+  Pcg32 rng(4);
+  FcLayer layer{Tensor::randn({8, 16}, rng, 0.1f), Tensor({8}), true};
+  EXPECT_THROW(acc.run_fc({layer}, Tensor({12})), Error);    // bad input
+  FcLayer mismatched{Tensor::randn({8, 9}, rng, 0.1f), Tensor({8}), true};
+  EXPECT_THROW(acc.run_fc({layer, mismatched}, Tensor({16})), Error);
+  EXPECT_THROW(acc.run_fc({}, Tensor({16})), Error);
+}
+
+TEST(FcWorkload, EnergyHigherForIntAtSameWork) {
+  Pcg32 rng(5);
+  auto layers = make_mlp(rng);
+  Tensor x = Tensor::rand_uniform({32}, rng, -1.0f, 1.0f);
+  Accelerator ia(fc_cfg(PeKind::kInt));
+  Accelerator ha(fc_cfg(PeKind::kHfint));
+  auto ir = ia.run_fc(layers, x);
+  auto hr = ha.run_fc(layers, x);
+  EXPECT_EQ(ir.cycles, hr.cycles);
+  EXPECT_LT(hr.energy_fj, ir.energy_fj);
+}
+
+}  // namespace
+}  // namespace af

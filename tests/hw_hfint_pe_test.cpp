@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/algorithm1.hpp"
+#include "src/hw/hfint_pe.hpp"
+#include "src/hw/int_pe.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+TEST(HfintPeConfig, PaperDesignations) {
+  // HFINT8/30 and HFINT4/22 of Figure 7 (e = 3 throughout).
+  HfintPeConfig h8{8, 3, 16, 256};
+  EXPECT_EQ(h8.mant_bits(), 4);
+  EXPECT_EQ(h8.acc_bits(), 30);
+  EXPECT_EQ(h8.name(), "HFINT8/30");
+  HfintPeConfig h4{4, 3, 16, 256};
+  EXPECT_EQ(h4.mant_bits(), 0);
+  EXPECT_EQ(h4.acc_bits(), 22);
+  EXPECT_EQ(h4.name(), "HFINT4/22");
+}
+
+TEST(HfintPe, AccumulationIsExact) {
+  // The defining property of the fixed-point accumulator: every product of
+  // two AdaptivFloat values is represented exactly, so the accumulated
+  // value equals the infinitely-precise sum of the quantized products.
+  HfintPe pe({8, 3, 16, 256});
+  const AdaptivFloatFormat wf(8, 3, -6);
+  const AdaptivFloatFormat af(8, 3, -7);
+  Pcg32 rng(1);
+  std::vector<std::uint16_t> wc(200), ac(200);
+  double exact = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const float w = rng.normal(0.0f, 0.5f);
+    const float a = rng.normal(0.0f, 0.3f);
+    wc[i] = wf.encode(w);
+    ac[i] = af.encode(a);
+    exact += double(wf.decode(wc[i])) * double(af.decode(ac[i]));
+  }
+  const std::int64_t acc = pe.accumulate(0, wc, ac);
+  EXPECT_DOUBLE_EQ(pe.acc_to_value(acc, wf, af), exact);
+}
+
+TEST(HfintPe, ZeroCodesContributeNothing) {
+  HfintPe pe({8, 3, 4, 256});
+  const AdaptivFloatFormat f(8, 3, -6);
+  const std::uint16_t zero = f.encode(0.0f);
+  const std::uint16_t one = f.encode(1.0f);
+  EXPECT_EQ(pe.accumulate(0, {zero, one}, {one, zero}), 0);
+}
+
+TEST(HfintPe, MantissaOnlyFormatsWork) {
+  // 4-bit operands with e=3 leave zero mantissa bits; products are pure
+  // powers of two.
+  HfintPe pe({4, 3, 4, 256});
+  const AdaptivFloatFormat f(4, 3, -4);
+  const std::uint16_t w = f.encode(0.25f);
+  const std::uint16_t a = f.encode(0.5f);
+  const std::int64_t acc = pe.accumulate(0, {w}, {a});
+  EXPECT_DOUBLE_EQ(pe.acc_to_value(acc, f, f), 0.125);
+}
+
+TEST(HfintPe, PostprocessShiftsByExpBias) {
+  HfintPe pe({8, 3, 4, 256});
+  const AdaptivFloatFormat wf(8, 3, -6);
+  const AdaptivFloatFormat af(8, 3, -7);
+  // Accumulate 1.0 * 1.0 = 1.0 exactly.
+  const std::int64_t acc =
+      pe.accumulate(0, {wf.encode(1.0f)}, {af.encode(1.0f)});
+  // Read out in units of 2^-4: expect 16.
+  EXPECT_EQ(pe.postprocess_to_int(acc, wf, af, -4, false), 16);
+  // ReLU on a negative sum.
+  const std::int64_t nacc =
+      pe.accumulate(0, {wf.encode(-1.0f)}, {af.encode(1.0f)});
+  EXPECT_EQ(pe.postprocess_to_int(nacc, wf, af, -4, true), 0);
+  EXPECT_EQ(pe.postprocess_to_int(nacc, wf, af, -4, false), -16);
+}
+
+TEST(HfintPe, PostprocessClipsToOperandWidth) {
+  HfintPe pe({8, 3, 4, 256});
+  const AdaptivFloatFormat wf(8, 3, 0);
+  const AdaptivFloatFormat af(8, 3, 0);
+  std::int64_t acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    acc = pe.accumulate(acc, {wf.encode(100.0f)}, {af.encode(100.0f)});
+  }
+  EXPECT_EQ(pe.postprocess_to_int(acc, wf, af, 0, false), 127);
+}
+
+TEST(HfintPe, IntToAdaptivFloatRoundTrip) {
+  HfintPe pe({8, 3, 4, 256});
+  const AdaptivFloatFormat out(8, 3, -7);
+  // Every exactly-representable integer value must encode losslessly.
+  for (int v : {0, 1, 5, 16, -16, 100, -100, 127, -127}) {
+    const std::uint16_t code = pe.int_to_adaptivfloat(v, -6, out);
+    EXPECT_NEAR(out.decode(code), std::ldexp(static_cast<float>(v), -6),
+                std::ldexp(1.0f, -6) * (1.0f + std::fabs(v) / 32.0f))
+        << v;
+  }
+  EXPECT_EQ(pe.int_to_adaptivfloat(0, -6, out), 0);
+}
+
+TEST(HfintPe, GemvMatchesQuantizedReference) {
+  // Full path: Algorithm-1 weights, activation codes, accumulate,
+  // postprocess — against a double-precision dot of the decoded values.
+  HfintPe pe({8, 3, 16, 256});
+  Pcg32 rng(2);
+  Tensor w = Tensor::randn({128}, rng, 0.3f);
+  const AdaptivFloatFormat wf = format_for_tensor(w, 8, 3);
+  const AdaptivFloatFormat af = format_for_max_abs(1.5f, 8, 3);
+  std::vector<std::uint16_t> wc(128), ac(128);
+  double ref = 0.0;
+  for (int i = 0; i < 128; ++i) {
+    wc[i] = wf.encode(w[i]);
+    const float a = rng.normal(0.0f, 0.4f);
+    ac[i] = af.encode(a);
+    ref += double(wf.decode(wc[i])) * double(af.decode(ac[i]));
+  }
+  const std::int64_t acc = pe.accumulate(0, wc, ac);
+  const std::int32_t out = pe.postprocess_to_int(acc, wf, af, -4, false);
+  // Truncation error is below one output lsb.
+  EXPECT_NEAR(std::ldexp(static_cast<double>(out), -4), ref,
+              std::ldexp(1.0, -4));
+}
+
+TEST(HfintPe, PerOpEnergyDecreasesWithVectorSize) {
+  double prev = 1e18;
+  for (int k : {2, 4, 8, 16, 32}) {
+    HfintPe pe({8, 3, k, 256});
+    EXPECT_LT(pe.energy_per_op_fj(), prev);
+    prev = pe.energy_per_op_fj();
+  }
+}
+
+TEST(HfintPe, Figure7EnergyAdvantageOverInt) {
+  // The headline hardware claim: per-op energy of the HFINT PE is 0.9x-1.0x
+  // that of the equivalent INT PE, and the gap widens with operand width
+  // and vector size.
+  auto ratio = [](int n, int k) {
+    IntPe ip({n, n == 4 ? 8 : 16, k, 256});
+    HfintPe hp({n, 3, k, 256});
+    return hp.energy_per_op_fj() / ip.energy_per_op_fj();
+  };
+  for (int n : {4, 8}) {
+    for (int k : {4, 8, 16}) {
+      const double r = ratio(n, k);
+      EXPECT_LT(r, 1.0) << n << "/" << k;
+      EXPECT_GT(r, 0.80) << n << "/" << k;
+    }
+  }
+  EXPECT_LT(ratio(8, 16), ratio(4, 4));  // gap widens
+}
+
+TEST(HfintPe, Figure7AreaDisadvantageAtLargeVectors) {
+  // INT PEs pack more throughput per area at the Table-4 design point.
+  IntPe ip({8, 16, 16, 256});
+  HfintPe hp({8, 3, 16, 256});
+  EXPECT_GT(ip.tops_per_mm2(), hp.tops_per_mm2());
+  EXPECT_GT(hp.area_mm2() / ip.area_mm2(), 1.05);
+  EXPECT_LT(hp.area_mm2() / ip.area_mm2(), 1.35);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/hw/int_pe.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+TEST(IntPeConfig, PaperDesignations) {
+  // The two integer configurations of Figure 7.
+  IntPeConfig i8{8, 16, 16, 256};
+  EXPECT_EQ(i8.acc_bits(), 24);
+  EXPECT_EQ(i8.scaled_bits(), 40);
+  EXPECT_EQ(i8.name(), "INT8/24/40");
+  IntPeConfig i4{4, 8, 16, 256};
+  EXPECT_EQ(i4.acc_bits(), 16);
+  EXPECT_EQ(i4.name(), "INT4/16/24");
+}
+
+TEST(IntPe, AccumulateMatchesReference) {
+  IntPe pe({8, 16, 16, 256});
+  Pcg32 rng(1);
+  std::vector<std::int32_t> w(64), a(64);
+  std::int64_t expect = 0;
+  for (int i = 0; i < 64; ++i) {
+    w[i] = static_cast<std::int32_t>(rng.next_below(255)) - 127;
+    a[i] = static_cast<std::int32_t>(rng.next_below(255)) - 127;
+    expect += static_cast<std::int64_t>(w[i]) * a[i];
+  }
+  EXPECT_EQ(pe.accumulate(0, w, a), expect);
+}
+
+TEST(IntPe, AccumulateRejectsWideOperands) {
+  IntPe pe({8, 16, 4, 256});
+  EXPECT_THROW(pe.accumulate(0, {128}, {1}), Error);
+  EXPECT_THROW(pe.accumulate(0, {1}, {-129}), Error);
+}
+
+TEST(IntPe, AccumulatorOverflowDetected) {
+  IntPe pe({8, 16, 4, 256});
+  // 24-bit accumulator: limit 2^23 - 1 = 8388607. 127 * 127 * k exceeds it
+  // only after far more than H=256 accumulations; force it directly.
+  std::int64_t acc = (std::int64_t{1} << 23) - 10;
+  EXPECT_THROW(pe.accumulate(acc, {127}, {127}), Error);
+}
+
+TEST(IntPe, PostprocessScaleShiftClip) {
+  IntPe pe({8, 16, 4, 256});
+  // acc=400, scale=2^14 (i.e. x0.25 after >>16): 100.
+  EXPECT_EQ(pe.postprocess(400, 1 << 14, 16, false), 100);
+  // Clips at +/-127 / -128.
+  EXPECT_EQ(pe.postprocess(1 << 20, 1 << 14, 16, false), 127);
+  EXPECT_EQ(pe.postprocess(-(1 << 20), 1 << 14, 16, false), -128);
+  // ReLU zeroes negatives.
+  EXPECT_EQ(pe.postprocess(-1000, 1 << 14, 16, true), 0);
+}
+
+TEST(IntPe, PostprocessTruncatesTowardNegInfinity) {
+  IntPe pe({8, 16, 4, 256});
+  // 7 * 1 >> 2 = 1 (floor), -7 * 1 >> 2 = -2 (floor).
+  EXPECT_EQ(pe.postprocess(7, 1, 2, false), 1);
+  EXPECT_EQ(pe.postprocess(-7, 1, 2, false), -2);
+}
+
+TEST(IntPe, PostprocessRejectsOversizedScale) {
+  IntPe pe({8, 16, 4, 256});
+  EXPECT_THROW(pe.postprocess(1, 1 << 16, 0, false), Error);
+}
+
+TEST(IntPe, QuantizedGemvMatchesFloatReference) {
+  // End-to-end: quantize weights/activations, run the integer datapath,
+  // dequantize, compare against the float dot product.
+  IntPe pe({8, 16, 16, 256});
+  Pcg32 rng(2);
+  const int dim = 128;
+  std::vector<float> wf(dim), af(dim);
+  float wmax = 0;
+  for (int i = 0; i < dim; ++i) {
+    wf[i] = rng.normal(0.0f, 0.2f);
+    af[i] = rng.normal(0.0f, 0.5f);
+    wmax = std::max(wmax, std::fabs(wf[i]));
+  }
+  const float sw = wmax / 127.0f;
+  const float sa = 1.0f / 64.0f;
+  std::vector<std::int32_t> wi(dim), ai(dim);
+  double ref = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    wi[i] = static_cast<std::int32_t>(std::nearbyint(wf[i] / sw));
+    ai[i] = std::clamp(
+        static_cast<std::int32_t>(std::nearbyint(af[i] / sa)), -127, 127);
+    ref += double(wi[i]) * sw * double(ai[i]) * sa;  // quantized reference
+  }
+  const std::int64_t acc = pe.accumulate(0, wi, ai);
+  EXPECT_NEAR(static_cast<double>(acc) * sw * sa, ref, 1e-6);
+}
+
+TEST(IntPe, PerOpEnergyDecreasesWithVectorSize) {
+  double prev = 1e18;
+  for (int k : {2, 4, 8, 16, 32}) {
+    IntPe pe({8, 16, k, 256});
+    EXPECT_LT(pe.energy_per_op_fj(), prev);
+    prev = pe.energy_per_op_fj();
+  }
+}
+
+TEST(IntPe, ThroughputPerAreaIncreasesWithVectorSize) {
+  double prev = 0;
+  for (int k : {2, 4, 8, 16, 32}) {
+    IntPe pe({8, 16, k, 256});
+    EXPECT_GT(pe.tops_per_mm2(), prev);
+    prev = pe.tops_per_mm2();
+  }
+}
+
+TEST(IntPe, WiderOperandsCostMore) {
+  IntPe pe4({4, 8, 16, 256});
+  IntPe pe8({8, 16, 16, 256});
+  EXPECT_GT(pe8.energy_per_op_fj(), pe4.energy_per_op_fj());
+  EXPECT_GT(pe8.area_mm2(), pe4.area_mm2());
+  EXPECT_LT(pe8.tops_per_mm2(), pe4.tops_per_mm2());
+}
+
+}  // namespace
+}  // namespace af

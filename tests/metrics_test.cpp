@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/data/metrics.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(EditDistance, KnownCases) {
+  EXPECT_EQ(edit_distance({}, {}), 0);
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 2, 3}), 0);
+  EXPECT_EQ(edit_distance({1, 2, 3}, {}), 3);
+  EXPECT_EQ(edit_distance({}, {5}), 1);
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 3}), 1);        // deletion
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 9, 3}), 1);     // substitution
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 2, 4, 3}), 1);  // insertion
+  EXPECT_EQ(edit_distance({1, 2, 3, 4}, {4, 3, 2, 1}), 4);
+}
+
+TEST(EditDistance, Symmetry) {
+  TokenSeq a = {3, 1, 4, 1, 5};
+  TokenSeq b = {2, 7, 1, 8};
+  EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+}
+
+TEST(Wer, PerfectIsZero) {
+  EXPECT_DOUBLE_EQ(word_error_rate({{1, 2, 3}}, {{1, 2, 3}}), 0.0);
+}
+
+TEST(Wer, AllWrongIsHundred) {
+  EXPECT_DOUBLE_EQ(word_error_rate({{1, 2}}, {{3, 4}}), 100.0);
+}
+
+TEST(Wer, CanExceedHundred) {
+  // Hypothesis much longer than the reference.
+  EXPECT_GT(word_error_rate({{1}}, {{2, 3, 4, 5}}), 100.0);
+}
+
+TEST(Wer, AggregatesOverCorpus) {
+  // 1 error over 4 reference tokens = 25%.
+  EXPECT_DOUBLE_EQ(word_error_rate({{1, 2}, {3, 4}}, {{1, 2}, {3, 9}}), 25.0);
+}
+
+TEST(Wer, EmptyReferenceThrows) {
+  EXPECT_THROW(word_error_rate({{}}, {{}}), Error);
+}
+
+TEST(Bleu, PerfectMatchIsNear100) {
+  std::vector<TokenSeq> refs = {{1, 2, 3, 4, 5, 6}, {7, 8, 9, 10, 11}};
+  EXPECT_NEAR(bleu_score(refs, refs), 100.0, 1e-9);
+}
+
+TEST(Bleu, EmptyHypothesisIsZero) {
+  EXPECT_DOUBLE_EQ(bleu_score({{1, 2, 3}}, {{}}), 0.0);
+}
+
+TEST(Bleu, NoOverlapIsZero) {
+  EXPECT_DOUBLE_EQ(bleu_score({{1, 2, 3, 4}}, {{5, 6, 7, 8}}), 0.0);
+}
+
+TEST(Bleu, PartialMatchBetweenZeroAndHundred) {
+  const double b = bleu_score({{1, 2, 3, 4, 5}}, {{1, 2, 3, 9, 9}});
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 100.0);
+}
+
+TEST(Bleu, BrevityPenaltyPunishesShortOutput) {
+  // Correct prefix but half the length: brevity penalty must bite.
+  const double full = bleu_score({{1, 2, 3, 4, 5, 6, 7, 8}},
+                                 {{1, 2, 3, 4, 5, 6, 7, 8}});
+  const double brief = bleu_score({{1, 2, 3, 4, 5, 6, 7, 8}},
+                                  {{1, 2, 3, 4}});
+  EXPECT_LT(brief, full * 0.8);
+}
+
+TEST(Bleu, WordOrderMatters) {
+  const double ordered = bleu_score({{1, 2, 3, 4, 5}}, {{1, 2, 3, 4, 5}});
+  const double shuffled = bleu_score({{1, 2, 3, 4, 5}}, {{5, 3, 1, 4, 2}});
+  EXPECT_LT(shuffled, ordered * 0.5);
+}
+
+TEST(Bleu, MismatchedCorpusThrows) {
+  EXPECT_THROW(bleu_score({{1}}, {}), Error);
+}
+
+TEST(Top1, Basics) {
+  EXPECT_DOUBLE_EQ(top1_accuracy({1, 2, 3, 4}, {1, 2, 3, 4}), 100.0);
+  EXPECT_DOUBLE_EQ(top1_accuracy({1, 2, 3, 4}, {1, 2, 0, 0}), 50.0);
+  EXPECT_DOUBLE_EQ(top1_accuracy({1}, {0}), 0.0);
+  EXPECT_THROW(top1_accuracy({}, {}), Error);
+  EXPECT_THROW(top1_accuracy({1}, {1, 2}), Error);
+}
+
+}  // namespace
+}  // namespace af

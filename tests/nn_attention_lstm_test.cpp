@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/attention.hpp"
+#include "src/nn/lstm.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+#include "tests/grad_check.hpp"
+
+namespace af {
+namespace {
+
+TEST(Attention, OutputShape) {
+  Pcg32 rng(1);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor q = Tensor::randn({2, 3, 8}, rng);
+  Tensor kv = Tensor::randn({2, 5, 8}, rng);
+  Tensor y = mha.forward(q, kv, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 8}));
+  mha.backward(Tensor(y.shape()));
+}
+
+TEST(Attention, HeadsMustDivide) {
+  Pcg32 rng(2);
+  EXPECT_THROW(MultiHeadAttention(10, 3, rng), Error);
+}
+
+TEST(Attention, CausalMaskBlocksFuture) {
+  // With a causal mask, output at position 0 must not depend on inputs at
+  // later positions.
+  Pcg32 rng(3);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  Tensor y1 = mha.forward(x, x, /*causal=*/true);
+  mha.backward(Tensor(y1.shape()));
+  Tensor x2 = x;
+  for (std::int64_t j = 0; j < 8; ++j) x2.at({0, 3, j}) += 5.0f;  // poke t=3
+  Tensor y2 = mha.forward(x2, x2, true);
+  mha.backward(Tensor(y2.shape()));
+  for (std::int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(y1.at({0, 0, j}), y2.at({0, 0, j}), 1e-5f);
+    EXPECT_NEAR(y1.at({0, 2, j}), y2.at({0, 2, j}), 1e-5f);
+  }
+  // t=3 itself must change.
+  float diff = 0;
+  for (std::int64_t j = 0; j < 8; ++j) {
+    diff += std::fabs(y1.at({0, 3, j}) - y2.at({0, 3, j}));
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(Attention, CausalRequiresSquare) {
+  Pcg32 rng(4);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor q = Tensor::randn({1, 3, 8}, rng);
+  Tensor kv = Tensor::randn({1, 5, 8}, rng);
+  EXPECT_THROW(mha.forward(q, kv, true), Error);
+}
+
+TEST(Attention, KvLengthMasksPaddedKeys) {
+  Pcg32 rng(5);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor q = Tensor::randn({1, 2, 8}, rng);
+  Tensor kv = Tensor::randn({1, 4, 8}, rng);
+  std::vector<std::int64_t> len = {2};
+  Tensor y1 = mha.forward(q, kv, false, &len);
+  mha.backward(Tensor(y1.shape()));
+  // Mutating masked keys (positions 2, 3) must not change the output.
+  Tensor kv2 = kv;
+  for (std::int64_t t = 2; t < 4; ++t) {
+    for (std::int64_t j = 0; j < 8; ++j) kv2.at({0, t, j}) = 99.0f;
+  }
+  Tensor y2 = mha.forward(q, kv2, false, &len);
+  mha.backward(Tensor(y2.shape()));
+  for (std::int64_t i = 0; i < y1.numel(); ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-5f);
+  }
+}
+
+TEST(Attention, GradCheckCrossAttention) {
+  Pcg32 rng(6);
+  MultiHeadAttention mha(4, 2, rng);
+  Tensor q = Tensor::randn({2, 2, 4}, rng);
+  Tensor kv = Tensor::randn({2, 3, 4}, rng);
+  Tensor dy = Tensor::randn({2, 2, 4}, rng);
+  mha.forward(q, kv, false);
+  auto [dq, dkv] = mha.backward(dy);
+  auto loss = [&] {
+    Tensor y = mha.forward(q, kv, false);
+    double l = dot_all(y, dy);
+    mha.backward(dy);
+    return l;
+  };
+  expect_grad_matches(q, dq, loss, 1e-3f, 3e-2f);
+  expect_grad_matches(kv, dkv, loss, 1e-3f, 3e-2f);
+}
+
+TEST(Attention, GradCheckParameters) {
+  Pcg32 rng(7);
+  MultiHeadAttention mha(4, 1, rng);
+  Tensor x = Tensor::randn({1, 3, 4}, rng);
+  Tensor dy = Tensor::randn({1, 3, 4}, rng);
+  auto loss = [&] {
+    Tensor y = mha.forward(x, x, true);
+    double l = dot_all(y, dy);
+    mha.backward(dy);
+    return l;
+  };
+  for (Parameter* p : mha.parameters()) {
+    mha.zero_grad();
+    mha.forward(x, x, true);
+    mha.backward(dy);
+    expect_grad_matches(p->value, p->grad, loss, 1e-3f, 3e-2f);
+  }
+}
+
+TEST(LstmCell, ForwardGatesBehave) {
+  Pcg32 rng(8);
+  LstmCell cell(3, 4, rng);
+  auto st = cell.initial_state(2);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  auto next = cell.forward(x, st);
+  EXPECT_EQ(next.h.shape(), (Shape{2, 4}));
+  EXPECT_EQ(next.c.shape(), (Shape{2, 4}));
+  // h = o * tanh(c) implies |h| <= 1 and |h| <= |tanh(c)|.
+  for (std::int64_t i = 0; i < next.h.numel(); ++i) {
+    EXPECT_LE(std::fabs(next.h[i]), 1.0f);
+    EXPECT_LE(std::fabs(next.h[i]), std::fabs(std::tanh(next.c[i])) + 1e-6f);
+  }
+  cell.backward(Tensor({2, 4}), Tensor({2, 4}));
+}
+
+TEST(LstmCell, GradCheckAllInputs) {
+  Pcg32 rng(9);
+  LstmCell cell(3, 2, rng);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  LstmState st{Tensor::randn({2, 2}, rng), Tensor::randn({2, 2}, rng)};
+  Tensor dh = Tensor::randn({2, 2}, rng);
+  Tensor dc = Tensor::randn({2, 2}, rng);
+  auto loss = [&] {
+    auto out = cell.forward(x, st);
+    double l = dot_all(out.h, dh) + dot_all(out.c, dc);
+    cell.backward(Tensor({2, 2}), Tensor({2, 2}));
+    return l;
+  };
+  // Loss includes both outputs; feed (dh, dc) to backward for analytics.
+  cell.zero_grad();
+  cell.forward(x, st);
+  auto [dx, dprev] = cell.backward(dh, dc);
+  expect_grad_matches(x, dx, loss, 1e-3f);
+  expect_grad_matches(st.h, dprev.h, loss, 1e-3f);
+  expect_grad_matches(st.c, dprev.c, loss, 1e-3f);
+  for (Parameter* p : cell.parameters()) {
+    cell.zero_grad();
+    cell.forward(x, st);
+    cell.backward(dh, dc);
+    expect_grad_matches(p->value, p->grad, loss, 1e-3f, 3e-2f);
+  }
+}
+
+TEST(Lstm, SequenceShapesAndFinalState) {
+  Pcg32 rng(10);
+  Lstm lstm(3, 5, 2, rng);
+  Tensor x = Tensor::randn({7, 2, 3}, rng);
+  std::vector<LstmState> fin;
+  Tensor out = lstm.forward(x, &fin);
+  EXPECT_EQ(out.shape(), (Shape{7, 2, 5}));
+  ASSERT_EQ(fin.size(), 2u);
+  // Final hidden of the top layer equals the last output row.
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(fin[1].h.at({b, j}), out.at({6, b, j}));
+    }
+  }
+  lstm.backward(Tensor(out.shape()));
+}
+
+TEST(Lstm, GradCheckThroughTime) {
+  Pcg32 rng(11);
+  Lstm lstm(2, 3, 2, rng);
+  Tensor x = Tensor::randn({4, 2, 2}, rng);
+  Tensor dy = Tensor::randn({4, 2, 3}, rng);
+  auto loss = [&] {
+    Tensor y = lstm.forward(x);
+    double l = dot_all(y, dy);
+    lstm.backward(dy);
+    return l;
+  };
+  lstm.zero_grad();
+  lstm.forward(x);
+  Tensor dx = lstm.backward(dy);
+  expect_grad_matches(x, dx, loss, 1e-3f, 3e-2f);
+  // Check one parameter per layer (full sweep is covered by the cell test).
+  for (std::size_t l = 0; l < 2; ++l) {
+    Parameter* p = lstm.cell(l).parameters()[0];
+    lstm.zero_grad();
+    lstm.forward(x);
+    lstm.backward(dy);
+    expect_grad_matches(p->value, p->grad, loss, 1e-3f, 3e-2f);
+  }
+}
+
+TEST(Lstm, LongSequenceGradientsStayFinite) {
+  Pcg32 rng(12);
+  Lstm lstm(4, 8, 1, rng);
+  Tensor x = Tensor::randn({50, 1, 4}, rng);
+  Tensor y = lstm.forward(x);
+  Tensor dy = Tensor::randn(y.shape(), rng);
+  Tensor dx = lstm.backward(dy);
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(dx[i]));
+  }
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/numerics/posit.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(PositFormat, Parameters) {
+  PositFormat p(8, 1);
+  EXPECT_EQ(p.bits(), 8);
+  EXPECT_EQ(p.es(), 1);
+  EXPECT_DOUBLE_EQ(p.useed(), 4.0);
+  EXPECT_THROW(PositFormat(1, 0), Error);
+  EXPECT_THROW(PositFormat(8, 5), Error);
+}
+
+TEST(PositFormat, ZeroAndNaR) {
+  PositFormat p(8, 0);
+  EXPECT_EQ(p.decode(0x00), 0.0);
+  EXPECT_TRUE(std::isnan(p.decode(0x80)));
+}
+
+TEST(PositFormat, KnownPositiveValuesEs0) {
+  PositFormat p(8, 0);
+  EXPECT_DOUBLE_EQ(p.decode(0x40), 1.0);   // 0100 0000
+  EXPECT_DOUBLE_EQ(p.decode(0x60), 2.0);   // 0110 0000
+  EXPECT_DOUBLE_EQ(p.decode(0x50), 1.5);   // 0101 0000
+  EXPECT_DOUBLE_EQ(p.decode(0x20), 0.5);   // 0010 0000
+  EXPECT_DOUBLE_EQ(p.decode(0x48), 1.25);  // 0100 1000
+}
+
+TEST(PositFormat, NegativesAreTwosComplement) {
+  PositFormat p(8, 0);
+  EXPECT_DOUBLE_EQ(p.decode(0xC0), -1.0);
+  EXPECT_DOUBLE_EQ(p.decode(0xA0), -2.0);  // twos complement of 0x60
+  for (int c = 1; c < 128; ++c) {
+    const auto pos = static_cast<std::uint16_t>(c);
+    const auto neg = static_cast<std::uint16_t>((256 - c) & 0xFF);
+    EXPECT_DOUBLE_EQ(p.decode(neg), -p.decode(pos)) << "code " << c;
+  }
+}
+
+TEST(PositFormat, MinposMaxposMatchStandardFormulas) {
+  // minpos = useed^(2-n), maxpos = useed^(n-2).
+  for (int es : {0, 1, 2}) {
+    for (int n : {6, 8, 12}) {
+      PositFormat p(n, es);
+      const double useed = std::ldexp(1.0, 1 << es);
+      EXPECT_DOUBLE_EQ(p.maxpos(), std::pow(useed, n - 2)) << n << "," << es;
+      EXPECT_DOUBLE_EQ(p.minpos(), std::pow(useed, 2 - n)) << n << "," << es;
+    }
+  }
+}
+
+TEST(PositFormat, ValuesMonotoneInCodeOrder) {
+  // Positive posits are ordered like unsigned integers — decode must be
+  // strictly increasing on [1, 2^(n-1)-1].
+  PositFormat p(10, 1);
+  double prev = 0.0;
+  for (int c = 1; c < (1 << 9); ++c) {
+    const double v = p.decode(static_cast<std::uint16_t>(c));
+    EXPECT_GT(v, prev) << "code " << c;
+    prev = v;
+  }
+}
+
+TEST(PositFormat, TaperedPrecisionDenseNearOne) {
+  // Posit's defining property: more values per octave near 1.0 than far out.
+  PositFormat p(8, 1);
+  auto vals = p.representable_values();
+  auto count_in = [&vals](double lo, double hi) {
+    int n = 0;
+    for (float v : vals) n += (v >= lo && v < hi);
+    return n;
+  };
+  EXPECT_GT(count_in(1.0, 2.0), count_in(64.0, 128.0));
+}
+
+TEST(PositFormat, RepresentableValuesCount) {
+  PositFormat p(8, 1);
+  EXPECT_EQ(p.representable_values().size(), 255u);  // 2^8 - NaR
+}
+
+TEST(PositQuantizer, NonzeroNeverRoundsToZero) {
+  PositQuantizer q(8, 1);
+  EXPECT_GT(q.quantize_value(1e-20f), 0.0f);
+  EXPECT_LT(q.quantize_value(-1e-20f), 0.0f);
+  EXPECT_EQ(q.quantize_value(0.0f), 0.0f);
+}
+
+TEST(PositQuantizer, SaturatesAtMaxpos) {
+  PositQuantizer q(8, 1);
+  const float maxpos = static_cast<float>(q.format().maxpos());
+  EXPECT_FLOAT_EQ(q.quantize_value(1e30f), maxpos);
+  EXPECT_FLOAT_EQ(q.quantize_value(-1e30f), -maxpos);
+}
+
+TEST(PositQuantizer, ExactValuesFixed) {
+  PositQuantizer q(8, 0);
+  for (float v : {1.0f, -1.5f, 2.0f, 0.5f}) {
+    EXPECT_FLOAT_EQ(q.quantize_value(v), v);
+  }
+}
+
+TEST(PositQuantizer, Idempotent) {
+  PositQuantizer q(8, 1);
+  Pcg32 rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.normal(0.0f, 10.0f);
+    const float once = q.quantize_value(x);
+    EXPECT_EQ(q.quantize_value(once), once);
+  }
+}
+
+TEST(PositQuantizer, InterfaceBasics) {
+  PositQuantizer q(8, 1);
+  EXPECT_EQ(q.name(), "Posit");
+  EXPECT_EQ(q.bits(), 8);
+  EXPECT_FALSE(q.self_adaptive());
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,188 @@
+// Property-based tests applied uniformly to all five number formats of the
+// paper's evaluation, across bit widths: the invariants every sane
+// fake-quantizer must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/numerics/registry.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+struct Case {
+  FormatKind kind;
+  int bits;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  return format_kind_name(info.param.kind) + "_" +
+         std::to_string(info.param.bits) + "bit";
+}
+
+class QuantizerProperty : public testing::TestWithParam<Case> {
+ protected:
+  std::unique_ptr<Quantizer> make_calibrated(float spread) {
+    auto q = make_quantizer(GetParam().kind, GetParam().bits);
+    Pcg32 rng(77);
+    Tensor t = Tensor::randn({64, 64}, rng, spread);
+    q->calibrate(t);
+    calib_max_ = t.max_abs();
+    return q;
+  }
+  float calib_max_ = 0.0f;
+};
+
+TEST_P(QuantizerProperty, ReportsRequestedBitWidth) {
+  auto q = make_quantizer(GetParam().kind, GetParam().bits);
+  EXPECT_EQ(q->bits(), GetParam().bits);
+}
+
+TEST_P(QuantizerProperty, Idempotent) {
+  auto q = make_calibrated(2.0f);
+  Pcg32 rng(78);
+  for (int i = 0; i < 300; ++i) {
+    const float x = rng.normal(0.0f, 3.0f);
+    const float once = q->quantize_value(x);
+    EXPECT_EQ(q->quantize_value(once), once) << "x=" << x;
+  }
+}
+
+TEST_P(QuantizerProperty, OddSymmetry) {
+  auto q = make_calibrated(2.0f);
+  Pcg32 rng(79);
+  for (int i = 0; i < 300; ++i) {
+    const float x = rng.normal(0.0f, 3.0f);
+    EXPECT_EQ(q->quantize_value(-x), -q->quantize_value(x)) << "x=" << x;
+  }
+}
+
+TEST_P(QuantizerProperty, MonotoneNondecreasing) {
+  auto q = make_calibrated(1.0f);
+  float prev = q->quantize_value(-8.0f);
+  for (float x = -8.0f; x <= 8.0f; x += 0.003f) {
+    const float cur = q->quantize_value(x);
+    EXPECT_GE(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+TEST_P(QuantizerProperty, ZeroMapsToZero) {
+  auto q = make_calibrated(1.0f);
+  EXPECT_EQ(q->quantize_value(0.0f), 0.0f);
+}
+
+TEST_P(QuantizerProperty, InCalibratedRangeErrorIsBounded) {
+  // Within the calibrated range the error of an n-bit format is bounded by
+  // the coarsest plausible step. Self-adaptive formats concentrate their
+  // levels on the calibrated range (n-3 effective bits is generous); the
+  // non-adaptive ones spend range on values far outside it (n-5 is
+  // generous there).
+  auto q = make_calibrated(1.0f);
+  const int eff_bits = q->self_adaptive() ? GetParam().bits - 3
+                                          : GetParam().bits - 5;
+  const float bound = calib_max_ / std::ldexp(1.0f, eff_bits);
+  Pcg32 rng(80);
+  int violations = 0;
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.uniform(-calib_max_, calib_max_);
+    if (std::fabs(q->quantize_value(x) - x) > bound) ++violations;
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_P(QuantizerProperty, TensorQuantizeMatchesScalar) {
+  auto q = make_calibrated(1.5f);
+  Pcg32 rng(81);
+  Tensor t = Tensor::randn({7, 9}, rng, 1.5f);
+  Tensor out = q->quantize(t);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(out[i], q->quantize_value(t[i]));
+  }
+}
+
+TEST_P(QuantizerProperty, CalibrateAndQuantizeCoversMax) {
+  // After per-tensor calibration the tensor's own max element must survive
+  // quantization to within 7% at >= 6 bits. At 4 bits the mantissa-less
+  // formats (AdaptivFloat<4,3> keeps only powers of two) can clamp the max
+  // by up to one octave — allow 50% there.
+  auto q = make_quantizer(GetParam().kind, GetParam().bits);
+  Pcg32 rng(82);
+  Tensor t = Tensor::randn({32, 32}, rng, 2.0f);
+  Tensor out = q->calibrate_and_quantize(t);
+  const float tol = GetParam().bits <= 4 ? 0.5f : 0.07f;
+  EXPECT_NEAR(out.max_abs(), t.max_abs(), tol * t.max_abs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatsAndWidths, QuantizerProperty,
+    testing::Values(Case{FormatKind::kFloat, 4}, Case{FormatKind::kFloat, 6},
+                    Case{FormatKind::kFloat, 8}, Case{FormatKind::kFloat, 16},
+                    Case{FormatKind::kBlockFloat, 4},
+                    Case{FormatKind::kBlockFloat, 6},
+                    Case{FormatKind::kBlockFloat, 8},
+                    Case{FormatKind::kBlockFloat, 16},
+                    Case{FormatKind::kUniform, 4},
+                    Case{FormatKind::kUniform, 6},
+                    Case{FormatKind::kUniform, 8},
+                    Case{FormatKind::kUniform, 16},
+                    Case{FormatKind::kPosit, 4}, Case{FormatKind::kPosit, 6},
+                    Case{FormatKind::kPosit, 8}, Case{FormatKind::kPosit, 16},
+                    Case{FormatKind::kAdaptivFloat, 4},
+                    Case{FormatKind::kAdaptivFloat, 6},
+                    Case{FormatKind::kAdaptivFloat, 8},
+                    Case{FormatKind::kAdaptivFloat, 16}),
+    case_name);
+
+TEST(Registry, NamesInTableOrder) {
+  const auto& kinds = all_format_kinds();
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(format_kind_name(kinds[0]), "Float");
+  EXPECT_EQ(format_kind_name(kinds[1]), "BFP");
+  EXPECT_EQ(format_kind_name(kinds[2]), "Uniform");
+  EXPECT_EQ(format_kind_name(kinds[3]), "Posit");
+  EXPECT_EQ(format_kind_name(kinds[4]), "AdaptivFloat");
+}
+
+TEST(Registry, PaperExponentDefaults) {
+  // Section 4: 3 exponent bits for AdaptivFloat; 4 for float (3 at 4-bit);
+  // es=1 for posit (es=0 at 4-bit).
+  auto af8 = make_quantizer(FormatKind::kAdaptivFloat, 8);
+  EXPECT_EQ(static_cast<AdaptivFloatQuantizer*>(af8.get())->exp_bits(), 3);
+  auto af4 = make_quantizer(FormatKind::kAdaptivFloat, 4);
+  EXPECT_EQ(static_cast<AdaptivFloatQuantizer*>(af4.get())->exp_bits(), 3);
+
+  auto fl8 = make_quantizer(FormatKind::kFloat, 8);
+  // Float<8,4>: value_max = 480.
+  EXPECT_FLOAT_EQ(fl8->quantize_value(1e9f), 480.0f);
+}
+
+TEST(Registry, AdaptivFloatRecalibratesPerTensor) {
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 8);
+  Tensor narrow({2}, {0.01f, -0.02f});
+  Tensor wide({2}, {10.0f, -20.0f});
+  q->calibrate(narrow);
+  const float qn = q->quantize_value(0.01f);
+  EXPECT_NEAR(qn, 0.01f, 0.0005f);
+  q->calibrate(wide);
+  // After recalibrating to the wide tensor, 0.01 is far below value_min.
+  EXPECT_EQ(q->quantize_value(0.01f), 0.0f);
+}
+
+TEST(Registry, NonAdaptiveIgnoreCalibration) {
+  auto q = make_quantizer(FormatKind::kPosit, 8);
+  const float before = q->quantize_value(1.7f);
+  Tensor wide({2}, {1000.0f, -2000.0f});
+  q->calibrate(wide);
+  EXPECT_EQ(q->quantize_value(1.7f), before);
+}
+
+TEST(Registry, ExplicitExponentOverride) {
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 8, {/*exp_bits=*/2});
+  EXPECT_EQ(static_cast<AdaptivFloatQuantizer*>(q.get())->exp_bits(), 2);
+}
+
+}  // namespace
+}  // namespace af

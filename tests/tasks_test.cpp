@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/data/speech_task.hpp"
+#include "src/data/translation_task.hpp"
+#include "src/data/vision_task.hpp"
+#include "src/data/weight_ensembles.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(TranslationTask, TranslateIsReversedSubstitution) {
+  TranslationTask task(24, 5, 9, 7);
+  TokenSeq src = {3, 4, 5};
+  TokenSeq tgt = task.translate(src);
+  ASSERT_EQ(tgt.size(), 3u);
+  // Reversal: translating the reversed source gives the reversed target.
+  TokenSeq rev_src(src.rbegin(), src.rend());
+  TokenSeq tgt2 = task.translate(rev_src);
+  TokenSeq rev_tgt(tgt.rbegin(), tgt.rend());
+  EXPECT_EQ(tgt2, rev_tgt);
+}
+
+TEST(TranslationTask, SubstitutionIsBijective) {
+  TranslationTask task(24, 5, 9, 7);
+  std::set<std::int64_t> images;
+  for (std::int64_t w = 3; w < 24; ++w) {
+    TokenSeq t = task.translate({w});
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_GE(t[0], 3);
+    EXPECT_LT(t[0], 24);
+    images.insert(t[0]);
+  }
+  EXPECT_EQ(images.size(), 21u);
+}
+
+TEST(TranslationTask, SamplesRespectLengthRange) {
+  TranslationTask task(24, 5, 9, 7);
+  Pcg32 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto pair = task.sample(rng);
+    EXPECT_GE(pair.source.size(), 5u);
+    EXPECT_LE(pair.source.size(), 9u);
+    EXPECT_EQ(pair.target, task.translate(pair.source));
+  }
+}
+
+TEST(TranslationTask, BatchSharesOneLength) {
+  TranslationTask task(24, 5, 9, 7);
+  Pcg32 rng(2);
+  auto batch = task.sample_batch(16, rng);
+  ASSERT_EQ(batch.size(), 16u);
+  for (const auto& p : batch) {
+    EXPECT_EQ(p.source.size(), batch[0].source.size());
+  }
+}
+
+TEST(TranslationTask, ZipfMakesFrequenciesSkewed) {
+  TranslationTask task(24, 5, 9, 7, /*zipf_exponent=*/1.2f);
+  Pcg32 rng(3);
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    for (std::int64_t tok : task.sample(rng).source) counts[tok]++;
+  }
+  // The most frequent word should dominate the least frequent by a wide
+  // margin (Zipf), and all words should still appear eventually.
+  int mx = 0, mn = 1 << 30;
+  for (auto& [tok, c] : counts) {
+    mx = std::max(mx, c);
+    mn = std::min(mn, c);
+  }
+  EXPECT_GT(mx, 8 * std::max(mn, 1));
+}
+
+TEST(TranslationTask, DeterministicAcrossInstances) {
+  TranslationTask a(24, 5, 9, 7), b(24, 5, 9, 7);
+  EXPECT_EQ(a.translate({3, 10, 20}), b.translate({3, 10, 20}));
+  TranslationTask c(24, 5, 9, 8);
+  // Different seed, different lexicon (with overwhelming probability).
+  bool differs = false;
+  for (std::int64_t w = 3; w < 24; ++w) {
+    differs |= (a.translate({w}) != c.translate({w}));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SpeechTask, FramesHaveDeclaredShape) {
+  SpeechTask task(16, 12, 4, 8, 2, 0.1f, 5);
+  Pcg32 rng(4);
+  auto utt = task.sample(rng);
+  EXPECT_EQ(utt.frames.dim(0),
+            static_cast<std::int64_t>(utt.transcript.size()) * 2);
+  EXPECT_EQ(utt.frames.dim(1), 12);
+}
+
+TEST(SpeechTask, SignaturesAreInformative) {
+  // Two renderings of the same transcript correlate far more than
+  // renderings of different transcripts.
+  SpeechTask task(16, 12, 4, 4, 2, 0.1f, 5);
+  Pcg32 rng(5);
+  TokenSeq t1 = {3, 4, 5, 6};
+  TokenSeq t2 = {7, 8, 9, 10};
+  Tensor a = task.render(t1, rng);
+  Tensor b = task.render(t1, rng);
+  Tensor c = task.render(t2, rng);
+  auto dot = [](const Tensor& x, const Tensor& y) {
+    double acc = 0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) acc += double(x[i]) * y[i];
+    return acc;
+  };
+  EXPECT_GT(dot(a, b), 2.0 * std::fabs(dot(a, c)));
+}
+
+TEST(SpeechTask, BatchLayoutIsTimeMajor) {
+  SpeechTask task(16, 12, 4, 8, 2, 0.1f, 5);
+  Pcg32 rng(6);
+  auto batch = task.sample_batch(3, rng);
+  EXPECT_EQ(batch.frames.rank(), 3u);
+  EXPECT_EQ(batch.frames.dim(1), 3);
+  EXPECT_EQ(batch.frames.dim(2), 12);
+  EXPECT_EQ(batch.transcripts.size(), 3u);
+  EXPECT_EQ(batch.frames.dim(0),
+            static_cast<std::int64_t>(batch.transcripts[0].size()) * 2);
+}
+
+TEST(VisionTask, ImagesHaveDeclaredShape) {
+  VisionTask task(10, 3, 16, 0.2f, 5);
+  Pcg32 rng(7);
+  Tensor img = task.sample_image(4, rng);
+  EXPECT_EQ(img.shape(), (Shape{3, 16, 16}));
+  EXPECT_THROW(task.sample_image(10, rng), Error);
+}
+
+TEST(VisionTask, ClassesAreSeparable) {
+  // Nearest-prototype classification on clean-ish samples should beat
+  // chance by a huge margin — otherwise the task is unlearnable.
+  VisionTask task(10, 3, 16, 0.2f, 5);
+  Pcg32 rng(8);
+  std::vector<Tensor> protos;
+  for (int k = 0; k < 10; ++k) {
+    // Estimate the prototype as a sample mean (shift-free samples are not
+    // available through the API; averaging smooths noise but not shift, so
+    // compare via best correlation over labels instead).
+    protos.push_back(task.sample_image(k, rng));
+  }
+  int correct = 0, total = 0;
+  for (int k = 0; k < 10; ++k) {
+    for (int rep = 0; rep < 3; ++rep) {
+      Tensor x = task.sample_image(k, rng);
+      // Use max correlation to the sampled exemplars as a weak classifier.
+      double best = -1e30;
+      int arg = -1;
+      for (int j = 0; j < 10; ++j) {
+        double acc = 0;
+        for (std::int64_t i = 0; i < x.numel(); ++i) {
+          acc += double(x[i]) * protos[static_cast<std::size_t>(j)][i];
+        }
+        if (acc > best) {
+          best = acc;
+          arg = j;
+        }
+      }
+      correct += (arg == k);
+      ++total;
+    }
+  }
+  // Random shifts make exemplar matching imperfect, but it must beat the
+  // 10% chance level clearly.
+  EXPECT_GT(correct * 100 / total, 18);
+}
+
+TEST(VisionTask, BatchLabelsInRange) {
+  VisionTask task(10, 3, 16, 0.2f, 5);
+  Pcg32 rng(9);
+  auto batch = task.sample_batch(32, rng);
+  EXPECT_EQ(batch.images.shape(), (Shape{32, 3, 16, 16}));
+  for (auto l : batch.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+}
+
+TEST(WeightEnsembles, RangesMatchPaperTable1) {
+  Pcg32 rng(10);
+  auto check = [&rng](const SyntheticModelSpec& spec, float expect_max) {
+    float mx = 0.0f;
+    for (const auto& layer : spec.layers) {
+      Tensor w = sample_synthetic_layer(layer, rng);
+      mx = std::max(mx, w.max_abs());
+    }
+    EXPECT_NEAR(mx, expect_max, 0.05f * expect_max) << spec.name;
+  };
+  check(transformer_ensemble(), 20.41f);
+  check(seq2seq_ensemble(), 2.39f);
+  check(resnet_ensemble(), 1.32f);
+}
+
+TEST(WeightEnsembles, TransformerIsHeavyTailed) {
+  // max/sigma of the widest transformer layer must be large (>= 20) — the
+  // property that breaks uniform/BFP quantization in the paper.
+  Pcg32 rng(11);
+  auto spec = transformer_ensemble();
+  double best_ratio = 0.0;
+  for (const auto& layer : spec.layers) {
+    Tensor w = sample_synthetic_layer(layer, rng);
+    double sq = 0;
+    for (std::int64_t i = 0; i < w.numel(); ++i) sq += double(w[i]) * w[i];
+    const double sigma = std::sqrt(sq / static_cast<double>(w.numel()));
+    best_ratio = std::max(best_ratio, double(w.max_abs()) / sigma);
+  }
+  EXPECT_GT(best_ratio, 20.0);
+}
+
+TEST(WeightEnsembles, ResnetTailsMuchLighterThanTransformer) {
+  // Real CNN layers still have range/sigma around 10-25 (the observed max
+  // over millions of near-Gaussian draws); what distinguishes the NLP
+  // ensembles is a far heavier tail.
+  Pcg32 rng(12);
+  auto worst_ratio = [&rng](const SyntheticModelSpec& spec) {
+    double worst = 0.0;
+    for (const auto& layer : spec.layers) {
+      Tensor w = sample_synthetic_layer(layer, rng);
+      double sq = 0;
+      for (std::int64_t i = 0; i < w.numel(); ++i) sq += double(w[i]) * w[i];
+      const double sigma = std::sqrt(sq / static_cast<double>(w.numel()));
+      worst = std::max(worst, double(w.max_abs()) / sigma);
+    }
+    return worst;
+  };
+  const double tf = worst_ratio(transformer_ensemble());
+  const double rn = worst_ratio(resnet_ensemble());
+  EXPECT_GT(tf, 32.0);
+  EXPECT_LT(rn, 28.0);
+  EXPECT_GT(tf, 1.3 * rn);
+}
+
+TEST(WeightEnsembles, InvalidSpecThrows) {
+  SyntheticLayerSpec bad{"bad", {4, 4}, -1.0f, 0.0f, 1.0f, 1.0f};
+  Pcg32 rng(13);
+  EXPECT_THROW(sample_synthetic_layer(bad, rng), Error);
+}
+
+}  // namespace
+}  // namespace af

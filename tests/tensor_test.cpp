@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 1u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(Tensor, ConstructSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, AtOutOfBoundsThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, -1}), Error);
+}
+
+TEST(Tensor, AtWrongRankThrows) {
+  Tensor t({4});
+  EXPECT_THROW(t.at({0, 0}), Error);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at({2, 1}), 5.0f);
+}
+
+TEST(Tensor, ReshapeWrongCountThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[2], -1.0f);
+}
+
+TEST(Tensor, Arange) {
+  Tensor t = Tensor::arange(4);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[3], 3.0f);
+}
+
+TEST(Tensor, MaxAbs) {
+  Tensor t({4}, {1.0f, -5.0f, 3.0f, 0.0f});
+  EXPECT_EQ(t.max_abs(), 5.0f);
+}
+
+TEST(Tensor, MaxAbsEmptyIsZero) {
+  Tensor t;
+  EXPECT_EQ(t.max_abs(), 0.0f);
+}
+
+TEST(Tensor, MinMaxSumMean) {
+  Tensor t({4}, {1, -5, 3, 1});
+  EXPECT_EQ(t.min(), -5.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.sum(), 0.0f);
+  EXPECT_EQ(t.mean(), 0.0f);
+}
+
+TEST(Tensor, RandnIsDeterministic) {
+  Pcg32 a(5), b(5);
+  Tensor x = Tensor::randn({10}, a);
+  Tensor y = Tensor::randn({10}, b);
+  EXPECT_TRUE(x.equals(y));
+}
+
+TEST(Tensor, RandnStddevScales) {
+  Pcg32 rng(5);
+  Tensor x = Tensor::randn({20000}, rng, 2.0f);
+  double sq = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) sq += double(x[i]) * x[i];
+  EXPECT_NEAR(sq / x.numel(), 4.0, 0.2);
+}
+
+TEST(Tensor, RandUniformRange) {
+  Pcg32 rng(6);
+  Tensor x = Tensor::rand_uniform({1000}, rng, -2.0f, 3.0f);
+  EXPECT_GE(x.min(), -2.0f);
+  EXPECT_LT(x.max(), 3.0f);
+}
+
+TEST(Tensor, EqualsChecksShapeAndData) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {1, 2});
+  Tensor c({1, 2}, {1, 2});
+  Tensor d({2}, {1, 3});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_FALSE(a.equals(d));
+}
+
+TEST(Tensor, NegativeShapeThrows) {
+  EXPECT_THROW(Tensor({-1, 2}), Error);
+}
+
+TEST(ShapeStr, Formats) {
+  EXPECT_EQ(shape_str({2, 3, 4}), "[2, 3, 4]");
+  EXPECT_EQ(shape_str({}), "[]");
+}
+
+}  // namespace
+}  // namespace af

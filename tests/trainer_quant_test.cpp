@@ -1,0 +1,132 @@
+// End-to-end quantization protocol tests: PTQ, QAR and activation
+// quantization on the trained surrogates — the machinery behind the
+// Table 2/3 benches.
+#include <gtest/gtest.h>
+
+#include "src/models/trainer.hpp"
+#include "src/numerics/registry.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TransformerConfig small_tf() {
+  TransformerConfig cfg;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ffn = 64;
+  cfg.enc_layers = 1;
+  cfg.dec_layers = 1;
+  return cfg;
+}
+
+class QuantPipeline : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new TransformerBundle(21, small_tf());
+    train_transformer(*bundle_, 900, 16, 2e-3f, 22);
+    fp32_bleu_ = eval_transformer_bleu(*bundle_, 25);
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+
+  static TransformerBundle* bundle_;
+  static double fp32_bleu_;
+};
+
+TransformerBundle* QuantPipeline::bundle_ = nullptr;
+double QuantPipeline::fp32_bleu_ = 0.0;
+
+TEST_F(QuantPipeline, BaselineLearned) { EXPECT_GT(fp32_bleu_, 38.0); }
+
+TEST_F(QuantPipeline, PtqAt8BitIsNearLossless) {
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 8);
+  const double bleu = eval_transformer_bleu(*bundle_, 25, q.get());
+  EXPECT_GT(bleu, fp32_bleu_ - 6.0);
+}
+
+TEST_F(QuantPipeline, PtqEvalRestoresWeights) {
+  auto before = weight_stats(bundle_->model.parameters());
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 4);
+  eval_transformer_bleu(*bundle_, 10, q.get());
+  auto after = weight_stats(bundle_->model.parameters());
+  EXPECT_EQ(before.min, after.min);
+  EXPECT_EQ(before.max, after.max);
+}
+
+TEST_F(QuantPipeline, LowerPrecisionDegradesMore) {
+  auto q8 = make_quantizer(FormatKind::kFloat, 8);
+  auto q4 = make_quantizer(FormatKind::kFloat, 4);
+  const double b8 = eval_transformer_bleu(*bundle_, 25, q8.get());
+  const double b4 = eval_transformer_bleu(*bundle_, 25, q4.get());
+  EXPECT_GT(b8, b4);
+}
+
+TEST_F(QuantPipeline, QarRecoversAccuracyAtLowPrecision) {
+  // Fine-tuning with the straight-through estimator at 4-bit should beat
+  // plain PTQ at 4-bit (paper Table 2, PTQ vs QAR columns). Run on a copy
+  // so the shared baseline stays untouched.
+  TransformerBundle local(21, small_tf());
+  train_transformer(local, 900, 16, 2e-3f, 22);
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 4);
+  const double ptq = eval_transformer_bleu(local, 25, q.get());
+  train_transformer(local, 200, 16, 5e-4f, 23, q.get());
+  const double qar = eval_transformer_bleu(local, 25, q.get());
+  EXPECT_GT(qar, ptq - 1.0);       // never meaningfully worse
+  EXPECT_GT(qar, 0.5 * ptq + 5.0); // and usually clearly better
+}
+
+TEST_F(QuantPipeline, ActivationCalibrationPopulatesSites) {
+  bundle_->model.act_quant().set_quantizer(
+      make_quantizer(FormatKind::kAdaptivFloat, 8));
+  calibrate_transformer_activations(*bundle_, 4, 31);
+  EXPECT_GT(bundle_->model.act_quant().site_max("enc.embed"), 0.0f);
+  EXPECT_GT(bundle_->model.act_quant().site_max("dec.out"), 0.0f);
+  bundle_->model.act_quant().set_mode(ActQuantMode::kOff);
+}
+
+TEST_F(QuantPipeline, W8A8MatchesFp32Closely) {
+  bundle_->model.act_quant().set_quantizer(
+      make_quantizer(FormatKind::kAdaptivFloat, 8));
+  auto wq = make_quantizer(FormatKind::kAdaptivFloat, 8);
+  calibrate_transformer_activations(*bundle_, 4, 32, wq.get());
+  bundle_->model.act_quant().set_mode(ActQuantMode::kApply);
+  const double bleu = eval_transformer_bleu(*bundle_, 25, wq.get());
+  bundle_->model.act_quant().set_mode(ActQuantMode::kOff);
+  EXPECT_GT(bleu, fp32_bleu_ - 8.0);
+}
+
+TEST(QuantPipelineSeq2Seq, PtqThenQarOnWer) {
+  Seq2SeqConfig cfg;
+  cfg.hidden = 32;
+  cfg.feature_dim = 12;
+  cfg.enc_layers = 1;
+  Seq2SeqBundle b(24, cfg);
+  train_seq2seq(b, 450, 16, 2e-3f, 25);
+  const double fp32 = eval_seq2seq_wer(b, 20);
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 5);
+  const double ptq = eval_seq2seq_wer(b, 20, q.get());
+  train_seq2seq(b, 150, 16, 5e-4f, 26, q.get());
+  const double qar = eval_seq2seq_wer(b, 20, q.get());
+  // WER: lower is better. PTQ should not beat FP32 by much; QAR should not
+  // be worse than PTQ by much.
+  EXPECT_GE(ptq, fp32 - 5.0);
+  EXPECT_LE(qar, ptq + 5.0);
+}
+
+TEST(QuantPipelineResNet, PtqAt6BitKeepsAccuracy) {
+  ResNetConfig cfg;
+  cfg.base_width = 4;
+  cfg.blocks_per_stage = 1;
+  ResNetBundle b(27, cfg);
+  train_resnet(b, 250, 32, 2e-3f, 28);
+  const double fp32 = eval_resnet_top1(b, 150);
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 6);
+  const double ptq = eval_resnet_top1(b, 150, q.get());
+  EXPECT_GT(ptq, fp32 - 15.0);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/numerics/uniform.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+TEST(Uniform, ScaleFromMaxAbs) {
+  UniformQuantizer q(8);
+  q.calibrate_max_abs(12.7f);
+  EXPECT_FLOAT_EQ(q.scale(), 0.1f);
+  EXPECT_EQ(q.level_max(), 127);
+}
+
+TEST(Uniform, MaxAbsIsExactlyRepresentable) {
+  UniformQuantizer q(8);
+  Tensor t({3}, {-3.3f, 1.0f, 2.2f});
+  q.calibrate(t);
+  EXPECT_FLOAT_EQ(q.quantize_value(-3.3f), -3.3f);
+  EXPECT_FLOAT_EQ(q.quantize_value(3.3f), 3.3f);
+}
+
+TEST(Uniform, GridPointsExactAndRoundingNearest) {
+  UniformQuantizer q(4);  // levels -7..7
+  q.calibrate_max_abs(7.0f);
+  EXPECT_FLOAT_EQ(q.scale(), 1.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(3.2f), 3.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(3.8f), 4.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(-5.0f), -5.0f);
+}
+
+TEST(Uniform, TiesToEven) {
+  UniformQuantizer q(4);
+  q.calibrate_max_abs(7.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(2.5f), 2.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(3.5f), 4.0f);
+}
+
+TEST(Uniform, ClampsOutOfRange) {
+  UniformQuantizer q(8);
+  q.calibrate_max_abs(1.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(5.0f), 1.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(-5.0f), -1.0f);
+}
+
+TEST(Uniform, EqualStepEverywhere) {
+  // Unlike float formats the step does not grow with magnitude — maximum
+  // error is scale/2 across the entire range.
+  UniformQuantizer q(8);
+  q.calibrate_max_abs(10.0f);
+  Pcg32 rng(51);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.uniform(-10.0f, 10.0f);
+    EXPECT_LE(std::fabs(q.quantize_value(x) - x), q.scale() * 0.5f + 1e-6f);
+  }
+}
+
+TEST(Uniform, ZeroTensor) {
+  UniformQuantizer q(8);
+  q.calibrate(Tensor({5}));
+  EXPECT_EQ(q.scale(), 0.0f);
+  EXPECT_EQ(q.quantize_value(42.0f), 0.0f);
+}
+
+TEST(Uniform, Idempotent) {
+  UniformQuantizer q(6);
+  q.calibrate_max_abs(2.5f);
+  Pcg32 rng(52);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.normal(0.0f, 1.0f);
+    const float once = q.quantize_value(x);
+    EXPECT_EQ(q.quantize_value(once), once);
+  }
+}
+
+TEST(Uniform, InterfaceBasics) {
+  UniformQuantizer q(8);
+  EXPECT_EQ(q.name(), "Uniform");
+  EXPECT_TRUE(q.self_adaptive());
+  EXPECT_THROW(UniformQuantizer(1), Error);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+namespace af {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    AF_CHECK(false, "boom");
+    FAIL() << "expected af::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Pcg32, NextBelowHitsAllResidues) {
+  Pcg32 rng(9);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, NormalMomentsRoughlyStandard) {
+  Pcg32 rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Pcg32, NormalMeanStddevScaling) {
+  Pcg32 rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0f, 0.1f);
+  EXPECT_NEAR(sum / n, 5.0, 0.01);
+}
+
+TEST(Pcg32, ShuffleKeepsElements) {
+  Pcg32 rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BoxStats, SingleValue) {
+  auto s = box_stats({3.0});
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(BoxStats, KnownQuartiles) {
+  // numpy convention: q1 of [1..5] is 2.0, median 3.0, q3 4.0.
+  auto s = box_stats({5.0, 1.0, 4.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(BoxStats, InterpolatedMedian) {
+  auto s = box_stats({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(BoxStats, EmptyThrows) { EXPECT_THROW(box_stats({}), Error); }
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(Format, SignificantFigures) {
+  EXPECT_EQ(fmt_sig(0.000123456, 3), "1.23e-04");
+  EXPECT_EQ(fmt_sig(12.3456, 3), "12.3");
+}
+
+}  // namespace
+}  // namespace af
