@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accelerator_sweep.dir/ablation_accelerator_sweep.cpp.o"
+  "CMakeFiles/ablation_accelerator_sweep.dir/ablation_accelerator_sweep.cpp.o.d"
+  "ablation_accelerator_sweep"
+  "ablation_accelerator_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accelerator_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exponent_bits.dir/ablation_exponent_bits.cpp.o"
+  "CMakeFiles/ablation_exponent_bits.dir/ablation_exponent_bits.cpp.o.d"
+  "ablation_exponent_bits"
+  "ablation_exponent_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exponent_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_weight_ranges.dir/fig1_weight_ranges.cpp.o"
+  "CMakeFiles/fig1_weight_ranges.dir/fig1_weight_ranges.cpp.o.d"
+  "fig1_weight_ranges"
+  "fig1_weight_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_weight_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_zero_representation.dir/fig2_zero_representation.cpp.o"
+  "CMakeFiles/fig2_zero_representation.dir/fig2_zero_representation.cpp.o.d"
+  "fig2_zero_representation"
+  "fig2_zero_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_zero_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

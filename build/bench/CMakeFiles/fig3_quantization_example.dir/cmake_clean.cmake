@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_quantization_example.dir/fig3_quantization_example.cpp.o"
+  "CMakeFiles/fig3_quantization_example.dir/fig3_quantization_example.cpp.o.d"
+  "fig3_quantization_example"
+  "fig3_quantization_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_quantization_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

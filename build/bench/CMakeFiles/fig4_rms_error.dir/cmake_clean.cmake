@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rms_error.dir/fig4_rms_error.cpp.o"
+  "CMakeFiles/fig4_rms_error.dir/fig4_rms_error.cpp.o.d"
+  "fig4_rms_error"
+  "fig4_rms_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rms_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pe_energy_area.dir/fig7_pe_energy_area.cpp.o"
+  "CMakeFiles/fig7_pe_energy_area.dir/fig7_pe_energy_area.cpp.o.d"
+  "fig7_pe_energy_area"
+  "fig7_pe_energy_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pe_energy_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_pe_energy_area.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_quantizers.dir/micro_quantizers.cpp.o"
+  "CMakeFiles/micro_quantizers.dir/micro_quantizers.cpp.o.d"
+  "micro_quantizers"
+  "micro_quantizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_quantizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_weight_quantization.dir/table2_weight_quantization.cpp.o"
+  "CMakeFiles/table2_weight_quantization.dir/table2_weight_quantization.cpp.o.d"
+  "table2_weight_quantization"
+  "table2_weight_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_weight_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_weight_activation_quantization.cpp" "bench/CMakeFiles/table3_weight_activation_quantization.dir/table3_weight_activation_quantization.cpp.o" "gcc" "bench/CMakeFiles/table3_weight_activation_quantization.dir/table3_weight_activation_quantization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/af_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/af_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/af_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/af_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_weight_activation_quantization.dir/table3_weight_activation_quantization.cpp.o"
+  "CMakeFiles/table3_weight_activation_quantization.dir/table3_weight_activation_quantization.cpp.o.d"
+  "table3_weight_activation_quantization"
+  "table3_weight_activation_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_weight_activation_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

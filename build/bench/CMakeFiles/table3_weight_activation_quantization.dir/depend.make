@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_weight_activation_quantization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_accelerator_ppa.dir/table4_accelerator_ppa.cpp.o"
+  "CMakeFiles/table4_accelerator_ppa.dir/table4_accelerator_ppa.cpp.o.d"
+  "table4_accelerator_ppa"
+  "table4_accelerator_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_accelerator_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

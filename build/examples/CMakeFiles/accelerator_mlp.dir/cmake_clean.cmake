@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_mlp.dir/accelerator_mlp.cpp.o"
+  "CMakeFiles/accelerator_mlp.dir/accelerator_mlp.cpp.o.d"
+  "accelerator_mlp"
+  "accelerator_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

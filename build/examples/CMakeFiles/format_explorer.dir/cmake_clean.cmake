@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_explorer.dir/format_explorer.cpp.o"
+  "CMakeFiles/format_explorer.dir/format_explorer.cpp.o.d"
+  "format_explorer"
+  "format_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

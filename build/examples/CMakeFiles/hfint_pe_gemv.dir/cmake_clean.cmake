@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfint_pe_gemv.dir/hfint_pe_gemv.cpp.o"
+  "CMakeFiles/hfint_pe_gemv.dir/hfint_pe_gemv.cpp.o.d"
+  "hfint_pe_gemv"
+  "hfint_pe_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfint_pe_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

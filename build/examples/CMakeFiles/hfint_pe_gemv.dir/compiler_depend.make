@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hfint_pe_gemv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hfint_pe_gemv.
+# This may be replaced when dependencies are built.

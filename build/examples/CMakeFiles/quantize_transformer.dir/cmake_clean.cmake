@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_transformer.dir/quantize_transformer.cpp.o"
+  "CMakeFiles/quantize_transformer.dir/quantize_transformer.cpp.o.d"
+  "quantize_transformer"
+  "quantize_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

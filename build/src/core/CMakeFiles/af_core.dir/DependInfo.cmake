@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptivfloat.cpp" "src/core/CMakeFiles/af_core.dir/adaptivfloat.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/adaptivfloat.cpp.o.d"
+  "/root/repo/src/core/algorithm1.cpp" "src/core/CMakeFiles/af_core.dir/algorithm1.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/core/bitpack.cpp" "src/core/CMakeFiles/af_core.dir/bitpack.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/bitpack.cpp.o.d"
+  "/root/repo/src/core/channel_quant.cpp" "src/core/CMakeFiles/af_core.dir/channel_quant.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/channel_quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

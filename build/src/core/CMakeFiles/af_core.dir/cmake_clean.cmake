@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_core.dir/adaptivfloat.cpp.o"
+  "CMakeFiles/af_core.dir/adaptivfloat.cpp.o.d"
+  "CMakeFiles/af_core.dir/algorithm1.cpp.o"
+  "CMakeFiles/af_core.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/af_core.dir/bitpack.cpp.o"
+  "CMakeFiles/af_core.dir/bitpack.cpp.o.d"
+  "CMakeFiles/af_core.dir/channel_quant.cpp.o"
+  "CMakeFiles/af_core.dir/channel_quant.cpp.o.d"
+  "libaf_core.a"
+  "libaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/metrics.cpp" "src/data/CMakeFiles/af_data.dir/metrics.cpp.o" "gcc" "src/data/CMakeFiles/af_data.dir/metrics.cpp.o.d"
+  "/root/repo/src/data/speech_task.cpp" "src/data/CMakeFiles/af_data.dir/speech_task.cpp.o" "gcc" "src/data/CMakeFiles/af_data.dir/speech_task.cpp.o.d"
+  "/root/repo/src/data/translation_task.cpp" "src/data/CMakeFiles/af_data.dir/translation_task.cpp.o" "gcc" "src/data/CMakeFiles/af_data.dir/translation_task.cpp.o.d"
+  "/root/repo/src/data/vision_task.cpp" "src/data/CMakeFiles/af_data.dir/vision_task.cpp.o" "gcc" "src/data/CMakeFiles/af_data.dir/vision_task.cpp.o.d"
+  "/root/repo/src/data/weight_ensembles.cpp" "src/data/CMakeFiles/af_data.dir/weight_ensembles.cpp.o" "gcc" "src/data/CMakeFiles/af_data.dir/weight_ensembles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

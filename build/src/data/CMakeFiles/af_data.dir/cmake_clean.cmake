@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_data.dir/metrics.cpp.o"
+  "CMakeFiles/af_data.dir/metrics.cpp.o.d"
+  "CMakeFiles/af_data.dir/speech_task.cpp.o"
+  "CMakeFiles/af_data.dir/speech_task.cpp.o.d"
+  "CMakeFiles/af_data.dir/translation_task.cpp.o"
+  "CMakeFiles/af_data.dir/translation_task.cpp.o.d"
+  "CMakeFiles/af_data.dir/vision_task.cpp.o"
+  "CMakeFiles/af_data.dir/vision_task.cpp.o.d"
+  "CMakeFiles/af_data.dir/weight_ensembles.cpp.o"
+  "CMakeFiles/af_data.dir/weight_ensembles.cpp.o.d"
+  "libaf_data.a"
+  "libaf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cpp" "src/hw/CMakeFiles/af_hw.dir/accelerator.cpp.o" "gcc" "src/hw/CMakeFiles/af_hw.dir/accelerator.cpp.o.d"
+  "/root/repo/src/hw/activation_unit.cpp" "src/hw/CMakeFiles/af_hw.dir/activation_unit.cpp.o" "gcc" "src/hw/CMakeFiles/af_hw.dir/activation_unit.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/af_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/af_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/hfint_pe.cpp" "src/hw/CMakeFiles/af_hw.dir/hfint_pe.cpp.o" "gcc" "src/hw/CMakeFiles/af_hw.dir/hfint_pe.cpp.o.d"
+  "/root/repo/src/hw/int_pe.cpp" "src/hw/CMakeFiles/af_hw.dir/int_pe.cpp.o" "gcc" "src/hw/CMakeFiles/af_hw.dir/int_pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/af_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_hw.dir/accelerator.cpp.o"
+  "CMakeFiles/af_hw.dir/accelerator.cpp.o.d"
+  "CMakeFiles/af_hw.dir/activation_unit.cpp.o"
+  "CMakeFiles/af_hw.dir/activation_unit.cpp.o.d"
+  "CMakeFiles/af_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/af_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/af_hw.dir/hfint_pe.cpp.o"
+  "CMakeFiles/af_hw.dir/hfint_pe.cpp.o.d"
+  "CMakeFiles/af_hw.dir/int_pe.cpp.o"
+  "CMakeFiles/af_hw.dir/int_pe.cpp.o.d"
+  "libaf_hw.a"
+  "libaf_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/beam_search.cpp" "src/models/CMakeFiles/af_models.dir/beam_search.cpp.o" "gcc" "src/models/CMakeFiles/af_models.dir/beam_search.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/af_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/af_models.dir/resnet.cpp.o.d"
+  "/root/repo/src/models/seq2seq.cpp" "src/models/CMakeFiles/af_models.dir/seq2seq.cpp.o" "gcc" "src/models/CMakeFiles/af_models.dir/seq2seq.cpp.o.d"
+  "/root/repo/src/models/trainer.cpp" "src/models/CMakeFiles/af_models.dir/trainer.cpp.o" "gcc" "src/models/CMakeFiles/af_models.dir/trainer.cpp.o.d"
+  "/root/repo/src/models/transformer.cpp" "src/models/CMakeFiles/af_models.dir/transformer.cpp.o" "gcc" "src/models/CMakeFiles/af_models.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/af_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/af_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/af_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_models.dir/beam_search.cpp.o"
+  "CMakeFiles/af_models.dir/beam_search.cpp.o.d"
+  "CMakeFiles/af_models.dir/resnet.cpp.o"
+  "CMakeFiles/af_models.dir/resnet.cpp.o.d"
+  "CMakeFiles/af_models.dir/seq2seq.cpp.o"
+  "CMakeFiles/af_models.dir/seq2seq.cpp.o.d"
+  "CMakeFiles/af_models.dir/trainer.cpp.o"
+  "CMakeFiles/af_models.dir/trainer.cpp.o.d"
+  "CMakeFiles/af_models.dir/transformer.cpp.o"
+  "CMakeFiles/af_models.dir/transformer.cpp.o.d"
+  "libaf_models.a"
+  "libaf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

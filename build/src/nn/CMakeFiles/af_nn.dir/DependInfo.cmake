@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/af_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/af_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/af_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/af_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/af_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/nn/CMakeFiles/af_nn.dir/layernorm.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/af_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/af_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/af_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/af_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/af_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pruning.cpp" "src/nn/CMakeFiles/af_nn.dir/pruning.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/pruning.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/nn/CMakeFiles/af_nn.dir/quant.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/quant.cpp.o.d"
+  "/root/repo/src/nn/quantized_linear.cpp" "src/nn/CMakeFiles/af_nn.dir/quantized_linear.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/quantized_linear.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/af_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/af_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_nn.dir/activations.cpp.o"
+  "CMakeFiles/af_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/af_nn.dir/attention.cpp.o"
+  "CMakeFiles/af_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/af_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/af_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/af_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/af_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/af_nn.dir/embedding.cpp.o"
+  "CMakeFiles/af_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/af_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/af_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/af_nn.dir/linear.cpp.o"
+  "CMakeFiles/af_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/af_nn.dir/loss.cpp.o"
+  "CMakeFiles/af_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/af_nn.dir/lstm.cpp.o"
+  "CMakeFiles/af_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/af_nn.dir/module.cpp.o"
+  "CMakeFiles/af_nn.dir/module.cpp.o.d"
+  "CMakeFiles/af_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/af_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/af_nn.dir/pruning.cpp.o"
+  "CMakeFiles/af_nn.dir/pruning.cpp.o.d"
+  "CMakeFiles/af_nn.dir/quant.cpp.o"
+  "CMakeFiles/af_nn.dir/quant.cpp.o.d"
+  "CMakeFiles/af_nn.dir/quantized_linear.cpp.o"
+  "CMakeFiles/af_nn.dir/quantized_linear.cpp.o.d"
+  "CMakeFiles/af_nn.dir/serialize.cpp.o"
+  "CMakeFiles/af_nn.dir/serialize.cpp.o.d"
+  "libaf_nn.a"
+  "libaf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

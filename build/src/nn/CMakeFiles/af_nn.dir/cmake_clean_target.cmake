@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaf_nn.a"
+)

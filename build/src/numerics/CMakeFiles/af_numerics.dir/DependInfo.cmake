@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/block_float.cpp" "src/numerics/CMakeFiles/af_numerics.dir/block_float.cpp.o" "gcc" "src/numerics/CMakeFiles/af_numerics.dir/block_float.cpp.o.d"
+  "/root/repo/src/numerics/float_format.cpp" "src/numerics/CMakeFiles/af_numerics.dir/float_format.cpp.o" "gcc" "src/numerics/CMakeFiles/af_numerics.dir/float_format.cpp.o.d"
+  "/root/repo/src/numerics/posit.cpp" "src/numerics/CMakeFiles/af_numerics.dir/posit.cpp.o" "gcc" "src/numerics/CMakeFiles/af_numerics.dir/posit.cpp.o.d"
+  "/root/repo/src/numerics/quantizer.cpp" "src/numerics/CMakeFiles/af_numerics.dir/quantizer.cpp.o" "gcc" "src/numerics/CMakeFiles/af_numerics.dir/quantizer.cpp.o.d"
+  "/root/repo/src/numerics/registry.cpp" "src/numerics/CMakeFiles/af_numerics.dir/registry.cpp.o" "gcc" "src/numerics/CMakeFiles/af_numerics.dir/registry.cpp.o.d"
+  "/root/repo/src/numerics/uniform.cpp" "src/numerics/CMakeFiles/af_numerics.dir/uniform.cpp.o" "gcc" "src/numerics/CMakeFiles/af_numerics.dir/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_numerics.dir/block_float.cpp.o"
+  "CMakeFiles/af_numerics.dir/block_float.cpp.o.d"
+  "CMakeFiles/af_numerics.dir/float_format.cpp.o"
+  "CMakeFiles/af_numerics.dir/float_format.cpp.o.d"
+  "CMakeFiles/af_numerics.dir/posit.cpp.o"
+  "CMakeFiles/af_numerics.dir/posit.cpp.o.d"
+  "CMakeFiles/af_numerics.dir/quantizer.cpp.o"
+  "CMakeFiles/af_numerics.dir/quantizer.cpp.o.d"
+  "CMakeFiles/af_numerics.dir/registry.cpp.o"
+  "CMakeFiles/af_numerics.dir/registry.cpp.o.d"
+  "CMakeFiles/af_numerics.dir/uniform.cpp.o"
+  "CMakeFiles/af_numerics.dir/uniform.cpp.o.d"
+  "libaf_numerics.a"
+  "libaf_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_tensor.dir/ops.cpp.o"
+  "CMakeFiles/af_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/af_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/af_tensor.dir/tensor.cpp.o.d"
+  "libaf_tensor.a"
+  "libaf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_util.dir/rng.cpp.o"
+  "CMakeFiles/af_util.dir/rng.cpp.o.d"
+  "CMakeFiles/af_util.dir/stats.cpp.o"
+  "CMakeFiles/af_util.dir/stats.cpp.o.d"
+  "CMakeFiles/af_util.dir/table.cpp.o"
+  "CMakeFiles/af_util.dir/table.cpp.o.d"
+  "libaf_util.a"
+  "libaf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

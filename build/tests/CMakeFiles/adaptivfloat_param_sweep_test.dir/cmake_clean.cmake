@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptivfloat_param_sweep_test.dir/adaptivfloat_param_sweep_test.cpp.o"
+  "CMakeFiles/adaptivfloat_param_sweep_test.dir/adaptivfloat_param_sweep_test.cpp.o.d"
+  "adaptivfloat_param_sweep_test"
+  "adaptivfloat_param_sweep_test.pdb"
+  "adaptivfloat_param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivfloat_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptivfloat_test.dir/adaptivfloat_test.cpp.o"
+  "CMakeFiles/adaptivfloat_test.dir/adaptivfloat_test.cpp.o.d"
+  "adaptivfloat_test"
+  "adaptivfloat_test.pdb"
+  "adaptivfloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

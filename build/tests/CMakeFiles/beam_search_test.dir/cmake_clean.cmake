@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_search_test.dir/beam_search_test.cpp.o"
+  "CMakeFiles/beam_search_test.dir/beam_search_test.cpp.o.d"
+  "beam_search_test"
+  "beam_search_test.pdb"
+  "beam_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

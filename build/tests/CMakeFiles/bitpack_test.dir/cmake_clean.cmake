@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitpack_test.dir/bitpack_test.cpp.o"
+  "CMakeFiles/bitpack_test.dir/bitpack_test.cpp.o.d"
+  "bitpack_test"
+  "bitpack_test.pdb"
+  "bitpack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_float_test.dir/block_float_test.cpp.o"
+  "CMakeFiles/block_float_test.dir/block_float_test.cpp.o.d"
+  "block_float_test"
+  "block_float_test.pdb"
+  "block_float_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_float_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_quant_test.dir/channel_quant_test.cpp.o"
+  "CMakeFiles/channel_quant_test.dir/channel_quant_test.cpp.o.d"
+  "channel_quant_test"
+  "channel_quant_test.pdb"
+  "channel_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_param_sweep_test.dir/conv_param_sweep_test.cpp.o"
+  "CMakeFiles/conv_param_sweep_test.dir/conv_param_sweep_test.cpp.o.d"
+  "conv_param_sweep_test"
+  "conv_param_sweep_test.pdb"
+  "conv_param_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ordering_test.dir/fig4_ordering_test.cpp.o"
+  "CMakeFiles/fig4_ordering_test.dir/fig4_ordering_test.cpp.o.d"
+  "fig4_ordering_test"
+  "fig4_ordering_test.pdb"
+  "fig4_ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

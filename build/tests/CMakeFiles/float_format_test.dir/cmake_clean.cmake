@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_format_test.dir/float_format_test.cpp.o"
+  "CMakeFiles/float_format_test.dir/float_format_test.cpp.o.d"
+  "float_format_test"
+  "float_format_test.pdb"
+  "float_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cost_model_test.dir/hw_cost_model_test.cpp.o"
+  "CMakeFiles/hw_cost_model_test.dir/hw_cost_model_test.cpp.o.d"
+  "hw_cost_model_test"
+  "hw_cost_model_test.pdb"
+  "hw_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_fc_workload_test.dir/hw_fc_workload_test.cpp.o"
+  "CMakeFiles/hw_fc_workload_test.dir/hw_fc_workload_test.cpp.o.d"
+  "hw_fc_workload_test"
+  "hw_fc_workload_test.pdb"
+  "hw_fc_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_fc_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_int_pe_test.dir/hw_int_pe_test.cpp.o"
+  "CMakeFiles/hw_int_pe_test.dir/hw_int_pe_test.cpp.o.d"
+  "hw_int_pe_test"
+  "hw_int_pe_test.pdb"
+  "hw_int_pe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_int_pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hw_int_pe_test.
+# This may be replaced when dependencies are built.

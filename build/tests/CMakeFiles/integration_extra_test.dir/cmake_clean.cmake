@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_extra_test.dir/integration_extra_test.cpp.o"
+  "CMakeFiles/integration_extra_test.dir/integration_extra_test.cpp.o.d"
+  "integration_extra_test"
+  "integration_extra_test.pdb"
+  "integration_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

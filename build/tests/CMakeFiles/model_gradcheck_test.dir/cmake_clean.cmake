@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_gradcheck_test.dir/model_gradcheck_test.cpp.o"
+  "CMakeFiles/model_gradcheck_test.dir/model_gradcheck_test.cpp.o.d"
+  "model_gradcheck_test"
+  "model_gradcheck_test.pdb"
+  "model_gradcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

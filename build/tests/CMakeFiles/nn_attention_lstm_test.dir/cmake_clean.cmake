@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_attention_lstm_test.dir/nn_attention_lstm_test.cpp.o"
+  "CMakeFiles/nn_attention_lstm_test.dir/nn_attention_lstm_test.cpp.o.d"
+  "nn_attention_lstm_test"
+  "nn_attention_lstm_test.pdb"
+  "nn_attention_lstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_attention_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

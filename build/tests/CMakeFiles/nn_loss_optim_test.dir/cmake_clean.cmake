@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_loss_optim_test.dir/nn_loss_optim_test.cpp.o"
+  "CMakeFiles/nn_loss_optim_test.dir/nn_loss_optim_test.cpp.o.d"
+  "nn_loss_optim_test"
+  "nn_loss_optim_test.pdb"
+  "nn_loss_optim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_loss_optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_quant_test.dir/nn_quant_test.cpp.o"
+  "CMakeFiles/nn_quant_test.dir/nn_quant_test.cpp.o.d"
+  "nn_quant_test"
+  "nn_quant_test.pdb"
+  "nn_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

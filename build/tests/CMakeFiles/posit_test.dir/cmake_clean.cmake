@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posit_test.dir/posit_test.cpp.o"
+  "CMakeFiles/posit_test.dir/posit_test.cpp.o.d"
+  "posit_test"
+  "posit_test.pdb"
+  "posit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

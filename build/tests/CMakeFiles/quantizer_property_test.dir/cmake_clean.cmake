@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantizer_property_test.dir/quantizer_property_test.cpp.o"
+  "CMakeFiles/quantizer_property_test.dir/quantizer_property_test.cpp.o.d"
+  "quantizer_property_test"
+  "quantizer_property_test.pdb"
+  "quantizer_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantizer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_quant_test.dir/trainer_quant_test.cpp.o"
+  "CMakeFiles/trainer_quant_test.dir/trainer_quant_test.cpp.o.d"
+  "trainer_quant_test"
+  "trainer_quant_test.pdb"
+  "trainer_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_test.dir/uniform_test.cpp.o"
+  "CMakeFiles/uniform_test.dir/uniform_test.cpp.o.d"
+  "uniform_test"
+  "uniform_test.pdb"
+  "uniform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
