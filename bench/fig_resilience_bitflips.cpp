@@ -1,0 +1,222 @@
+// Resilience sweep: model accuracy under weight-memory bit errors, for all
+// five formats, with and without storage protection + hardened decode.
+//
+// The paper's Section 4 argues AdaptivFloat degrades gracefully under
+// quantization because every code decodes into the calibrated
+// [-value_max, value_max] window. This harness extends that argument to
+// soft errors: a bit flip in an AdaptivFloat weight word is bounded by
+// 2*value_max, while an IEEE-style exponent flip can scale a weight by
+// 2^8 and a posit sign-region flip can jump to maxpos. We corrupt the
+// packed weight payloads of a trained MLP and LSTM at increasing bit-error
+// rates and report Top-1 accuracy per format:
+//   * "raw":       unprotected payload, raw (hardware-faithful) decode;
+//   * "protected": per-word parity + per-block checksum with detect-and-
+//                  zero scrub, then range-hardened decode.
+// A final table injects faults into the accelerator PE accumulators to
+// exercise the datapath (not storage) fault model end-to-end.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/bitpack.hpp"
+#include "src/data/metrics.hpp"
+#include "src/hw/accelerator.hpp"
+#include "src/models/resilience_eval.hpp"
+#include "src/numerics/registry.hpp"
+#include "src/resilience/codec.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/resilience/protection.hpp"
+#include "src/util/table.hpp"
+
+namespace af {
+namespace {
+
+constexpr std::uint64_t kSeed = 2020;
+constexpr int kTrials = 3;
+const std::vector<double> kRates = {1e-4, 1e-3, 3e-3, 1e-2};
+const std::vector<int> kBitWidths = {8, 6, 4};
+
+// Deterministic per-cell seed so every (format, rate, trial, layer) cell
+// replays exactly and formats face comparable fault streams.
+std::uint64_t cell_seed(std::uint64_t model_tag, int bits, double rate,
+                        int trial) {
+  std::uint64_t h = kSeed ^ model_tag;
+  h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(bits);
+  h = h * 0x9e3779b97f4a7c15ULL +
+      static_cast<std::uint64_t>(rate * 1e9 + 0.5);
+  h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(trial);
+  return h;
+}
+
+// Weight transform implementing one corruption pipeline cell: quantize the
+// layer to `kind`/`bits`, pack, flip bits at `rate`, optionally scrub, then
+// decode (raw or hardened). One injector per evaluation, shared across
+// layers so the Bernoulli stream spans the whole weight store.
+struct CorruptionCell {
+  FormatKind kind;
+  int bits;
+  bool protect;  // parity+checksum scrub and hardened decode
+  FaultInjector* injector;
+
+  Tensor operator()(const Tensor& w, int /*layer*/) const {
+    auto codec = make_codec(kind, bits, w.max_abs());
+    std::vector<std::uint16_t> codes = codec->encode_tensor(w);
+    if (protect) {
+      ProtectedCodes pc(codes, bits, ProtectionMode::kParityChecksum);
+      injector->corrupt_bytes(pc.payload());
+      pc.scrub();
+      return codec->decode_tensor(pc.codes(), w.shape(), /*hardened=*/true);
+    }
+    std::vector<std::uint8_t> payload = pack_codes(codes, bits);
+    injector->corrupt_bytes(payload);
+    codes = unpack_codes(payload, bits, codes.size(), StrayBits::kMask);
+    return codec->decode_tensor(codes, w.shape(), /*hardened=*/false);
+  }
+};
+
+using EvalFn = double (*)(const CorruptionCell&, std::uint64_t, int);
+
+double sweep_cell(FormatKind kind, int bits, double rate, bool protect,
+                  std::uint64_t model_tag, EvalFn eval) {
+  double acc = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    FaultConfig cfg;
+    cfg.bit_error_rate = rate;
+    cfg.seed = cell_seed(model_tag, bits, rate, trial);
+    FaultInjector injector(cfg);
+    CorruptionCell cell{kind, bits, protect, &injector};
+    acc += eval(cell, model_tag, trial);
+  }
+  return acc / kTrials;
+}
+
+void run_model_sweep(const char* model_name, std::uint64_t model_tag,
+                     double fp32_baseline, EvalFn eval) {
+  for (int bits : kBitWidths) {
+    TextTable table("Resilience: " + std::string(model_name) + " Top-1 (%) vs "
+                    "weight bit-error rate, " + std::to_string(bits) +
+                    "-bit weights (FP32 baseline " +
+                    fmt_fixed(fp32_baseline, 1) + "%, mean of " +
+                    std::to_string(kTrials) + " trials)");
+    std::vector<std::string> header = {"Format", "Mode", "BER=0"};
+    for (double r : kRates) header.push_back("BER=" + fmt_sig(r, 1));
+    table.set_header(std::move(header));
+
+    for (FormatKind kind : all_format_kinds()) {
+      for (bool protect : {false, true}) {
+        std::vector<std::string> row = {format_kind_name(kind),
+                                        protect ? "protected" : "raw"};
+        row.push_back(fmt_fixed(
+            sweep_cell(kind, bits, 0.0, protect, model_tag, eval), 1));
+        for (double rate : kRates) {
+          row.push_back(fmt_fixed(
+              sweep_cell(kind, bits, rate, protect, model_tag, eval), 1));
+        }
+        table.add_row(std::move(row));
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+}
+
+// Globals keep the trained models out of the per-cell closures (EvalFn is a
+// plain function pointer so CorruptionCell stays copyable/cheap).
+const MlpEvalModel* g_mlp = nullptr;
+const LstmEvalModel* g_lstm = nullptr;
+
+double eval_mlp_cell(const CorruptionCell& cell, std::uint64_t, int) {
+  return eval_mlp_top1(*g_mlp, cell);
+}
+
+double eval_lstm_cell(const CorruptionCell& cell, std::uint64_t, int) {
+  return eval_lstm_top1(*g_lstm, cell);
+}
+
+// ----- PE accumulator fault demo --------------------------------------------
+
+void run_accumulator_demo() {
+  TextTable table(
+      "Resilience: accelerator PE accumulator upsets (HFINT, 8-bit), MLP "
+      "run_fc — prediction flips vs fault-free run over " +
+      std::to_string(16) + " inputs");
+  table.set_header({"Acc BER", "Pred flips (%)", "Bits flipped"});
+
+  AcceleratorConfig cfg;
+  cfg.kind = PeKind::kHfint;
+  cfg.op_bits = 8;
+  std::vector<FcLayer> layers(2);
+  layers[0] = {g_mlp->weights[0], g_mlp->biases[0], /*relu=*/true};
+  layers[1] = {g_mlp->weights[1], g_mlp->biases[1], /*relu=*/false};
+
+  const int kInputs = 16;
+  Accelerator clean_acc(cfg);
+  std::vector<std::int64_t> clean_preds;
+  for (int i = 0; i < kInputs; ++i) {
+    // Scale inputs into the |x| <= ~2 operating range of the datapath.
+    Tensor x = g_mlp->eval_set.inputs[static_cast<std::size_t>(i)];
+    const float scale = 2.0f / std::max(1.0f, x.max_abs());
+    for (std::int64_t j = 0; j < x.numel(); ++j) x[j] *= scale;
+    AcceleratorRun run = clean_acc.run_fc(layers, x);
+    std::int64_t best = 0;
+    for (std::size_t c = 1; c < run.final_h.size(); ++c) {
+      if (run.final_h[c] > run.final_h[static_cast<std::size_t>(best)]) {
+        best = static_cast<std::int64_t>(c);
+      }
+    }
+    clean_preds.push_back(best);
+  }
+
+  for (double rate : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    FaultConfig fcfg;
+    fcfg.bit_error_rate = rate;
+    fcfg.seed = kSeed ^ 0xacc;
+    FaultInjector injector(fcfg);
+    Accelerator acc(cfg);
+    acc.set_fault_hook(&injector);
+    std::vector<std::int64_t> preds;
+    for (int i = 0; i < kInputs; ++i) {
+      Tensor x = g_mlp->eval_set.inputs[static_cast<std::size_t>(i)];
+      const float scale = 2.0f / std::max(1.0f, x.max_abs());
+      for (std::int64_t j = 0; j < x.numel(); ++j) x[j] *= scale;
+      AcceleratorRun run = acc.run_fc(layers, x);
+      std::int64_t best = 0;
+      for (std::size_t c = 1; c < run.final_h.size(); ++c) {
+        if (run.final_h[c] > run.final_h[static_cast<std::size_t>(best)]) {
+          best = static_cast<std::int64_t>(c);
+        }
+      }
+      preds.push_back(best);
+    }
+    table.add_row({fmt_sig(rate, 1),
+                   fmt_fixed(prediction_flip_rate(clean_preds, preds), 1),
+                   std::to_string(injector.stats().bits_flipped)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+int run() {
+  std::fprintf(stderr, "[bench] training MLP eval model...\n");
+  MlpEvalModel mlp = make_mlp_eval_model(kSeed);
+  std::fprintf(stderr, "[bench] MLP baseline Top-1: %.1f%%\n",
+               mlp.baseline_top1);
+  std::fprintf(stderr, "[bench] training LSTM eval model...\n");
+  LstmEvalModel lstm = make_lstm_eval_model(kSeed);
+  std::fprintf(stderr, "[bench] LSTM baseline Top-1: %.1f%%\n",
+               lstm.baseline_top1);
+  g_mlp = &mlp;
+  g_lstm = &lstm;
+
+  run_model_sweep("MLP", 0x11a9, mlp.baseline_top1, eval_mlp_cell);
+  run_model_sweep("LSTM", 0x15f3, lstm.baseline_top1, eval_lstm_cell);
+  run_accumulator_demo();
+  return 0;
+}
+
+}  // namespace
+}  // namespace af
+
+int main() { return af::run(); }

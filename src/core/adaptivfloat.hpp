@@ -53,7 +53,10 @@ class AdaptivFloatFormat {
 
   /// Encodes by rounding to the nearest representable value
   /// (ties-to-even mantissa), with sub-value_min rounding to 0 or value_min
-  /// at the halfway point and clamping at +/-value_max.
+  /// at the halfway point and clamping at +/-value_max. Non-finite inputs
+  /// are well-defined (the format has no NaN/Inf slots to pass them
+  /// through): NaN encodes to the zero code, +/-Inf saturates to
+  /// +/-value_max.
   std::uint16_t encode(float x) const;
 
   /// decode(encode(x)) — the quantization function the paper applies to

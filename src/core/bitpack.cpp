@@ -23,10 +23,20 @@ std::vector<std::uint8_t> pack_codes(const std::vector<std::uint16_t>& codes,
 }
 
 std::vector<std::uint16_t> unpack_codes(const std::vector<std::uint8_t>& bytes,
-                                        int bits, std::size_t count) {
+                                        int bits, std::size_t count,
+                                        StrayBits policy) {
   AF_CHECK(bits >= 1 && bits <= 16, "code width must be in [1,16]");
-  AF_CHECK(bytes.size() * 8 >= count * static_cast<std::size_t>(bits),
+  const std::size_t used_bits = count * static_cast<std::size_t>(bits);
+  AF_CHECK(bytes.size() * 8 >= used_bits,
            "packed payload too small for the requested element count");
+  if (policy == StrayBits::kReject && bytes.size() == (used_bits + 7) / 8 &&
+      (used_bits & 7) != 0) {
+    const auto stray = static_cast<std::uint8_t>(
+        bytes.back() >> (used_bits & 7));
+    AF_CHECK(stray == 0,
+             "stray high bits set in the final partial byte (corrupt or "
+             "mis-sized payload); pass StrayBits::kMask to ignore them");
+  }
   std::vector<std::uint16_t> out(count, 0);
   std::size_t bitpos = 0;
   for (std::size_t i = 0; i < count; ++i) {

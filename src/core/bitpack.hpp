@@ -17,13 +17,27 @@
 namespace af {
 
 /// Packs `count` codes of `bits` width each into ceil(count*bits/8) bytes.
-/// Codes must fit in `bits` (checked).
+/// Codes must fit in `bits` (checked). The unused high bits of the final
+/// partial byte are always zero.
 std::vector<std::uint8_t> pack_codes(const std::vector<std::uint16_t>& codes,
                                      int bits);
 
-/// Inverse of pack_codes.
+/// How unpack_codes treats stray high bits in the final partial byte —
+/// bits pack_codes always leaves zero, so a nonzero one proves the payload
+/// was corrupted or mis-sized.
+enum class StrayBits {
+  kReject,  ///< throw af::Error on any nonzero stray bit (default)
+  kMask,    ///< ignore stray bits (resilience paths scrub payloads that
+            ///< may legally carry flipped tail bits)
+};
+
+/// Inverse of pack_codes. When the payload is exactly ceil(count*bits/8)
+/// bytes, stray high bits in the final byte are policed per `policy`;
+/// oversized payloads (more bytes than the codes need) are accepted and
+/// their trailing bytes are never inspected.
 std::vector<std::uint16_t> unpack_codes(const std::vector<std::uint8_t>& bytes,
-                                        int bits, std::size_t count);
+                                        int bits, std::size_t count,
+                                        StrayBits policy = StrayBits::kReject);
 
 /// A tensor stored as packed AdaptivFloat codes: the deployment format a
 /// weight buffer would hold. Carries its shape and the format (including

@@ -108,4 +108,16 @@ double top1_accuracy(const std::vector<std::int64_t>& labels,
   return 100.0 * static_cast<double>(hit) / static_cast<double>(labels.size());
 }
 
+double prediction_flip_rate(const std::vector<std::int64_t>& baseline,
+                            const std::vector<std::int64_t>& observed) {
+  AF_CHECK(baseline.size() == observed.size() && !baseline.empty(),
+           "flip rate needs matching non-empty prediction lists");
+  std::int64_t flips = 0;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    flips += (baseline[i] != observed[i]);
+  }
+  return 100.0 * static_cast<double>(flips) /
+         static_cast<double>(baseline.size());
+}
+
 }  // namespace af

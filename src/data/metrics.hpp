@@ -28,4 +28,11 @@ std::int64_t edit_distance(const TokenSeq& a, const TokenSeq& b);
 double top1_accuracy(const std::vector<std::int64_t>& labels,
                      const std::vector<std::int64_t>& predictions);
 
+/// Fraction of positions where two prediction vectors disagree, as a
+/// percentage — the silent-data-corruption rate of a faulty run measured
+/// against its fault-free twin (used by the resilience sweep; unlike
+/// accuracy it also counts wrong->different-wrong flips).
+double prediction_flip_rate(const std::vector<std::int64_t>& baseline,
+                            const std::vector<std::int64_t>& observed);
+
 }  // namespace af

@@ -123,6 +123,12 @@ AcceleratorRun Accelerator::run(const LstmLayerWeights& w,
     };
     q(w.wx, wx_int);
     q(w.wh, wh_int);
+    if (fault_hook_ != nullptr) {
+      // Weight-stationary: the buffers are written once, so the SRAM
+      // corruption model touches them once per run.
+      fault_hook_->on_ints(PeFaultHook::Site::kWeight, wx_int, n);
+      fault_hook_->on_ints(PeFaultHook::Site::kWeight, wh_int, n);
+    }
     // Requantize multiplier M = sw * sa / 2^gate_lsb as S-bit fixed point.
     const double m_real =
         static_cast<double>(sw) * std::ldexp(1.0, act_lsb - gate_lsb);
@@ -139,6 +145,14 @@ AcceleratorRun Accelerator::run(const LstmLayerWeights& w,
     };
     q(w.wx, wx_codes);
     q(w.wh, wh_codes);
+    if (fault_hook_ != nullptr) {
+      fault_hook_->on_codes(PeFaultHook::Site::kWeight, wx_codes, n);
+      fault_hook_->on_codes(PeFaultHook::Site::kWeight, wh_codes, n);
+    }
+  }
+  if (fault_hook_ != nullptr) {
+    int_pe.set_fault_hook(fault_hook_);
+    hf_pe.set_fault_hook(fault_hook_);
   }
 
   // ----- run timesteps ------------------------------------------------------
@@ -165,6 +179,13 @@ AcceleratorRun Accelerator::run(const LstmLayerWeights& w,
       x_codes.resize(static_cast<std::size_t>(in_dim));
       for (std::int64_t i = 0; i < in_dim; ++i) {
         x_codes[static_cast<std::size_t>(i)] = af_act.encode(x[i]);
+      }
+    }
+    if (fault_hook_ != nullptr) {
+      if (cfg_.kind == PeKind::kInt) {
+        fault_hook_->on_ints(PeFaultHook::Site::kActivation, x_int, n);
+      } else {
+        fault_hook_->on_codes(PeFaultHook::Site::kActivation, x_codes, n);
       }
     }
 
@@ -299,6 +320,10 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
 
   IntPe int_pe({n, cfg_.scale_bits, cfg_.vector_size, 256}, costs_);
   HfintPe hf_pe({n, cfg_.exp_bits, cfg_.vector_size, 256}, costs_);
+  if (fault_hook_ != nullptr) {
+    int_pe.set_fault_hook(fault_hook_);
+    hf_pe.set_fault_hook(fault_hook_);
+  }
   const AdaptivFloatFormat af_act = format_for_max_abs(1.98f, n, cfg_.exp_bits);
 
   // Current activations carried in the integer act domain.
@@ -325,6 +350,9 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
           m_real * std::ldexp(1.0, cfg_.scale_bits)));
       AF_CHECK(scale_int >= 0 && scale_int < (1 << cfg_.scale_bits),
                "FC requantization scale does not fit");
+      if (fault_hook_ != nullptr) {
+        fault_hook_->on_ints(PeFaultHook::Site::kActivation, act, n);
+      }
       for (std::int64_t r = 0; r < out_dim; ++r) {
         std::vector<std::int32_t> wrow(static_cast<std::size_t>(in_dim));
         for (std::int64_t c = 0; c < in_dim; ++c) {
@@ -332,6 +360,9 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
               static_cast<std::int64_t>(
                   std::nearbyint(layer.weight[r * in_dim + c] / sw)),
               n);
+        }
+        if (fault_hook_ != nullptr) {
+          fault_hook_->on_ints(PeFaultHook::Site::kWeight, wrow, n);
         }
         auto acc = static_cast<std::int64_t>(std::nearbyint(
             layer.bias[r] /
@@ -347,12 +378,18 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
       for (std::size_t i = 0; i < act.size(); ++i) {
         act_codes[i] = hf_pe.int_to_adaptivfloat(act[i], act_lsb, af_act);
       }
+      if (fault_hook_ != nullptr) {
+        fault_hook_->on_codes(PeFaultHook::Site::kActivation, act_codes, n);
+      }
       const int unit_exp = wf.exp_bias() + af_act.exp_bias() - 2 * m;
       for (std::int64_t r = 0; r < out_dim; ++r) {
         std::vector<std::uint16_t> wrow(static_cast<std::size_t>(in_dim));
         for (std::int64_t c = 0; c < in_dim; ++c) {
           wrow[static_cast<std::size_t>(c)] =
               wf.encode(layer.weight[r * in_dim + c]);
+        }
+        if (fault_hook_ != nullptr) {
+          fault_hook_->on_codes(PeFaultHook::Site::kWeight, wrow, n);
         }
         auto acc = static_cast<std::int64_t>(std::nearbyint(
             std::ldexp(static_cast<double>(layer.bias[r]), -unit_exp)));

@@ -14,6 +14,7 @@
 
 #include "src/hw/activation_unit.hpp"
 #include "src/hw/cost_model.hpp"
+#include "src/hw/fault_hook.hpp"
 #include "src/hw/hfint_pe.hpp"
 #include "src/hw/int_pe.hpp"
 #include "src/tensor/tensor.hpp"
@@ -74,6 +75,13 @@ class Accelerator {
 
   const AcceleratorConfig& config() const { return cfg_; }
 
+  /// Installs a fault hook on the functional datapaths: the quantized
+  /// weight buffers (once, after quantization — weight-stationary), the
+  /// streamed activation operands (per step/layer) and the PE accumulators
+  /// (per vector MAC). nullptr (the default) disables injection entirely;
+  /// the run is then bit-identical to the hook-free implementation.
+  void set_fault_hook(PeFaultHook* hook) { fault_hook_ = hook; }
+
   /// Runs the LSTM over per-step inputs (each [input] floats, |x| <= ~2)
   /// through the quantized datapath.
   AcceleratorRun run(const LstmLayerWeights& w,
@@ -101,6 +109,7 @@ class Accelerator {
  private:
   AcceleratorConfig cfg_;
   CostConstants costs_;
+  PeFaultHook* fault_hook_ = nullptr;
 };
 
 /// Double-precision LSTM reference for validating the functional path.

@@ -1,0 +1,56 @@
+// Fault-injection hook interface for the PE datapaths.
+//
+// Deployed accelerators face SRAM soft errors and datapath bit flips that
+// no quantization-error study captures. The PEs and the accelerator accept
+// an optional PeFaultHook through which an external injector (see
+// src/resilience/fault_injector.hpp) can corrupt operands and accumulators
+// mid-GEMV. The hook lives in src/hw so the hardware model carries no
+// dependency on the resilience subsystem; when no hook is installed
+// (the default) every datapath is bit-identical to the hook-free
+// implementation — the pointer check is the only added work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace af {
+
+/// Observer/mutator invoked at the fault-prone points of a PE datapath.
+/// The default implementations do nothing, so an injector overrides only
+/// the sites it targets.
+class PeFaultHook {
+ public:
+  /// Where in the datapath the values being offered live.
+  enum class Site {
+    kWeight,       ///< stationary weight buffer contents
+    kActivation,   ///< streamed activation operands
+    kAccumulator,  ///< the per-lane partial-sum register
+  };
+
+  virtual ~PeFaultHook() = default;
+
+  /// AdaptivFloat code words (HFINT path), each `bits` wide.
+  virtual void on_codes(Site site, std::vector<std::uint16_t>& codes,
+                        int bits) {
+    (void)site;
+    (void)codes;
+    (void)bits;
+  }
+
+  /// Two's-complement integer operands (INT path), each `bits` wide.
+  virtual void on_ints(Site site, std::vector<std::int32_t>& vals, int bits) {
+    (void)site;
+    (void)vals;
+    (void)bits;
+  }
+
+  /// An accumulator register of `acc_bits` two's-complement bits. Any
+  /// mutation must stay within that width (the physical register cannot
+  /// hold more).
+  virtual void on_accumulator(std::int64_t& acc, int acc_bits) {
+    (void)acc;
+    (void)acc_bits;
+  }
+};
+
+}  // namespace af

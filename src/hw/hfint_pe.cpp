@@ -58,6 +58,11 @@ std::int64_t HfintPe::accumulate(std::int64_t acc,
   // ((2-2^-m)^2 < 4) and the sign add 3 bits of physical headroom.
   const std::int64_t lim = (std::int64_t{1} << (cfg_.acc_bits() + 2)) - 1;
   AF_CHECK(acc >= -lim - 1 && acc <= lim, "HFINT accumulator overflow");
+  // Datapath upset model: a flip in the physical register (acc_bits plus
+  // the 3 headroom bits noted above); stays within the register invariant.
+  if (fault_hook_ != nullptr) {
+    fault_hook_->on_accumulator(acc, cfg_.acc_bits() + 3);
+  }
   return acc;
 }
 

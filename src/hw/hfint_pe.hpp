@@ -16,6 +16,7 @@
 
 #include "src/core/adaptivfloat.hpp"
 #include "src/hw/cost_model.hpp"
+#include "src/hw/fault_hook.hpp"
 
 namespace af {
 
@@ -40,6 +41,11 @@ class HfintPe {
                    const CostConstants& costs = default_cost_constants());
 
   const HfintPeConfig& config() const { return cfg_; }
+
+  /// Installs a fault hook fired on the accumulator register after every
+  /// vector MAC (nullptr disables; the default path is then bit-identical
+  /// to the hook-free implementation).
+  void set_fault_hook(PeFaultHook* hook) { fault_hook_ = hook; }
 
   // ----- functional datapath ----------------------------------------------
 
@@ -88,6 +94,7 @@ class HfintPe {
  private:
   HfintPeConfig cfg_;
   CostConstants costs_;
+  PeFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace af

@@ -48,6 +48,11 @@ std::int64_t IntPe::accumulate(std::int64_t acc,
   const std::int64_t acc_lim = (std::int64_t{1} << (cfg_.acc_bits() - 1)) - 1;
   AF_CHECK(acc >= -acc_lim - 1 && acc <= acc_lim,
            "accumulator overflow: more than H partial sums?");
+  // Datapath upset model: a flip in the sized accumulator register. The
+  // hook mutates within acc_bits, so the register invariant still holds.
+  if (fault_hook_ != nullptr) {
+    fault_hook_->on_accumulator(acc, cfg_.acc_bits());
+  }
   return acc;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/hw/cost_model.hpp"
+#include "src/hw/fault_hook.hpp"
 
 namespace af {
 
@@ -41,6 +42,11 @@ class IntPe {
                  const CostConstants& costs = default_cost_constants());
 
   const IntPeConfig& config() const { return cfg_; }
+
+  /// Installs a fault hook fired on the accumulator register after every
+  /// vector MAC (nullptr disables; the default path is then bit-identical
+  /// to the hook-free implementation).
+  void set_fault_hook(PeFaultHook* hook) { fault_hook_ = hook; }
 
   // ----- functional datapath ----------------------------------------------
 
@@ -80,6 +86,7 @@ class IntPe {
  private:
   IntPeConfig cfg_;
   CostConstants costs_;
+  PeFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace af

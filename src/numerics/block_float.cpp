@@ -33,7 +33,9 @@ void BlockFloatQuantizer::calibrate_max_abs(float max_abs) {
 
 float BlockFloatQuantizer::quantize_value(float x) const {
   if (step_ == 0.0f || x == 0.0f || std::isnan(x)) return 0.0f;
-  auto q = static_cast<std::int64_t>(std::nearbyint(x / step_));
+  // Clamp in the double domain before narrowing: casting an infinite or
+  // huge quotient (Inf inputs, tiny steps) straight to an integer is UB.
+  double q = std::nearbyint(static_cast<double>(x) / step_);
   if (q > mant_max_) q = mant_max_;
   if (q < -mant_max_) q = -mant_max_;
   return static_cast<float>(q) * step_;

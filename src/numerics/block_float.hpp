@@ -26,6 +26,9 @@ class BlockFloatQuantizer final : public Quantizer {
   void calibrate(const Tensor& t) override;
   void calibrate_max_abs(float max_abs) override;
   float quantize_value(float x) const override;
+  float value_range() const override {
+    return step_ * static_cast<float>(mant_max_);
+  }
 
   /// Shared (unbiased) exponent chosen by the last calibration.
   int shared_exp() const { return shared_exp_; }

@@ -35,7 +35,9 @@ class FloatFormat {
   float value_min() const;
 
   float decode(std::uint16_t code) const;
-  std::uint16_t encode(float x) const;  ///< nearest, ties-to-even mantissa
+  /// Nearest, ties-to-even mantissa. Non-finite inputs are well-defined:
+  /// NaN encodes to the zero code, +/-Inf saturates to +/-value_max.
+  std::uint16_t encode(float x) const;
   float quantize(float x) const { return decode(encode(x)); }
 
   /// All representable values sorted ascending (one zero entry).
@@ -59,6 +61,7 @@ class FloatQuantizer final : public Quantizer {
   bool self_adaptive() const override { return false; }
   void calibrate(const Tensor&) override {}  // fixed range by construction
   float quantize_value(float x) const override { return fmt_.quantize(x); }
+  float value_range() const override { return fmt_.value_max(); }
 
   const FloatFormat& format() const { return fmt_; }
 

@@ -48,7 +48,9 @@ class PositFormat {
 };
 
 /// Quantizer adapter (non-adaptive). Rounds to the nearest representable
-/// posit value with posit saturation semantics.
+/// posit value with posit saturation semantics. Non-finite inputs are
+/// well-defined: NaN maps to 0 (NaR is never produced), +/-Inf saturates
+/// to +/-maxpos.
 class PositQuantizer final : public Quantizer {
  public:
   PositQuantizer(int bits, int es);
@@ -58,6 +60,7 @@ class PositQuantizer final : public Quantizer {
   bool self_adaptive() const override { return false; }
   void calibrate(const Tensor&) override {}
   float quantize_value(float x) const override;
+  float value_range() const override { return positives_.back(); }
 
   const PositFormat& format() const { return fmt_; }
 

@@ -7,6 +7,14 @@
 
 namespace af {
 
+float Quantizer::harden(float x) const {
+  if (std::isnan(x)) return 0.0f;
+  const float r = value_range();
+  if (x > r) return r;
+  if (x < -r) return -r;
+  return x;
+}
+
 Tensor Quantizer::quantize(const Tensor& t) const {
   Tensor out(t.shape());
   for (std::int64_t i = 0; i < t.numel(); ++i) {

@@ -41,7 +41,20 @@ class Quantizer {
   virtual void calibrate_max_abs(float max_abs) { (void)max_abs; }
 
   /// Quantizes a single value to the nearest representable datapoint.
+  /// Non-finite inputs are defined deterministically for every format:
+  /// NaN maps to 0, +/-Inf saturates to +/-value_range().
   virtual float quantize_value(float x) const = 0;
+
+  /// Largest magnitude the format can emit after the last calibration
+  /// (value_max / maxpos / level_max * scale). Infinity until a
+  /// self-adaptive format is first calibrated only if the format has no
+  /// intrinsic bound; every implementation here returns a finite value.
+  virtual float value_range() const = 0;
+
+  /// Hardened decode guard: clamps a (possibly corrupted) decoded value
+  /// into the calibrated [-value_range, value_range] window and maps NaN
+  /// to 0, so a bit flip can never emit a huge outlier into the network.
+  float harden(float x) const;
 
   /// Elementwise tensor quantization (default: quantize_value per element).
   virtual Tensor quantize(const Tensor& t) const;

@@ -45,6 +45,7 @@ class AdaptivFloatQuantizer final : public Quantizer {
   void calibrate(const Tensor& t) override;
   void calibrate_max_abs(float max_abs) override;
   float quantize_value(float x) const override;
+  float value_range() const override { return fmt_.value_max(); }
 
   /// Format chosen by the last calibration.
   const AdaptivFloatFormat& format() const { return fmt_; }

@@ -23,7 +23,9 @@ void UniformQuantizer::calibrate_max_abs(float max_abs) {
 
 float UniformQuantizer::quantize_value(float x) const {
   if (scale_ == 0.0f || x == 0.0f || std::isnan(x)) return 0.0f;
-  auto q = static_cast<std::int64_t>(std::nearbyint(x / scale_));
+  // Clamp in the double domain before narrowing: casting an infinite or
+  // huge quotient (Inf inputs, tiny scales) straight to an integer is UB.
+  double q = std::nearbyint(static_cast<double>(x) / scale_);
   if (q > level_max_) q = level_max_;
   if (q < -level_max_) q = -level_max_;
   return static_cast<float>(q) * scale_;

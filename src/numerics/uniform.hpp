@@ -23,6 +23,9 @@ class UniformQuantizer final : public Quantizer {
   void calibrate(const Tensor& t) override;
   void calibrate_max_abs(float max_abs) override;
   float quantize_value(float x) const override;
+  float value_range() const override {
+    return scale_ * static_cast<float>(level_max_);
+  }
 
   /// Scale chosen by the last calibration (0 for an all-zero tensor).
   float scale() const { return scale_; }

@@ -1,0 +1,67 @@
+// Bit-level codecs for all five evaluation formats.
+//
+// The fake-quantizers in src/numerics never materialize bit patterns, but a
+// fault-injection study needs them: a bit flip happens to a *stored code*,
+// and what that flip costs depends on how the format assigns meaning to
+// bits. This module gives every FormatKind an n-bit encode/decode pair so
+// the resilience sweep can corrupt packed payloads uniformly:
+//   * AdaptivFloat — the native codec (codes bracketed by the calibrated
+//     exp_bias, so any flip lands within +/-value_max);
+//   * Float — IEEE-like fields with fixed bias (an exponent-MSB flip can
+//     scale a weight by 2^8);
+//   * Posit — two's-complement ring with regime bits (a sign-adjacent flip
+//     can jump to maxpos);
+//   * Uniform / BFP — two's-complement integer levels (flips bounded by
+//     ~2x the calibrated range).
+// decode() is the raw hardware behaviour; decode_hardened() is the
+// protected path that saturates into the calibrated range and maps NaN
+// (posit NaR) to 0.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/numerics/registry.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Encode/decode between FP32 values and n-bit storage codes for one
+/// calibrated format instance.
+class FormatCodec {
+ public:
+  virtual ~FormatCodec() = default;
+
+  virtual std::string name() const = 0;
+  virtual int bits() const = 0;
+
+  /// Nearest-representable encoding (calibration baked in at creation).
+  virtual std::uint16_t encode(float x) const = 0;
+
+  /// Raw decode of an arbitrary (possibly corrupted) code — exactly what
+  /// an unprotected datapath would emit, huge outliers and all.
+  virtual float decode(std::uint16_t code) const = 0;
+
+  /// Calibrated clamp window of the hardened path.
+  virtual float range() const = 0;
+
+  /// Hardened decode: decode(), then saturate into [-range, range] and map
+  /// NaN to 0. A corrupted code can still be *wrong*, but never explosive.
+  float decode_hardened(std::uint16_t code) const;
+
+  /// Elementwise helpers for whole tensors.
+  std::vector<std::uint16_t> encode_tensor(const Tensor& t) const;
+  Tensor decode_tensor(const std::vector<std::uint16_t>& codes,
+                       const Shape& shape, bool hardened) const;
+};
+
+/// Creates a codec of the given kind/width calibrated for data whose
+/// max-abs is `max_abs` (ignored by the non-adaptive Float and Posit,
+/// except for the hardened clamp window). Exponent-field defaults follow
+/// make_quantizer.
+std::unique_ptr<FormatCodec> make_codec(FormatKind kind, int bits,
+                                        float max_abs,
+                                        QuantizerOptions opts = {});
+
+}  // namespace af

@@ -1,0 +1,152 @@
+#include "src/resilience/fault_injector.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg) {
+  AF_CHECK(cfg_.bit_error_rate >= 0.0 && cfg_.bit_error_rate <= 1.0,
+           "bit_error_rate must be a probability");
+  AF_CHECK(cfg_.burst_length >= 1, "burst_length must be positive");
+  reset();
+}
+
+void FaultInjector::reset() {
+  // PCG32 seeding (matches Pcg32 in src/util/rng.hpp; inlined here so the
+  // injector can re-seed without carrying a second seed copy).
+  rng_state_ = 0;
+  rng_inc_ = (0x5851f42d4c957f2dULL << 1u) | 1u;
+  next_u32();
+  rng_state_ += cfg_.seed;
+  next_u32();
+  stats_ = FaultStats{};
+  gap_ = 0;
+  gap_valid_ = false;
+}
+
+std::uint32_t FaultInjector::next_u32() {
+  const std::uint64_t old = rng_state_;
+  rng_state_ = old * 6364136223846793005ULL + rng_inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double FaultInjector::next_double() {
+  return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+std::int64_t FaultInjector::sample_gap() {
+  // Geometric(p): number of non-event bits before the next event.
+  const double p = cfg_.bit_error_rate;
+  if (p >= 1.0) return 0;
+  const double u = next_double();
+  // floor(log(1-u) / log(1-p)); log1p keeps precision at tiny p.
+  const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  // Guard the pathological u ~ 1 tail against overflowing int64.
+  if (g > 9.0e18) return std::int64_t{9'000'000'000'000'000'000};
+  return static_cast<std::int64_t>(g);
+}
+
+std::vector<std::int64_t> FaultInjector::draw_flips(std::int64_t nbits) {
+  std::vector<std::int64_t> flips;
+  stats_.bits_seen += nbits;
+  if (cfg_.bit_error_rate <= 0.0 || nbits <= 0) return flips;
+  std::int64_t pos = 0;
+  for (;;) {
+    if (!gap_valid_) {
+      gap_ = sample_gap();
+      gap_valid_ = true;
+    }
+    if (gap_ >= nbits - pos) {
+      gap_ -= nbits - pos;  // event falls beyond this payload; carry over
+      return flips;
+    }
+    pos += gap_;
+    gap_valid_ = false;
+    ++stats_.events;
+    const int len = cfg_.model == FaultModel::kBurst ? cfg_.burst_length : 1;
+    for (int b = 0; b < len && pos + b < nbits; ++b) {
+      flips.push_back(pos + b);
+      ++stats_.bits_flipped;
+    }
+    pos += len;  // a burst occupies its whole window in the stream
+    if (pos >= nbits) return flips;
+  }
+}
+
+void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& bytes) {
+  const auto nbits = static_cast<std::int64_t>(bytes.size()) * 8;
+  for (std::int64_t f : draw_flips(nbits)) {
+    bytes[static_cast<std::size_t>(f >> 3)] ^=
+        static_cast<std::uint8_t>(1u << (f & 7));
+  }
+}
+
+void FaultInjector::corrupt_codes(std::vector<std::uint16_t>& codes,
+                                  int bits) {
+  AF_CHECK(bits >= 1 && bits <= 16, "code width must be in [1,16]");
+  const auto nbits =
+      static_cast<std::int64_t>(codes.size()) * static_cast<std::int64_t>(bits);
+  for (std::int64_t f : draw_flips(nbits)) {
+    codes[static_cast<std::size_t>(f / bits)] ^=
+        static_cast<std::uint16_t>(1u << (f % bits));
+  }
+}
+
+float FaultInjector::corrupt_value(float v) {
+  std::uint32_t image = 0;
+  std::memcpy(&image, &v, sizeof(image));
+  for (std::int64_t f : draw_flips(32)) {
+    image ^= 1u << f;
+  }
+  std::memcpy(&v, &image, sizeof(v));
+  return v;
+}
+
+void FaultInjector::on_codes(Site site, std::vector<std::uint16_t>& codes,
+                             int bits) {
+  (void)site;
+  corrupt_codes(codes, bits);
+}
+
+void FaultInjector::on_ints(Site site, std::vector<std::int32_t>& vals,
+                            int bits) {
+  (void)site;
+  AF_CHECK(bits >= 2 && bits <= 32, "operand width out of range");
+  const auto nbits =
+      static_cast<std::int64_t>(vals.size()) * static_cast<std::int64_t>(bits);
+  const std::uint32_t mask =
+      bits == 32 ? 0xffffffffu : ((1u << bits) - 1u);
+  for (std::int64_t f : draw_flips(nbits)) {
+    auto& v = vals[static_cast<std::size_t>(f / bits)];
+    std::uint32_t word = static_cast<std::uint32_t>(v) & mask;
+    word ^= 1u << (f % bits);
+    // Sign-extend back from the stored width.
+    if (word & (1u << (bits - 1))) word |= ~mask;
+    v = static_cast<std::int32_t>(word);
+  }
+}
+
+void FaultInjector::on_accumulator(std::int64_t& acc, int acc_bits) {
+  AF_CHECK(acc_bits >= 2 && acc_bits <= 64, "accumulator width out of range");
+  const auto flips = draw_flips(acc_bits);
+  if (flips.empty()) return;
+  const std::uint64_t mask = acc_bits == 64
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << acc_bits) - 1);
+  std::uint64_t word = static_cast<std::uint64_t>(acc) & mask;
+  for (std::int64_t f : flips) {
+    word ^= std::uint64_t{1} << f;
+  }
+  if (acc_bits < 64 && (word & (std::uint64_t{1} << (acc_bits - 1)))) {
+    word |= ~mask;
+  }
+  acc = static_cast<std::int64_t>(word);
+}
+
+}  // namespace af

@@ -1,0 +1,85 @@
+// Seeded, deterministic bit-error injection.
+//
+// The injector models the two dominant deployment fault mechanisms: SRAM
+// soft errors in the packed weight store (corrupt_bytes / corrupt_codes)
+// and datapath upsets inside the PEs (via the PeFaultHook interface the
+// hardware model exposes). Faults are drawn from a virtual Bernoulli bit
+// stream realized by geometric gap sampling, so the flip positions depend
+// only on the seed and on how many bits have been offered — the same seed
+// replays the exact same fault pattern, which is what makes bit-error
+// sweeps reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/fault_hook.hpp"
+
+namespace af {
+
+/// Temporal structure of fault events.
+enum class FaultModel {
+  kSingleBit,  ///< independent single-bit flips at the configured rate
+  kBurst,      ///< each event flips `burst_length` consecutive bits
+};
+
+struct FaultConfig {
+  /// Probability that any given stored/latched bit starts a fault event.
+  double bit_error_rate = 0.0;
+  FaultModel model = FaultModel::kSingleBit;
+  int burst_length = 4;  ///< consecutive bits per event (kBurst only)
+  std::uint64_t seed = 0;
+};
+
+struct FaultStats {
+  std::int64_t bits_seen = 0;     ///< bits offered to the injector
+  std::int64_t bits_flipped = 0;  ///< bits actually inverted
+  std::int64_t events = 0;        ///< fault events (a burst counts once)
+};
+
+/// Deterministic fault source. Also usable as a PE datapath hook.
+class FaultInjector final : public PeFaultHook {
+ public:
+  explicit FaultInjector(FaultConfig cfg);
+
+  const FaultConfig& config() const { return cfg_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Re-seeds the stream and zeroes the statistics, so the same sequence of
+  /// corrupt_* calls replays the exact same flips.
+  void reset();
+
+  /// Flips bits of a packed payload in place (SRAM weight-store model).
+  void corrupt_bytes(std::vector<std::uint8_t>& bytes);
+
+  /// Flips bits of n-bit code words in place; flips never escape the low
+  /// `bits` of each word (the stored word is only `bits` wide).
+  void corrupt_codes(std::vector<std::uint16_t>& codes, int bits);
+
+  /// Flips bits of the IEEE-754 image of an FP32 value (decoded-activation
+  /// corruption model).
+  float corrupt_value(float v);
+
+  // ----- PeFaultHook --------------------------------------------------------
+  void on_codes(Site site, std::vector<std::uint16_t>& codes,
+                int bits) override;
+  void on_ints(Site site, std::vector<std::int32_t>& vals, int bits) override;
+  void on_accumulator(std::int64_t& acc, int acc_bits) override;
+
+ private:
+  /// Positions (relative bit indices in [0, nbits)) of this call's flips.
+  std::vector<std::int64_t> draw_flips(std::int64_t nbits);
+
+  FaultConfig cfg_;
+  FaultStats stats_;
+  std::uint64_t rng_state_ = 0;
+  std::uint64_t rng_inc_ = 0;
+  std::int64_t gap_ = 0;        ///< bits until the next fault event
+  bool gap_valid_ = false;
+
+  std::uint32_t next_u32();
+  double next_double();
+  std::int64_t sample_gap();
+};
+
+}  // namespace af

@@ -1,0 +1,184 @@
+#include "src/resilience/protection.hpp"
+
+#include <algorithm>
+
+#include "src/core/algorithm1.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+std::uint8_t word_parity(std::uint16_t code) {
+  std::uint16_t v = code;
+  v ^= static_cast<std::uint16_t>(v >> 8);
+  v ^= static_cast<std::uint16_t>(v >> 4);
+  v ^= static_cast<std::uint16_t>(v >> 2);
+  v ^= static_cast<std::uint16_t>(v >> 1);
+  return static_cast<std::uint8_t>(v & 1u);
+}
+
+std::uint8_t block_checksum(const std::vector<std::uint16_t>& codes,
+                            std::size_t begin, std::size_t end) {
+  // 8-bit additive checksum over both bytes of every word — an adder per
+  // written word in hardware.
+  std::uint32_t sum = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum += codes[i] & 0xffu;
+    sum += (codes[i] >> 8) & 0xffu;
+  }
+  return static_cast<std::uint8_t>(sum & 0xffu);
+}
+
+}  // namespace
+
+const char* protection_mode_name(ProtectionMode mode) {
+  switch (mode) {
+    case ProtectionMode::kNone: return "none";
+    case ProtectionMode::kParity: return "parity";
+    case ProtectionMode::kParityChecksum: return "parity+checksum";
+  }
+  fail("unknown ProtectionMode");
+}
+
+ProtectedCodes::ProtectedCodes(const std::vector<std::uint16_t>& codes,
+                               int bits, ProtectionMode mode, int block_words)
+    : bits_(bits),
+      count_(codes.size()),
+      mode_(mode),
+      block_words_(block_words) {
+  AF_CHECK(block_words_ >= 1, "block size must be positive");
+  payload_ = pack_codes(codes, bits_);
+  if (mode_ != ProtectionMode::kNone) {
+    parity_.assign((count_ + 7) / 8, 0);
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (word_parity(codes[i])) {
+        parity_[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+      }
+    }
+  }
+  if (mode_ == ProtectionMode::kParityChecksum) {
+    const std::size_t blocks =
+        (count_ + static_cast<std::size_t>(block_words_) - 1) /
+        static_cast<std::size_t>(block_words_);
+    checksums_.resize(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * static_cast<std::size_t>(block_words_);
+      const std::size_t end =
+          std::min(count_, begin + static_cast<std::size_t>(block_words_));
+      checksums_[b] = block_checksum(codes, begin, end);
+    }
+  }
+}
+
+double ProtectedCodes::storage_overhead() const {
+  const double payload_bits =
+      static_cast<double>(count_) * static_cast<double>(bits_);
+  if (payload_bits == 0.0) return 0.0;
+  double sidecar_bits = 0.0;
+  if (mode_ != ProtectionMode::kNone) {
+    sidecar_bits += static_cast<double>(count_);  // one parity bit per word
+  }
+  if (mode_ == ProtectionMode::kParityChecksum) {
+    sidecar_bits += 8.0 * static_cast<double>(checksums_.size());
+  }
+  return sidecar_bits / payload_bits;
+}
+
+std::vector<std::uint16_t> ProtectedCodes::codes() const {
+  return unpack_codes(payload_, bits_, count_, StrayBits::kMask);
+}
+
+ScrubReport ProtectedCodes::scrub() {
+  ScrubReport report;
+  report.words = static_cast<std::int64_t>(count_);
+  auto codes = unpack_codes(payload_, bits_, count_, StrayBits::kMask);
+  if (mode_ == ProtectionMode::kNone) return report;
+
+  // Pass 1: per-word parity, detect-and-zero.
+  std::vector<bool> word_bad(count_, false);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint8_t stored = (parity_[i >> 3] >> (i & 7)) & 1u;
+    if (word_parity(codes[i]) != stored) {
+      word_bad[i] = true;
+      codes[i] = 0;
+      ++report.parity_errors;
+      ++report.words_zeroed;
+    }
+  }
+
+  // Pass 2: per-block checksum. A block that disagreed before repair and
+  // still disagrees after (parity saw nothing there) hides an even number
+  // of flips inside one word — zero the whole block.
+  if (mode_ == ProtectionMode::kParityChecksum) {
+    report.blocks = static_cast<std::int64_t>(checksums_.size());
+    for (std::size_t b = 0; b < checksums_.size(); ++b) {
+      const std::size_t begin = b * static_cast<std::size_t>(block_words_);
+      const std::size_t end =
+          std::min(count_, begin + static_cast<std::size_t>(block_words_));
+      bool any_parity_repair = false;
+      for (std::size_t i = begin; i < end; ++i) {
+        any_parity_repair = any_parity_repair || word_bad[i];
+      }
+      if (block_checksum(codes, begin, end) == checksums_[b]) continue;
+      ++report.checksum_errors;
+      if (any_parity_repair) continue;  // mismatch explained by zeroing
+      ++report.residual_blocks;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (codes[i] != 0) {
+          codes[i] = 0;
+          ++report.words_zeroed;
+        }
+      }
+    }
+  }
+
+  // Write the repaired codes back (also clears any stray tail-bit flips)
+  // and bring the sidecar in line with what was written — a hardware
+  // scrubber updates parity/checksum along with the repaired word, which is
+  // what makes repeated scrubs of a repaired payload report clean.
+  payload_ = pack_codes(codes, bits_);
+  if (report.words_zeroed > 0) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const auto bit = static_cast<std::uint8_t>(1u << (i & 7));
+      if (word_parity(codes[i])) {
+        parity_[i >> 3] |= bit;
+      } else {
+        parity_[i >> 3] &= static_cast<std::uint8_t>(~bit);
+      }
+    }
+    for (std::size_t b = 0; b < checksums_.size(); ++b) {
+      const std::size_t begin = b * static_cast<std::size_t>(block_words_);
+      const std::size_t end =
+          std::min(count_, begin + static_cast<std::size_t>(block_words_));
+      checksums_[b] = block_checksum(codes, begin, end);
+    }
+  }
+  return report;
+}
+
+ProtectedPackedTensor::ProtectedPackedTensor(const Tensor& w, int bits,
+                                             int exp_bits,
+                                             ProtectionMode mode,
+                                             int block_words)
+    : format_(format_for_tensor(w, bits, exp_bits)),
+      shape_(w.shape()),
+      codes_([&] {
+        auto res = adaptivfloat_quantize(w, bits, exp_bits);
+        return ProtectedCodes(res.codes, bits, mode, block_words);
+      }()) {}
+
+void ProtectedPackedTensor::inject(FaultInjector& injector) {
+  injector.corrupt_bytes(codes_.payload());
+}
+
+Tensor ProtectedPackedTensor::unpack() const {
+  const auto codes = codes_.codes();
+  Tensor out(shape_);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[static_cast<std::int64_t>(i)] = format_.decode(codes[i]);
+  }
+  return out;
+}
+
+}  // namespace af

@@ -1,0 +1,121 @@
+// Lightweight storage protection for packed code words.
+//
+// Two cheap hardware mechanisms, modeled after what a weight buffer can
+// afford: one parity bit per stored code word and one 8-bit additive
+// checksum per block of words. The repair policy is detect-and-zero: a
+// parity mismatch zeroes the word, and a block whose checksum still
+// disagrees after parity repair (an even number of flips inside one word —
+// invisible to parity) is zeroed wholesale. Zeroing is cheap and *bounded*
+// in AdaptivFloat because the all-zero code is exact 0 — and in fact code 0
+// decodes to 0 in every format of the paper's evaluation (AdaptivFloat,
+// Float, BFP, Uniform, Posit), so the policy is format-agnostic.
+//
+// The parity/checksum sidecar is assumed to live in hardened storage
+// (flops or ECC-protected SRAM); only the payload is exposed to injection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/adaptivfloat.hpp"
+#include "src/core/bitpack.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+class FaultInjector;
+
+/// Storage protection level for packed tensors.
+enum class ProtectionMode {
+  kNone,            ///< raw payload, no detection
+  kParity,          ///< per-word parity, detect-and-zero
+  kParityChecksum,  ///< parity + per-block checksum (catches even flips)
+};
+
+/// "none" / "parity" / "parity+checksum".
+const char* protection_mode_name(ProtectionMode mode);
+
+/// What a scrub pass found and repaired.
+struct ScrubReport {
+  std::int64_t words = 0;            ///< code words checked
+  std::int64_t parity_errors = 0;    ///< words zeroed by parity mismatch
+  std::int64_t blocks = 0;           ///< checksum blocks checked
+  std::int64_t checksum_errors = 0;  ///< blocks flagged (pre-repair)
+  std::int64_t residual_blocks = 0;  ///< blocks zeroed after parity repair
+  std::int64_t words_zeroed = 0;     ///< total words cleared to code 0
+
+  bool clean() const { return parity_errors == 0 && checksum_errors == 0; }
+};
+
+/// A packed stream of n-bit code words plus its protection sidecar.
+class ProtectedCodes {
+ public:
+  ProtectedCodes(const std::vector<std::uint16_t>& codes, int bits,
+                 ProtectionMode mode, int block_words = 64);
+
+  int bits() const { return bits_; }
+  std::size_t count() const { return count_; }
+  ProtectionMode mode() const { return mode_; }
+  int block_words() const { return block_words_; }
+
+  /// The packed payload — the bytes a fault injector corrupts.
+  std::vector<std::uint8_t>& payload() { return payload_; }
+  const std::vector<std::uint8_t>& payload() const { return payload_; }
+
+  /// Sidecar bits (parity + checksums) per payload bit.
+  double storage_overhead() const;
+
+  /// Detects corrupted words against the sidecar, zeroes them in the
+  /// payload, and reports what happened. Idempotent on a clean payload.
+  ScrubReport scrub();
+
+  /// Current code words (post-corruption / post-scrub). Stray tail bits are
+  /// masked, never trusted.
+  std::vector<std::uint16_t> codes() const;
+
+ private:
+  int bits_;
+  std::size_t count_;
+  ProtectionMode mode_;
+  int block_words_;
+  std::vector<std::uint8_t> payload_;
+  std::vector<std::uint8_t> parity_;    // packed, one bit per word
+  std::vector<std::uint8_t> checksums_; // one byte per block
+};
+
+/// A PackedAdaptivFloatTensor with protection: the deployment-format weight
+/// buffer hardened against soft errors.
+class ProtectedPackedTensor {
+ public:
+  /// Quantizes with Algorithm 1 (bias from max-abs), packs and protects.
+  ProtectedPackedTensor(const Tensor& w, int bits, int exp_bits,
+                        ProtectionMode mode, int block_words = 64);
+
+  const AdaptivFloatFormat& format() const { return format_; }
+  const Shape& shape() const { return shape_; }
+  ProtectionMode mode() const { return codes_.mode(); }
+
+  /// Corruptible payload bytes.
+  std::vector<std::uint8_t>& payload() { return codes_.payload(); }
+
+  /// Injects faults into the payload (convenience over payload()).
+  void inject(FaultInjector& injector);
+
+  /// Detect-and-zero repair pass.
+  ScrubReport scrub() { return codes_.scrub(); }
+
+  double storage_overhead() const { return codes_.storage_overhead(); }
+
+  /// Decodes the current payload. AdaptivFloat decode is inherently
+  /// bounded (every code maps into [-value_max, value_max]), so no extra
+  /// clamping is needed here — that boundedness is the format's resilience
+  /// argument.
+  Tensor unpack() const;
+
+ private:
+  AdaptivFloatFormat format_;
+  Shape shape_;
+  ProtectedCodes codes_;
+};
+
+}  // namespace af

@@ -36,6 +36,53 @@ TEST(UnpackCodes, RejectsShortPayload) {
   EXPECT_THROW(unpack_codes({0xFF}, 4, 3), Error);
 }
 
+TEST(UnpackCodes, RejectsStrayHighBitsInFinalByte) {
+  // Three 3-bit codes occupy 9 bits = 2 bytes; the final byte's top 7 bits
+  // must be zero. Flip one of them and kReject must refuse the payload.
+  auto bytes = pack_codes({0x5, 0x2, 0x7}, 3);
+  ASSERT_EQ(bytes.size(), 2u);
+  auto clean = unpack_codes(bytes, 3, 3);
+  bytes[1] |= 0x80;  // stray bit beyond the 9 used bits
+  EXPECT_THROW(unpack_codes(bytes, 3, 3), Error);
+  // kMask accepts the same payload and ignores the stray bit.
+  auto masked = unpack_codes(bytes, 3, 3, StrayBits::kMask);
+  EXPECT_EQ(masked, clean);
+}
+
+TEST(UnpackCodes, StrayPolicyIrrelevantForFullFinalByte) {
+  // 8-bit codes fill every byte; there are no stray bits to police.
+  auto bytes = pack_codes({0xAB, 0xCD}, 8);
+  EXPECT_EQ(unpack_codes(bytes, 8, 2), unpack_codes(bytes, 8, 2, StrayBits::kMask));
+}
+
+TEST(UnpackCodes, FuzzRoundTripWithStrayBitChecks) {
+  Pcg32 rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int bits = 1 + static_cast<int>(rng.next_below(16));
+    const std::size_t count = 1 + rng.next_below(64);
+    std::vector<std::uint16_t> codes(count);
+    for (auto& c : codes) {
+      c = static_cast<std::uint16_t>(rng.next_below(1u << bits));
+    }
+    auto bytes = pack_codes(codes, bits);
+    // Clean payloads round-trip under both policies.
+    EXPECT_EQ(unpack_codes(bytes, bits, count), codes);
+    EXPECT_EQ(unpack_codes(bytes, bits, count, StrayBits::kMask), codes);
+    // Corrupt a random stray bit (when the final byte has any): kReject
+    // throws, kMask still returns the original codes.
+    const std::size_t used_bits = count * static_cast<std::size_t>(bits);
+    const int tail_bits = static_cast<int>(used_bits % 8);
+    if (tail_bits != 0) {
+      const int stray = tail_bits + static_cast<int>(
+          rng.next_below(static_cast<std::uint32_t>(8 - tail_bits)));
+      bytes.back() = static_cast<std::uint8_t>(bytes.back() | (1u << stray));
+      EXPECT_THROW(unpack_codes(bytes, bits, count), Error) << bits;
+      EXPECT_EQ(unpack_codes(bytes, bits, count, StrayBits::kMask), codes)
+          << bits;
+    }
+  }
+}
+
 TEST(PackedTensor, QuantizePackUnpackMatchesAlgorithm1) {
   Pcg32 rng(2);
   Tensor w = Tensor::randn({17, 9}, rng, 2.0f);

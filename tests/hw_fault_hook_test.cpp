@@ -1,0 +1,197 @@
+// Fault-hook wiring in the hardware model: disabled hooks must be exactly
+// free (bit-identical outputs to the hook-free path), enabled hooks must
+// perturb the datapath deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/accelerator.hpp"
+#include "src/hw/hfint_pe.hpp"
+#include "src/hw/int_pe.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+LstmLayerWeights small_lstm_weights(std::int64_t hidden, std::int64_t input,
+                                    std::uint64_t seed) {
+  Pcg32 rng(seed);
+  LstmLayerWeights w;
+  w.wx = Tensor::randn({4 * hidden, input}, rng, 0.4f);
+  w.wh = Tensor::randn({4 * hidden, hidden}, rng, 0.4f);
+  w.bias = Tensor::randn({4 * hidden}, rng, 0.2f);
+  return w;
+}
+
+std::vector<Tensor> small_inputs(std::int64_t input, int steps,
+                                 std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < steps; ++t) {
+    xs.push_back(Tensor::rand_uniform({input}, rng, -1.5f, 1.5f));
+  }
+  return xs;
+}
+
+AcceleratorConfig small_config(PeKind kind) {
+  AcceleratorConfig cfg;
+  cfg.kind = kind;
+  cfg.hidden = 32;
+  cfg.input = 32;
+  cfg.vector_size = 8;
+  return cfg;
+}
+
+// A hook that counts callbacks without perturbing anything: proves the
+// sites actually fire.
+class CountingHook final : public PeFaultHook {
+ public:
+  void on_codes(Site site, std::vector<std::uint16_t>&, int) override {
+    count(site);
+  }
+  void on_ints(Site site, std::vector<std::int32_t>&, int) override {
+    count(site);
+  }
+  void on_accumulator(std::int64_t&, int) override { accumulator_calls++; }
+
+  int weight_calls = 0;
+  int activation_calls = 0;
+  int accumulator_calls = 0;
+
+ private:
+  void count(Site site) {
+    if (site == Site::kWeight) weight_calls++;
+    if (site == Site::kActivation) activation_calls++;
+  }
+};
+
+TEST(FaultHook, NullHookIsBitIdenticalToZeroRateHook) {
+  for (PeKind kind : {PeKind::kInt, PeKind::kHfint}) {
+    auto w = small_lstm_weights(32, 32, 1);
+    auto xs = small_inputs(32, 4, 2);
+
+    Accelerator plain(small_config(kind));
+    AcceleratorRun base = plain.run(w, xs);
+
+    FaultInjector zero_rate(FaultConfig{0.0, FaultModel::kSingleBit, 4, 9});
+    Accelerator hooked(small_config(kind));
+    hooked.set_fault_hook(&zero_rate);
+    AcceleratorRun same = hooked.run(w, xs);
+
+    ASSERT_EQ(base.final_h.size(), same.final_h.size());
+    for (std::size_t i = 0; i < base.final_h.size(); ++i) {
+      EXPECT_EQ(base.final_h[i], same.final_h[i]) << i;
+    }
+    EXPECT_EQ(base.cycles, same.cycles);
+  }
+}
+
+TEST(FaultHook, AllSitesFireDuringLstmRun) {
+  for (PeKind kind : {PeKind::kInt, PeKind::kHfint}) {
+    auto w = small_lstm_weights(32, 32, 3);
+    auto xs = small_inputs(32, 3, 4);
+    CountingHook hook;
+    Accelerator acc(small_config(kind));
+    acc.set_fault_hook(&hook);
+    acc.run(w, xs);
+    EXPECT_GT(hook.weight_calls, 0);      // once after quantization
+    EXPECT_GT(hook.activation_calls, 0);  // once per timestep
+    EXPECT_GT(hook.accumulator_calls, 0); // once per vector MAC
+  }
+}
+
+TEST(FaultHook, AllSitesFireDuringFcRun) {
+  Pcg32 rng(5);
+  std::vector<FcLayer> layers(2);
+  layers[0] = {Tensor::randn({24, 32}, rng, 0.4f),
+               Tensor::randn({24}, rng, 0.2f), true};
+  layers[1] = {Tensor::randn({10, 24}, rng, 0.4f),
+               Tensor::randn({10}, rng, 0.2f), false};
+  Tensor x = Tensor::rand_uniform({32}, rng, -1.0f, 1.0f);
+  for (PeKind kind : {PeKind::kInt, PeKind::kHfint}) {
+    CountingHook hook;
+    Accelerator acc(small_config(kind));
+    acc.set_fault_hook(&hook);
+    acc.run_fc(layers, x);
+    EXPECT_GT(hook.weight_calls, 0);
+    EXPECT_GT(hook.activation_calls, 0);
+    EXPECT_GT(hook.accumulator_calls, 0);
+  }
+}
+
+TEST(FaultHook, NonzeroRatePerturbsAndReplays) {
+  for (PeKind kind : {PeKind::kInt, PeKind::kHfint}) {
+    auto w = small_lstm_weights(32, 32, 6);
+    auto xs = small_inputs(32, 4, 7);
+
+    Accelerator plain(small_config(kind));
+    AcceleratorRun base = plain.run(w, xs);
+
+    const FaultConfig cfg{5e-3, FaultModel::kSingleBit, 4, 31337};
+    FaultInjector inj1(cfg);
+    Accelerator acc1(small_config(kind));
+    acc1.set_fault_hook(&inj1);
+    AcceleratorRun faulty1 = acc1.run(w, xs);
+    ASSERT_GT(inj1.stats().bits_flipped, 0);
+
+    bool differs = false;
+    for (std::size_t i = 0; i < base.final_h.size(); ++i) {
+      if (base.final_h[i] != faulty1.final_h[i]) differs = true;
+    }
+    EXPECT_TRUE(differs) << "faults at 5e-3 should reach the output";
+
+    // Same seed, fresh injector: exact replay.
+    FaultInjector inj2(cfg);
+    Accelerator acc2(small_config(kind));
+    acc2.set_fault_hook(&inj2);
+    AcceleratorRun faulty2 = acc2.run(w, xs);
+    ASSERT_EQ(faulty1.final_h.size(), faulty2.final_h.size());
+    for (std::size_t i = 0; i < faulty1.final_h.size(); ++i) {
+      EXPECT_EQ(faulty1.final_h[i], faulty2.final_h[i]) << i;
+    }
+    EXPECT_EQ(inj1.stats().bits_flipped, inj2.stats().bits_flipped);
+  }
+}
+
+TEST(FaultHook, IntPeAccumulatorFlipStaysInRegisterWidth) {
+  IntPe pe(IntPeConfig{});
+  const int acc_bits = pe.config().acc_bits();
+  const std::int64_t lim = std::int64_t{1} << (acc_bits - 1);
+  FaultInjector inj(FaultConfig{1.0, FaultModel::kSingleBit, 4, 8});
+  pe.set_fault_hook(&inj);
+  std::vector<std::int32_t> w(16, 100), a(16, 100);
+  // Rate-1 injection flips every accumulator bit; the result must still be
+  // a valid acc_bits-wide two's-complement value (no AF_CHECK trip, no UB).
+  std::int64_t acc = pe.accumulate(0, w, a);
+  EXPECT_GE(acc, -lim);
+  EXPECT_LT(acc, lim);
+  EXPECT_GT(inj.stats().bits_flipped, 0);
+}
+
+TEST(FaultHook, HfintPeAccumulatorFlipIsDeterministic) {
+  HfintPe pe1{HfintPeConfig{}};
+  HfintPe pe2{HfintPeConfig{}};
+  const FaultConfig cfg{0.05, FaultModel::kSingleBit, 4, 12};
+  FaultInjector i1(cfg), i2(cfg);
+  pe1.set_fault_hook(&i1);
+  pe2.set_fault_hook(&i2);
+  AdaptivFloatFormat fmt(8, 3, -4);
+  std::vector<std::uint16_t> w(16), a(16);
+  Pcg32 rng(13);
+  std::int64_t acc1 = 0, acc2 = 0;
+  for (int round = 0; round < 64; ++round) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = static_cast<std::uint16_t>(rng.next_below(256));
+      a[i] = static_cast<std::uint16_t>(rng.next_below(256));
+    }
+    acc1 = pe1.accumulate(0, w, a);
+    acc2 = pe2.accumulate(0, w, a);
+    EXPECT_EQ(acc1, acc2) << round;
+  }
+  EXPECT_GT(i1.stats().bits_flipped, 0);
+}
+
+}  // namespace
+}  // namespace af

@@ -83,6 +83,23 @@ TEST(Bleu, MismatchedCorpusThrows) {
   EXPECT_THROW(bleu_score({{1}}, {}), Error);
 }
 
+TEST(PredictionFlipRate, Basics) {
+  EXPECT_DOUBLE_EQ(prediction_flip_rate({1, 2, 3, 4}, {1, 2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(prediction_flip_rate({1, 2, 3, 4}, {1, 2, 0, 0}), 50.0);
+  EXPECT_DOUBLE_EQ(prediction_flip_rate({1, 2}, {3, 4}), 100.0);
+  EXPECT_THROW(prediction_flip_rate({}, {}), Error);
+  EXPECT_THROW(prediction_flip_rate({1}, {1, 2}), Error);
+}
+
+TEST(PredictionFlipRate, CountsWrongToWrongFlipsUnlikeAccuracy) {
+  // Both runs are 0% accurate against labels {0, 0}, yet they disagree with
+  // each other — the flip rate sees the silent corruption, accuracy doesn't.
+  std::vector<std::int64_t> labels = {0, 0};
+  std::vector<std::int64_t> a = {1, 1}, b = {2, 2};
+  EXPECT_DOUBLE_EQ(top1_accuracy(labels, a), top1_accuracy(labels, b));
+  EXPECT_DOUBLE_EQ(prediction_flip_rate(a, b), 100.0);
+}
+
 TEST(Top1, Basics) {
   EXPECT_DOUBLE_EQ(top1_accuracy({1, 2, 3, 4}, {1, 2, 3, 4}), 100.0);
   EXPECT_DOUBLE_EQ(top1_accuracy({1, 2, 3, 4}, {1, 2, 0, 0}), 50.0);

@@ -1,0 +1,386 @@
+// Fault injector, storage protection and format codecs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/core/algorithm1.hpp"
+#include "src/core/bitpack.hpp"
+#include "src/resilience/codec.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/resilience/protection.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+std::vector<std::uint8_t> test_payload(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return bytes;
+}
+
+// ----- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjector, ZeroRateNeverFlips) {
+  FaultInjector inj(FaultConfig{0.0, FaultModel::kSingleBit, 4, 123});
+  auto bytes = test_payload(256, 1);
+  auto orig = bytes;
+  inj.corrupt_bytes(bytes);
+  EXPECT_EQ(bytes, orig);
+  EXPECT_EQ(inj.stats().bits_flipped, 0);
+  EXPECT_EQ(inj.stats().bits_seen, 256 * 8);
+}
+
+TEST(FaultInjector, FullRateFlipsEveryBit) {
+  FaultInjector inj(FaultConfig{1.0, FaultModel::kSingleBit, 4, 123});
+  std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0xA5};
+  inj.corrupt_bytes(bytes);
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0xFF, 0x00, 0x5A}));
+  EXPECT_EQ(inj.stats().bits_flipped, 24);
+}
+
+TEST(FaultInjector, SameSeedReplaysExactly) {
+  const FaultConfig cfg{0.01, FaultModel::kSingleBit, 4, 0xfeedULL};
+  FaultInjector a(cfg), b(cfg);
+  auto bytes_a = test_payload(4096, 2);
+  auto bytes_b = bytes_a;
+  a.corrupt_bytes(bytes_a);
+  b.corrupt_bytes(bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(a.stats().bits_flipped, b.stats().bits_flipped);
+  EXPECT_GT(a.stats().bits_flipped, 0);  // 32768 bits at 1e-2: ~327 expected
+
+  // reset() rewinds the stream: the same injector replays itself.
+  auto bytes_c = test_payload(4096, 2);
+  a.reset();
+  a.corrupt_bytes(bytes_c);
+  EXPECT_EQ(bytes_c, bytes_a);
+}
+
+TEST(FaultInjector, ReplayHoldsAcrossCallBoundaries) {
+  // The Bernoulli stream depends on bits offered, not on how the payload is
+  // sliced into calls: one 512-byte pass == two 256-byte passes.
+  const FaultConfig cfg{0.005, FaultModel::kSingleBit, 4, 77};
+  FaultInjector whole(cfg), split(cfg);
+  auto a = test_payload(512, 3);
+  auto b = a;
+  whole.corrupt_bytes(a);
+  std::vector<std::uint8_t> b1(b.begin(), b.begin() + 256);
+  std::vector<std::uint8_t> b2(b.begin() + 256, b.end());
+  split.corrupt_bytes(b1);
+  split.corrupt_bytes(b2);
+  b1.insert(b1.end(), b2.begin(), b2.end());
+  EXPECT_EQ(a, b1);
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  FaultInjector a(FaultConfig{0.01, FaultModel::kSingleBit, 4, 1});
+  FaultInjector b(FaultConfig{0.01, FaultModel::kSingleBit, 4, 2});
+  auto bytes_a = test_payload(4096, 4);
+  auto bytes_b = bytes_a;
+  a.corrupt_bytes(bytes_a);
+  b.corrupt_bytes(bytes_b);
+  EXPECT_NE(bytes_a, bytes_b);
+}
+
+TEST(FaultInjector, RateIsApproximatelyHonored) {
+  FaultInjector inj(FaultConfig{0.01, FaultModel::kSingleBit, 4, 5});
+  auto bytes = test_payload(1 << 16, 5);  // 2^19 bits, ~5243 expected flips
+  inj.corrupt_bytes(bytes);
+  const double rate = static_cast<double>(inj.stats().bits_flipped) /
+                      static_cast<double>(inj.stats().bits_seen);
+  EXPECT_NEAR(rate, 0.01, 0.002);
+  EXPECT_EQ(inj.stats().events, inj.stats().bits_flipped);  // single-bit mode
+}
+
+TEST(FaultInjector, BurstFlipsConsecutiveRuns) {
+  FaultInjector inj(FaultConfig{0.001, FaultModel::kBurst, 4, 6});
+  auto bytes = test_payload(1 << 14, 6);
+  auto orig = bytes;
+  inj.corrupt_bytes(bytes);
+  ASSERT_GT(inj.stats().events, 0);
+  EXPECT_GE(inj.stats().bits_flipped, inj.stats().events);
+  // Flipped bits come in runs: total flips should be close to 4x events
+  // (bursts can only be cut short by the payload end).
+  EXPECT_GE(inj.stats().bits_flipped, inj.stats().events * 3);
+  EXPECT_LE(inj.stats().bits_flipped, inj.stats().events * 4);
+  EXPECT_NE(bytes, orig);
+}
+
+TEST(FaultInjector, CorruptCodesStaysInWordWidth) {
+  FaultInjector inj(FaultConfig{0.2, FaultModel::kSingleBit, 4, 7});
+  std::vector<std::uint16_t> codes(512, 0);
+  inj.corrupt_codes(codes, 6);
+  ASSERT_GT(inj.stats().bits_flipped, 0);
+  for (auto c : codes) EXPECT_LT(c, 1u << 6);
+  EXPECT_EQ(inj.stats().bits_seen, 512 * 6);  // only stored bits are exposed
+}
+
+TEST(FaultInjector, CorruptValueIsDeterministic) {
+  const FaultConfig cfg{0.05, FaultModel::kSingleBit, 4, 8};
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 64; ++i) {
+    const float x = static_cast<float>(i) * 0.37f - 11.0f;
+    const float fa = a.corrupt_value(x);
+    const float fb = b.corrupt_value(x);
+    EXPECT_EQ(std::memcmp(&fa, &fb, sizeof(float)), 0);
+  }
+}
+
+// ----- ProtectedCodes --------------------------------------------------------
+
+std::vector<std::uint16_t> test_codes(std::size_t n, int bits,
+                                      std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::uint16_t> codes(n);
+  for (auto& c : codes) {
+    c = static_cast<std::uint16_t>(rng.next_below(1u << bits));
+  }
+  return codes;
+}
+
+TEST(ProtectedCodes, CleanPayloadRoundTripsAndScrubsClean) {
+  for (int bits : {4, 6, 8}) {
+    auto codes = test_codes(101, bits, 10);
+    for (auto mode : {ProtectionMode::kNone, ProtectionMode::kParity,
+                      ProtectionMode::kParityChecksum}) {
+      ProtectedCodes pc(codes, bits, mode);
+      EXPECT_EQ(pc.codes(), codes);
+      ScrubReport rep = pc.scrub();
+      EXPECT_TRUE(rep.clean());
+      EXPECT_EQ(rep.words_zeroed, 0);
+      EXPECT_EQ(pc.codes(), codes);
+    }
+  }
+}
+
+TEST(ProtectedCodes, ParityDetectsAndZeroesSingleFlippedWord) {
+  auto codes = test_codes(64, 8, 11);
+  codes[13] = 0xA7;  // known nonzero word
+  ProtectedCodes pc(codes, 8, ProtectionMode::kParity);
+  pc.payload()[13] ^= 0x04;  // one bit flip inside word 13
+  ScrubReport rep = pc.scrub();
+  EXPECT_EQ(rep.parity_errors, 1);
+  EXPECT_EQ(rep.words_zeroed, 1);
+  auto repaired = pc.codes();
+  EXPECT_EQ(repaired[13], 0u);  // detect-and-zero
+  for (std::size_t i = 0; i < repaired.size(); ++i) {
+    if (i != 13) EXPECT_EQ(repaired[i], codes[i]) << i;
+  }
+  // Second scrub finds nothing left.
+  EXPECT_TRUE(pc.scrub().clean());
+}
+
+TEST(ProtectedCodes, ParityMissesEvenFlipsChecksumCatchesThem) {
+  auto codes = test_codes(64, 8, 12);
+  // Two flips in the same word: parity of the word is unchanged.
+  ProtectedCodes parity_only(codes, 8, ProtectionMode::kParity);
+  parity_only.payload()[20] ^= 0x21;
+  ScrubReport rep1 = parity_only.scrub();
+  EXPECT_EQ(rep1.parity_errors, 0);
+  EXPECT_NE(parity_only.codes()[20], codes[20]);  // silent corruption
+
+  ProtectedCodes both(codes, 8, ProtectionMode::kParityChecksum);
+  both.payload()[20] ^= 0x21;
+  ScrubReport rep2 = both.scrub();
+  EXPECT_EQ(rep2.parity_errors, 0);
+  EXPECT_GT(rep2.residual_blocks, 0);
+  EXPECT_GT(rep2.words_zeroed, 0);
+  // The corrupted word was inside the zeroed block.
+  EXPECT_EQ(both.codes()[20], 0u);
+}
+
+TEST(ProtectedCodes, NoneModeHasNoOverheadAndNeverRepairs) {
+  auto codes = test_codes(32, 8, 13);
+  ProtectedCodes pc(codes, 8, ProtectionMode::kNone);
+  EXPECT_EQ(pc.storage_overhead(), 0.0);
+  pc.payload()[5] ^= 0xFF;
+  ScrubReport rep = pc.scrub();
+  EXPECT_TRUE(rep.clean());  // nothing to check against
+  EXPECT_NE(pc.codes(), codes);
+}
+
+TEST(ProtectedCodes, OverheadIsSmall) {
+  auto codes = test_codes(256, 8, 14);
+  ProtectedCodes pc(codes, 8, ProtectionMode::kParityChecksum, 64);
+  // 1 parity bit per 8-bit word + 8 checksum bits per 64 words = 14.1%.
+  EXPECT_GT(pc.storage_overhead(), 0.10);
+  EXPECT_LT(pc.storage_overhead(), 0.16);
+}
+
+TEST(ProtectedCodes, ScrubRestoresDecodabilityUnderInjection) {
+  // End-to-end: corrupt at 1e-3, scrub, then every surviving word is either
+  // its original value or the zero code.
+  auto codes = test_codes(2048, 8, 15);
+  ProtectedCodes pc(codes, 8, ProtectionMode::kParityChecksum);
+  FaultInjector inj(FaultConfig{1e-3, FaultModel::kSingleBit, 4, 99});
+  inj.corrupt_bytes(pc.payload());
+  ASSERT_GT(inj.stats().bits_flipped, 0);
+  pc.scrub();
+  auto repaired = pc.codes();
+  for (std::size_t i = 0; i < repaired.size(); ++i) {
+    EXPECT_TRUE(repaired[i] == codes[i] || repaired[i] == 0u) << i;
+  }
+}
+
+// ----- ProtectedPackedTensor -------------------------------------------------
+
+TEST(ProtectedPackedTensor, FaultFreeMatchesAlgorithm1) {
+  Pcg32 rng(20);
+  Tensor w = Tensor::randn({33, 7}, rng, 1.5f);
+  ProtectedPackedTensor p(w, 8, 3, ProtectionMode::kParityChecksum);
+  Tensor ref = adaptivfloat_quantize(w, 8, 3).quantized;
+  EXPECT_TRUE(p.unpack().equals(ref));
+  EXPECT_TRUE(p.scrub().clean());
+  EXPECT_TRUE(p.unpack().equals(ref));
+}
+
+TEST(ProtectedPackedTensor, InjectScrubBoundsEveryWeight) {
+  Pcg32 rng(21);
+  Tensor w = Tensor::randn({64, 16}, rng, 1.0f);
+  ProtectedPackedTensor p(w, 8, 3, ProtectionMode::kParityChecksum);
+  const float vmax = p.format().value_max();
+  FaultInjector inj(FaultConfig{3e-3, FaultModel::kSingleBit, 4, 42});
+  p.inject(inj);
+  ASSERT_GT(inj.stats().bits_flipped, 0);
+  p.scrub();
+  Tensor out = p.unpack();
+  Tensor ref = adaptivfloat_quantize(w, 8, 3).quantized;
+  std::int64_t changed = 0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_LE(std::fabs(out[i]), vmax);          // AdaptivFloat boundedness
+    EXPECT_TRUE(out[i] == ref[i] || out[i] == 0.0f) << i;  // detect-and-zero
+    changed += (out[i] != ref[i]);
+  }
+  EXPECT_GT(changed, 0);  // faults did land
+}
+
+TEST(ProtectedPackedTensor, InjectionReplaysUnderSameSeed) {
+  Pcg32 rng(22);
+  Tensor w = Tensor::randn({40, 8}, rng, 1.0f);
+  const FaultConfig cfg{1e-2, FaultModel::kSingleBit, 4, 7777};
+  ProtectedPackedTensor p1(w, 6, 3, ProtectionMode::kNone);
+  ProtectedPackedTensor p2(w, 6, 3, ProtectionMode::kNone);
+  FaultInjector i1(cfg), i2(cfg);
+  p1.inject(i1);
+  p2.inject(i2);
+  EXPECT_TRUE(p1.unpack().equals(p2.unpack()));
+}
+
+// ----- FormatCodec -----------------------------------------------------------
+
+TEST(FormatCodec, EncodeDecodeMatchesQuantizerOnCleanData) {
+  Pcg32 rng(30);
+  Tensor w = Tensor::randn({256}, rng, 0.8f);
+  const float max_abs = w.max_abs();
+  for (FormatKind kind : all_format_kinds()) {
+    for (int bits : {4, 8}) {
+      auto codec = make_codec(kind, bits, max_abs);
+      auto q = make_quantizer(kind, bits);
+      q->calibrate(w);
+      for (std::int64_t i = 0; i < w.numel(); ++i) {
+        const float via_codec = codec->decode(codec->encode(w[i]));
+        const float via_quant = q->quantize_value(w[i]);
+        // Both round to nearest on the same representable grid; ties may
+        // resolve differently, so compare *rounding error*, not outputs,
+        // and require grid membership via idempotence.
+        EXPECT_LE(std::fabs(via_codec - w[i]),
+                  std::fabs(via_quant - w[i]) * 1.001f + 1e-7f)
+            << codec->name() << " bits=" << bits << " x=" << w[i];
+        EXPECT_EQ(codec->decode(codec->encode(via_codec)), via_codec)
+            << codec->name();
+      }
+    }
+  }
+}
+
+TEST(FormatCodec, ZeroCodeDecodesToZeroInEveryFormat) {
+  // The detect-and-zero repair policy depends on this.
+  for (FormatKind kind : all_format_kinds()) {
+    for (int bits : {4, 6, 8}) {
+      auto codec = make_codec(kind, bits, 1.0f);
+      EXPECT_EQ(codec->decode(0), 0.0f)
+          << codec->name() << " bits=" << bits;
+    }
+  }
+}
+
+TEST(FormatCodec, HardenedDecodeIsBoundedForAllCodes) {
+  for (FormatKind kind : all_format_kinds()) {
+    for (int bits : {4, 6, 8}) {
+      auto codec = make_codec(kind, bits, 0.9f);
+      const float range = codec->range();
+      ASSERT_GT(range, 0.0f);
+      for (int code = 0; code < (1 << bits); ++code) {
+        const float v =
+            codec->decode_hardened(static_cast<std::uint16_t>(code));
+        EXPECT_TRUE(std::isfinite(v)) << codec->name();
+        EXPECT_LE(std::fabs(v), range) << codec->name() << " code=" << code;
+      }
+    }
+  }
+}
+
+TEST(FormatCodec, HardenedDecodeTransparentOnCleanCodes) {
+  Pcg32 rng(31);
+  Tensor w = Tensor::randn({128}, rng, 0.7f);
+  for (FormatKind kind : all_format_kinds()) {
+    auto codec = make_codec(kind, 8, w.max_abs());
+    auto codes = codec->encode_tensor(w);
+    Tensor raw = codec->decode_tensor(codes, w.shape(), /*hardened=*/false);
+    Tensor hard = codec->decode_tensor(codes, w.shape(), /*hardened=*/true);
+    EXPECT_TRUE(raw.equals(hard)) << codec->name();
+  }
+}
+
+// ----- the paper's resilience claim, as a property ---------------------------
+
+TEST(BitFlipProperty, AdaptivFloatSingleFlipErrorIsBoundedBy2ValueMax) {
+  // Any single-bit flip of any AdaptivFloat code moves the decoded value by
+  // at most 2*value_max, because *every* code decodes into
+  // [-value_max, value_max]. Exhaustive over all codes and bit positions.
+  for (int bits : {4, 6, 8}) {
+    const int exp_bits = std::min(3, bits - 1);
+    const AdaptivFloatFormat fmt = format_for_max_abs(1.0f, bits, exp_bits);
+    const float vmax = fmt.value_max();
+    for (int code = 0; code < fmt.num_codes(); ++code) {
+      const float v = fmt.decode(static_cast<std::uint16_t>(code));
+      EXPECT_LE(std::fabs(v), vmax);
+      for (int bit = 0; bit < bits; ++bit) {
+        const auto flipped = static_cast<std::uint16_t>(code ^ (1 << bit));
+        const float fv = fmt.decode(flipped);
+        EXPECT_LE(std::fabs(fv - v), 2.0f * vmax + 1e-6f)
+            << "bits=" << bits << " code=" << code << " flip=" << bit;
+      }
+    }
+  }
+}
+
+TEST(BitFlipProperty, FloatSingleFlipCanExceedTheAdaptivFloatBound) {
+  // The same weight data encoded as IEEE-like Float: one exponent-MSB flip
+  // produces an error far beyond twice the calibrated data range. This is
+  // the asymmetry the resilience sweep measures.
+  const float max_abs = 1.0f;
+  auto af_codec = make_codec(FormatKind::kAdaptivFloat, 8, max_abs);
+  auto fl_codec = make_codec(FormatKind::kFloat, 8, max_abs);
+  const float af_bound = 2.0f * af_codec->range();
+  float worst = 0.0f;
+  for (int code = 0; code < 256; ++code) {
+    const float v = fl_codec->decode(static_cast<std::uint16_t>(code));
+    if (std::fabs(v) > max_abs) continue;  // only codes clean data can take
+    for (int bit = 0; bit < 8; ++bit) {
+      const auto flipped = static_cast<std::uint16_t>(code ^ (1 << bit));
+      worst = std::max(worst,
+                       std::fabs(fl_codec->decode(flipped) - v));
+    }
+  }
+  EXPECT_GT(worst, af_bound)
+      << "Float flip error should dwarf the AdaptivFloat bound";
+}
+
+}  // namespace
+}  // namespace af
