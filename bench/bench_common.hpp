@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 
 #include "src/models/trainer.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af::bench {
 
@@ -26,6 +28,22 @@ constexpr float kQarLr = 5e-4f;
 constexpr int kEvalSentences = 40;
 constexpr int kEvalUtterances = 40;
 constexpr int kEvalImages = 300;
+
+// Mean of `trials` independent evaluations, parallel across trials. Each
+// trial must be self-seeded (no shared mutable state); the per-trial sums
+// are combined in ascending trial order (grain 1 → one chunk per trial), so
+// the mean is bit-identical to the serial loop for any AF_THREADS value.
+inline double mean_over_trials(int trials,
+                               const std::function<double(int)>& trial_fn) {
+  AF_CHECK(trials > 0, "mean_over_trials needs at least one trial");
+  const double total = parallel_reduce<double>(
+      0, trials, /*grain=*/1, 0.0,
+      [&](std::int64_t b, std::int64_t) {
+        return trial_fn(static_cast<int>(b));
+      },
+      [](double acc, double x) { return acc + x; });
+  return total / trials;
+}
 
 inline TransformerBundle trained_transformer() {
   std::fprintf(stderr, "[bench] training Transformer baseline (%d steps)...\n",

@@ -24,7 +24,7 @@ int main() {
     const float no_zero_rule =
         sign * std::ldexp(1.0f + 0.5f * fmt.mant_field(code),
                           static_cast<int>(fmt.exp_field(code)) - 2);
-    char bits[8];
+    char bits[32];  // wide enough for the worst case the field types allow
     std::snprintf(bits, sizeof(bits), "%d|%d%d|%d", fmt.sign_of(code),
                   (fmt.exp_field(code) >> 1) & 1, fmt.exp_field(code) & 1,
                   fmt.mant_field(code));

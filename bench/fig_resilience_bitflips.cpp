@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/core/bitpack.hpp"
 #include "src/data/metrics.hpp"
 #include "src/hw/accelerator.hpp"
@@ -80,16 +81,17 @@ using EvalFn = double (*)(const CorruptionCell&, std::uint64_t, int);
 
 double sweep_cell(FormatKind kind, int bits, double rate, bool protect,
                   std::uint64_t model_tag, EvalFn eval) {
-  double acc = 0.0;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  // Trials are independent (each owns its injector, seeded per cell+trial)
+  // and their accuracies sum in trial order, so the mean is bit-identical
+  // to the serial loop for any AF_THREADS value.
+  return bench::mean_over_trials(kTrials, [&](int trial) {
     FaultConfig cfg;
     cfg.bit_error_rate = rate;
     cfg.seed = cell_seed(model_tag, bits, rate, trial);
     FaultInjector injector(cfg);
     CorruptionCell cell{kind, bits, protect, &injector};
-    acc += eval(cell, model_tag, trial);
-  }
-  return acc / kTrials;
+    return eval(cell, model_tag, trial);
+  });
 }
 
 void run_model_sweep(const char* model_name, std::uint64_t model_tag,

@@ -1,11 +1,20 @@
 // Google-benchmark microbenchmarks of the computational kernels: the five
 // quantizer codecs, Algorithm 1 end-to-end, and the two PE datapaths.
+//
+// `micro_quantizers --verify` skips the timing runs and prints FNV-1a
+// digests of every quantizer's output on the benchmark tensor instead —
+// fully deterministic output the CI determinism job diffs across
+// AF_THREADS settings.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "src/core/algorithm1.hpp"
 #include "src/hw/hfint_pe.hpp"
 #include "src/hw/int_pe.hpp"
 #include "src/numerics/registry.hpp"
+#include "src/util/hash.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -93,6 +102,36 @@ void BM_HfintPeAccumulate(benchmark::State& state) {
 }
 BENCHMARK(BM_HfintPeAccumulate);
 
+int verify_main() {
+  Tensor t = bench_tensor();
+  for (FormatKind kind : all_format_kinds()) {
+    for (int bits : {4, 8, 16}) {
+      auto q = make_quantizer(kind, bits);
+      q->calibrate(t);
+      const Tensor out = q->quantize(t);
+      const std::uint64_t h = af::fnv1a64(
+          out.data(), static_cast<std::size_t>(out.numel()) * sizeof(float));
+      std::printf("%-14s bits=%-2d %s\n", format_kind_name(kind).c_str(), bits,
+                  af::digest_hex(h).c_str());
+    }
+  }
+  const auto res = adaptivfloat_quantize(t, 8, 3);
+  const std::uint64_t h = af::fnv1a64(
+      res.quantized.data(),
+      static_cast<std::size_t>(res.quantized.numel()) * sizeof(float));
+  std::printf("%-14s bits=8  %s\n", "Algorithm1", af::digest_hex(h).c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) return verify_main();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

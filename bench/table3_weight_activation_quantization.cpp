@@ -46,8 +46,13 @@ void run_table(const ModelHarness& h) {
   table.set_header(header);
 
   for (int bits : kWidths) {
-    std::vector<std::string> row = {"W" + std::to_string(bits) + "/A" +
-                                    std::to_string(bits)};
+    // Built with += rather than operator+ chains: GCC 12's -Wrestrict pass
+    // reports a false positive on `const char* + std::string&&` under -O2.
+    std::string label = "W";
+    label += std::to_string(bits);
+    label += "/A";
+    label += std::to_string(bits);
+    std::vector<std::string> row = {label};
     for (FormatKind kind : all_format_kinds()) {
       auto wq = make_quantizer(kind, bits);
       h.act_quant->set_quantizer(make_quantizer(kind, bits));

@@ -70,9 +70,13 @@ ResNetClassifier::ResNetClassifier(const ResNetConfig& cfg, std::uint64_t seed)
     const std::int64_t out_ch = cfg.base_width << stage;
     for (std::int64_t b = 0; b < cfg.blocks_per_stage; ++b) {
       const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
-      blocks_.emplace_back(in_ch, out_ch, stride, rng,
-                           "s" + std::to_string(stage) + "b" +
-                               std::to_string(b));
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // pass reports a false positive on `const char* + std::string&&`.
+      std::string name = "s";
+      name += std::to_string(stage);
+      name += "b";
+      name += std::to_string(b);
+      blocks_.emplace_back(in_ch, out_ch, stride, rng, name);
       in_ch = out_ch;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
 
@@ -29,22 +30,27 @@ Tensor Conv2d::forward(const Tensor& x) {
   Cache cache;
   cache.in_h = h;
   cache.in_w = w;
-  cache.cols.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    Tensor img({c, h, w});
-    std::copy_n(x.data() + i * c * h * w, c * h * w, img.data());
-    Tensor cols = im2col(img, spec_);
-    Tensor yi = matmul(wflat, cols);  // [F, oh*ow]
-    if (has_bias_) {
-      for (std::int64_t f = 0; f < out_channels_; ++f) {
-        float* row = yi.data() + f * oh * ow;
-        for (std::int64_t j = 0; j < oh * ow; ++j) row[j] += bias_.value[f];
+  cache.cols.resize(static_cast<std::size_t>(n));
+  // Images are independent: each chunk lowers and multiplies its own batch
+  // entries, writing disjoint [i] slices of y and cache.cols — bit-identical
+  // for any thread count. The nested matmul runs serially inside the worker.
+  parallel_for(0, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      Tensor img({c, h, w});
+      std::copy_n(x.data() + i * c * h * w, c * h * w, img.data());
+      Tensor cols = im2col(img, spec_);
+      Tensor yi = matmul(wflat, cols);  // [F, oh*ow]
+      if (has_bias_) {
+        for (std::int64_t f = 0; f < out_channels_; ++f) {
+          float* row = yi.data() + f * oh * ow;
+          for (std::int64_t j = 0; j < oh * ow; ++j) row[j] += bias_.value[f];
+        }
       }
+      std::copy_n(yi.data(), out_channels_ * oh * ow,
+                  y.data() + i * out_channels_ * oh * ow);
+      cache.cols[static_cast<std::size_t>(i)] = std::move(cols);
     }
-    std::copy_n(yi.data(), out_channels_ * oh * ow,
-                y.data() + i * out_channels_ * oh * ow);
-    cache.cols.push_back(std::move(cols));
-  }
+  });
   cache_.push_back(std::move(cache));
   return y;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
 
@@ -16,10 +17,13 @@ float Quantizer::harden(float x) const {
 }
 
 Tensor Quantizer::quantize(const Tensor& t) const {
+  // Purely elementwise: each chunk writes a disjoint slice of `out`, so the
+  // result is bit-identical for any AF_THREADS setting.
+  constexpr std::int64_t kGrain = 1 << 12;
   Tensor out(t.shape());
-  for (std::int64_t i = 0; i < t.numel(); ++i) {
-    out[i] = quantize_value(t[i]);
-  }
+  parallel_for(0, t.numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) out[i] = quantize_value(t[i]);
+  });
   return out;
 }
 

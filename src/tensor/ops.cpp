@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/parallel.hpp"
+
 namespace af {
 namespace {
+
+// Fixed parallel grains. These are part of the determinism contract: chunk
+// boundaries depend only on (range, grain), so the constants may be tuned
+// but must never be derived from the thread count.
+constexpr std::int64_t kMatmulRowGrain = 16;  // C rows per chunk
+constexpr std::int64_t kMatmulKBlock = 256;   // k-panel kept hot in cache
+constexpr std::int64_t kElemGrain = 1 << 13;  // elements per chunk
+constexpr std::int64_t kRowGrain = 16;        // matrix rows per chunk
 
 void check_rank2(const Tensor& t, const char* name) {
   AF_CHECK(t.rank() == 2,
@@ -38,25 +48,32 @@ void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
   const std::int64_t lda = a.dim(1);
   const std::int64_t ldb = b.dim(1);
 
-  // Simple cache-aware loops: i-k-j order with the row of B streamed in the
-  // inner loop. This is the hot path of every experiment; it avoids the
-  // strided inner access of the naive i-j-k order without the complexity of
-  // blocking/vendor BLAS.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aval = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-      if (aval == 0.0f) continue;
-      if (!trans_b) {
-        const float* brow = pb + kk * ldb;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-      } else {
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += aval * pb[j * ldb + kk];
+  // Cache-blocked i-k-j kernel, parallel over row panels of C. Each chunk
+  // owns a disjoint panel of output rows, and for a fixed row the k index
+  // still advances in ascending order across the k-blocks, so every c[i][j]
+  // accumulates in exactly the serial order — results are bit-identical for
+  // any thread count. The k-blocking keeps a [kc, n] panel of B hot in
+  // cache while the rows of the panel stream over it.
+  parallel_for(0, m, kMatmulRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t k0 = 0; k0 < k; k0 += kMatmulKBlock) {
+      const std::int64_t k1 = std::min(k, k0 + kMatmulKBlock);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aval = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+          if (aval == 0.0f) continue;
+          if (!trans_b) {
+            const float* brow = pb + kk * ldb;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+          } else {
+            for (std::int64_t j = 0; j < n; ++j) {
+              crow[j] += aval * pb[j * ldb + kk];
+            }
+          }
         }
       }
     }
-  }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
@@ -72,38 +89,50 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] + b[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = a[i] + b[i];
+  });
   return out;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = a[i] - b[i];
+  });
   return out;
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = a[i] * b[i];
+  });
   return out;
 }
 
 Tensor scale(const Tensor& a, float s) {
   Tensor out(a.shape());
-  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  parallel_for(0, a.numel(), kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) out[i] = a[i] * s;
+  });
   return out;
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
-  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) a[i] += b[i];
+  });
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   check_same_shape(a, b, "axpy_inplace");
-  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
+  parallel_for(0, a.numel(), kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) a[i] += s * b[i];
+  });
 }
 
 void add_row_bias_inplace(Tensor& x, const Tensor& bias) {
@@ -111,10 +140,12 @@ void add_row_bias_inplace(Tensor& x, const Tensor& bias) {
   AF_CHECK(bias.rank() == 1 && bias.dim(0) == x.dim(1),
            "bias shape must be [cols]");
   const std::int64_t m = x.dim(0), n = x.dim(1);
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* row = x.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) row[j] += bias[j];
-  }
+  parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* row = x.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
+  });
 }
 
 Tensor sum_rows(const Tensor& x) {
@@ -171,19 +202,21 @@ Tensor softmax_rows(const Tensor& x) {
   const std::int64_t m = x.dim(0), n = x.dim(1);
   AF_CHECK(n > 0, "softmax over empty rows");
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* row = x.data() + i * n;
-    float* orow = out.data() + i * n;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = x.data() + i * n;
+      float* orow = out.data() + i * n;
+      float mx = row[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -191,16 +224,18 @@ Tensor softmax_rows_backward(const Tensor& y, const Tensor& dy) {
   check_same_shape(y, dy, "softmax_rows_backward");
   const std::int64_t m = y.dim(0), n = y.dim(1);
   Tensor dx(y.shape());
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* yr = y.data() + i * n;
-    const float* dyr = dy.data() + i * n;
-    float* dxr = dx.data() + i * n;
-    double dot = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) dot += double(yr[j]) * dyr[j];
-    for (std::int64_t j = 0; j < n; ++j) {
-      dxr[j] = yr[j] * (dyr[j] - static_cast<float>(dot));
+  parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* yr = y.data() + i * n;
+      const float* dyr = dy.data() + i * n;
+      float* dxr = dx.data() + i * n;
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) dot += double(yr[j]) * dyr[j];
+      for (std::int64_t j = 0; j < n; ++j) {
+        dxr[j] = yr[j] * (dyr[j] - static_cast<float>(dot));
+      }
     }
-  }
+  });
   return dx;
 }
 

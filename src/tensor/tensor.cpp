@@ -5,7 +5,16 @@
 #include <limits>
 #include <sstream>
 
+#include "src/util/parallel.hpp"
+
 namespace af {
+
+namespace {
+// Elements per reduction chunk. Chunk boundaries are fixed by this constant
+// alone (never the thread count); min/max are exactly associative, so the
+// chunked reductions below are bit-identical to the serial scans.
+constexpr std::int64_t kReduceGrain = 1 << 16;
+}  // namespace
 
 std::int64_t numel_of(const Shape& shape) {
   std::int64_t n = 1;
@@ -73,19 +82,36 @@ void Tensor::fill(float value) {
 }
 
 float Tensor::max_abs() const {
-  float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::fabs(v));
-  return m;
+  return parallel_reduce<float>(
+      0, numel(), kReduceGrain, 0.0f,
+      [&](std::int64_t b, std::int64_t e) {
+        float m = 0.0f;
+        for (std::int64_t i = b; i < e; ++i) {
+          m = std::max(m, std::fabs(data_[static_cast<std::size_t>(i)]));
+        }
+        return m;
+      },
+      [](float a, float b) { return std::max(a, b); });
 }
 
 float Tensor::min() const {
   AF_CHECK(!data_.empty(), "min of empty tensor");
-  return *std::min_element(data_.begin(), data_.end());
+  return parallel_reduce<float>(
+      0, numel(), kReduceGrain, data_.front(),
+      [&](std::int64_t b, std::int64_t e) {
+        return *std::min_element(data_.begin() + b, data_.begin() + e);
+      },
+      [](float a, float b) { return std::min(a, b); });
 }
 
 float Tensor::max() const {
   AF_CHECK(!data_.empty(), "max of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  return parallel_reduce<float>(
+      0, numel(), kReduceGrain, data_.front(),
+      [&](std::int64_t b, std::int64_t e) {
+        return *std::max_element(data_.begin() + b, data_.begin() + e);
+      },
+      [](float a, float b) { return std::max(a, b); });
 }
 
 float Tensor::sum() const {

@@ -1,0 +1,38 @@
+// FNV-1a fingerprints for bit-exactness checks.
+//
+// The determinism CI job and micro_parallel compare outputs produced under
+// different AF_THREADS settings by hashing raw bytes: any single ULP of
+// divergence changes the digest. Not a cryptographic hash — just a stable,
+// dependency-free fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace af {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex, for printing digests in diffable output.
+inline std::string digest_hex(std::uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return s;
+}
+
+}  // namespace af

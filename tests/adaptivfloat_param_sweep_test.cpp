@@ -20,10 +20,16 @@ struct FormatParams {
 };
 
 std::string param_name(const testing::TestParamInfo<FormatParams>& info) {
+  // Built with += rather than operator+ chains: GCC 12's -Wrestrict pass
+  // reports a false positive on `const char* + std::string&&` under -O2.
   const auto& p = info.param;
-  return "b" + std::to_string(p.bits) + "e" + std::to_string(p.exp_bits) +
-         (p.exp_bias < 0 ? "m" + std::to_string(-p.exp_bias)
-                         : "p" + std::to_string(p.exp_bias));
+  std::string s = "b";
+  s += std::to_string(p.bits);
+  s += "e";
+  s += std::to_string(p.exp_bits);
+  s += p.exp_bias < 0 ? "m" : "p";
+  s += std::to_string(p.exp_bias < 0 ? -p.exp_bias : p.exp_bias);
+  return s;
 }
 
 class AdaptivFloatSweep : public testing::TestWithParam<FormatParams> {

@@ -18,10 +18,22 @@ struct ConvCase {
 };
 
 std::string case_name(const testing::TestParamInfo<ConvCase>& info) {
+  // Built with += rather than operator+ chains: GCC 12's -Wrestrict pass
+  // reports a false positive on `const char* + std::string&&` under -O2.
   const auto& c = info.param;
-  return "c" + std::to_string(c.in_ch) + "f" + std::to_string(c.out_ch) +
-         "k" + std::to_string(c.kernel) + "s" + std::to_string(c.stride) +
-         "p" + std::to_string(c.pad) + "n" + std::to_string(c.size);
+  std::string s = "c";
+  s += std::to_string(c.in_ch);
+  s += "f";
+  s += std::to_string(c.out_ch);
+  s += "k";
+  s += std::to_string(c.kernel);
+  s += "s";
+  s += std::to_string(c.stride);
+  s += "p";
+  s += std::to_string(c.pad);
+  s += "n";
+  s += std::to_string(c.size);
+  return s;
 }
 
 class ConvSweep : public testing::TestWithParam<ConvCase> {};

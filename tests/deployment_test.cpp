@@ -97,7 +97,9 @@ TEST(Pruning, ComposesWithAdaptivFloat) {
   EXPECT_LE(pruned_err, dense_err);
   // All pruned zeros survive quantization exactly.
   for (std::int64_t i = 0; i < pruned.numel(); ++i) {
-    if (pruned[i] == 0.0f) EXPECT_EQ(pq.quantized[i], 0.0f);
+    if (pruned[i] == 0.0f) {
+      EXPECT_EQ(pq.quantized[i], 0.0f);
+    }
   }
 }
 

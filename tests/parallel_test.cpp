@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/numerics/registry.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/util/parallel.hpp"
+
+namespace af {
+namespace {
+
+// Every test restores the default (auto) thread count so test order and
+// ctest sharding cannot leak a setting into unrelated tests.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_F(ParallelTest, NumChunksEdgeCases) {
+  EXPECT_EQ(num_chunks(0, 0, 4), 0);    // empty range
+  EXPECT_EQ(num_chunks(5, 3, 4), 0);    // inverted range
+  EXPECT_EQ(num_chunks(0, 3, 8), 1);    // range < grain
+  EXPECT_EQ(num_chunks(0, 8, 8), 1);    // exact single chunk
+  EXPECT_EQ(num_chunks(0, 9, 8), 2);    // non-divisible
+  EXPECT_EQ(num_chunks(0, 16, 8), 2);   // exact multiple
+  EXPECT_EQ(num_chunks(10, 27, 5), 4);  // offset begin, non-divisible
+  EXPECT_THROW(num_chunks(0, 4, 0), Error);
+}
+
+TEST_F(ParallelTest, EmptyRangeNeverInvokesBody) {
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    std::atomic<int> calls{0};
+    parallel_for(0, 0, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+    parallel_for(7, 3, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST_F(ParallelTest, ChunkBoundariesAreFixedFunctionsOfRangeAndGrain) {
+  // Boundaries must depend only on (begin, end, grain) — never on the
+  // thread count. Collect every chunk and compare against the closed form.
+  for (int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    for (std::int64_t grain : {1, 3, 8, 100}) {
+      const std::int64_t begin = 5, end = 42;
+      std::vector<std::pair<std::int64_t, std::int64_t>> seen(
+          static_cast<std::size_t>(num_chunks(begin, end, grain)));
+      std::vector<char> hit(seen.size(), 0);
+      parallel_for(begin, end, grain, [&](std::int64_t b, std::int64_t e) {
+        const auto c = static_cast<std::size_t>((b - begin) / grain);
+        ASSERT_LT(c, seen.size());
+        seen[c] = {b, e};
+        hit[c] = 1;
+      });
+      for (std::size_t c = 0; c < seen.size(); ++c) {
+        ASSERT_TRUE(hit[c]) << "chunk " << c << " never ran";
+        const std::int64_t b = begin + static_cast<std::int64_t>(c) * grain;
+        EXPECT_EQ(seen[c].first, b);
+        EXPECT_EQ(seen[c].second, std::min(end, b + grain));
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, EveryIndexVisitedExactlyOnce) {
+  set_num_threads(8);
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(n));
+  parallel_for(0, n, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      counts[static_cast<std::size_t>(i)]++;
+    }
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST_F(ParallelTest, ReduceCombinesInChunkOrder) {
+  // String concatenation is non-commutative: any combine-order deviation
+  // across thread counts changes the result.
+  std::string expect;
+  for (int threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    const std::string got = parallel_reduce<std::string>(
+        0, 23, 5, std::string("|"),
+        [](std::int64_t b, std::int64_t e) {
+          return "[" + std::to_string(b) + "," + std::to_string(e) + ")";
+        },
+        [](std::string acc, std::string x) { return acc + x; });
+    if (threads == 1) {
+      expect = got;
+      EXPECT_EQ(got, "|[0,5)[5,10)[10,15)[15,20)[20,23)");
+    } else {
+      EXPECT_EQ(got, expect);
+    }
+  }
+}
+
+TEST_F(ParallelTest, ReduceEmptyRangeReturnsInit) {
+  set_num_threads(4);
+  const double r = parallel_reduce<double>(
+      3, 3, 10, 42.0, [](std::int64_t, std::int64_t) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(r, 42.0);
+}
+
+TEST_F(ParallelTest, FloatSumIsThreadCountInvariant) {
+  // FP addition is non-associative, so this only holds because chunk
+  // boundaries are fixed and partials combine in chunk order.
+  Pcg32 rng(99);
+  std::vector<float> v(10001);
+  for (auto& x : v) x = rng.normal(0.0f, 1.0f);
+  auto chunked_sum = [&] {
+    return parallel_reduce<double>(
+        0, static_cast<std::int64_t>(v.size()), 128, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i) {
+            s += v[static_cast<std::size_t>(i)];
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  set_num_threads(1);
+  const double serial = chunked_sum();
+  for (int threads : {2, 8}) {
+    set_num_threads(threads);
+    EXPECT_EQ(serial, chunked_sum()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, BodyExceptionPropagatesAndPoolSurvives) {
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    EXPECT_THROW(
+        parallel_for(0, 100, 1,
+                     [&](std::int64_t b, std::int64_t) {
+                       if (b == 57) throw Error("boom");
+                     }),
+        Error);
+    // The pool must stay usable after an exception drained through it.
+    std::atomic<std::int64_t> total{0};
+    parallel_for(0, 10, 1, [&](std::int64_t b, std::int64_t) { total += b; });
+    EXPECT_EQ(total.load(), 45);
+  }
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  set_num_threads(4);
+  std::atomic<int> inner_total{0};
+  parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    EXPECT_TRUE(in_parallel_region());
+    parallel_for(0, 16, 4, [&](std::int64_t b, std::int64_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST_F(ParallelTest, MatmulIsBitIdenticalAcrossThreadCounts) {
+  Pcg32 rng(2020);
+  Tensor a = Tensor::randn({67, 129}, rng);
+  Tensor b = Tensor::randn({129, 83}, rng);
+  set_num_threads(1);
+  const Tensor serial = matmul(a, b);
+  for (int threads : {2, 8}) {
+    set_num_threads(threads);
+    EXPECT_TRUE(serial.equals(matmul(a, b))) << "threads=" << threads;
+  }
+  // Transposed variants go through distinct inner loops; cover them too.
+  set_num_threads(1);
+  const Tensor serial_tb = matmul(a, transpose2d(b), false, /*trans_b=*/true);
+  set_num_threads(8);
+  EXPECT_TRUE(
+      serial_tb.equals(matmul(a, transpose2d(b), false, /*trans_b=*/true)));
+}
+
+TEST_F(ParallelTest, QuantizeIsBitIdenticalAcrossThreadCounts) {
+  Pcg32 rng(4040);
+  Tensor t = Tensor::randn({97, 131}, rng, 3.0f);
+  for (FormatKind kind : all_format_kinds()) {
+    auto q = make_quantizer(kind, 8);
+    set_num_threads(1);
+    q->calibrate(t);
+    const Tensor serial = q->quantize(t);
+    const float serial_range = q->value_range();
+    for (int threads : {2, 8}) {
+      set_num_threads(threads);
+      q->calibrate(t);  // calibration sweeps must be invariant too
+      EXPECT_EQ(serial_range, q->value_range())
+          << format_kind_name(kind) << " threads=" << threads;
+      EXPECT_TRUE(serial.equals(q->quantize(t)))
+          << format_kind_name(kind) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ElementwiseAndSoftmaxAreBitIdenticalAcrossThreadCounts) {
+  Pcg32 rng(6060);
+  Tensor a = Tensor::randn({100, 173}, rng);
+  Tensor b = Tensor::randn({100, 173}, rng);
+  set_num_threads(1);
+  const Tensor s_add = add(a, b);
+  const Tensor s_mul = mul(a, b);
+  const Tensor s_soft = softmax_rows(a);
+  const float s_maxabs = a.max_abs();
+  for (int threads : {2, 8}) {
+    set_num_threads(threads);
+    EXPECT_TRUE(s_add.equals(add(a, b)));
+    EXPECT_TRUE(s_mul.equals(mul(a, b)));
+    EXPECT_TRUE(s_soft.equals(softmax_rows(a)));
+    EXPECT_EQ(s_maxabs, a.max_abs());
+  }
+}
+
+TEST_F(ParallelTest, SetNumThreadsValidation) {
+  EXPECT_THROW(set_num_threads(-1), Error);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace af

@@ -169,7 +169,9 @@ TEST(ProtectedCodes, ParityDetectsAndZeroesSingleFlippedWord) {
   auto repaired = pc.codes();
   EXPECT_EQ(repaired[13], 0u);  // detect-and-zero
   for (std::size_t i = 0; i < repaired.size(); ++i) {
-    if (i != 13) EXPECT_EQ(repaired[i], codes[i]) << i;
+    if (i != 13) {
+      EXPECT_EQ(repaired[i], codes[i]) << i;
+    }
   }
   // Second scrub finds nothing left.
   EXPECT_TRUE(pc.scrub().clean());
