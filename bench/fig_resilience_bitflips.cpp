@@ -14,9 +14,20 @@
 //                  zero scrub, then range-hardened decode.
 // A final table injects faults into the accelerator PE accumulators to
 // exercise the datapath (not storage) fault model end-to-end.
+//
+// The compute-fault arm then targets the multiply itself: upsets land in
+// the GEMM output registers while the product is in flight, and the ABFT
+// checksums plus the calibrated activation guard fight back (unprotected
+// vs abft vs abft+guard), followed by the guarded 4-PE LSTM accelerator
+// run under the same upset model.
+//
+// Flags: --seed N, --trials N (defaults 2020 / 3 keep the output
+// byte-identical to the golden capture).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -26,16 +37,20 @@
 #include "src/hw/accelerator.hpp"
 #include "src/models/resilience_eval.hpp"
 #include "src/numerics/registry.hpp"
+#include "src/resilience/abft.hpp"
 #include "src/resilience/codec.hpp"
 #include "src/resilience/fault_injector.hpp"
+#include "src/resilience/guard.hpp"
 #include "src/resilience/protection.hpp"
+#include "src/tensor/ops.hpp"
 #include "src/util/table.hpp"
 
 namespace af {
 namespace {
 
-constexpr std::uint64_t kSeed = 2020;
-constexpr int kTrials = 3;
+// CLI-overridable; the defaults reproduce the golden output byte for byte.
+std::uint64_t g_seed = 2020;
+int g_trials = 3;
 const std::vector<double> kRates = {1e-4, 1e-3, 3e-3, 1e-2};
 const std::vector<int> kBitWidths = {8, 6, 4};
 
@@ -43,7 +58,7 @@ const std::vector<int> kBitWidths = {8, 6, 4};
 // replays exactly and formats face comparable fault streams.
 std::uint64_t cell_seed(std::uint64_t model_tag, int bits, double rate,
                         int trial) {
-  std::uint64_t h = kSeed ^ model_tag;
+  std::uint64_t h = g_seed ^ model_tag;
   h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(bits);
   h = h * 0x9e3779b97f4a7c15ULL +
       static_cast<std::uint64_t>(rate * 1e9 + 0.5);
@@ -84,7 +99,7 @@ double sweep_cell(FormatKind kind, int bits, double rate, bool protect,
   // Trials are independent (each owns its injector, seeded per cell+trial)
   // and their accuracies sum in trial order, so the mean is bit-identical
   // to the serial loop for any AF_THREADS value.
-  return bench::mean_over_trials(kTrials, [&](int trial) {
+  return bench::mean_over_trials(g_trials, [&](int trial) {
     FaultConfig cfg;
     cfg.bit_error_rate = rate;
     cfg.seed = cell_seed(model_tag, bits, rate, trial);
@@ -101,7 +116,7 @@ void run_model_sweep(const char* model_name, std::uint64_t model_tag,
                     "weight bit-error rate, " + std::to_string(bits) +
                     "-bit weights (FP32 baseline " +
                     fmt_fixed(fp32_baseline, 1) + "%, mean of " +
-                    std::to_string(kTrials) + " trials)");
+                    std::to_string(g_trials) + " trials)");
     std::vector<std::string> header = {"Format", "Mode", "BER=0"};
     for (double r : kRates) header.push_back("BER=" + fmt_sig(r, 1));
     table.set_header(std::move(header));
@@ -174,7 +189,7 @@ void run_accumulator_demo() {
   for (double rate : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
     FaultConfig fcfg;
     fcfg.bit_error_rate = rate;
-    fcfg.seed = kSeed ^ 0xacc;
+    fcfg.seed = g_seed ^ 0xacc;
     FaultInjector injector(fcfg);
     Accelerator acc(cfg);
     acc.set_fault_hook(&injector);
@@ -200,13 +215,265 @@ void run_accumulator_demo() {
   std::printf("\n");
 }
 
-int run() {
+// ----- live-MAC compute-fault sweep ------------------------------------------
+
+// Protection arms for faults injected into the GEMM output registers while
+// the multiply is in flight:
+//   none:       ABFT in observe-only mode — faults pass through unchanged;
+//   abft:       checksum verify + correct -> recompute -> degrade ladder;
+//   abft+guard: abft plus the activation-range/NaN guard calibrated from
+//               the format's value_range (Algorithm 1 bound).
+enum class ComputeArm { kNone, kAbft, kAbftGuard };
+
+const char* compute_arm_name(ComputeArm arm) {
+  switch (arm) {
+    case ComputeArm::kNone: return "none";
+    case ComputeArm::kAbft: return "abft";
+    case ComputeArm::kAbftGuard: return "abft+guard";
+  }
+  return "?";
+}
+
+const std::vector<double> kComputeRates = {1e-6, 1e-5, 1e-4};
+
+double compute_fault_cell(FormatKind kind, int bits, double rate,
+                          ComputeArm arm, int trial, AbftReport* totals) {
+  FaultConfig fcfg;
+  fcfg.bit_error_rate = rate;
+  // The seed ignores the arm, so all three arms face an identical upset
+  // stream — the accuracy spread is purely the protection's doing.
+  fcfg.seed = cell_seed(0xc0de, bits, rate, trial);
+  FaultInjector injector(fcfg);
+
+  // Weights quantized cleanly to the format: this arm targets the compute,
+  // not storage (the sweeps above already cover data at rest).
+  WeightTransform quantize = [&](const Tensor& w, int) {
+    auto codec = make_codec(kind, bits, w.max_abs());
+    return codec->decode_tensor(codec->encode_tensor(w), w.shape(),
+                                /*hardened=*/false);
+  };
+
+  AbftConfig acfg;
+  acfg.policy = arm == ComputeArm::kNone ? RecoveryPolicy::kDetect
+                                         : RecoveryPolicy::kDegradeToZero;
+  AbftReport report;
+  MatmulFn mm = [&](const Tensor& x, const Tensor& w, int layer) -> Tensor {
+    acfg.layer = "mlp_fc" + std::to_string(layer);
+    Tensor y = abft_matmul(x, w, false, /*trans_b=*/true, acfg, &report,
+                           rate > 0.0 ? &injector : nullptr);
+    if (arm == ComputeArm::kAbftGuard) {
+      auto q = make_quantizer(kind, bits);
+      q->calibrate(w);
+      LayerGuard guard(acfg.layer, {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+      // Worst-case accumulation gain of the product: fan-in times the
+      // activation magnitude; the quantizer supplies the weight range.
+      guard.calibrate(*q, static_cast<double>(w.dim(1)) * x.max_abs());
+      guard.apply(y, nullptr);
+    }
+    return y;
+  };
+  const double top1 = eval_mlp_top1(*g_mlp, quantize, mm);
+  if (totals != nullptr) totals->merge(report);
+  return top1;
+}
+
+void run_compute_fault_sweep() {
+  const int bits = 8;
+  TextTable table(
+      "Resilience: MLP Top-1 (%) under live MAC upsets in the GEMM output "
+      "registers, 8-bit weights (mean of " + std::to_string(g_trials) +
+      " trials; det/corr/deg summed across the row)");
+  std::vector<std::string> header = {"Format", "Arm"};
+  for (double r : kComputeRates) header.push_back("BER=" + fmt_sig(r, 1));
+  header.insert(header.end(), {"det", "corr", "deg"});
+  table.set_header(std::move(header));
+
+  for (FormatKind kind : all_format_kinds()) {
+    for (ComputeArm arm :
+         {ComputeArm::kNone, ComputeArm::kAbft, ComputeArm::kAbftGuard}) {
+      std::vector<std::string> row = {format_kind_name(kind),
+                                      compute_arm_name(arm)};
+      AbftReport totals;
+      for (double rate : kComputeRates) {
+        // Serial trial loop: the counters accumulate in trial order, so the
+        // row is bit-identical for any AF_THREADS value.
+        double sum = 0.0;
+        for (int trial = 0; trial < g_trials; ++trial) {
+          sum += compute_fault_cell(kind, bits, rate, arm, trial, &totals);
+        }
+        row.push_back(fmt_fixed(sum / g_trials, 1));
+      }
+      row.push_back(std::to_string(totals.detected));
+      row.push_back(std::to_string(totals.corrected));
+      row.push_back(std::to_string(totals.degraded));
+      table.add_row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+// ABFT cost relative to the bare kernel, on the sweep's own layer shape.
+// Timing is machine-dependent, so it goes to stderr (the determinism diff
+// reads stdout only); EXPERIMENTS.md records a reference measurement.
+void time_abft_overhead() {
+  const auto batch = static_cast<std::int64_t>(g_mlp->eval_set.inputs.size());
+  const Tensor& w = g_mlp->weights[0];
+  Tensor x({batch, w.dim(1)});
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const Tensor& input = g_mlp->eval_set.inputs[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < w.dim(1); ++j) {
+      x[i * w.dim(1) + j] = input[j];
+    }
+  }
+  const int reps = 40;
+  using Clock = std::chrono::steady_clock;
+  float sink = 0.0f;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    sink += matmul(x, w, false, true)[0];
+  }
+  const auto t1 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    sink += abft_matmul(x, w, false, true)[0];
+  }
+  const auto t2 = Clock::now();
+  const double plain_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  const double abft_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count() / reps;
+  std::fprintf(stderr,
+               "[bench] ABFT overhead on [%lld,%lld]x[%lld,%lld]^T: plain "
+               "%.3f ms, abft %.3f ms (+%.1f%%) [sink %.1f]\n",
+               static_cast<long long>(x.dim(0)),
+               static_cast<long long>(x.dim(1)),
+               static_cast<long long>(w.dim(0)),
+               static_cast<long long>(w.dim(1)), plain_ms, abft_ms,
+               (abft_ms / plain_ms - 1.0) * 100.0, static_cast<double>(sink));
+}
+
+// ----- guarded LSTM accelerator demo -----------------------------------------
+
+void run_guarded_lstm_demo() {
+  TextTable table(
+      "Resilience: 4-PE LSTM accelerator (HFINT, 8-bit) under accumulator "
+      "upsets — recovery policies over 16 sequences ('crash' = FaultError "
+      "escaped)");
+  table.set_header({"Acc BER", "Policy", "Pred flips (%)", "Faults",
+                    "Retried", "Degraded"});
+
+  AcceleratorConfig cfg;
+  cfg.kind = PeKind::kHfint;
+  cfg.op_bits = 8;
+  cfg.hidden = g_lstm->hidden;
+  cfg.input = g_lstm->input;
+  const LstmLayerWeights weights{g_lstm->wx, g_lstm->wh, g_lstm->b};
+  const int kSeqs = 16;
+
+  auto predict = [&](Accelerator& acc, int i) {
+    const Tensor& seq = g_lstm->eval_set.inputs[static_cast<std::size_t>(i)];
+    std::vector<Tensor> steps;
+    for (std::int64_t t = 0; t < g_lstm->timesteps; ++t) {
+      Tensor x({g_lstm->input});
+      for (std::int64_t j = 0; j < g_lstm->input; ++j) {
+        x[j] = seq[t * g_lstm->input + j];
+      }
+      steps.push_back(std::move(x));
+    }
+    AcceleratorRun run = acc.run(weights, steps);
+    // Readout in FP32 over the decoded hidden state.
+    std::int64_t best = 0;
+    float best_v = 0.0f;
+    for (std::int64_t c = 0; c < g_lstm->classes; ++c) {
+      float v = g_lstm->b_out[c];
+      for (std::int64_t h = 0; h < g_lstm->hidden; ++h) {
+        v += g_lstm->w_out[c * g_lstm->hidden + h] *
+             run.final_h[static_cast<std::size_t>(h)];
+      }
+      if (c == 0 || v > best_v) {
+        best = c;
+        best_v = v;
+      }
+    }
+    return std::make_pair(best, run);
+  };
+
+  Accelerator clean_acc(cfg);
+  std::vector<std::int64_t> clean_preds;
+  for (int i = 0; i < kSeqs; ++i) {
+    clean_preds.push_back(predict(clean_acc, i).first);
+  }
+
+  const struct {
+    RecoveryPolicy policy;
+    const char* name;
+  } kArms[] = {{RecoveryPolicy::kDetect, "detect"},
+               {RecoveryPolicy::kRecompute, "recompute"},
+               {RecoveryPolicy::kDegradeToZero, "degrade"}};
+  for (double rate : {1e-5, 1e-4, 1e-3}) {
+    for (const auto& arm : kArms) {
+      FaultConfig fcfg;
+      fcfg.bit_error_rate = rate;
+      fcfg.seed = g_seed ^ 0x157b;
+      FaultInjector injector(fcfg);
+      AcceleratorConfig run_cfg = cfg;
+      run_cfg.policy = arm.policy;
+      Accelerator acc(run_cfg);
+      acc.set_fault_hook(&injector);
+      std::vector<std::int64_t> preds;
+      AcceleratorRun totals;
+      bool crashed = false;
+      for (int i = 0; i < kSeqs && !crashed; ++i) {
+        try {
+          auto [pred, run] = predict(acc, i);
+          preds.push_back(pred);
+          totals.faults_detected += run.faults_detected;
+          totals.rows_retried += run.rows_retried;
+          totals.rows_degraded += run.rows_degraded;
+        } catch (const FaultError&) {
+          crashed = true;
+        }
+      }
+      std::vector<std::int64_t> clean_prefix(
+          clean_preds.begin(),
+          clean_preds.begin() + static_cast<std::ptrdiff_t>(preds.size()));
+      table.add_row(
+          {fmt_sig(rate, 1), arm.name,
+           crashed ? "crash" : fmt_fixed(
+                                   prediction_flip_rate(clean_prefix, preds),
+                                   1),
+           std::to_string(totals.faults_detected),
+           std::to_string(totals.rows_retried),
+           std::to_string(totals.rows_degraded)});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+int run(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      g_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--trials" && i + 1 < argc) {
+      g_trials = std::atoi(argv[++i]);
+      if (g_trials < 1) {
+        std::fprintf(stderr, "--trials must be >= 1\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N] [--trials N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::fprintf(stderr, "[bench] training MLP eval model...\n");
-  MlpEvalModel mlp = make_mlp_eval_model(kSeed);
+  MlpEvalModel mlp = make_mlp_eval_model(g_seed);
   std::fprintf(stderr, "[bench] MLP baseline Top-1: %.1f%%\n",
                mlp.baseline_top1);
   std::fprintf(stderr, "[bench] training LSTM eval model...\n");
-  LstmEvalModel lstm = make_lstm_eval_model(kSeed);
+  LstmEvalModel lstm = make_lstm_eval_model(g_seed);
   std::fprintf(stderr, "[bench] LSTM baseline Top-1: %.1f%%\n",
                lstm.baseline_top1);
   g_mlp = &mlp;
@@ -215,10 +482,13 @@ int run() {
   run_model_sweep("MLP", 0x11a9, mlp.baseline_top1, eval_mlp_cell);
   run_model_sweep("LSTM", 0x15f3, lstm.baseline_top1, eval_lstm_cell);
   run_accumulator_demo();
+  run_compute_fault_sweep();
+  run_guarded_lstm_demo();
+  time_abft_overhead();
   return 0;
 }
 
 }  // namespace
 }  // namespace af
 
-int main() { return af::run(); }
+int main(int argc, char** argv) { return af::run(argc, argv); }

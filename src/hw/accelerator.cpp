@@ -20,6 +20,64 @@ std::int32_t clamp_int(std::int64_t v, int bits) {
   return static_cast<std::int32_t>(v);
 }
 
+/// Outcome of one gate-row computation: the post-processed gate value and
+/// whether a detector (row_bound plausibility check) flagged the row.
+struct RowResult {
+  std::int32_t gate = 0;
+  bool suspect = false;
+};
+
+/// Runs one gate row under the recovery ladder. `compute` performs the MAC
+/// sequence and postprocessing; it throws FaultError on accumulator
+/// overflow and reports suspect=true on a plausibility violation (having
+/// already clamped the value when the policy permits repair). Retries make
+/// the fault hook draw fresh bits, so transient upsets clear; persistent
+/// ones degrade to a zeroed gate under kDegradeToZero and escalate
+/// otherwise.
+template <typename ComputeRow>
+std::int32_t guarded_row(const AcceleratorConfig& cfg, ComputeRow&& compute,
+                         AcceleratorRun& run) {
+  int attempt = 0;
+  for (;;) {
+    bool threw = false;
+    RowResult r;
+    try {
+      r = compute();
+    } catch (const FaultError&) {
+      // Observe-only (and correct-only, which has no repair for a broken
+      // register) keep the historical propagate-the-error behavior.
+      if (cfg.policy <= RecoveryPolicy::kCorrect) throw;
+      threw = true;
+      r.suspect = true;
+    }
+    if (!r.suspect) return r.gate;
+    ++run.faults_detected;
+    if (cfg.policy >= RecoveryPolicy::kRecompute && attempt < cfg.max_retries) {
+      ++attempt;
+      ++run.rows_retried;
+      continue;
+    }
+    if (threw) {
+      if (cfg.policy == RecoveryPolicy::kDegradeToZero) {
+        ++run.rows_degraded;
+        return 0;
+      }
+      throw FaultError(cfg.name(), FaultKind::kUncorrectable,
+                       "gate row still overflows after " +
+                           std::to_string(attempt) + " recompute(s)");
+    }
+    // Plausibility violation with a usable value: keep the raw value under
+    // kDetect, the bound-clamped one under kCorrect/kRecompute, zero under
+    // kDegradeToZero.
+    if (cfg.policy == RecoveryPolicy::kDegradeToZero) {
+      ++run.rows_degraded;
+      return 0;
+    }
+    if (cfg.policy >= RecoveryPolicy::kCorrect) ++run.rows_corrected;
+    return r.gate;
+  }
+}
+
 }  // namespace
 
 std::string AcceleratorConfig::name() const {
@@ -162,6 +220,40 @@ AcceleratorRun Accelerator::run(const LstmLayerWeights& w,
                                      af_act.encode(0.0f));
 
   const int m = cfg_.op_bits - cfg_.exp_bits - 1;
+  const int unit_exp = wf.exp_bias() + af_act.exp_bias() - 2 * m;
+
+  // Per-row folded biases and plausibility bounds. Weights are stationary,
+  // so both are computed once, from the resident (possibly hook-corrupted)
+  // buffers — the bounds track whatever the buffers actually hold, and only
+  // an accumulator upset can breach them.
+  std::vector<std::int64_t> bias_acc(static_cast<std::size_t>(4 * hidden), 0);
+  std::vector<std::int64_t> row_lim(static_cast<std::size_t>(4 * hidden), 0);
+  for (std::int64_t r = 0; r < 4 * hidden; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (cfg_.kind == PeKind::kInt) {
+      // Bias folded into the accumulator in units of sw * 2^act_lsb.
+      bias_acc[ri] = static_cast<std::int64_t>(std::nearbyint(
+          w.bias[r] / (static_cast<double>(sw) * std::ldexp(1.0, act_lsb))));
+      const std::vector<std::int32_t> wrow_x(
+          wx_int.begin() + r * in_dim, wx_int.begin() + (r + 1) * in_dim);
+      const std::vector<std::int32_t> wrow_h(
+          wh_int.begin() + r * hidden, wh_int.begin() + (r + 1) * hidden);
+      row_lim[ri] =
+          int_pe.row_bound(bias_acc[ri], wrow_x) + int_pe.row_bound(0, wrow_h);
+    } else {
+      // Bias folded in units of 2^(bias_w + bias_a - 2m).
+      bias_acc[ri] = static_cast<std::int64_t>(std::nearbyint(
+          std::ldexp(static_cast<double>(w.bias[r]), -unit_exp)));
+      const std::vector<std::uint16_t> wrow_x(
+          wx_codes.begin() + r * in_dim, wx_codes.begin() + (r + 1) * in_dim);
+      const std::vector<std::uint16_t> wrow_h(
+          wh_codes.begin() + r * hidden, wh_codes.begin() + (r + 1) * hidden);
+      row_lim[ri] =
+          hf_pe.row_bound(bias_acc[ri], wrow_x) + hf_pe.row_bound(0, wrow_h);
+    }
+  }
+
+  AcceleratorRun run_result;
   for (const Tensor& x : inputs) {
     AF_CHECK(x.shape() == (Shape{in_dim}), "input shape mismatch");
     // Encode the step input.
@@ -189,37 +281,43 @@ AcceleratorRun Accelerator::run(const LstmLayerWeights& w,
       }
     }
 
-    // Gate pre-activations for all 4H rows.
+    // Gate pre-activations for all 4H rows, each under the recovery ladder.
     std::vector<std::int32_t> gates(static_cast<std::size_t>(4 * hidden));
     for (std::int64_t r = 0; r < 4 * hidden; ++r) {
-      if (cfg_.kind == PeKind::kInt) {
-        // Bias folded into the accumulator in units of sw * 2^act_lsb.
-        auto acc = static_cast<std::int64_t>(std::nearbyint(
-            w.bias[r] / (static_cast<double>(sw) * std::ldexp(1.0, act_lsb))));
-        std::vector<std::int32_t> wrow_x(
-            wx_int.begin() + r * in_dim, wx_int.begin() + (r + 1) * in_dim);
-        std::vector<std::int32_t> wrow_h(
-            wh_int.begin() + r * hidden, wh_int.begin() + (r + 1) * hidden);
-        acc = int_pe.accumulate(acc, wrow_x, x_int);
-        acc = int_pe.accumulate(acc, wrow_h, h_int);
-        gates[static_cast<std::size_t>(r)] =
-            int_pe.postprocess(acc, scale_int, cfg_.scale_bits, false);
-      } else {
-        // Bias folded in units of 2^(bias_w + bias_a - 2m).
-        const int unit_exp = wf.exp_bias() + af_act.exp_bias() - 2 * m;
-        auto acc = static_cast<std::int64_t>(
-            std::nearbyint(std::ldexp(static_cast<double>(w.bias[r]),
-                                      -unit_exp)));
-        std::vector<std::uint16_t> wrow_x(
-            wx_codes.begin() + r * in_dim, wx_codes.begin() + (r + 1) * in_dim);
-        std::vector<std::uint16_t> wrow_h(
-            wh_codes.begin() + r * hidden,
-            wh_codes.begin() + (r + 1) * hidden);
-        acc = hf_pe.accumulate(acc, wrow_x, x_codes);
-        acc = hf_pe.accumulate(acc, wrow_h, h_codes);
-        gates[static_cast<std::size_t>(r)] =
-            hf_pe.postprocess_to_int(acc, wf, af_act, gate_lsb, false);
-      }
+      const auto ri = static_cast<std::size_t>(r);
+      auto compute = [&]() -> RowResult {
+        std::int64_t acc;
+        if (cfg_.kind == PeKind::kInt) {
+          std::vector<std::int32_t> wrow_x(
+              wx_int.begin() + r * in_dim, wx_int.begin() + (r + 1) * in_dim);
+          std::vector<std::int32_t> wrow_h(
+              wh_int.begin() + r * hidden, wh_int.begin() + (r + 1) * hidden);
+          acc = int_pe.accumulate(bias_acc[ri], wrow_x, x_int);
+          acc = int_pe.accumulate(acc, wrow_h, h_int);
+        } else {
+          std::vector<std::uint16_t> wrow_x(
+              wx_codes.begin() + r * in_dim,
+              wx_codes.begin() + (r + 1) * in_dim);
+          std::vector<std::uint16_t> wrow_h(
+              wh_codes.begin() + r * hidden,
+              wh_codes.begin() + (r + 1) * hidden);
+          acc = hf_pe.accumulate(bias_acc[ri], wrow_x, x_codes);
+          acc = hf_pe.accumulate(acc, wrow_h, h_codes);
+        }
+        RowResult out;
+        if (acc > row_lim[ri] || acc < -row_lim[ri]) {
+          out.suspect = true;
+          if (cfg_.policy != RecoveryPolicy::kDetect) {
+            acc = acc > 0 ? row_lim[ri] : -row_lim[ri];
+          }
+        }
+        out.gate =
+            cfg_.kind == PeKind::kInt
+                ? int_pe.postprocess(acc, scale_int, cfg_.scale_bits, false)
+                : hf_pe.postprocess_to_int(acc, wf, af_act, gate_lsb, false);
+        return out;
+      };
+      gates[ri] = guarded_row(cfg_, compute, run_result);
     }
 
     // Elementwise LSTM update in the shared integer activation domain.
@@ -255,7 +353,6 @@ AcceleratorRun Accelerator::run(const LstmLayerWeights& w,
   }
 
   // ----- assemble the result ------------------------------------------------
-  AcceleratorRun run_result;
   run_result.timesteps = static_cast<std::int64_t>(inputs.size());
   run_result.final_h.resize(static_cast<std::size_t>(hidden));
   for (std::int64_t j = 0; j < hidden; ++j) {
@@ -334,6 +431,7 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
         n);
   }
 
+  AcceleratorRun result;
   double energy = 0.0;
   for (const FcLayer& layer : layers) {
     const std::int64_t out_dim = layer.weight.dim(0);
@@ -354,22 +452,37 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
         fault_hook_->on_ints(PeFaultHook::Site::kActivation, act, n);
       }
       for (std::int64_t r = 0; r < out_dim; ++r) {
-        std::vector<std::int32_t> wrow(static_cast<std::size_t>(in_dim));
-        for (std::int64_t c = 0; c < in_dim; ++c) {
-          wrow[static_cast<std::size_t>(c)] = clamp_int(
-              static_cast<std::int64_t>(
-                  std::nearbyint(layer.weight[r * in_dim + c] / sw)),
-              n);
-        }
-        if (fault_hook_ != nullptr) {
-          fault_hook_->on_ints(PeFaultHook::Site::kWeight, wrow, n);
-        }
-        auto acc = static_cast<std::int64_t>(std::nearbyint(
-            layer.bias[r] /
-            (static_cast<double>(sw) * std::ldexp(1.0, act_lsb))));
-        acc = int_pe.accumulate(acc, wrow, act);
-        next[static_cast<std::size_t>(r)] =
-            int_pe.postprocess(acc, scale_int, cfg_.scale_bits, layer.relu);
+        // Weights stream per row in the FC dataflow, so a retry re-reads
+        // the row through the fault hook — persistent buffer faults stay,
+        // transient accumulator upsets clear.
+        auto compute = [&]() -> RowResult {
+          std::vector<std::int32_t> wrow(static_cast<std::size_t>(in_dim));
+          for (std::int64_t c = 0; c < in_dim; ++c) {
+            wrow[static_cast<std::size_t>(c)] = clamp_int(
+                static_cast<std::int64_t>(
+                    std::nearbyint(layer.weight[r * in_dim + c] / sw)),
+                n);
+          }
+          if (fault_hook_ != nullptr) {
+            fault_hook_->on_ints(PeFaultHook::Site::kWeight, wrow, n);
+          }
+          const auto bias_acc = static_cast<std::int64_t>(std::nearbyint(
+              layer.bias[r] /
+              (static_cast<double>(sw) * std::ldexp(1.0, act_lsb))));
+          std::int64_t acc = int_pe.accumulate(bias_acc, wrow, act);
+          const std::int64_t lim = int_pe.row_bound(bias_acc, wrow);
+          RowResult out;
+          if (acc > lim || acc < -lim) {
+            out.suspect = true;
+            if (cfg_.policy != RecoveryPolicy::kDetect) {
+              acc = acc > 0 ? lim : -lim;
+            }
+          }
+          out.gate =
+              int_pe.postprocess(acc, scale_int, cfg_.scale_bits, layer.relu);
+          return out;
+        };
+        next[static_cast<std::size_t>(r)] = guarded_row(cfg_, compute, result);
       }
     } else {
       const AdaptivFloatFormat wf =
@@ -383,19 +496,31 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
       }
       const int unit_exp = wf.exp_bias() + af_act.exp_bias() - 2 * m;
       for (std::int64_t r = 0; r < out_dim; ++r) {
-        std::vector<std::uint16_t> wrow(static_cast<std::size_t>(in_dim));
-        for (std::int64_t c = 0; c < in_dim; ++c) {
-          wrow[static_cast<std::size_t>(c)] =
-              wf.encode(layer.weight[r * in_dim + c]);
-        }
-        if (fault_hook_ != nullptr) {
-          fault_hook_->on_codes(PeFaultHook::Site::kWeight, wrow, n);
-        }
-        auto acc = static_cast<std::int64_t>(std::nearbyint(
-            std::ldexp(static_cast<double>(layer.bias[r]), -unit_exp)));
-        acc = hf_pe.accumulate(acc, wrow, act_codes);
-        next[static_cast<std::size_t>(r)] =
-            hf_pe.postprocess_to_int(acc, wf, af_act, act_lsb, layer.relu);
+        auto compute = [&]() -> RowResult {
+          std::vector<std::uint16_t> wrow(static_cast<std::size_t>(in_dim));
+          for (std::int64_t c = 0; c < in_dim; ++c) {
+            wrow[static_cast<std::size_t>(c)] =
+                wf.encode(layer.weight[r * in_dim + c]);
+          }
+          if (fault_hook_ != nullptr) {
+            fault_hook_->on_codes(PeFaultHook::Site::kWeight, wrow, n);
+          }
+          const auto bias_acc = static_cast<std::int64_t>(std::nearbyint(
+              std::ldexp(static_cast<double>(layer.bias[r]), -unit_exp)));
+          std::int64_t acc = hf_pe.accumulate(bias_acc, wrow, act_codes);
+          const std::int64_t lim = hf_pe.row_bound(bias_acc, wrow);
+          RowResult out;
+          if (acc > lim || acc < -lim) {
+            out.suspect = true;
+            if (cfg_.policy != RecoveryPolicy::kDetect) {
+              acc = acc > 0 ? lim : -lim;
+            }
+          }
+          out.gate =
+              hf_pe.postprocess_to_int(acc, wf, af_act, act_lsb, layer.relu);
+          return out;
+        };
+        next[static_cast<std::size_t>(r)] = guarded_row(cfg_, compute, result);
       }
     }
     act = std::move(next);
@@ -412,7 +537,6 @@ AcceleratorRun Accelerator::run_fc(const std::vector<FcLayer>& layers,
               (1 + cfg_.num_pes);
   }
 
-  AcceleratorRun result;
   result.timesteps = 1;
   result.cycles = cycles_per_fc_pass(layers);
   result.energy_fj = energy;

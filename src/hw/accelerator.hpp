@@ -18,6 +18,7 @@
 #include "src/hw/hfint_pe.hpp"
 #include "src/hw/int_pe.hpp"
 #include "src/tensor/tensor.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 
@@ -34,6 +35,17 @@ struct AcceleratorConfig {
   std::int64_t input = 256;
   std::int64_t gb_bytes = 1 << 20;  ///< 1MB global buffer
   double clock_ghz = 1.0;
+
+  /// How the scrubber reacts when a PE's gate-row result trips a detector
+  /// (accumulator-overflow FaultError, or the exact row_bound plausibility
+  /// check — a clean row can never exceed its bound, so every trip is a
+  /// real upset). kDetect (the default) only counts and propagates, which
+  /// is bit-identical to the historical behavior; kRecompute retries the
+  /// row (the fault stream advances, so transients clear); kDegradeToZero
+  /// additionally scrubs a persistently faulty row's gate to zero
+  /// mid-timestep instead of crashing or propagating garbage.
+  RecoveryPolicy policy = RecoveryPolicy::kDetect;
+  int max_retries = 2;  ///< per-row recompute budget under kRecompute+
 
   std::string name() const;
 };
@@ -59,6 +71,11 @@ struct AcceleratorRun {
   std::int64_t cycles = 0;
   double energy_fj = 0.0;
   std::int64_t timesteps = 0;
+  // Recovery accounting (all zero on a clean run).
+  std::int64_t faults_detected = 0;  ///< detector trips, including retries
+  std::int64_t rows_retried = 0;     ///< gate-row recompute attempts
+  std::int64_t rows_corrected = 0;   ///< rows clamped back into their bound
+  std::int64_t rows_degraded = 0;    ///< rows scrubbed to zero
 };
 
 /// Table 4 row.

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include <cstdlib>
+
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 namespace {
@@ -55,15 +58,38 @@ std::int64_t HfintPe::accumulate(std::int64_t acc,
   }
   // Register sizing: the paper's 2(2^e-1) + 2m + log2(H) counts magnitude
   // bits of the largest exponent window; worst-case mantissa growth
-  // ((2-2^-m)^2 < 4) and the sign add 3 bits of physical headroom.
+  // ((2-2^-m)^2 < 4) and the sign add 3 bits of physical headroom. A clean
+  // run stays inside, but an in-register upset can push a later sum over
+  // the edge — a catchable runtime fault, not a programmer-error abort.
   const std::int64_t lim = (std::int64_t{1} << (cfg_.acc_bits() + 2)) - 1;
-  AF_CHECK(acc >= -lim - 1 && acc <= lim, "HFINT accumulator overflow");
+  if (acc < -lim - 1 || acc > lim) {
+    throw FaultError(cfg_.name(), FaultKind::kAccumulatorOverflow,
+                     "vector MAC left the " +
+                         std::to_string(cfg_.acc_bits() + 3) +
+                         "-bit register invariant");
+  }
   // Datapath upset model: a flip in the physical register (acc_bits plus
   // the 3 headroom bits noted above); stays within the register invariant.
   if (fault_hook_ != nullptr) {
     fault_hook_->on_accumulator(acc, cfg_.acc_bits() + 3);
   }
   return acc;
+}
+
+std::int64_t HfintPe::row_bound(std::int64_t bias_acc,
+                                const std::vector<std::uint16_t>& w_codes) const {
+  const int m = cfg_.mant_bits();
+  const AdaptivFloatFormat fields(cfg_.op_bits, cfg_.exp_bits, 0);
+  // Worst-case activation partner: maximal mantissa at maximal exponent.
+  const std::int64_t amax_mant = (std::int64_t{1} << (m + 1)) - 1;
+  const int amax_exp = (1 << cfg_.exp_bits) - 1;
+  std::int64_t bound = std::llabs(bias_acc);
+  for (const std::uint16_t wc : w_codes) {
+    if (fields.is_zero_code(wc)) continue;
+    const std::int64_t wmant = std::int64_t{1} << m | fields.mant_field(wc);
+    bound += (wmant * amax_mant) << (fields.exp_field(wc) + amax_exp);
+  }
+  return bound;
 }
 
 double HfintPe::acc_to_value(std::int64_t acc, const AdaptivFloatFormat& wf,

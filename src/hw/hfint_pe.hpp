@@ -58,6 +58,13 @@ class HfintPe {
                           const std::vector<std::uint16_t>& w_codes,
                           const std::vector<std::uint16_t>& a_codes) const;
 
+  /// Row-level plausibility bound in accumulator units: the largest |acc| a
+  /// clean MAC sequence over these weight codes can reach from |bias_acc|,
+  /// with activation codes anywhere in the format. Fixed-point AdaptivFloat
+  /// accumulation is exact, so a fault-free row can never exceed it.
+  std::int64_t row_bound(std::int64_t bias_acc,
+                         const std::vector<std::uint16_t>& w_codes) const;
+
   /// The real value represented by an accumulator, given the two formats:
   /// acc * 2^(bias_w + bias_a - 2m).
   double acc_to_value(std::int64_t acc, const AdaptivFloatFormat& wf,

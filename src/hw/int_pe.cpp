@@ -3,7 +3,10 @@
 #include <cmath>
 #include <string>
 
+#include <cstdlib>
+
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 namespace {
@@ -43,17 +46,32 @@ std::int64_t IntPe::accumulate(std::int64_t acc,
              "activation exceeds operand width");
     acc += static_cast<std::int64_t>(w[i]) * a[i];
   }
-  // The hardware accumulator is acc_bits wide; with <= H accumulations it
-  // cannot overflow — enforce the same invariant on the model.
+  // The hardware accumulator is acc_bits wide; with <= H accumulations a
+  // clean run cannot overflow — but a prior in-register upset can push a
+  // later legitimate sum over the edge, so this is a runtime fault event a
+  // recovery policy may catch, not a programmer-error abort.
   const std::int64_t acc_lim = (std::int64_t{1} << (cfg_.acc_bits() - 1)) - 1;
-  AF_CHECK(acc >= -acc_lim - 1 && acc <= acc_lim,
-           "accumulator overflow: more than H partial sums?");
+  if (acc < -acc_lim - 1 || acc > acc_lim) {
+    throw FaultError(cfg_.name(), FaultKind::kAccumulatorOverflow,
+                     "vector MAC left the " + std::to_string(cfg_.acc_bits()) +
+                         "-bit register invariant");
+  }
   // Datapath upset model: a flip in the sized accumulator register. The
   // hook mutates within acc_bits, so the register invariant still holds.
   if (fault_hook_ != nullptr) {
     fault_hook_->on_accumulator(acc, cfg_.acc_bits());
   }
   return acc;
+}
+
+std::int64_t IntPe::row_bound(std::int64_t bias_acc,
+                              const std::vector<std::int32_t>& w) const {
+  const std::int64_t amax = static_cast<std::int64_t>(op_max()) + 1;
+  std::int64_t bound = std::llabs(bias_acc);
+  for (const std::int32_t wi : w) {
+    bound += std::llabs(static_cast<std::int64_t>(wi)) * amax;
+  }
+  return bound;
 }
 
 std::int32_t IntPe::postprocess(std::int64_t acc, std::int32_t scale,

@@ -65,6 +65,14 @@ class IntPe {
   /// Largest representable operand magnitude: 2^(n-1) - 1.
   std::int32_t op_max() const { return (1 << (cfg_.op_bits - 1)) - 1; }
 
+  /// Row-level plausibility bound: the largest |accumulator| a clean MAC
+  /// sequence over these weights can reach from |bias_acc|, with operands
+  /// anywhere in the op_bits range. Integer accumulation is exact, so a
+  /// fault-free row can never exceed it — an excursion past the bound is
+  /// an accumulator upset, not rounding.
+  std::int64_t row_bound(std::int64_t bias_acc,
+                         const std::vector<std::int32_t>& w) const;
+
   // ----- analytic PPA -------------------------------------------------------
 
   /// Energy of one fully-utilized PE cycle (K^2 MACs), femtojoules.

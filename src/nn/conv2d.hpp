@@ -26,6 +26,7 @@ class Conv2d final : public Module {
   void clear_cache() override { cache_.clear(); }
 
   const Conv2dSpec& spec() const { return spec_; }
+  std::int64_t out_channels() const { return out_channels_; }
   Parameter& weight() { return weight_; }
 
  private:

@@ -28,6 +28,12 @@ class QuantizedLinear {
   std::int64_t out_features() const { return out_; }
   const PackedAdaptivFloatTensor& packed_weight() const { return weight_; }
 
+  /// Decodes the packed weights to [out, in] FP32 — the same decode the
+  /// forward pass performs; exposed so a guarded caller can route the
+  /// product through an ABFT matmul.
+  Tensor decoded_weight() const { return weight_.unpack(); }
+  const Tensor& bias() const { return bias_; }
+
   /// Storage for the weights in bytes (vs 4 bytes/element FP32).
   std::size_t weight_bytes() const { return weight_.payload_bytes(); }
 

@@ -1,0 +1,416 @@
+#include "src/resilience/abft.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/tensor/ops.hpp"
+#include "src/util/parallel.hpp"
+
+namespace af {
+namespace {
+
+// Chunk grains of the checksum passes. Like the matmul grains these are part
+// of the determinism contract: fixed, never derived from the thread count.
+constexpr std::int64_t kRowGrain = 16;
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void store_bits(float* v, std::uint32_t bits) {
+  std::memcpy(v, &bits, sizeof(bits));
+}
+
+void check_rank2(const Tensor& t, const char* name) {
+  AF_CHECK(t.rank() == 2,
+           std::string(name) + " must be rank-2, got " + shape_str(t.shape()));
+}
+
+// op(A)/op(B) element accessors for the transpose variants.
+struct MatView {
+  const float* p;
+  std::int64_t ld;
+  bool trans;
+  float operator()(std::int64_t r, std::int64_t c) const {
+    return trans ? p[c * ld + r] : p[r * ld + c];
+  }
+};
+
+// Recomputes one output element in exactly the kernel's accumulation order
+// (ascending k, zero-weight terms skipped), so a repaired element is
+// bit-identical to what a clean multiply would have stored.
+float recompute_element(const MatView& a, const MatView& b, std::int64_t k,
+                        std::int64_t i, std::int64_t j) {
+  float acc = 0.0f;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float aval = a(i, kk);
+    if (aval == 0.0f) continue;
+    acc += aval * b(kk, j);
+  }
+  return acc;
+}
+
+// Offers every freshly computed output value to the hook as a 32-bit
+// accumulator register (the FP32 image *is* the writeback register of the
+// software datapath). Runs serially so the Bernoulli fault stream is
+// invariant under AF_THREADS.
+void inject_mac_faults(Tensor& c, PeFaultHook* hook) {
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    const std::uint32_t bits = float_bits(c[i]);
+    auto acc = static_cast<std::int64_t>(bits);
+    hook->on_accumulator(acc, 32);
+    const auto flipped =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(acc));
+    if (flipped != bits) store_bits(&c[i], flipped);
+  }
+}
+
+}  // namespace
+
+void AbftReport::merge(const AbftReport& other) {
+  multiplies += other.multiplies;
+  verifies += other.verifies;
+  detected += other.detected;
+  corrected += other.corrected;
+  recomputes += other.recomputes;
+  backoff_units += other.backoff_units;
+  degraded += other.degraded;
+  uncorrected += other.uncorrected;
+}
+
+// ----- GemmChecksums ---------------------------------------------------------
+
+namespace {
+
+struct BitSums {
+  std::vector<std::uint64_t> row, col;
+  std::uint64_t total = 0;
+};
+
+BitSums bit_sums(const Tensor& c) {
+  const std::int64_t m = c.dim(0), n = c.dim(1);
+  BitSums sums;
+  sums.row.assign(static_cast<std::size_t>(m), 0);
+  // Row sums write disjoint entries per chunk; column sums fold per-chunk
+  // partials. Both are additions mod 2^64 — order-independent, so the
+  // result is bit-identical for any thread count.
+  sums.col = parallel_reduce(
+      0, m, kRowGrain, std::vector<std::uint64_t>(static_cast<std::size_t>(n)),
+      [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<std::uint64_t> part(static_cast<std::size_t>(n), 0);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* crow = c.data() + i * n;
+          std::uint64_t rsum = 0;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const std::uint64_t bits = float_bits(crow[j]);
+            rsum += bits;
+            part[static_cast<std::size_t>(j)] += bits;
+          }
+          sums.row[static_cast<std::size_t>(i)] = rsum;
+        }
+        return part;
+      },
+      [](std::vector<std::uint64_t> acc, std::vector<std::uint64_t> part) {
+        for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += part[j];
+        return acc;
+      });
+  for (std::uint64_t r : sums.row) sums.total += r;
+  return sums;
+}
+
+}  // namespace
+
+GemmChecksums GemmChecksums::of(const Tensor& c) {
+  check_rank2(c, "GemmChecksums");
+  GemmChecksums sums;
+  sums.m_ = c.dim(0);
+  sums.n_ = c.dim(1);
+  BitSums raw = bit_sums(c);
+  sums.row_ = std::move(raw.row);
+  sums.col_ = std::move(raw.col);
+  sums.total_ = raw.total;
+  return sums;
+}
+
+GemmChecksums::Verify GemmChecksums::verify(const Tensor& c) const {
+  check_rank2(c, "GemmChecksums::verify");
+  AF_CHECK(c.dim(0) == m_ && c.dim(1) == n_,
+           "checksum snapshot shape mismatch");
+  const BitSums now = bit_sums(c);
+  Verify v;
+  for (std::int64_t i = 0; i < m_; ++i) {
+    if (now.row[static_cast<std::size_t>(i)] !=
+        row_[static_cast<std::size_t>(i)]) {
+      v.rows.push_back(i);
+    }
+  }
+  for (std::int64_t j = 0; j < n_; ++j) {
+    if (now.col[static_cast<std::size_t>(j)] !=
+        col_[static_cast<std::size_t>(j)]) {
+      v.cols.push_back(j);
+    }
+  }
+  v.total_mismatch = now.total != total_;
+  return v;
+}
+
+bool GemmChecksums::correct(Tensor& c, const Verify& v) const {
+  if (!v.single()) return false;
+  const std::int64_t r = v.rows[0], s = v.cols[0];
+  const BitSums now = bit_sums(c);
+  // The deltas mod 2^64 are exactly (new_bits - old_bits) of the corrupted
+  // element; row and column must agree or more than one element changed.
+  const std::uint64_t row_delta =
+      now.row[static_cast<std::size_t>(r)] - row_[static_cast<std::size_t>(r)];
+  const std::uint64_t col_delta =
+      now.col[static_cast<std::size_t>(s)] - col_[static_cast<std::size_t>(s)];
+  if (row_delta != col_delta) return false;
+  const std::uint64_t cur = float_bits(c[r * n_ + s]);
+  const std::uint64_t old = cur - row_delta;
+  if (old > 0xffffffffULL) return false;  // deltas inconsistent with one word
+  store_bits(&c[r * n_ + s], static_cast<std::uint32_t>(old));
+  return true;
+}
+
+// ----- algebraic sums --------------------------------------------------------
+
+AlgebraicSums abft_actual_sums(const Tensor& c) {
+  check_rank2(c, "abft_actual_sums");
+  const std::int64_t m = c.dim(0), n = c.dim(1);
+  AlgebraicSums sums;
+  sums.row.assign(static_cast<std::size_t>(m), 0.0);
+  // Column partials are doubles, so combine order matters: parallel_reduce
+  // folds them in ascending chunk order — one fixed association.
+  sums.col = parallel_reduce(
+      0, m, kRowGrain, std::vector<double>(static_cast<std::size_t>(n)),
+      [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<double> part(static_cast<std::size_t>(n), 0.0);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* crow = c.data() + i * n;
+          double rsum = 0.0;
+          for (std::int64_t j = 0; j < n; ++j) {
+            rsum += crow[j];
+            part[static_cast<std::size_t>(j)] += crow[j];
+          }
+          sums.row[static_cast<std::size_t>(i)] = rsum;
+        }
+        return part;
+      },
+      [](std::vector<double> acc, std::vector<double> part) {
+        for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += part[j];
+        return acc;
+      });
+  return sums;
+}
+
+PredictedSums abft_predicted_sums(const Tensor& a, const Tensor& b,
+                                  bool trans_a, bool trans_b) {
+  check_rank2(a, "abft a");
+  check_rank2(b, "abft b");
+  const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  AF_CHECK(k == kb, "abft inner dimensions disagree");
+  const MatView va{a.data(), a.dim(1), trans_a};
+  const MatView vb{b.data(), b.dim(1), trans_b};
+
+  // bsum[kk] = sum_j opB[kk][j]; asum[kk] = sum_i opA[i][kk]; plus the
+  // magnitude analogues that scale the roundoff tolerance.
+  std::vector<double> bsum(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> babs(static_cast<std::size_t>(k), 0.0);
+  parallel_for(0, k, kRowGrain, [&](std::int64_t k0, std::int64_t k1) {
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      double s = 0.0, sa = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double v = vb(kk, j);
+        s += v;
+        sa += std::fabs(v);
+      }
+      bsum[static_cast<std::size_t>(kk)] = s;
+      babs[static_cast<std::size_t>(kk)] = sa;
+    }
+  });
+  std::vector<double> asum(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> aabs(static_cast<std::size_t>(k), 0.0);
+  parallel_for(0, k, kRowGrain, [&](std::int64_t k0, std::int64_t k1) {
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      double s = 0.0, sa = 0.0;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const double v = va(i, kk);
+        s += v;
+        sa += std::fabs(v);
+      }
+      asum[static_cast<std::size_t>(kk)] = s;
+      aabs[static_cast<std::size_t>(kk)] = sa;
+    }
+  });
+
+  PredictedSums pred;
+  pred.row.assign(static_cast<std::size_t>(m), 0.0);
+  pred.row_mag.assign(static_cast<std::size_t>(m), 0.0);
+  parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double s = 0.0, mag = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double av = va(i, kk);
+        s += av * bsum[static_cast<std::size_t>(kk)];
+        mag += std::fabs(av) * babs[static_cast<std::size_t>(kk)];
+      }
+      pred.row[static_cast<std::size_t>(i)] = s;
+      pred.row_mag[static_cast<std::size_t>(i)] = mag;
+    }
+  });
+  pred.col.assign(static_cast<std::size_t>(n), 0.0);
+  pred.col_mag.assign(static_cast<std::size_t>(n), 0.0);
+  parallel_for(0, n, kRowGrain, [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t j = j0; j < j1; ++j) {
+      double s = 0.0, mag = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double bv = vb(kk, j);
+        s += asum[static_cast<std::size_t>(kk)] * bv;
+        mag += aabs[static_cast<std::size_t>(kk)] * std::fabs(bv);
+      }
+      pred.col[static_cast<std::size_t>(j)] = s;
+      pred.col_mag[static_cast<std::size_t>(j)] = mag;
+    }
+  });
+  return pred;
+}
+
+// ----- abft_matmul -----------------------------------------------------------
+
+namespace {
+
+struct AlgebraicVerify {
+  std::vector<std::int64_t> rows, cols;
+  bool clean() const { return rows.empty() && cols.empty(); }
+  bool single() const { return rows.size() == 1 && cols.size() == 1; }
+};
+
+// A sum disagrees when |actual - predicted| exceeds the magnitude-scaled
+// roundoff bound. eps_f covers the kernel's float accumulation; the sum
+// length factors cover both the k-products and the row/column fold.
+AlgebraicVerify algebraic_verify(const AlgebraicSums& act,
+                                 const PredictedSums& pred, double row_tol,
+                                 double col_tol) {
+  AlgebraicVerify v;
+  for (std::size_t i = 0; i < act.row.size(); ++i) {
+    const double tol = row_tol * pred.row_mag[i] +
+                       std::numeric_limits<float>::denorm_min();
+    const double diff = act.row[i] - pred.row[i];
+    if (!(std::fabs(diff) <= tol)) {  // NaN compares false -> flagged
+      v.rows.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  for (std::size_t j = 0; j < act.col.size(); ++j) {
+    const double tol = col_tol * pred.col_mag[j] +
+                       std::numeric_limits<float>::denorm_min();
+    const double diff = act.col[j] - pred.col[j];
+    if (!(std::fabs(diff) <= tol)) {
+      v.cols.push_back(static_cast<std::int64_t>(j));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+Tensor abft_matmul(const Tensor& a, const Tensor& b, bool trans_a,
+                   bool trans_b, const AbftConfig& cfg, AbftReport* report,
+                   PeFaultHook* mac_hook) {
+  AF_CHECK(cfg.max_recomputes >= 0, "negative recompute budget");
+  const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  const MatView va{a.data(), a.dim(1), trans_a};
+  const MatView vb{b.data(), b.dim(1), trans_b};
+
+  const PredictedSums pred = abft_predicted_sums(a, b, trans_a, trans_b);
+  const double eps = static_cast<double>(std::numeric_limits<float>::epsilon());
+  const double row_tol = cfg.rel_tolerance > 0.0
+                             ? cfg.rel_tolerance
+                             : 4.0 * eps * static_cast<double>(k + n);
+  const double col_tol = cfg.rel_tolerance > 0.0
+                             ? cfg.rel_tolerance
+                             : 4.0 * eps * static_cast<double>(k + m);
+
+  AbftReport local;
+  local.multiplies = 1;
+  Tensor c;
+  int attempt = 0;
+  for (;;) {
+    c = matmul(a, b, trans_a, trans_b);
+    if (mac_hook != nullptr) inject_mac_faults(c, mac_hook);
+    ++local.verifies;
+    AlgebraicVerify v = algebraic_verify(abft_actual_sums(c), pred, row_tol,
+                                         col_tol);
+    if (v.clean()) break;
+    ++local.detected;
+
+    if (v.single() && cfg.policy >= RecoveryPolicy::kCorrect) {
+      // Single-error correct path: the (row, col) mismatch pair localizes
+      // one output; recompute just that element (the repair unit is assumed
+      // scrubbed, so no re-injection) and confirm the sums close.
+      const std::int64_t r = v.rows[0], s = v.cols[0];
+      c[r * n + s] = recompute_element(va, vb, k, r, s);
+      ++local.verifies;
+      v = algebraic_verify(abft_actual_sums(c), pred, row_tol, col_tol);
+      if (v.clean()) {
+        ++local.corrected;
+        break;
+      }
+    }
+
+    if (cfg.policy >= RecoveryPolicy::kRecompute &&
+        attempt < cfg.max_recomputes) {
+      ++attempt;
+      ++local.recomputes;
+      local.backoff_units += std::int64_t{1} << attempt;  // modeled backoff
+      continue;  // full recompute, retried under fire (hook re-injects)
+    }
+
+    // Ladder exhausted.
+    if (cfg.policy == RecoveryPolicy::kDegradeToZero) {
+      // Scrub the suspect region: the flagged row x column intersection
+      // when both sides localized, else every flagged row/column outright.
+      // Exact 0 is representable in all five formats, so the damage is
+      // bounded — degraded, not garbage.
+      if (!v.rows.empty() && !v.cols.empty()) {
+        for (std::int64_t r : v.rows) {
+          for (std::int64_t s : v.cols) {
+            c[r * n + s] = 0.0f;
+            ++local.degraded;
+          }
+        }
+      } else {
+        for (std::int64_t r : v.rows) {
+          for (std::int64_t j = 0; j < n; ++j) c[r * n + j] = 0.0f;
+          local.degraded += n;
+        }
+        for (std::int64_t s : v.cols) {
+          for (std::int64_t i = 0; i < m; ++i) c[i * n + s] = 0.0f;
+          local.degraded += m;
+        }
+      }
+      break;
+    }
+    if (cfg.policy == RecoveryPolicy::kDetect) {
+      ++local.uncorrected;  // observe-only: record and propagate as-is
+      break;
+    }
+    if (report != nullptr) report->merge(local);
+    throw FaultError(cfg.layer, FaultKind::kUncorrectable,
+                     std::to_string(v.rows.size()) + " row / " +
+                         std::to_string(v.cols.size()) +
+                         " column checksum mismatches after " +
+                         std::to_string(attempt) + " recompute(s)");
+  }
+  if (report != nullptr) report->merge(local);
+  return c;
+}
+
+}  // namespace af

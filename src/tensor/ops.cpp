@@ -159,6 +159,21 @@ Tensor sum_rows(const Tensor& x) {
   return out;
 }
 
+Tensor sum_cols(const Tensor& x) {
+  check_rank2(x, "sum_cols");
+  const std::int64_t m = x.dim(0), n = x.dim(1);
+  Tensor out({m});
+  parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = x.data() + i * n;
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) acc += row[j];
+      out[i] = acc;
+    }
+  });
+  return out;
+}
+
 Tensor transpose2d(const Tensor& x) {
   check_rank2(x, "transpose2d");
   const std::int64_t m = x.dim(0), n = x.dim(1);

@@ -35,6 +35,11 @@ void add_row_bias_inplace(Tensor& x, const Tensor& bias);
 /// Sums x[m,n] over rows into a vector [n].
 Tensor sum_rows(const Tensor& x);
 
+/// Sums x[m,n] over columns into a vector [m] — the per-row totals the
+/// ABFT layer compares against input-predicted checksums. Each row is
+/// accumulated left-to-right (one fixed association), rows in parallel.
+Tensor sum_cols(const Tensor& x);
+
 // ----- shape ---------------------------------------------------------------
 
 /// Transpose of a rank-2 tensor.

@@ -1,0 +1,88 @@
+// Typed runtime-fault vocabulary shared by the hardware model and the
+// resilience layer.
+//
+// AF_CHECK / af::Error report *programmer* errors (shape mismatches, bad
+// configs) and should abort the computation. A soft error detected at
+// inference time is different: it is an expected deployment event that a
+// recovery policy wants to catch, classify, and repair. FaultError is that
+// catchable channel — it carries the site (layer / PE name) and the failure
+// kind, so a guard can decide between correct, recompute and degrade
+// without string-matching what() text. It lives in src/util so src/hw can
+// throw it without depending on src/resilience.
+#pragma once
+
+#include <string>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+/// What a runtime detector observed.
+enum class FaultKind {
+  kNonFinite,            ///< NaN or Inf surfaced in an activation tensor
+  kRangeViolation,       ///< value outside the calibrated plausibility bound
+  kChecksumMismatch,     ///< ABFT row/column checksum disagreement
+  kAccumulatorOverflow,  ///< PE accumulator left its register invariant
+  kUncorrectable,        ///< detected, but every repair avenue is exhausted
+};
+
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNonFinite: return "non-finite";
+    case FaultKind::kRangeViolation: return "range-violation";
+    case FaultKind::kChecksumMismatch: return "checksum-mismatch";
+    case FaultKind::kAccumulatorOverflow: return "accumulator-overflow";
+    case FaultKind::kUncorrectable: return "uncorrectable";
+  }
+  return "unknown";
+}
+
+/// Strongest remedy a guarded compute path is allowed to apply. Each level
+/// includes everything below it, forming the detect -> correct -> recompute
+/// -> degrade escalation ladder (see DESIGN.md):
+///  * kDetect: observe and record only; never modify data, propagate faults
+///    (and throw FaultError where the datapath cannot continue).
+///  * kCorrect: additionally apply exact single-error correction where a
+///    checksum localizes the fault; anything wider still escalates.
+///  * kRecompute: additionally retry the affected computation within a
+///    bounded budget; persistent faults still escalate.
+///  * kDegradeToZero: never crash — after the budget is exhausted, scrub the
+///    affected results to zero (exact 0 is representable in every format of
+///    the evaluation, so the damage is bounded).
+enum class RecoveryPolicy {
+  kDetect,
+  kCorrect,
+  kRecompute,
+  kDegradeToZero,
+};
+
+inline const char* recovery_policy_name(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kDetect: return "detect";
+    case RecoveryPolicy::kCorrect: return "correct";
+    case RecoveryPolicy::kRecompute: return "recompute";
+    case RecoveryPolicy::kDegradeToZero: return "degrade-to-zero";
+  }
+  return "unknown";
+}
+
+/// Catchable runtime-fault exception. Derives from af::Error so existing
+/// EXPECT_THROW(..., Error) call sites keep working; recovery code catches
+/// FaultError specifically and lets programmer errors abort as before.
+class FaultError : public Error {
+ public:
+  FaultError(std::string layer, FaultKind kind, const std::string& detail)
+      : Error("fault in " + layer + " [" +
+              std::string(fault_kind_name(kind)) + "]: " + detail),
+        layer_(std::move(layer)),
+        kind_(kind) {}
+
+  const std::string& layer() const { return layer_; }
+  FaultKind kind() const { return kind_; }
+
+ private:
+  std::string layer_;
+  FaultKind kind_;
+};
+
+}  // namespace af

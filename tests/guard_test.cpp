@@ -1,0 +1,276 @@
+// LayerGuard: NaN/Inf sentinels, calibrated range monitors, the rerun /
+// degrade ladder, and the guarded_forward wrappers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "src/nn/conv2d.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/lstm.hpp"
+#include "src/nn/quantized_linear.hpp"
+#include "src/numerics/registry.hpp"
+#include "src/resilience/guard.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/util/check.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+Tensor random_tensor(std::initializer_list<std::int64_t> shape,
+                     std::uint64_t seed, float scale = 1.0f) {
+  Pcg32 rng(seed);
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.uniform(-scale, scale);
+  }
+  return t;
+}
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * 4) == 0;
+}
+
+// ----- apply(): sentinel + range monitor -------------------------------------
+
+TEST(LayerGuard, CleanTensorPassesUntouched) {
+  Tensor t = random_tensor({4, 8}, 1);
+  Tensor orig = t;
+  LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 2.0f});
+  ResilienceReport report;
+  EXPECT_EQ(guard.apply(t, &report), 0);
+  EXPECT_TRUE(bit_equal(t, orig));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.tensors_checked, 1);
+}
+
+TEST(LayerGuard, ScrubsNonFiniteToZero) {
+  Tensor t = random_tensor({3, 5}, 2);
+  t[1] = kNan;
+  t[7] = kInf;
+  t[11] = -kInf;
+  LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  EXPECT_EQ(guard.apply(t, &report), 3);
+  EXPECT_EQ(t[1], 0.0f);
+  EXPECT_EQ(t[7], 0.0f);
+  EXPECT_EQ(t[11], 0.0f);
+  EXPECT_EQ(report.values_scrubbed, 3);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].kind, FaultKind::kNonFinite);
+  EXPECT_EQ(report.events[0].count, 3);
+}
+
+TEST(LayerGuard, CorrectPolicyClampsIntoRange) {
+  Tensor t = random_tensor({2, 4}, 3);
+  t[0] = 100.0f;
+  t[5] = -64.0f;
+  t[6] = kNan;
+  LayerGuard guard("fc", {RecoveryPolicy::kCorrect, 1, 8.0f});
+  ResilienceReport report;
+  EXPECT_EQ(guard.apply(t, &report), 3);
+  EXPECT_EQ(t[0], 8.0f);    // clamped to the bound, sign kept
+  EXPECT_EQ(t[5], -8.0f);
+  EXPECT_EQ(t[6], 0.0f);    // NaN has no usable sign or magnitude
+  EXPECT_EQ(report.values_clamped, 3);
+  EXPECT_EQ(report.values_scrubbed, 0);
+}
+
+TEST(LayerGuard, DetectPolicyRecordsWithoutMutating) {
+  Tensor t = random_tensor({2, 2}, 4);
+  t[2] = kInf;
+  Tensor orig = t;
+  LayerGuard guard("fc", {RecoveryPolicy::kDetect, 1, 0.5f});
+  ResilienceReport report;
+  EXPECT_GT(guard.apply(t, &report), 0);
+  EXPECT_TRUE(bit_equal(t, orig));
+  EXPECT_EQ(report.values_scrubbed, 0);
+  EXPECT_EQ(report.values_clamped, 0);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LayerGuard, ZeroRangeLimitDisablesRangeMonitor) {
+  Tensor t = random_tensor({2, 3}, 5, 1000.0f);
+  Tensor orig = t;
+  LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  EXPECT_EQ(guard.apply(t, nullptr), 0);
+  EXPECT_TRUE(bit_equal(t, orig));
+}
+
+TEST(LayerGuard, CalibratedBoundNeverTripsOnCleanOutput) {
+  // The bound is value_range * gain with gain = fan_in * |x|_max: a clean
+  // product of calibrated weights can never exceed it.
+  Tensor w = random_tensor({6, 10}, 6, 3.0f);
+  Tensor x = random_tensor({4, 10}, 7, 2.0f);
+  auto q = make_quantizer(FormatKind::kAdaptivFloat, 8);
+  q->calibrate(w);
+  LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  guard.calibrate(*q, static_cast<double>(w.dim(1)) * x.max_abs());
+  EXPECT_GT(guard.config().range_limit, 0.0f);
+  Tensor y = matmul(x, w, false, true);
+  EXPECT_EQ(guard.apply(y, nullptr), 0);
+  // A value past the calibrated bound is flagged.
+  y[0] = guard.config().range_limit * 2.0f;
+  ResilienceReport report;
+  EXPECT_EQ(guard.apply(y, &report), 1);
+  EXPECT_EQ(y[0], 0.0f);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].kind, FaultKind::kRangeViolation);
+}
+
+// ----- run(): the whole-layer ladder -----------------------------------------
+
+TEST(LayerGuard, RunDegradesToZeroTensorOnPersistentFaultError) {
+  LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  int calls = 0;
+  Tensor y = guard.run(
+      [&]() -> Tensor {
+        ++calls;
+        throw FaultError("fc", FaultKind::kAccumulatorOverflow, "persistent");
+      },
+      {3, 4}, &report);
+  EXPECT_EQ(calls, 2);  // initial attempt + one rerun
+  EXPECT_EQ(report.reruns, 1);
+  ASSERT_EQ(y.rank(), 2);
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 4);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.0f);
+  ASSERT_FALSE(report.events.empty());
+  EXPECT_EQ(report.events.back().kind, FaultKind::kAccumulatorOverflow);
+}
+
+TEST(LayerGuard, RunRetriesTransientFaultError) {
+  LayerGuard guard("fc", {RecoveryPolicy::kRecompute, 2, 0.0f});
+  ResilienceReport report;
+  int calls = 0;
+  Tensor y = guard.run(
+      [&]() -> Tensor {
+        if (++calls == 1) {
+          throw FaultError("fc", FaultKind::kChecksumMismatch, "transient");
+        }
+        return Tensor::zeros({2, 2});
+      },
+      {2, 2}, &report);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(report.reruns, 1);
+  EXPECT_EQ(y.numel(), 4);
+}
+
+TEST(LayerGuard, RunRethrowsWhenPolicyForbidsDegradation) {
+  LayerGuard guard("fc", {RecoveryPolicy::kDetect, 1, 0.0f});
+  EXPECT_THROW(
+      guard.run(
+          []() -> Tensor {
+            throw FaultError("fc", FaultKind::kNonFinite, "boom");
+          },
+          {1, 1}, nullptr),
+      FaultError);
+}
+
+// ----- guarded_forward wrappers ----------------------------------------------
+
+TEST(GuardedForward, LinearCleanPathBitIdentical) {
+  Pcg32 rng(11);
+  Linear fc(12, 7, rng);
+  Tensor x = random_tensor({5, 12}, 12);
+  LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  Tensor guarded = guarded_forward(fc, x, guard, &report);
+  Tensor plain = fc.forward(x);
+  EXPECT_TRUE(bit_equal(guarded, plain));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.tensors_checked, 1);
+}
+
+TEST(GuardedForward, Conv2dCleanPathBitIdentical) {
+  Pcg32 rng(13);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  Tensor x = random_tensor({2, 2, 6, 6}, 14);
+  LayerGuard guard("conv", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  Tensor guarded = guarded_forward(conv, x, guard, &report);
+  Tensor plain = conv.forward(x);
+  EXPECT_TRUE(bit_equal(guarded, plain));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(GuardedForward, LstmCleanPathBitIdentical) {
+  Pcg32 rng(15);
+  Lstm lstm(6, 9, 1, rng);
+  Tensor x = random_tensor({4, 2, 6}, 16);
+  LayerGuard guard("lstm", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  Tensor guarded = guarded_forward(lstm, x, guard, &report);
+  Tensor plain = lstm.forward(x);
+  EXPECT_TRUE(bit_equal(guarded, plain));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(GuardedForward, QuantizedLinearCleanPathBitIdentical) {
+  Pcg32 rng(17);
+  Linear fc(10, 6, rng);
+  QuantizedLinear qfc(fc, 8, 3);
+  Tensor x = random_tensor({4, 10}, 18);
+  LayerGuard guard("qfc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  Tensor guarded = guarded_forward(qfc, x, guard, &report);
+  Tensor plain = qfc.forward(x);
+  EXPECT_TRUE(bit_equal(guarded, plain));
+  EXPECT_EQ(report.abft.multiplies, 1);
+  EXPECT_EQ(report.abft.detected, 0);
+}
+
+TEST(GuardedForward, QuantizedLinearSurvivesMacUpsets) {
+  // Persistent exponent-forcing upsets through the full protected path:
+  // abft degrades what it cannot repair and the guard sweeps the rest, so
+  // the output is always finite.
+  struct ForceExp : PeFaultHook {
+    std::int64_t calls = 0;
+    void on_accumulator(std::int64_t& acc, int) override {
+      if (calls++ % 9 == 4) acc ^= std::int64_t{0x7f800000};
+    }
+  } hook;
+  Pcg32 rng(19);
+  Linear fc(16, 8, rng);
+  QuantizedLinear qfc(fc, 8, 3);
+  Tensor x = random_tensor({6, 16}, 20);
+  LayerGuard guard("qfc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  ResilienceReport report;
+  Tensor y = guarded_forward(qfc, x, guard, &report, &hook);
+  EXPECT_GT(report.abft.detected, 0);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(y[i]));
+  }
+}
+
+TEST(ResilienceReport, MergeAccumulates) {
+  ResilienceReport a, b;
+  a.tensors_checked = 2;
+  a.values_scrubbed = 3;
+  a.abft.detected = 1;
+  b.tensors_checked = 1;
+  b.values_clamped = 4;
+  b.abft.multiplies = 5;
+  b.events.push_back({"fc", FaultKind::kNonFinite, 1, 0.0f,
+                      RecoveryPolicy::kDegradeToZero});
+  a.merge(b);
+  EXPECT_EQ(a.tensors_checked, 3);
+  EXPECT_EQ(a.values_scrubbed, 3);
+  EXPECT_EQ(a.values_clamped, 4);
+  EXPECT_EQ(a.abft.detected, 1);
+  EXPECT_EQ(a.abft.multiplies, 5);
+  EXPECT_EQ(a.events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace af

@@ -261,6 +261,52 @@ TEST(ProtectedPackedTensor, InjectScrubBoundsEveryWeight) {
   EXPECT_GT(changed, 0);  // faults did land
 }
 
+TEST(ProtectedPackedTensor, DoubleBitErrorScrubsToZeroNeverGarbage) {
+  // A double flip inside one word is invisible to parity; the block
+  // checksum still detects it, and the only legal repair is zeroing —
+  // detected-but-uncorrectable must never decode garbage. Randomize the
+  // fault positions: same-word pairs on even trials, independent pairs on
+  // odd ones.
+  Pcg32 rng(23);
+  Tensor w = Tensor::randn({24, 8}, rng, 1.0f);
+  const Tensor ref = adaptivfloat_quantize(w, 8, 3).quantized;
+  const int kBits = 8;
+  const auto total_bits = static_cast<std::uint32_t>(w.numel() * kBits);
+  Pcg32 pos(0x2b17);
+  for (int trial = 0; trial < 200; ++trial) {
+    ProtectedPackedTensor p(w, kBits, 3, ProtectionMode::kParityChecksum);
+    std::uint32_t b0 = pos.next_below(total_bits);
+    std::uint32_t b1;
+    if (trial % 2 == 0) {
+      // Same word, different bit: the parity-blind case.
+      const std::uint32_t word = b0 / kBits;
+      b0 = word * kBits + pos.next_below(kBits);
+      do {
+        b1 = word * kBits + pos.next_below(kBits);
+      } while (b1 == b0);
+    } else {
+      do {
+        b1 = pos.next_below(total_bits);
+      } while (b1 == b0);
+    }
+    p.payload()[b0 / 8] ^= static_cast<std::uint8_t>(1u << (b0 % 8));
+    p.payload()[b1 / 8] ^= static_cast<std::uint8_t>(1u << (b1 % 8));
+    ScrubReport rep = p.scrub();
+    EXPECT_FALSE(rep.clean()) << "trial " << trial;
+    Tensor out = p.unpack();
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      ASSERT_TRUE(out[i] == ref[i] || out[i] == 0.0f)
+          << "trial " << trial << " element " << i;
+    }
+    if (trial % 2 == 0) {
+      // The corrupted word itself can never survive with a wrong value.
+      const auto word = static_cast<std::int64_t>(b0) / kBits;
+      EXPECT_EQ(out[word], 0.0f) << "trial " << trial;
+      EXPECT_GE(rep.checksum_errors, 1) << "trial " << trial;
+    }
+  }
+}
+
 TEST(ProtectedPackedTensor, InjectionReplaysUnderSameSeed) {
   Pcg32 rng(22);
   Tensor w = Tensor::randn({40, 8}, rng, 1.0f);
