@@ -1,0 +1,287 @@
+// Perf-regression harness for the LUT-fused packed GEMM.
+//
+// Three implementations of the same product y = x * W^T with W stored as
+// packed AdaptivFloat codes:
+//   scalar_ref — the pre-kernel-layer path, reproduced locally: per-element
+//                scalar decode of every code, then the strided trans_b
+//                matmul loop. This is the baseline the speedup gate is
+//                measured against.
+//   lut_unpack — table-driven unpack() to a full FP32 matrix, then the
+//                current tile-packed matmul.
+//   fused      — matmul_packed: packed panels decoded by table into
+//                cache-resident tiles inside the GEMM; the FP32 weight
+//                matrix never exists.
+// All three must produce bit-identical outputs (the harness exits nonzero
+// on any mismatch), so the table only buys speed, never bits.
+//
+// Modes:
+//   micro_gemm_packed           — timing table at 1 and 4 threads, writes
+//                                 BENCH_gemm.json (machine-readable: ms,
+//                                 GFLOP/s, FNV-1a digests, speedups).
+//   micro_gemm_packed --verify  — prints only output digests under the
+//                                 *current* AF_THREADS setting; CI diffs
+//                                 this across thread counts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/bitpack.hpp"
+#include "src/kernels/gemm_packed.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/util/hash.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace af {
+namespace {
+
+constexpr int kParallelThreads = 4;
+constexpr int kReps = 3;
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::uint64_t digest(const Tensor& t) {
+  return fnv1a64(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+// ----- scalar reference: the seed path, byte-for-byte ----------------------
+
+/// Per-element scalar decode, exactly what unpack() did before the LUT.
+Tensor unpack_scalar(const PackedAdaptivFloatTensor& p) {
+  const auto codes =
+      unpack_codes(p.bytes(), p.format().bits(), static_cast<std::size_t>(
+                                                     p.numel()));
+  Tensor out(p.shape());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[static_cast<std::int64_t>(i)] = p.format().decode(codes[i]);
+  }
+  return out;
+}
+
+/// The seed matmul's trans_b kernel: cache-blocked i-k-j with strided reads
+/// of B columns (no panel packing). Same chunking and accumulation order as
+/// the current kernel, so its output is the bit-exactness oracle.
+Tensor matmul_seed_tb(const Tensor& a, const Tensor& b) {
+  constexpr std::int64_t kRowGrain = 16;
+  constexpr std::int64_t kKBlock = 256;
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+      const std::int64_t k1 = std::min(k, k0 + kKBlock);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aval = pa[i * k + kk];
+          if (aval == 0.0f) continue;
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += aval * pb[j * k + kk];
+          }
+        }
+      }
+    }
+  });
+  return c;
+}
+
+// ----- harness -------------------------------------------------------------
+
+struct Workload {
+  std::string name;
+  std::int64_t m, n, k;
+  int bits, exp_bits;
+  Tensor x;
+  PackedAdaptivFloatTensor w;
+};
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> out;
+  {
+    Pcg32 rng(21);
+    Tensor x = Tensor::randn({512, 512}, rng);
+    Tensor wf = Tensor::randn({512, 512}, rng, 0.5f);
+    out.push_back({"512x512x512 af<8,3>", 512, 512, 512, 8, 3, std::move(x),
+                   PackedAdaptivFloatTensor::quantize_pack(wf, 8, 3)});
+  }
+  {
+    Pcg32 rng(22);
+    Tensor x = Tensor::randn({512, 512}, rng);
+    Tensor wf = Tensor::randn({512, 512}, rng, 0.5f);
+    out.push_back({"512x512x512 af<4,2>", 512, 512, 512, 4, 2, std::move(x),
+                   PackedAdaptivFloatTensor::quantize_pack(wf, 4, 2)});
+  }
+  return out;
+}
+
+struct Path {
+  std::string name;
+  std::function<Tensor(const Workload&)> run;
+};
+
+std::vector<Path> make_paths() {
+  return {
+      {"scalar_ref",
+       [](const Workload& w) {
+         return matmul_seed_tb(w.x, unpack_scalar(w.w));
+       }},
+      {"lut_unpack",
+       [](const Workload& w) {
+         return matmul(w.x, w.w.unpack(), false, /*trans_b=*/true);
+       }},
+      {"fused", [](const Workload& w) { return matmul_packed(w.x, w.w); }},
+  };
+}
+
+struct Measurement {
+  std::string path;
+  int threads;
+  double ms;
+  double gflops;
+  std::uint64_t dig;
+};
+
+int run_verify_only() {
+  // Ambient AF_THREADS only — CI diffs this output across thread counts.
+  for (const Workload& w : make_workloads()) {
+    for (const Path& p : make_paths()) {
+      const Tensor y = p.run(w);
+      std::printf("%-22s %-12s %s\n", w.name.c_str(), p.name.c_str(),
+                  digest_hex(digest(y)).c_str());
+    }
+  }
+  return 0;
+}
+
+int run_bench(const char* json_path) {
+  const std::vector<Workload> workloads = make_workloads();
+  const std::vector<Path> paths = make_paths();
+
+  bool all_equal = true;
+  std::string json = "{\n  \"bench\": \"micro_gemm_packed\",\n"
+                     "  \"workloads\": [\n";
+
+  TextTable table("micro_gemm_packed: y = x * W^T, W packed AdaptivFloat");
+  table.set_header({"Workload", "Path", "1 thr (ms)", "1 thr GF/s",
+                    std::to_string(kParallelThreads) + " thr (ms)", "Speedup",
+                    "Bit-equal"});
+
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Workload& w = workloads[wi];
+    const double flops = 2.0 * static_cast<double>(w.m) *
+                         static_cast<double>(w.n) * static_cast<double>(w.k);
+    std::vector<Measurement> ms;
+    std::uint64_t ref_digest = 0;
+    double scalar_t1 = 0.0, fused_t1 = 0.0;
+
+    for (const Path& p : paths) {
+      for (const int threads : {1, kParallelThreads}) {
+        set_num_threads(threads);
+        const Tensor y = p.run(w);
+        const double t = time_ms([&] { p.run(w); }, kReps);
+        ms.push_back({p.name, threads, t, flops / (t * 1e6), digest(y)});
+        if (p.name == "scalar_ref" && threads == 1) {
+          ref_digest = digest(y);
+          scalar_t1 = t;
+        }
+        if (p.name == "fused" && threads == 1) fused_t1 = t;
+      }
+    }
+    set_num_threads(0);
+
+    for (const Measurement& m : ms) {
+      const bool equal = m.dig == ref_digest;
+      all_equal = all_equal && equal;
+      if (m.threads == 1) {
+        // Pair this 1-thread row with its N-thread sibling for the table.
+        double par_ms = m.ms;
+        bool par_equal = true;
+        for (const Measurement& o : ms) {
+          if (o.path == m.path && o.threads == kParallelThreads) {
+            par_ms = o.ms;
+            par_equal = o.dig == ref_digest;
+          }
+        }
+        all_equal = all_equal && par_equal;
+        table.add_row({w.name, m.path, fmt_fixed(m.ms, 2),
+                       fmt_fixed(flops / (m.ms * 1e6), 2), fmt_fixed(par_ms, 2),
+                       fmt_fixed(scalar_t1 / m.ms, 2) + "x",
+                       equal && par_equal ? "yes" : "NO"});
+      }
+    }
+
+    json += "    {\n      \"name\": \"" + w.name + "\",\n";
+    json += "      \"m\": " + std::to_string(w.m) +
+            ", \"n\": " + std::to_string(w.n) +
+            ", \"k\": " + std::to_string(w.k) +
+            ", \"bits\": " + std::to_string(w.bits) + ",\n";
+    json += "      \"paths\": [\n";
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const Measurement& m = ms[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"name\": \"%s\", \"threads\": %d, "
+                    "\"ms\": %.3f, \"gflops\": %.3f, \"digest\": \"%s\"}%s\n",
+                    m.path.c_str(), m.threads, m.ms, m.gflops,
+                    digest_hex(m.dig).c_str(),
+                    i + 1 < ms.size() ? "," : "");
+      json += buf;
+    }
+    json += "      ],\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "      \"speedup_fused_vs_scalar_t1\": %.3f\n",
+                  scalar_t1 / fused_t1);
+    json += buf;
+    json += wi + 1 < workloads.size() ? "    },\n" : "    }\n";
+  }
+  json += "  ]\n}\n";
+
+  table.print();
+  std::printf("\n");
+
+  std::ofstream out(json_path);
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", json_path);
+
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "micro_gemm_packed: BIT-EQUALITY VIOLATION between the "
+                 "scalar reference and a LUT path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace af
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_gemm.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) return af::run_verify_only();
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  return af::run_bench(json_path);
+}

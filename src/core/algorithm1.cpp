@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "src/kernels/nearest_lut.hpp"
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
 namespace {
@@ -44,36 +46,55 @@ AdaptivFloatQuantResult adaptivfloat_quantize(const Tensor& w, int bits,
   AdaptivFloatQuantResult out{fmt, Tensor(w.shape()), {}};
   out.codes.resize(static_cast<std::size_t>(w.numel()));
 
-  for (std::int64_t i = 0; i < w.numel(); ++i) {
-    const float sign = w[i] < 0.0f ? -1.0f : 1.0f;  // W_sign
-    float a = std::fabs(w[i]);                      // W_abs
-
-    // Handle unrepresentable values.
-    if (a < vmin) {
-      a = (a < 0.5f * vmin) ? 0.0f : vmin;
-    } else if (a > vmax) {
-      a = vmax;
-    }
-
-    float reconstructed = 0.0f;
-    if (a != 0.0f) {
-      // Normalize into W_exp / W_mant with 1 <= mant < 2, then quantize the
-      // mantissa at scale 2^-m.
-      int exp_plus_1 = 0;
-      const float frac = std::frexp(a, &exp_plus_1);
-      int exp = exp_plus_1 - 1;
-      float mant_q = std::ldexp(
-          static_cast<float>(std::nearbyint(std::ldexp(2.0f * frac, m))), -m);
-      if (mant_q == 2.0f) {  // carry from mantissa rounding
-        mant_q = 1.0f;
-        ++exp;
-      }
-      reconstructed = std::ldexp(mant_q, exp);  // 2^W_exp * W_q
-      if (reconstructed > vmax) reconstructed = vmax;
-    }
-    out.quantized[i] = sign * reconstructed;  // W_sign * 2^W_exp * W_q
-    out.codes[static_cast<std::size_t>(i)] = fmt.encode(w[i]);
+  // Bulk tensors take the table-driven encode: the rounding intervals are
+  // bisected against fmt.encode itself, so lut.code_of(x) == fmt.encode(x)
+  // for every input — the LUT only removes the per-element field
+  // arithmetic. Small tensors keep the scalar encode (the build would
+  // dominate); codes are identical either way.
+  NearestLut enc_lut;
+  if (w.numel() >= kNearestLutMinBuildElems) {
+    enc_lut = build_encode_lut(
+        bits, [&](float x) { return fmt.encode(x); },
+        [&](std::uint16_t c) { return fmt.decode(c); });
   }
+
+  // Elementwise with disjoint writes per chunk — bit-identical for any
+  // AF_THREADS value.
+  constexpr std::int64_t kGrain = 1 << 12;
+  parallel_for(0, w.numel(), kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float sign = w[i] < 0.0f ? -1.0f : 1.0f;  // W_sign
+      float a = std::fabs(w[i]);                      // W_abs
+
+      // Handle unrepresentable values.
+      if (a < vmin) {
+        a = (a < 0.5f * vmin) ? 0.0f : vmin;
+      } else if (a > vmax) {
+        a = vmax;
+      }
+
+      float reconstructed = 0.0f;
+      if (a != 0.0f) {
+        // Normalize into W_exp / W_mant with 1 <= mant < 2, then quantize
+        // the mantissa at scale 2^-m.
+        int exp_plus_1 = 0;
+        const float frac = std::frexp(a, &exp_plus_1);
+        int exp = exp_plus_1 - 1;
+        float mant_q = std::ldexp(
+            static_cast<float>(std::nearbyint(std::ldexp(2.0f * frac, m))),
+            -m);
+        if (mant_q == 2.0f) {  // carry from mantissa rounding
+          mant_q = 1.0f;
+          ++exp;
+        }
+        reconstructed = std::ldexp(mant_q, exp);  // 2^W_exp * W_q
+        if (reconstructed > vmax) reconstructed = vmax;
+      }
+      out.quantized[i] = sign * reconstructed;  // W_sign * 2^W_exp * W_q
+      out.codes[static_cast<std::size_t>(i)] =
+          enc_lut.empty() ? fmt.encode(w[i]) : enc_lut.code_of(w[i]);
+    }
+  });
   return out;
 }
 

@@ -2,8 +2,27 @@
 
 #include "src/core/algorithm1.hpp"
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
+namespace {
+
+/// The StrayBits::kReject policing of unpack_codes, shared by the fused
+/// unpack path: bits beyond the last code in an exactly-sized payload must
+/// be zero (pack_codes always leaves them zero).
+void check_no_stray_bits(const std::vector<std::uint8_t>& bytes, int bits,
+                         std::size_t count) {
+  const std::size_t used_bits = count * static_cast<std::size_t>(bits);
+  if (bytes.size() == (used_bits + 7) / 8 && (used_bits & 7) != 0) {
+    const auto stray =
+        static_cast<std::uint8_t>(bytes.back() >> (used_bits & 7));
+    AF_CHECK(stray == 0,
+             "stray high bits set in the final partial byte (corrupt or "
+             "mis-sized payload); pass StrayBits::kMask to ignore them");
+  }
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> pack_codes(const std::vector<std::uint16_t>& codes,
                                      int bits) {
@@ -51,6 +70,15 @@ std::vector<std::uint16_t> unpack_codes(const std::vector<std::uint8_t>& bytes,
   return out;
 }
 
+PackedAdaptivFloatTensor::PackedAdaptivFloatTensor(
+    AdaptivFloatFormat format, Shape shape, std::vector<std::uint8_t> bytes)
+    : format_(format),
+      shape_(std::move(shape)),
+      bytes_(std::move(bytes)),
+      lut_(std::make_shared<DecodeLut>(
+          format_.bits(),
+          [this](std::uint16_t code) { return format_.decode(code); })) {}
+
 PackedAdaptivFloatTensor PackedAdaptivFloatTensor::quantize_pack(
     const Tensor& w, int bits, int exp_bits) {
   auto res = adaptivfloat_quantize(w, bits, exp_bits);
@@ -60,11 +88,16 @@ PackedAdaptivFloatTensor PackedAdaptivFloatTensor::quantize_pack(
 
 Tensor PackedAdaptivFloatTensor::unpack() const {
   const auto count = static_cast<std::size_t>(numel());
-  const auto codes = unpack_codes(bytes_, format_.bits(), count);
+  const int bits = format_.bits();
+  check_no_stray_bits(bytes_, bits, count);
   Tensor out(shape_);
-  for (std::size_t i = 0; i < count; ++i) {
-    out[static_cast<std::int64_t>(i)] = format_.decode(codes[i]);
-  }
+  // Fused unpack+decode through the cached table; disjoint output chunks,
+  // so bit-identical for any AF_THREADS value.
+  constexpr std::int64_t kGrain = 1 << 12;
+  parallel_for(0, numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
+    unpack_decode(bytes_.data(), bytes_.size(), bits, b, e - b, *lut_,
+                  out.data() + b);
+  });
   return out;
 }
 
@@ -83,7 +116,7 @@ std::uint16_t PackedAdaptivFloatTensor::code_at(std::int64_t index) const {
 }
 
 float PackedAdaptivFloatTensor::value_at(std::int64_t index) const {
-  return format_.decode(code_at(index));
+  return (*lut_)[code_at(index)];
 }
 
 }  // namespace af

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/adaptivfloat.hpp"
+#include "src/kernels/decode_lut.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace af {
@@ -69,16 +71,23 @@ class PackedAdaptivFloatTensor {
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
+  /// Per-tensor code -> FP32 decode table (2^bits entries), built once at
+  /// construction from the format's decode(). The tensor is immutable
+  /// (payload and format are fixed by quantize_pack), so the table can
+  /// never go stale; mutable payloads (ProtectedPackedTensor) rebuild
+  /// values from the live bytes on every unpack instead.
+  const DecodeLut& decode_lut() const { return *lut_; }
+
  private:
   PackedAdaptivFloatTensor(AdaptivFloatFormat format, Shape shape,
-                           std::vector<std::uint8_t> bytes)
-      : format_(format), shape_(std::move(shape)), bytes_(std::move(bytes)) {}
+                           std::vector<std::uint8_t> bytes);
 
   std::uint16_t code_at(std::int64_t index) const;
 
   AdaptivFloatFormat format_;
   Shape shape_;
   std::vector<std::uint8_t> bytes_;
+  std::shared_ptr<const DecodeLut> lut_;  // shared by copies; immutable
 };
 
 }  // namespace af

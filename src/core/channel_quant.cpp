@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "src/core/algorithm1.hpp"
+#include "src/kernels/decode_lut.hpp"
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
 
@@ -16,19 +18,38 @@ ChannelQuantResult adaptivfloat_quantize_per_channel(const Tensor& w,
       {}, Tensor(w.shape()), std::vector<std::uint16_t>(
                                  static_cast<std::size_t>(w.numel()))};
   res.formats.reserve(static_cast<std::size_t>(rows));
+  // Pass 1 (serial, cheap): per-row format from the row's max-abs. The
+  // formats vector drives pass 2 and is part of the result.
   for (std::int64_t r = 0; r < rows; ++r) {
     float row_max = 0.0f;
     for (std::int64_t c = 0; c < cols; ++c) {
       row_max = std::max(row_max, std::fabs(w[r * cols + c]));
     }
-    AdaptivFloatFormat fmt = format_for_max_abs(row_max, bits, exp_bits);
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const std::uint16_t code = fmt.encode(w[r * cols + c]);
-      res.codes[static_cast<std::size_t>(r * cols + c)] = code;
-      res.quantized[r * cols + c] = fmt.decode(code);
-    }
-    res.formats.push_back(fmt);
+    res.formats.push_back(format_for_max_abs(row_max, bits, exp_bits));
   }
+  // Pass 2: encode + decode each row. Rows are independent and every chunk
+  // writes a disjoint row range, so results are bit-identical for any
+  // AF_THREADS value. Wide rows decode through a per-row table (the
+  // 2^bits-entry build amortizes over the row); narrow rows stay scalar —
+  // the table is built from fmt.decode, so the values match either way.
+  constexpr std::int64_t kRowGrain = 4;
+  parallel_for(0, rows, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const AdaptivFloatFormat& fmt =
+          res.formats[static_cast<std::size_t>(r)];
+      DecodeLut lut;
+      if (cols >= fmt.num_codes()) {
+        lut = DecodeLut(bits,
+                        [&](std::uint16_t c) { return fmt.decode(c); });
+      }
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const std::uint16_t code = fmt.encode(w[r * cols + c]);
+        res.codes[static_cast<std::size_t>(r * cols + c)] = code;
+        res.quantized[r * cols + c] =
+            lut.empty() ? fmt.decode(code) : lut[code];
+      }
+    }
+  });
   return res;
 }
 

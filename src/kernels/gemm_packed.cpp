@@ -1,0 +1,65 @@
+#include "src/kernels/gemm_packed.hpp"
+
+#include <algorithm>
+
+#include "src/kernels/decode_lut.hpp"
+#include "src/tensor/gemm_kernel.hpp"
+#include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
+
+namespace af {
+namespace {
+
+// Must mirror the constants in src/tensor/ops.cpp: the row grain and
+// k-block define the accumulation-chain association both kernels share
+// (the j-tile width only affects which reads are grouped, not the chain).
+constexpr std::int64_t kMatmulRowGrain = 16;
+constexpr std::int64_t kMatmulKBlock = 256;
+constexpr std::int64_t kMatmulJTile = 64;
+
+}  // namespace
+
+Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w) {
+  AF_CHECK(x.rank() == 2, "matmul_packed input must be rank-2");
+  AF_CHECK(w.shape().size() == 2, "matmul_packed weight must be rank-2");
+  const std::int64_t m = x.dim(0);
+  const std::int64_t k = x.dim(1);
+  const std::int64_t n = w.shape()[0];
+  AF_CHECK(k == w.shape()[1],
+           "matmul_packed inner dimensions disagree: " + shape_str(x.shape()) +
+               " x packed " + shape_str(w.shape()));
+
+  Tensor c({m, n});
+  const float* pa = x.data();
+  float* pc = c.data();
+  const std::uint8_t* bytes = w.bytes().data();
+  const std::size_t nbytes = w.bytes().size();
+  const int bits = w.format().bits();
+  const DecodeLut& lut = w.decode_lut();
+
+  parallel_for(0, m, kMatmulRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    float tile[kMatmulKBlock * kMatmulJTile];
+    for (std::int64_t k0 = 0; k0 < k; k0 += kMatmulKBlock) {
+      const std::int64_t k1 = std::min(k, k0 + kMatmulKBlock);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kMatmulJTile) {
+        const std::int64_t j1 = std::min(n, j0 + kMatmulJTile);
+        const std::int64_t jt = j1 - j0;
+        // Decode W[j0:j1, k0:k1) once into a k-major tile. Weight row j is
+        // a contiguous bit run starting at element j*k + k0.
+        for (std::int64_t jj = j0; jj < j1; ++jj) {
+          std::size_t bitpos = static_cast<std::size_t>(jj * k + k0) *
+                               static_cast<std::size_t>(bits);
+          for (std::int64_t kk = k0; kk < k1; ++kk, bitpos += bits) {
+            tile[(kk - k0) * jt + (jj - j0)] =
+                lut[packed_code_at(bytes, nbytes, bitpos, bits)];
+          }
+        }
+        detail::gemm_panel_accumulate(pc + j0, n, pa, k, /*trans_a=*/false,
+                                      tile, jt, jt, i0, i1, k0, k1);
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace af

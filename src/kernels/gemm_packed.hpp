@@ -1,0 +1,29 @@
+// Fused packed-weight GEMM: decode-by-table straight into the microkernel.
+//
+// The deployment path holds weights as packed n-bit AdaptivFloat codes.
+// The naive route (unpack the whole FP32 matrix, then matmul) streams the
+// full 4-byte-per-element weight tensor through memory twice per call; the
+// HFINT PE never does that — operands stay at code width until the MAC.
+// matmul_packed mirrors that: packed codes are tiled into cache-resident
+// panels, each panel is decoded once through the tensor's DecodeLut into a
+// stack-local FP32 tile, and the shared cache-blocked k-panel microkernel
+// runs over the tile. The full FP32 weight matrix never exists.
+//
+// Determinism: row panels ride the same fixed-grain parallel_for as
+// matmul_acc, panel decode is a pure per-element table map, and the
+// accumulation chain per output element is identical to
+// matmul(x, w.unpack(), false, true) — so the result is bit-identical to
+// the scalar-decode path for every AF_THREADS value.
+#pragma once
+
+#include "src/core/bitpack.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// y = x · Wᵀ with W the packed [out, in] weight tensor: exactly
+/// matmul(x, w.unpack(), false, /*trans_b=*/true), without materializing
+/// the decoded matrix. x is [m, in]; the result is [m, out].
+Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w);
+
+}  // namespace af

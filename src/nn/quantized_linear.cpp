@@ -1,5 +1,6 @@
 #include "src/nn/quantized_linear.hpp"
 
+#include "src/kernels/gemm_packed.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 
@@ -15,13 +16,21 @@ QuantizedLinear::QuantizedLinear(Linear& source, int bits, int exp_bits)
 Tensor QuantizedLinear::forward(const Tensor& x) const {
   AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
            "QuantizedLinear input must be [m, in]");
-  // Decode once per call; for repeated inference a caller can hoist this,
-  // but decoding is cheap relative to the matmul and keeps memory at the
-  // packed footprint between calls.
-  const Tensor w = weight_.unpack();
-  Tensor y = matmul(x, w, false, /*trans_b=*/true);
+  // Fused path: panels of packed codes are decoded by table inside the
+  // GEMM, so memory traffic stays at code width and the FP32 weight matrix
+  // never exists. Bit-identical to unpack()-then-matmul.
+  Tensor y = matmul_packed(x, weight_);
   if (bias_.numel() == out_) add_row_bias_inplace(y, bias_);
   return y;
+}
+
+const Tensor& QuantizedLinear::decoded_weight() const {
+  if (!decoded_valid_) {
+    decoded_ = weight_.unpack();
+    decoded_valid_ = true;
+    ++decode_count_;
+  }
+  return decoded_;
 }
 
 }  // namespace af

@@ -21,18 +21,29 @@ class QuantizedLinear {
   /// stays FP32 (biases are accumulated at full precision in the PE too).
   QuantizedLinear(Linear& source, int bits, int exp_bits);
 
-  /// x: [m, in] -> [m, out], decoding weights on the fly.
+  /// x: [m, in] -> [m, out] through the fused packed GEMM: weight panels
+  /// are decoded by table into cache-resident tiles inside the kernel, so
+  /// the full FP32 weight matrix is never materialized. Bit-identical to
+  /// matmul(x, unpack(), false, true) for every AF_THREADS value.
   Tensor forward(const Tensor& x) const;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
   const PackedAdaptivFloatTensor& packed_weight() const { return weight_; }
 
-  /// Decodes the packed weights to [out, in] FP32 — the same decode the
-  /// forward pass performs; exposed so a guarded caller can route the
-  /// product through an ABFT matmul.
-  Tensor decoded_weight() const { return weight_.unpack(); }
+  /// The packed weights decoded to [out, in] FP32 — what the ABFT route
+  /// needs (its checksums are computed over the full weight matrix).
+  /// Decoded once and cached: the packed payload is immutable, so repeated
+  /// guarded forwards reuse the same tensor. Lazy-init is not thread-safe
+  /// against concurrent first calls on the same layer (the pre-existing
+  /// constraint of every lazily-calibrated path here); it is never invoked
+  /// from inside a parallel body.
+  const Tensor& decoded_weight() const;
   const Tensor& bias() const { return bias_; }
+
+  /// How many times the cache actually decoded (test seam: the second
+  /// guarded forward must not re-decode).
+  int decode_count() const { return decode_count_; }
 
   /// Storage for the weights in bytes (vs 4 bytes/element FP32).
   std::size_t weight_bytes() const { return weight_.payload_bytes(); }
@@ -42,6 +53,9 @@ class QuantizedLinear {
   std::int64_t out_;
   PackedAdaptivFloatTensor weight_;
   Tensor bias_;
+  mutable Tensor decoded_;  // empty until decoded_weight() first runs
+  mutable bool decoded_valid_ = false;
+  mutable int decode_count_ = 0;
 };
 
 }  // namespace af

@@ -18,6 +18,7 @@ void BlockFloatQuantizer::calibrate(const Tensor& t) {
 void BlockFloatQuantizer::calibrate_max_abs(float max_abs) {
   AF_CHECK(max_abs >= 0.0f && std::isfinite(max_abs),
            "max_abs must be finite and non-negative");
+  invalidate_round_lut();
   if (max_abs == 0.0f) {
     shared_exp_ = 0;
     step_ = 0.0f;
@@ -39,6 +40,21 @@ float BlockFloatQuantizer::quantize_value(float x) const {
   if (q > mant_max_) q = mant_max_;
   if (q < -mant_max_) q = -mant_max_;
   return static_cast<float>(q) * step_;
+}
+
+std::vector<float> BlockFloatQuantizer::representable_values() const {
+  if (step_ == 0.0f) return {0.0f};
+  std::vector<float> vals;
+  vals.reserve(2 * static_cast<std::size_t>(mant_max_) + 2);
+  for (int q = -mant_max_; q < 0; ++q) {
+    vals.push_back(static_cast<float>(q) * step_);
+  }
+  // Tiny negatives round to mantissa -0.0, emitted as -0.0f (see Uniform).
+  vals.push_back(-0.0f);
+  for (int q = 0; q <= mant_max_; ++q) {
+    vals.push_back(static_cast<float>(q) * step_);
+  }
+  return vals;
 }
 
 }  // namespace af

@@ -29,6 +29,7 @@ class BlockFloatQuantizer final : public Quantizer {
   float value_range() const override {
     return step_ * static_cast<float>(mant_max_);
   }
+  std::vector<float> representable_values() const override;
 
   /// Shared (unbiased) exponent chosen by the last calibration.
   int shared_exp() const { return shared_exp_; }

@@ -62,6 +62,9 @@ class FloatQuantizer final : public Quantizer {
   void calibrate(const Tensor&) override {}  // fixed range by construction
   float quantize_value(float x) const override { return fmt_.quantize(x); }
   float value_range() const override { return fmt_.value_max(); }
+  std::vector<float> representable_values() const override {
+    return fmt_.representable_values();  // decode never emits -0 (FTZ -> +0)
+  }
 
   const FloatFormat& format() const { return fmt_; }
 

@@ -61,6 +61,12 @@ class PositQuantizer final : public Quantizer {
   void calibrate(const Tensor&) override {}
   float quantize_value(float x) const override;
   float value_range() const override { return positives_.back(); }
+  std::vector<float> representable_values() const override {
+    // Posit decode is exactly antisymmetric, so the negative entries are
+    // bitwise negations of positives_ — the same values sign *
+    // nearest_in_sorted(positives_, |x|) produces.
+    return fmt_.representable_values();
+  }
 
   const PositFormat& format() const { return fmt_; }
 

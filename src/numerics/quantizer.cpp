@@ -16,11 +16,40 @@ float Quantizer::harden(float x) const {
   return x;
 }
 
+const NearestLut* Quantizer::round_lut(std::int64_t numel) const {
+  if (round_lut_state_ == RoundLutState::kBuilt) return round_lut_.get();
+  if (round_lut_state_ == RoundLutState::kUnavailable) return nullptr;
+  if (numel < kNearestLutMinBuildElems) return nullptr;  // stay undecided
+  const std::vector<float> values = representable_values();
+  if (values.empty()) {
+    round_lut_state_ = RoundLutState::kUnavailable;
+    return nullptr;
+  }
+  NearestLut lut =
+      build_value_lut(values, [this](float x) { return quantize_value(x); });
+  if (lut.empty()) {
+    // Table inconsistent with the scalar path (e.g. a degenerate
+    // calibration collapsed adjacent values) — fall back to scalar.
+    round_lut_state_ = RoundLutState::kUnavailable;
+    return nullptr;
+  }
+  round_lut_ = std::make_shared<const NearestLut>(std::move(lut));
+  round_lut_state_ = RoundLutState::kBuilt;
+  return round_lut_.get();
+}
+
 Tensor Quantizer::quantize(const Tensor& t) const {
   // Purely elementwise: each chunk writes a disjoint slice of `out`, so the
-  // result is bit-identical for any AF_THREADS setting.
+  // result is bit-identical for any AF_THREADS setting. The LUT is built
+  // (or fetched from the cache) before the parallel region ever starts.
   constexpr std::int64_t kGrain = 1 << 12;
   Tensor out(t.shape());
+  if (const NearestLut* lut = round_lut(t.numel())) {
+    parallel_for(0, t.numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) out[i] = lut->value_of(t[i]);
+    });
+    return out;
+  }
   parallel_for(0, t.numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) out[i] = quantize_value(t[i]);
   });

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/kernels/nearest_lut.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace af {
@@ -56,7 +57,19 @@ class Quantizer {
   /// to 0, so a bit flip can never emit a huge outlier into the network.
   float harden(float x) const;
 
-  /// Elementwise tensor quantization (default: quantize_value per element).
+  /// The exact output set of quantize_value under the current calibration,
+  /// in ascending order. Formats whose scalar path can emit a signed zero
+  /// (the level formats round tiny negatives to -0.0f) list -0.0f as its
+  /// own entry right before +0.0f. An empty result (the default) disables
+  /// the table-driven quantize fast path.
+  virtual std::vector<float> representable_values() const { return {}; }
+
+  /// Elementwise tensor quantization. For bulk tensors of a format that
+  /// publishes representable_values(), rounding runs through a cached
+  /// NearestLut built *outside* the parallel region from quantize_value
+  /// itself — bit-identical to the scalar path, without the per-element
+  /// O(log V) search. Small tensors keep the scalar path (the table build
+  /// would dominate); the results are identical either way.
   virtual Tensor quantize(const Tensor& t) const;
 
   /// calibrate(t) followed by quantize(t) — the per-layer flow of the paper.
@@ -64,6 +77,31 @@ class Quantizer {
     calibrate(t);
     return quantize(t);
   }
+
+  /// True once the cached rounding table is live (test/bench seam).
+  bool lut_quantize_active() const {
+    return round_lut_state_ == RoundLutState::kBuilt;
+  }
+
+ protected:
+  /// Subclasses call this from calibrate()/calibrate_max_abs(): the cached
+  /// rounding table depends on the calibration parameters.
+  void invalidate_round_lut() {
+    round_lut_.reset();
+    round_lut_state_ = RoundLutState::kUndecided;
+  }
+
+ private:
+  /// The cached table, built lazily on the first bulk quantize after a
+  /// calibration (nullptr when the scalar path should run). Not
+  /// thread-safe against concurrent quantize() of the *same* quantizer —
+  /// the same pre-existing constraint as calibrate(); quantize() is never
+  /// called from inside a parallel body.
+  const NearestLut* round_lut(std::int64_t numel) const;
+
+  enum class RoundLutState { kUndecided, kBuilt, kUnavailable };
+  mutable RoundLutState round_lut_state_ = RoundLutState::kUndecided;
+  mutable std::shared_ptr<const NearestLut> round_lut_;
 };
 
 /// Round-to-nearest against a sorted table of representable values.

@@ -46,6 +46,9 @@ class AdaptivFloatQuantizer final : public Quantizer {
   void calibrate_max_abs(float max_abs) override;
   float quantize_value(float x) const override;
   float value_range() const override { return fmt_.value_max(); }
+  std::vector<float> representable_values() const override {
+    return fmt_.representable_values();
+  }
 
   /// Format chosen by the last calibration.
   const AdaptivFloatFormat& format() const { return fmt_; }

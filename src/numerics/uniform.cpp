@@ -19,6 +19,7 @@ void UniformQuantizer::calibrate_max_abs(float max_abs) {
   AF_CHECK(max_abs >= 0.0f && std::isfinite(max_abs),
            "max_abs must be finite and non-negative");
   scale_ = max_abs == 0.0f ? 0.0f : max_abs / static_cast<float>(level_max_);
+  invalidate_round_lut();
 }
 
 float UniformQuantizer::quantize_value(float x) const {
@@ -29,6 +30,22 @@ float UniformQuantizer::quantize_value(float x) const {
   if (q > level_max_) q = level_max_;
   if (q < -level_max_) q = -level_max_;
   return static_cast<float>(q) * scale_;
+}
+
+std::vector<float> UniformQuantizer::representable_values() const {
+  if (scale_ == 0.0f) return {0.0f};
+  std::vector<float> vals;
+  vals.reserve(2 * static_cast<std::size_t>(level_max_) + 2);
+  for (int q = -level_max_; q < 0; ++q) {
+    vals.push_back(static_cast<float>(q) * scale_);
+  }
+  // quantize_value rounds tiny negatives to level -0.0, whose product with
+  // the scale is -0.0f — a distinct interval in key order.
+  vals.push_back(-0.0f);
+  for (int q = 0; q <= level_max_; ++q) {
+    vals.push_back(static_cast<float>(q) * scale_);
+  }
+  return vals;
 }
 
 }  // namespace af

@@ -26,6 +26,7 @@ class UniformQuantizer final : public Quantizer {
   float value_range() const override {
     return scale_ * static_cast<float>(level_max_);
   }
+  std::vector<float> representable_values() const override;
 
   /// Scale chosen by the last calibration (0 for an all-zero tensor).
   float scale() const { return scale_; }

@@ -9,8 +9,13 @@
 #include "src/numerics/float_format.hpp"
 #include "src/numerics/posit.hpp"
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
+
+namespace {
+constexpr std::int64_t kCodecGrain = 1 << 12;
+}  // namespace
 
 float FormatCodec::decode_hardened(std::uint16_t code) const {
   const float v = decode(code);
@@ -21,11 +26,38 @@ float FormatCodec::decode_hardened(std::uint16_t code) const {
   return v;
 }
 
+const DecodeLut& FormatCodec::cached_decode_lut(bool hardened) const {
+  auto& slot = hardened ? hardened_lut_ : raw_lut_;
+  if (!slot) {
+    slot = std::make_shared<DecodeLut>(
+        bits(), [this, hardened](std::uint16_t c) {
+          return hardened ? decode_hardened(c) : decode(c);
+        });
+  }
+  return *slot;
+}
+
+const NearestLut* FormatCodec::cached_encode_lut(std::int64_t numel) const {
+  if (encode_lut_decided_) return encode_lut_.get();
+  if (numel < kNearestLutMinBuildElems) return nullptr;  // stay undecided
+  encode_lut_decided_ = true;
+  auto lut = std::make_shared<NearestLut>(build_encode_lut(
+      bits(), [this](float x) { return encode(x); },
+      [this](std::uint16_t c) { return decode(c); }));
+  if (!lut->empty()) encode_lut_ = std::move(lut);
+  return encode_lut_.get();  // null -> scalar fallback, identical codes
+}
+
 std::vector<std::uint16_t> FormatCodec::encode_tensor(const Tensor& t) const {
   std::vector<std::uint16_t> codes(static_cast<std::size_t>(t.numel()));
-  for (std::int64_t i = 0; i < t.numel(); ++i) {
-    codes[static_cast<std::size_t>(i)] = encode(t[i]);
-  }
+  const NearestLut* lut = cached_encode_lut(t.numel());
+  parallel_for(0, t.numel(), kCodecGrain,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   codes[static_cast<std::size_t>(i)] =
+                       lut != nullptr ? lut->code_of(t[i]) : encode(t[i]);
+                 }
+               });
   return codes;
 }
 
@@ -34,10 +66,18 @@ Tensor FormatCodec::decode_tensor(const std::vector<std::uint16_t>& codes,
   AF_CHECK(static_cast<std::int64_t>(codes.size()) == numel_of(shape),
            "code count does not match the target shape");
   Tensor out(shape);
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    out[static_cast<std::int64_t>(i)] =
-        hardened ? decode_hardened(codes[i]) : decode(codes[i]);
-  }
+  const DecodeLut& lut = cached_decode_lut(hardened);
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>((1u << bits()) - 1u);
+  const std::int64_t n = out.numel();
+  parallel_for(0, n, kCodecGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // All producers (encode_tensor, unpack_codes) emit codes < 2^bits;
+      // the mask only guards the table bound for hand-built vectors.
+      out[i] = lut[static_cast<std::uint16_t>(
+          codes[static_cast<std::size_t>(i)] & mask)];
+    }
+  });
   return out;
 }
 

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/kernels/decode_lut.hpp"
+#include "src/kernels/nearest_lut.hpp"
 #include "src/numerics/registry.hpp"
 #include "src/tensor/tensor.hpp"
 
@@ -50,10 +52,26 @@ class FormatCodec {
   /// NaN to 0. A corrupted code can still be *wrong*, but never explosive.
   float decode_hardened(std::uint16_t code) const;
 
-  /// Elementwise helpers for whole tensors.
+  /// Elementwise helpers for whole tensors. Both run table-driven where it
+  /// pays: decode_tensor always (2^bits entries amortize over any sweep
+  /// payload), encode_tensor once the tensor crosses the LUT build
+  /// threshold. The tables are built from this codec's own virtual
+  /// encode/decode, so results are bit-identical to the scalar loops.
+  /// Codecs are immutable after construction; the lazy table builds are not
+  /// safe against concurrent first calls on one codec (never happens — the
+  /// sweeps share codecs only within one thread).
   std::vector<std::uint16_t> encode_tensor(const Tensor& t) const;
   Tensor decode_tensor(const std::vector<std::uint16_t>& codes,
                        const Shape& shape, bool hardened) const;
+
+ private:
+  const DecodeLut& cached_decode_lut(bool hardened) const;
+  const NearestLut* cached_encode_lut(std::int64_t numel) const;
+
+  mutable std::shared_ptr<const DecodeLut> raw_lut_;
+  mutable std::shared_ptr<const DecodeLut> hardened_lut_;
+  mutable std::shared_ptr<const NearestLut> encode_lut_;
+  mutable bool encode_lut_decided_ = false;
 };
 
 /// Creates a codec of the given kind/width calibrated for data whose

@@ -178,7 +178,9 @@ Tensor guarded_forward(const QuantizedLinear& layer, const Tensor& x,
   cfg.layer = guard.layer();
   return guard.run(
       [&] {
-        const Tensor w = layer.decoded_weight();
+        // Cached decode: the packed payload is immutable, so the second
+        // guarded forward reuses the same FP32 weight tensor.
+        const Tensor& w = layer.decoded_weight();
         AbftReport abft;
         Tensor y = abft_matmul(x, w, false, /*trans_b=*/true, cfg, &abft,
                                mac_hook);

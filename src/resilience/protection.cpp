@@ -5,6 +5,7 @@
 #include "src/core/algorithm1.hpp"
 #include "src/resilience/fault_injector.hpp"
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
 namespace {
@@ -166,18 +167,27 @@ ProtectedPackedTensor::ProtectedPackedTensor(const Tensor& w, int bits,
       codes_([&] {
         auto res = adaptivfloat_quantize(w, bits, exp_bits);
         return ProtectedCodes(res.codes, bits, mode, block_words);
-      }()) {}
+      }()),
+      lut_(std::make_shared<DecodeLut>(
+          bits, [this](std::uint16_t c) { return format_.decode(c); })) {}
 
 void ProtectedPackedTensor::inject(FaultInjector& injector) {
   injector.corrupt_bytes(codes_.payload());
 }
 
 Tensor ProtectedPackedTensor::unpack() const {
-  const auto codes = codes_.codes();
+  // Fused unpack+decode straight from the live payload bytes — corrupted
+  // bits reach the output on the very next call. packed_code_at masks each
+  // word to `bits` bits, the same policy as StrayBits::kMask. Chunks write
+  // disjoint ranges, so the result is bit-identical for any AF_THREADS.
+  const std::vector<std::uint8_t>& bytes = codes_.payload();
   Tensor out(shape_);
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    out[static_cast<std::int64_t>(i)] = format_.decode(codes[i]);
-  }
+  constexpr std::int64_t kGrain = 1 << 12;
+  parallel_for(0, out.numel(), kGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 unpack_decode(bytes.data(), bytes.size(), codes_.bits(), b,
+                               e - b, *lut_, out.data() + b);
+               });
   return out;
 }
 

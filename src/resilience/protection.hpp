@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/adaptivfloat.hpp"
 #include "src/core/bitpack.hpp"
+#include "src/kernels/decode_lut.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace af {
@@ -110,12 +112,18 @@ class ProtectedPackedTensor {
   /// bounded (every code maps into [-value_max, value_max]), so no extra
   /// clamping is needed here — that boundedness is the format's resilience
   /// argument.
+  ///
+  /// The payload is mutable (fault injection, scrub), so unpack() always
+  /// reads the live bytes — only the code->value table is cached, and that
+  /// depends on the format alone, never on the payload. A flipped bit is
+  /// therefore visible on the very next unpack.
   Tensor unpack() const;
 
  private:
   AdaptivFloatFormat format_;
   Shape shape_;
   ProtectedCodes codes_;
+  std::shared_ptr<const DecodeLut> lut_;  // format-derived, payload-agnostic
 };
 
 }  // namespace af

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/gemm_kernel.hpp"
 #include "src/util/parallel.hpp"
 
 namespace af {
@@ -13,6 +14,7 @@ namespace {
 // but must never be derived from the thread count.
 constexpr std::int64_t kMatmulRowGrain = 16;  // C rows per chunk
 constexpr std::int64_t kMatmulKBlock = 256;   // k-panel kept hot in cache
+constexpr std::int64_t kMatmulJTile = 64;     // trans_b pack-tile columns
 constexpr std::int64_t kElemGrain = 1 << 13;  // elements per chunk
 constexpr std::int64_t kRowGrain = 16;        // matrix rows per chunk
 
@@ -53,24 +55,31 @@ void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
   // still advances in ascending order across the k-blocks, so every c[i][j]
   // accumulates in exactly the serial order — results are bit-identical for
   // any thread count. The k-blocking keeps a [kc, n] panel of B hot in
-  // cache while the rows of the panel stream over it.
+  // cache while the rows of the panel stream over it. When B is transposed
+  // its [j0:j1, k0:k1) window is first repacked into a k-major stack tile —
+  // the inner loop then streams contiguously instead of striding by ldb —
+  // which reorders only *reads* of B, never the per-element accumulation
+  // chain, so the result stays bit-identical to the unpacked walk.
   parallel_for(0, m, kMatmulRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    float tile[kMatmulKBlock * kMatmulJTile];
     for (std::int64_t k0 = 0; k0 < k; k0 += kMatmulKBlock) {
       const std::int64_t k1 = std::min(k, k0 + kMatmulKBlock);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = pc + i * n;
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float aval = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-          if (aval == 0.0f) continue;
-          if (!trans_b) {
-            const float* brow = pb + kk * ldb;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-          } else {
-            for (std::int64_t j = 0; j < n; ++j) {
-              crow[j] += aval * pb[j * ldb + kk];
-            }
+      if (!trans_b) {
+        detail::gemm_panel_accumulate(pc, n, pa, lda, trans_a, pb + k0 * ldb,
+                                      ldb, n, i0, i1, k0, k1);
+        continue;
+      }
+      for (std::int64_t j0 = 0; j0 < n; j0 += kMatmulJTile) {
+        const std::int64_t j1 = std::min(n, j0 + kMatmulJTile);
+        const std::int64_t jt = j1 - j0;
+        for (std::int64_t jj = j0; jj < j1; ++jj) {
+          const float* bcol = pb + jj * ldb;
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            tile[(kk - k0) * jt + (jj - j0)] = bcol[kk];
           }
         }
+        detail::gemm_panel_accumulate(pc + j0, n, pa, lda, trans_a, tile, jt,
+                                      jt, i0, i1, k0, k1);
       }
     }
   });

@@ -1,0 +1,283 @@
+// The kernel layer's contract is "same bits, fewer cycles": every test here
+// compares a table-driven path bit-for-bit against the scalar arithmetic it
+// replaced — across formats, widths, thread counts, and payload mutation.
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/adaptivfloat.hpp"
+#include "src/core/bitpack.hpp"
+#include "src/kernels/decode_lut.hpp"
+#include "src/kernels/gemm_packed.hpp"
+#include "src/kernels/nearest_lut.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/quantized_linear.hpp"
+#include "src/numerics/registry.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/resilience/guard.hpp"
+#include "src/resilience/protection.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+class ThreadRestore : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+// ----- fused packed GEMM ---------------------------------------------------
+
+using MatmulPacked = ThreadRestore;
+
+TEST_F(MatmulPacked, BitIdenticalToUnpackThenMatmul) {
+  Pcg32 rng(101);
+  const struct {
+    std::int64_t m, k, n;
+  } sizes[] = {{5, 70, 9}, {33, 257, 65}, {16, 512, 64}, {1, 3, 1}};
+  for (const int bits : {4, 6, 8}) {
+    for (const auto& s : sizes) {
+      const Tensor x = Tensor::randn({s.m, s.k}, rng);
+      const Tensor wf = Tensor::randn({s.n, s.k}, rng, 0.5f);
+      const auto packed =
+          PackedAdaptivFloatTensor::quantize_pack(wf, bits, bits <= 4 ? 2 : 3);
+
+      set_num_threads(1);
+      const Tensor ref = matmul(x, packed.unpack(), false, /*trans_b=*/true);
+      for (const int threads : {1, 2, 8}) {
+        set_num_threads(threads);
+        const Tensor fused = matmul_packed(x, packed);
+        EXPECT_TRUE(bit_equal(ref, fused))
+            << "bits=" << bits << " m=" << s.m << " k=" << s.k << " n=" << s.n
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(MatmulPacked, ZeroWeightMatrixGivesZeroOutput) {
+  Pcg32 rng(102);
+  const Tensor x = Tensor::randn({4, 40}, rng);
+  const auto packed =
+      PackedAdaptivFloatTensor::quantize_pack(Tensor::zeros({6, 40}), 8, 3);
+  const Tensor y = matmul_packed(x, packed);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+// ----- bitpack LUT unpack --------------------------------------------------
+
+TEST(DecodeLutPath, UnpackMatchesScalarDecode) {
+  Pcg32 rng(103);
+  for (const int bits : {4, 6, 8}) {
+    const Tensor w = Tensor::randn({37, 23}, rng, 2.0f);
+    const auto packed =
+        PackedAdaptivFloatTensor::quantize_pack(w, bits, bits <= 4 ? 2 : 3);
+    const Tensor fast = packed.unpack();
+    const auto codes =
+        unpack_codes(packed.bytes(), bits,
+                     static_cast<std::size_t>(packed.numel()));
+    Tensor slow(packed.shape());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      slow[static_cast<std::int64_t>(i)] = packed.format().decode(codes[i]);
+    }
+    EXPECT_TRUE(bit_equal(fast, slow)) << "bits=" << bits;
+    // value_at must agree with bulk unpack element-wise.
+    for (std::int64_t i = 0; i < packed.numel(); i += 97) {
+      EXPECT_EQ(packed.value_at(i), fast[i]);
+    }
+  }
+}
+
+// ----- table-driven quantize (satellite b) ---------------------------------
+
+/// A tensor big enough to engage the rounding LUT, with the adversarial
+/// inputs appended: signed zeros, NaN, infinities, denormals, exact
+/// representable values and their neighbours, and interval midpoints.
+Tensor lut_stress_tensor(Quantizer& q, Pcg32& rng) {
+  std::vector<float> vals;
+  const std::int64_t bulk = kNearestLutMinBuildElems + 517;
+  Tensor base = Tensor::randn({bulk}, rng, 2.0f);
+  for (std::int64_t i = 0; i < bulk; ++i) vals.push_back(base[i]);
+  vals.push_back(0.0f);
+  vals.push_back(-0.0f);
+  vals.push_back(std::numeric_limits<float>::quiet_NaN());
+  vals.push_back(std::numeric_limits<float>::infinity());
+  vals.push_back(-std::numeric_limits<float>::infinity());
+  vals.push_back(std::numeric_limits<float>::denorm_min());
+  vals.push_back(-std::numeric_limits<float>::denorm_min());
+  vals.push_back(std::numeric_limits<float>::min() / 2.0f);
+  vals.push_back(std::numeric_limits<float>::max());
+  vals.push_back(-std::numeric_limits<float>::max());
+  // Calibrate now (on the bulk stats the real flow would see), then aim at
+  // the exact decision boundaries of the calibrated value set.
+  q.calibrate(base);
+  const std::vector<float> reps = q.representable_values();
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    vals.push_back(reps[i]);
+    vals.push_back(std::nextafter(reps[i], 1e30f));
+    vals.push_back(std::nextafter(reps[i], -1e30f));
+    if (i + 1 < reps.size()) {
+      vals.push_back(reps[i] + (reps[i + 1] - reps[i]) / 2.0f);  // midpoint
+    }
+  }
+  Tensor t({static_cast<std::int64_t>(vals.size())});
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    t[static_cast<std::int64_t>(i)] = vals[i];
+  }
+  return t;
+}
+
+TEST(LutQuantize, BitIdenticalToScalarAcrossFormatsAndWidths) {
+  const FormatKind kinds[] = {FormatKind::kAdaptivFloat, FormatKind::kFloat,
+                              FormatKind::kPosit, FormatKind::kBlockFloat,
+                              FormatKind::kUniform};
+  Pcg32 rng(104);
+  for (const FormatKind kind : kinds) {
+    for (const int bits : {4, 6, 8}) {
+      auto q = make_quantizer(kind, bits);
+      const Tensor t = lut_stress_tensor(*q, rng);
+      const Tensor fast = q->quantize(t);
+      ASSERT_TRUE(q->lut_quantize_active())
+          << q->name() << "<" << bits << ">: LUT did not engage";
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const float slow = q->quantize_value(t[i]);
+        const float got = fast[i];
+        EXPECT_EQ(std::memcmp(&slow, &got, sizeof(float)), 0)
+            << q->name() << "<" << bits << "> at i=" << i << " in=" << t[i]
+            << " scalar=" << slow << " lut=" << got;
+      }
+    }
+  }
+}
+
+TEST(LutQuantize, RecalibrationInvalidatesTheTable) {
+  auto q = make_quantizer(FormatKind::kUniform, 8);
+  Pcg32 rng(105);
+  const Tensor big = Tensor::randn({kNearestLutMinBuildElems + 1}, rng, 1.0f);
+  q->calibrate(big);
+  (void)q->quantize(big);
+  ASSERT_TRUE(q->lut_quantize_active());
+  // New scale -> old table would be wrong; it must be rebuilt.
+  q->calibrate_max_abs(31.0f);
+  EXPECT_FALSE(q->lut_quantize_active());
+  const Tensor requant = q->quantize(big);
+  for (std::int64_t i = 0; i < big.numel(); i += 911) {
+    EXPECT_EQ(requant[i], q->quantize_value(big[i]));
+  }
+}
+
+TEST(EncodeLut, MatchesFormatEncodeEverywhere) {
+  Pcg32 rng(106);
+  for (const int bits : {4, 6, 8}) {
+    const AdaptivFloatFormat fmt(bits, bits <= 4 ? 2 : 3, -6);
+    const NearestLut lut = build_encode_lut(
+        bits, [&](float x) { return fmt.encode(x); },
+        [&](std::uint16_t c) { return fmt.decode(c); });
+    ASSERT_FALSE(lut.empty());
+    std::vector<float> probes = {0.0f,
+                                 -0.0f,
+                                 std::numeric_limits<float>::quiet_NaN(),
+                                 std::numeric_limits<float>::infinity(),
+                                 -std::numeric_limits<float>::infinity(),
+                                 std::numeric_limits<float>::denorm_min(),
+                                 1e30f,
+                                 -1e30f};
+    for (int c = 0; c < fmt.num_codes(); ++c) {
+      const float v = fmt.decode(static_cast<std::uint16_t>(c));
+      probes.push_back(v);
+      probes.push_back(std::nextafter(v, 1e30f));
+      probes.push_back(std::nextafter(v, -1e30f));
+      probes.push_back(v * 1.03125f);
+    }
+    for (int i = 0; i < 4096; ++i) {
+      probes.push_back(Tensor::randn({1}, rng, 0.5f)[0]);
+    }
+    for (const float x : probes) {
+      EXPECT_EQ(lut.code_of(x), fmt.encode(x))
+          << "bits=" << bits << " x=" << x;
+    }
+  }
+}
+
+// ----- protected payload mutation visibility (satellite c) -----------------
+
+TEST(ProtectedDecode, PayloadMutationIsVisibleOnNextUnpack) {
+  Pcg32 rng(107);
+  const Tensor w = Tensor::randn({64, 64}, rng, 1.0f);
+  ProtectedPackedTensor prot(w, 8, 3, ProtectionMode::kParityChecksum);
+
+  auto scalar_unpack = [&] {
+    // Independent reference: fresh unpack_codes of the *current* payload,
+    // scalar-decoded — never touches the cached table.
+    std::vector<std::uint8_t> payload = prot.payload();
+    const auto codes = unpack_codes(payload, 8,
+                                    static_cast<std::size_t>(w.numel()),
+                                    StrayBits::kMask);
+    Tensor out(w.shape());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      out[static_cast<std::int64_t>(i)] = prot.format().decode(codes[i]);
+    }
+    return out;
+  };
+
+  const Tensor clean = prot.unpack();
+  EXPECT_TRUE(bit_equal(clean, scalar_unpack()));
+
+  FaultInjector injector({/*bit_error_rate=*/1e-3, FaultModel::kSingleBit, 4,
+                          /*seed=*/42});
+  prot.inject(injector);
+  ASSERT_GT(injector.stats().bits_flipped, 0);
+
+  const Tensor corrupted = prot.unpack();
+  EXPECT_FALSE(bit_equal(corrupted, clean))
+      << "cached state hid a payload mutation";
+  EXPECT_TRUE(bit_equal(corrupted, scalar_unpack()));
+
+  const ScrubReport rep = prot.scrub();
+  EXPECT_GT(rep.words_zeroed, 0);
+  const Tensor scrubbed = prot.unpack();
+  EXPECT_FALSE(bit_equal(scrubbed, corrupted));
+  EXPECT_TRUE(bit_equal(scrubbed, scalar_unpack()));
+}
+
+// ----- QuantizedLinear decode cache (satellite a) --------------------------
+
+TEST(QuantizedLinearCache, GuardedForwardDecodesWeightsOnce) {
+  Pcg32 rng(108);
+  Linear fc(48, 32, rng);
+  const QuantizedLinear qfc(fc, 8, 3);
+  const LayerGuard guard("fc", {RecoveryPolicy::kCorrect, 1, 0.0f});
+  const Tensor x = Tensor::randn({5, 48}, rng);
+
+  EXPECT_EQ(qfc.decode_count(), 0);
+  ResilienceReport report;
+  const Tensor y1 = guarded_forward(qfc, x, guard, &report);
+  EXPECT_EQ(qfc.decode_count(), 1);
+  const Tensor y2 = guarded_forward(qfc, x, guard, &report);
+  EXPECT_EQ(qfc.decode_count(), 1) << "second guarded forward re-decoded";
+  EXPECT_TRUE(bit_equal(y1, y2));
+}
+
+TEST(QuantizedLinearCache, FusedForwardMatchesDecodedMatmul) {
+  Pcg32 rng(109);
+  Linear fc(70, 33, rng);
+  const QuantizedLinear qfc(fc, 6, 3);
+  const Tensor x = Tensor::randn({9, 70}, rng);
+  Tensor ref = matmul(x, qfc.decoded_weight(), false, /*trans_b=*/true);
+  add_row_bias_inplace(ref, qfc.bias());
+  EXPECT_TRUE(bit_equal(qfc.forward(x), ref));
+}
+
+}  // namespace
+}  // namespace af
