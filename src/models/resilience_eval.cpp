@@ -10,6 +10,7 @@
 #include "src/nn/loss.hpp"
 #include "src/nn/lstm.hpp"
 #include "src/nn/optimizer.hpp"
+#include "src/tensor/arena.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 #include "src/util/rng.hpp"
@@ -148,6 +149,10 @@ std::vector<std::int64_t> mlp_predict(const MlpEvalModel& m,
   if (matmul_fn) {
     // Batched path: all eval inputs as one activation matrix, every layer
     // product through the caller's GEMM (the compute-fault sweep's seam).
+    // The activation tensors live in a call-local arena: sweep trials run
+    // concurrently on worker threads, so the arena must not be shared.
+    Arena arena;
+    ArenaScope scope(&arena);
     const auto batch = static_cast<std::int64_t>(m.eval_set.inputs.size());
     const std::int64_t in_dim = w.front().dim(1);
     Tensor act({batch, in_dim});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 
@@ -28,6 +29,14 @@ Tensor ResNetClassifier::BasicBlock::forward(const Tensor& x, bool training) {
   h = bn2.forward(conv2.forward(h), training);
   Tensor shortcut = has_projection ? proj->forward(x) : x;
   return relu2.forward(add(h, shortcut));
+}
+
+Tensor ResNetClassifier::BasicBlock::forward(const Tensor& x,
+                                             ExecutionContext& ectx) {
+  Tensor h = relu1.forward(bn1.forward(conv1.forward(x, ectx), ectx), ectx);
+  h = bn2.forward(conv2.forward(h, ectx), ectx);
+  Tensor shortcut = has_projection ? proj->forward(x, ectx) : x;
+  return relu2.forward(add(h, shortcut), ectx);
 }
 
 Tensor ResNetClassifier::BasicBlock::backward(const Tensor& dy) {
@@ -107,6 +116,32 @@ Tensor ResNetClassifier::forward(const Tensor& x, bool training) {
   return fc_.forward(act_quant_.process("pooled", pooled));
 }
 
+Tensor ResNetClassifier::forward(const Tensor& x, ExecutionContext& ectx) {
+  if (ectx.training) return forward(x, /*training=*/true);
+  AF_CHECK(x.rank() == 4 && x.dim(1) == cfg_.in_channels,
+           "ResNet expects [N, C, H, W]");
+  Tensor h = stem_relu_.forward(
+      stem_bn_.forward(stem_.forward(x, ectx), ectx), ectx);
+  h = act_quant_.process("stem", h);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = act_quant_.process("block" + std::to_string(i),
+                           blocks_[i].forward(h, ectx));
+  }
+  // Global average pooling (same reduction order as the caching path).
+  const std::int64_t n = h.dim(0), c = h.dim(1), hh = h.dim(2), ww = h.dim(3);
+  Tensor pooled({n, c});
+  const float inv = 1.0f / static_cast<float>(hh * ww);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = h.data() + (i * c + ch) * hh * ww;
+      double acc = 0;
+      for (std::int64_t j = 0; j < hh * ww; ++j) acc += plane[j];
+      pooled[i * c + ch] = static_cast<float>(acc) * inv;
+    }
+  }
+  return fc_.forward(act_quant_.process("pooled", pooled), ectx);
+}
+
 void ResNetClassifier::backward(const Tensor& dlogits) {
   AF_CHECK(!ctx_.empty(), "ResNet backward without forward");
   const StepCtx ctx = ctx_.back();
@@ -140,6 +175,19 @@ std::vector<Module*> ResNetClassifier::all_modules() {
     for (Module* m : blk.modules()) mods.push_back(m);
   }
   return mods;
+}
+
+std::int64_t ResNetClassifier::cache_depth() const {
+  std::int64_t n = stem_.cache_depth() + stem_bn_.cache_depth() +
+                   stem_relu_.cache_depth() + fc_.cache_depth() +
+                   static_cast<std::int64_t>(ctx_.size());
+  for (const auto& blk : blocks_) {
+    n += blk.conv1.cache_depth() + blk.conv2.cache_depth() +
+         blk.bn1.cache_depth() + blk.bn2.cache_depth() +
+         blk.relu1.cache_depth() + blk.relu2.cache_depth();
+    if (blk.proj) n += blk.proj->cache_depth();
+  }
+  return n;
 }
 
 std::vector<Parameter*> ResNetClassifier::parameters() {

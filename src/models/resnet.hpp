@@ -32,11 +32,18 @@ class ResNetClassifier {
   /// x: [N, C, H, W] -> logits [N, num_classes].
   Tensor forward(const Tensor& x, bool training);
 
+  /// Context forward: identical logits. Training delegates to the caching
+  /// path above; inference pushes nothing (not even the pooling dims).
+  Tensor forward(const Tensor& x, ExecutionContext& ectx);
+
   /// Adjoint of the training-mode forward.
   void backward(const Tensor& dlogits);
 
   /// Argmax class predictions (eval mode), clearing caches afterwards.
   std::vector<std::int64_t> predict(const Tensor& x);
+
+  /// Cached forward records across the whole model (sessions assert 0).
+  std::int64_t cache_depth() const;
 
   std::vector<Parameter*> parameters();
   void zero_grad();
@@ -50,6 +57,7 @@ class ResNetClassifier {
     BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
                Pcg32& rng, const std::string& name);
     Tensor forward(const Tensor& x, bool training);
+    Tensor forward(const Tensor& x, ExecutionContext& ectx);
     Tensor backward(const Tensor& dy);
     std::vector<Module*> modules();
 

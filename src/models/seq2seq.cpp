@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 
@@ -33,7 +34,8 @@ Seq2SeqAttn::Seq2SeqAttn(const Seq2SeqConfig& cfg, std::uint64_t seed)
         return Linear(cfg.hidden, cfg.vocab, r, true, "out_proj");
       }()) {}
 
-Tensor Seq2SeqAttn::attend(const Tensor& h, const Tensor& enc) {
+Tensor Seq2SeqAttn::attend_core(const Tensor& h, const Tensor& enc,
+                                Tensor& weights) {
   const std::int64_t b = h.dim(0), hidden = h.dim(1), ts = enc.dim(0);
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hidden));
   Tensor scores({b, ts});
@@ -46,7 +48,7 @@ Tensor Seq2SeqAttn::attend(const Tensor& h, const Tensor& enc) {
       scores[bi * ts + s] = static_cast<float>(dot) * inv_sqrt;
     }
   }
-  Tensor weights = softmax_rows(scores);
+  weights = softmax_rows(scores);
   Tensor ctx({b, hidden});
   for (std::int64_t bi = 0; bi < b; ++bi) {
     float* crow = ctx.data() + bi * hidden;
@@ -56,6 +58,12 @@ Tensor Seq2SeqAttn::attend(const Tensor& h, const Tensor& enc) {
       for (std::int64_t j = 0; j < hidden; ++j) crow[j] += w * erow[j];
     }
   }
+  return ctx;
+}
+
+Tensor Seq2SeqAttn::attend(const Tensor& h, const Tensor& enc) {
+  Tensor weights;
+  Tensor ctx = attend_core(h, enc, weights);
   attn_cache_.push_back({std::move(weights)});
   return ctx;
 }
@@ -144,6 +152,47 @@ Tensor Seq2SeqAttn::forward(const Tensor& frames,
   return logits;
 }
 
+Tensor Seq2SeqAttn::forward(const Tensor& frames,
+                            const std::vector<TokenSeq>& tgt_in,
+                            ExecutionContext& ectx) {
+  if (ectx.training) return forward(frames, tgt_in);
+  AF_CHECK(frames.rank() == 3 && frames.dim(2) == cfg_.feature_dim,
+           "frames must be [Ts, B, F]");
+  const std::int64_t b = frames.dim(1);
+  AF_CHECK(static_cast<std::int64_t>(tgt_in.size()) == b,
+           "target batch size mismatch");
+  const std::int64_t tt = static_cast<std::int64_t>(tgt_in[0].size());
+
+  Tensor enc = act_quant_.process("enc.out", encoder_.forward(frames, ectx));
+
+  Tensor logits({b * tt, cfg_.vocab});
+  LstmState state = decoder_.initial_state(b);
+  for (std::int64_t t = 0; t < tt; ++t) {
+    std::vector<std::int64_t> ids(static_cast<std::size_t>(b));
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const auto& seq = tgt_in[static_cast<std::size_t>(bi)];
+      AF_CHECK(static_cast<std::int64_t>(seq.size()) == tt,
+               "ragged target batch");
+      ids[static_cast<std::size_t>(bi)] = seq[static_cast<std::size_t>(t)];
+    }
+    Tensor x = tgt_emb_.forward(ids, ectx);
+    state = decoder_.forward(x, state, ectx);
+    Tensor weights;
+    Tensor context = attend_core(state.h, enc, weights);
+    Tensor comb = act_quant_.process(
+        "dec.comb",
+        combine_act_.forward(
+            attn_combine_.forward(concat_cols(state.h, context), ectx),
+            ectx));
+    Tensor step_logits = out_proj_.forward(comb, ectx);
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      std::copy_n(step_logits.data() + bi * cfg_.vocab, cfg_.vocab,
+                  logits.data() + (bi * tt + t) * cfg_.vocab);
+    }
+  }
+  return logits;
+}
+
 void Seq2SeqAttn::backward(const Tensor& dlogits) {
   AF_CHECK(!ctx_.empty(), "Seq2SeqAttn backward without forward");
   StepCtx ctx = std::move(ctx_.back());
@@ -203,6 +252,42 @@ TokenSeq Seq2SeqAttn::greedy_decode(const Tensor& frames, std::int64_t bos,
   }
   clear_caches();
   return out;
+}
+
+TokenSeq Seq2SeqAttn::greedy_decode(const Tensor& frames, std::int64_t bos,
+                                    std::int64_t eos, ExecutionContext& ectx) {
+  AF_CHECK(!ectx.training, "greedy_decode is inference-only");
+  AF_CHECK(frames.rank() == 3 && frames.dim(1) == 1,
+           "greedy_decode expects a single utterance [Ts, 1, F]");
+  Tensor enc = act_quant_.process("enc.out", encoder_.forward(frames, ectx));
+  LstmState state = decoder_.initial_state(1);
+  TokenSeq out;
+  std::int64_t prev = bos;
+  for (std::int64_t step = 0; step < cfg_.max_decode_len; ++step) {
+    Tensor x = tgt_emb_.forward({prev}, ectx);
+    state = decoder_.forward(x, state, ectx);
+    Tensor weights;
+    Tensor context = attend_core(state.h, enc, weights);
+    Tensor comb = act_quant_.process(
+        "dec.comb",
+        combine_act_.forward(
+            attn_combine_.forward(concat_cols(state.h, context), ectx),
+            ectx));
+    Tensor step_logits = out_proj_.forward(comb, ectx);
+    const std::int64_t next = argmax_rows(step_logits)[0];
+    if (next == eos) break;
+    out.push_back(next);
+    prev = next;
+  }
+  return out;
+}
+
+std::int64_t Seq2SeqAttn::cache_depth() const {
+  return encoder_.cache_depth() + tgt_emb_.cache_depth() +
+         decoder_.cache_depth() + attn_combine_.cache_depth() +
+         combine_act_.cache_depth() + out_proj_.cache_depth() +
+         static_cast<std::int64_t>(attn_cache_.size()) +
+         static_cast<std::int64_t>(ctx_.size());
 }
 
 std::vector<Parameter*> Seq2SeqAttn::parameters() {

@@ -36,12 +36,25 @@ class Seq2SeqAttn {
   /// row = b * Tt + t).
   Tensor forward(const Tensor& frames, const std::vector<TokenSeq>& tgt_in);
 
+  /// Context forward: identical logits. Training delegates to the caching
+  /// path above; inference pushes no caches anywhere in the model.
+  Tensor forward(const Tensor& frames, const std::vector<TokenSeq>& tgt_in,
+                 ExecutionContext& ectx);
+
   /// Adjoint of forward (full BPTT through decoder, attention and encoder).
   void backward(const Tensor& dlogits);
 
   /// Greedy decode of a single utterance [Ts, 1, F].
   TokenSeq greedy_decode(const Tensor& frames, std::int64_t bos,
                          std::int64_t eos);
+
+  /// Context greedy decode: same tokens, no cache pushes (and therefore no
+  /// trailing clear_caches()).
+  TokenSeq greedy_decode(const Tensor& frames, std::int64_t bos,
+                         std::int64_t eos, ExecutionContext& ectx);
+
+  /// Cached forward records across the whole model (sessions assert 0).
+  std::int64_t cache_depth() const;
 
   std::vector<Parameter*> parameters();
   void zero_grad();
@@ -58,6 +71,9 @@ class Seq2SeqAttn {
   // context [B, H] from decoder hidden h [B, H] and encoder outputs
   // [Ts, B, H]; pushes the softmax weights for backward.
   Tensor attend(const Tensor& h, const Tensor& enc);
+  // Scores -> softmax -> weighted sum, shared by the caching and context
+  // paths; writes the softmax weights to `weights`.
+  Tensor attend_core(const Tensor& h, const Tensor& enc, Tensor& weights);
   // returns (dh, and accumulates into denc).
   Tensor attend_backward(const Tensor& dctx, const Tensor& h,
                          const Tensor& enc, Tensor& denc);

@@ -6,6 +6,9 @@
 
 #include "src/nn/loss.hpp"
 #include "src/nn/optimizer.hpp"
+#include "src/runtime/execution_context.hpp"
+#include "src/tensor/arena.hpp"
+#include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 
 namespace af {
@@ -197,13 +200,19 @@ double eval_seq2seq_wer(Seq2SeqBundle& b, int num_utterances,
   Pcg32 rng(kEvalSeed, 0x7212);
   std::vector<TokenSeq> refs, hyps;
   return with_optional_weight_quant(b.model.parameters(), weight_q, [&] {
+    // Context-driven decode: no cache pushes (so no clear_caches), and the
+    // per-utterance working tensors recycle through one arena.
+    ExecutionContext ectx;
+    Arena arena;
     for (int i = 0; i < num_utterances; ++i) {
       Utterance utt = b.task.sample(rng);
       refs.push_back(utt.transcript);
       const std::int64_t t = utt.frames.dim(0);
       Tensor frames = utt.frames.reshaped({t, 1, b.cfg.feature_dim});
-      hyps.push_back(
-          b.model.greedy_decode(frames, SpeechTask::kBos, SpeechTask::kEos));
+      arena.reset();
+      ArenaScope scope(&arena);
+      hyps.push_back(b.model.greedy_decode(frames, SpeechTask::kBos,
+                                           SpeechTask::kEos, ectx));
     }
     return word_error_rate(refs, hyps);
   });
@@ -285,10 +294,20 @@ double eval_resnet_top1(ResNetBundle& b, int num_images, Quantizer* weight_q) {
     std::vector<std::int64_t> labels, preds;
     const std::int64_t batch = 32;
     std::int64_t remaining = num_images;
+    // Context-driven inference: the forward pushes no caches, and every
+    // batch's activations recycle through one arena (the task sampling
+    // stays on the heap — it happens outside the scope).
+    ExecutionContext ectx;
+    Arena arena;
     while (remaining > 0) {
       const std::int64_t n = std::min(batch, remaining);
       auto data = b.task.sample_batch(n, rng);
-      auto p = b.model.predict(data.images);
+      arena.reset();
+      std::vector<std::int64_t> p;
+      {
+        ArenaScope scope(&arena);
+        p = argmax_rows(b.model.forward(data.images, ectx));
+      }
       labels.insert(labels.end(), data.labels.begin(), data.labels.end());
       preds.insert(preds.end(), p.begin(), p.end());
       remaining -= n;

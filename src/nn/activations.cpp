@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/util/check.hpp"
 
 namespace af {
@@ -10,6 +11,13 @@ Tensor Activation::forward(const Tensor& x) {
   Tensor y(x.shape());
   for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = f(x[i]);
   cache_.push_back({x, y});
+  return y;
+}
+
+Tensor Activation::forward(const Tensor& x, ExecutionContext& ctx) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = f(x[i]);
+  if (ctx.training) cache_.push_back({x, y});
   return y;
 }
 

@@ -11,8 +11,13 @@ namespace af {
 class Activation : public Module {
  public:
   Tensor forward(const Tensor& x);
+  /// Context forward: identical values; skips the cache push in inference.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& dy);
   void clear_cache() override { cache_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cache_.size());
+  }
 
  protected:
   virtual float f(float x) const = 0;

@@ -39,6 +39,10 @@ class MultiHeadAttention final : public Module {
     wv_.clear_cache();
     wo_.clear_cache();
   }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cache_.size()) + wq_.cache_depth() +
+           wk_.cache_depth() + wv_.cache_depth() + wo_.cache_depth();
+  }
 
   std::int64_t d_model() const { return d_model_; }
   std::int64_t num_heads() const { return heads_; }

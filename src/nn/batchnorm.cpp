@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/util/check.hpp"
 
 namespace af {
@@ -76,6 +77,10 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
   }
   cache_.push_back(std::move(cache));
   return y;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, ExecutionContext& ctx) {
+  return forward(x, ctx.training);
 }
 
 Tensor BatchNorm2d::backward(const Tensor& dy) {

@@ -22,11 +22,18 @@ class BatchNorm2d final : public Module {
   /// running estimates; in eval mode uses the running estimates.
   Tensor forward(const Tensor& x, bool training);
 
+  /// Context forward: mode follows ctx.training. The eval path already
+  /// pushes no cache, so this is pure delegation.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
+
   /// Backward of the training-mode forward.
   Tensor backward(const Tensor& dy);
 
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   void clear_cache() override { cache_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cache_.size());
+  }
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }

@@ -1,7 +1,10 @@
 #include "src/nn/conv2d.hpp"
 
 #include <algorithm>
+#include <mutex>
 
+#include "src/resilience/abft.hpp"
+#include "src/runtime/execution_context.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
@@ -53,6 +56,61 @@ Tensor Conv2d::forward(const Tensor& x) {
   });
   cache_.push_back(std::move(cache));
   return y;
+}
+
+Tensor Conv2d::forward(const Tensor& x, ExecutionContext& ctx) {
+  if (ctx.training) return forward(x);
+  AF_CHECK(x.rank() == 4 && x.dim(1) == spec_.in_channels,
+           "Conv2d expects [N, C, H, W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = spec_.out_h(h), ow = spec_.out_w(w);
+  const std::int64_t patch = c * spec_.kernel_h * spec_.kernel_w;
+  const Tensor wflat = weight_.value.reshaped({out_channels_, patch});
+
+  auto compute = [&]() -> Tensor {
+    Tensor y({n, out_channels_, oh, ow});
+    AbftReport abft_total;
+    std::mutex abft_mu;
+    // Same per-sample decomposition as the caching path; the ABFT merge is
+    // pure counter addition, so the lock order cannot perturb results.
+    parallel_for(0, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+      AbftReport abft_local;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        Tensor img({c, h, w});
+        std::copy_n(x.data() + i * c * h * w, c * h * w, img.data());
+        Tensor cols = im2col(img, spec_);
+        Tensor yi;
+        if (ctx.wants_abft()) {
+          yi = abft_matmul(wflat, cols, false, false,
+                           ctx.abft_config(weight_.name), &abft_local,
+                           ctx.mac_hook);
+        } else {
+          yi = matmul(wflat, cols);  // [F, oh*ow]
+        }
+        if (has_bias_) {
+          for (std::int64_t f = 0; f < out_channels_; ++f) {
+            float* row = yi.data() + f * oh * ow;
+            for (std::int64_t j = 0; j < oh * ow; ++j)
+              row[j] += bias_.value[f];
+          }
+        }
+        std::copy_n(yi.data(), out_channels_ * oh * ow,
+                    y.data() + i * out_channels_ * oh * ow);
+      }
+      if (ctx.wants_abft()) {
+        std::lock_guard<std::mutex> lock(abft_mu);
+        abft_total.merge(abft_local);
+      }
+    });
+    if (ctx.wants_abft() && ctx.report != nullptr) {
+      ctx.report->abft.merge(abft_total);
+    }
+    return y;
+  };
+  return ctx.wants_guard()
+             ? ctx.active_guard().run(compute, {n, out_channels_, oh, ow},
+                                      ctx.report)
+             : compute();
 }
 
 Tensor Conv2d::backward(const Tensor& dy) {

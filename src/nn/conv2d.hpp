@@ -19,11 +19,21 @@ class Conv2d final : public Module {
   /// x: [N, C, H, W] -> [N, F, OH, OW]. Caches the im2col patch matrices.
   Tensor forward(const Tensor& x);
 
+  /// Context forward. Training mode delegates to the caching forward above
+  /// (resilience dispatch is inference-only for convolutions); inference
+  /// lowers each sample without retaining the patch matrices, checksums the
+  /// per-sample GEMMs when the context asks for ABFT, and wraps the whole
+  /// batch in the installed guard when asked.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
+
   /// dy: [N, F, OH, OW] -> dx; accumulates weight/bias grads.
   Tensor backward(const Tensor& dy);
 
   std::vector<Parameter*> parameters() override;
   void clear_cache() override { cache_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cache_.size());
+  }
 
   const Conv2dSpec& spec() const { return spec_; }
   std::int64_t out_channels() const { return out_channels_; }

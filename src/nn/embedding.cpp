@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/util/check.hpp"
 
 namespace af {
@@ -27,6 +28,20 @@ Tensor Embedding::forward(const std::vector<std::int64_t>& ids) {
                 out.data() + static_cast<std::int64_t>(i) * dim_);
   }
   cached_ids_.push_back(ids);
+  return out;
+}
+
+Tensor Embedding::forward(const std::vector<std::int64_t>& ids,
+                          ExecutionContext& ctx) {
+  Tensor out({static_cast<std::int64_t>(ids.size()), dim_});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int64_t id = ids[i];
+    AF_CHECK(id >= 0 && id < vocab_,
+             "token id " + std::to_string(id) + " out of vocab");
+    std::copy_n(table_.value.data() + id * dim_, dim_,
+                out.data() + static_cast<std::int64_t>(i) * dim_);
+  }
+  if (ctx.training) cached_ids_.push_back(ids);
   return out;
 }
 

@@ -17,11 +17,17 @@ class Embedding final : public Module {
   /// ids: m token indices -> [m, dim]. Caches the ids.
   Tensor forward(const std::vector<std::int64_t>& ids);
 
+  /// Context forward: same lookup; skips the id cache in inference.
+  Tensor forward(const std::vector<std::int64_t>& ids, ExecutionContext& ctx);
+
   /// dy: [m, dim]; scatters gradients into the table rows.
   void backward(const Tensor& dy);
 
   std::vector<Parameter*> parameters() override { return {&table_}; }
   void clear_cache() override { cached_ids_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cached_ids_.size());
+  }
 
   std::int64_t vocab() const { return vocab_; }
   std::int64_t dim() const { return dim_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/util/check.hpp"
 
 namespace af {
@@ -38,6 +39,33 @@ Tensor LayerNorm::forward(const Tensor& x) {
     }
   }
   cache_.push_back(std::move(c));
+  return y;
+}
+
+Tensor LayerNorm::forward(const Tensor& x, ExecutionContext& ctx) {
+  if (ctx.training) return forward(x);
+  AF_CHECK(x.rank() == 2 && x.dim(1) == dim_, "LayerNorm expects [m, dim]");
+  const std::int64_t m = x.dim(0), n = dim_;
+  Tensor y(x.shape());
+  // Same arithmetic (and fp association) as the caching path above.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = x.data() + i * n;
+    double mean = 0;
+    for (std::int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    float* yr = y.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float xh = (row[j] - static_cast<float>(mean)) * inv_std;
+      yr[j] = gamma_.value[j] * xh + beta_.value[j];
+    }
+  }
   return y;
 }
 

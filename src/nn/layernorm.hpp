@@ -19,10 +19,15 @@ class LayerNorm final : public Module {
                      float eps = 1e-5f);
 
   Tensor forward(const Tensor& x);
+  /// Context forward: same normalization; no cache tensors in inference.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& dy);
 
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   void clear_cache() override { cache_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cache_.size());
+  }
 
  private:
   struct Cache {

@@ -1,5 +1,7 @@
 #include "src/nn/linear.hpp"
 
+#include "src/resilience/abft.hpp"
+#include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 
@@ -22,6 +24,31 @@ Tensor Linear::forward(const Tensor& x) {
   Tensor y = matmul(x, weight_.value, false, /*trans_b=*/true);
   if (has_bias_) add_row_bias_inplace(y, bias_.value);
   cached_x_.push_back(x);
+  return y;
+}
+
+Tensor Linear::forward(const Tensor& x, ExecutionContext& ctx) {
+  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
+           "Linear input must be [m, " + std::to_string(in_) + "], got " +
+               shape_str(x.shape()));
+  auto compute = [&]() -> Tensor {
+    Tensor y;
+    if (ctx.wants_abft()) {
+      AbftReport abft;
+      y = abft_matmul(x, weight_.value, false, /*trans_b=*/true,
+                      ctx.abft_config(weight_.name), &abft, ctx.mac_hook);
+      if (ctx.report != nullptr) ctx.report->abft.merge(abft);
+    } else {
+      y = matmul(x, weight_.value, false, /*trans_b=*/true);
+    }
+    if (has_bias_) add_row_bias_inplace(y, bias_.value);
+    return y;
+  };
+  Tensor y = ctx.wants_guard()
+                 ? ctx.active_guard().run(compute, {x.dim(0), out_},
+                                          ctx.report)
+                 : compute();
+  if (ctx.training) cached_x_.push_back(x);
   return y;
 }
 

@@ -17,11 +17,18 @@ class Linear final : public Module {
   /// x: [m, in] -> [m, out]. Caches x for backward.
   Tensor forward(const Tensor& x);
 
+  /// Context-driven forward: same product, with the context's resilience
+  /// dispatch (guard / checksummed GEMM) and no cache push in inference.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
+
   /// dy: [m, out] -> dx [m, in]; accumulates into weight/bias grads.
   Tensor backward(const Tensor& dy);
 
   std::vector<Parameter*> parameters() override;
   void clear_cache() override { cached_x_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cached_x_.size());
+  }
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }

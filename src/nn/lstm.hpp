@@ -25,12 +25,21 @@ class LstmCell final : public Module {
   /// One step: x [B, I], state {h, c} each [B, H] -> new state.
   LstmState forward(const Tensor& x, const LstmState& state);
 
+  /// Context step: same gate math; in inference no gate tensors are cached
+  /// (the dominant per-step allocation). Training delegates to the caching
+  /// step above.
+  LstmState forward(const Tensor& x, const LstmState& state,
+                    const ExecutionContext& ctx);
+
   /// Adjoint of one step. dh/dc are gradients w.r.t. the step's outputs;
   /// returns (dx, d_prev_state) and accumulates weight gradients.
   std::pair<Tensor, LstmState> backward(const Tensor& dh, const Tensor& dc);
 
   std::vector<Parameter*> parameters() override;
   void clear_cache() override { cache_.clear(); }
+  std::int64_t cache_depth() const override {
+    return static_cast<std::int64_t>(cache_.size());
+  }
 
   std::int64_t input_size() const { return input_; }
   std::int64_t hidden_size() const { return hidden_; }
@@ -63,6 +72,16 @@ class Lstm final : public Module {
   /// states are written to `final_state` when non-null.
   Tensor forward(const Tensor& x, std::vector<LstmState>* final_state = nullptr);
 
+  /// Context forward over the sequence. Any resilience request wraps the
+  /// whole sequence in the installed guard: splitting the fused
+  /// x Wx^T + h Wh^T accumulation into separate checksummed GEMMs would
+  /// change the float association, so ABFT degrades to the guard wrap here.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
+
+  /// Same, also returning the final per-layer states (seq2seq encoder use).
+  Tensor forward(const Tensor& x, ExecutionContext& ctx,
+                 std::vector<LstmState>* final_state);
+
   /// d_out: [T, B, H] -> dx [T, B, I].
   Tensor backward(const Tensor& d_out);
 
@@ -70,6 +89,11 @@ class Lstm final : public Module {
   void clear_cache() override {
     cache_.clear();
     for (auto& cell : cells_) cell.clear_cache();
+  }
+  std::int64_t cache_depth() const override {
+    std::int64_t n = static_cast<std::int64_t>(cache_.size());
+    for (const auto& cell : cells_) n += cell.cache_depth();
+    return n;
   }
 
   std::int64_t hidden_size() const { return hidden_; }

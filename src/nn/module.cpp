@@ -2,7 +2,16 @@
 
 #include <cmath>
 
+#include "src/util/check.hpp"
+
 namespace af {
+
+Tensor Module::forward(const Tensor& /*x*/, ExecutionContext& /*ctx*/) {
+  AF_CHECK(false,
+           "this module has no context-driven forward; call its layer-"
+           "specific entry point");
+  return Tensor();
+}
 
 std::vector<Parameter*> collect_parameters(
     const std::vector<Module*>& modules) {

@@ -18,6 +18,8 @@
 
 namespace af {
 
+struct ExecutionContext;
+
 /// A named trainable tensor with its gradient accumulator.
 struct Parameter {
   std::string name;
@@ -39,10 +41,23 @@ class Module {
   /// Pointers to every trainable parameter (stable for the module lifetime).
   virtual std::vector<Parameter*> parameters() { return {}; }
 
+  /// Context-driven forward: the unified runtime entry point. The context
+  /// selects numeric and resilience policy, and — unless ctx.training —
+  /// the layer pushes no adjoint caches. Layers whose natural input is not
+  /// a single rank-N tensor (LstmCell steps, Embedding ids) keep their own
+  /// context overloads and leave this unimplemented. The base
+  /// implementation fails loudly.
+  virtual Tensor forward(const Tensor& x, ExecutionContext& ctx);
+
   /// Drops any cached forward state. Inference-only forward passes (greedy
   /// decoding, evaluation) never call backward, so callers must clear the
-  /// cache stacks afterwards to keep them balanced.
+  /// cache stacks afterwards to keep them balanced. Context-driven
+  /// inference forwards never push caches, making this a no-op for them.
   virtual void clear_cache() {}
+
+  /// Number of cached forward records awaiting backward (including any
+  /// child modules). Sessions assert this is zero after inference.
+  virtual std::int64_t cache_depth() const { return 0; }
 
   /// Clears gradient accumulators.
   void zero_grad() {

@@ -1,6 +1,9 @@
 #include "src/nn/quantized_linear.hpp"
 
 #include "src/kernels/gemm_packed.hpp"
+#include "src/resilience/abft.hpp"
+#include "src/runtime/execution_context.hpp"
+#include "src/tensor/arena.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 
@@ -24,8 +27,36 @@ Tensor QuantizedLinear::forward(const Tensor& x) const {
   return y;
 }
 
+Tensor QuantizedLinear::forward(const Tensor& x, ExecutionContext& ctx) {
+  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
+           "QuantizedLinear input must be [m, in]");
+  auto compute = [&]() -> Tensor {
+    Tensor y;
+    if (ctx.wants_abft()) {
+      const Tensor& w = decoded_weight();
+      AbftReport abft;
+      y = abft_matmul(x, w, false, /*trans_b=*/true,
+                      ctx.abft_config("quantized_linear"), &abft,
+                      ctx.mac_hook);
+      if (ctx.report != nullptr) ctx.report->abft.merge(abft);
+    } else if (ctx.numeric == NumericPolicy::kFp32) {
+      y = matmul(x, decoded_weight(), false, /*trans_b=*/true);
+    } else {
+      y = matmul_packed(x, weight_);
+    }
+    if (bias_.numel() == out_) add_row_bias_inplace(y, bias_);
+    return y;
+  };
+  return ctx.wants_guard()
+             ? ctx.active_guard().run(compute, {x.dim(0), out_}, ctx.report)
+             : compute();
+}
+
 const Tensor& QuantizedLinear::decoded_weight() const {
   if (!decoded_valid_) {
+    // The decode cache outlives any inference arena: force owned storage
+    // even when a session's ArenaScope is active.
+    ArenaScope no_arena(nullptr);
     decoded_ = weight_.unpack();
     decoded_valid_ = true;
     ++decode_count_;

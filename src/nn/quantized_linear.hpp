@@ -15,7 +15,7 @@
 namespace af {
 
 /// Inference-only linear layer over packed AdaptivFloat weights.
-class QuantizedLinear {
+class QuantizedLinear final : public Module {
  public:
   /// Quantizes the given trained layer's weights with Algorithm 1. The bias
   /// stays FP32 (biases are accumulated at full precision in the PE too).
@@ -26,6 +26,13 @@ class QuantizedLinear {
   /// the full FP32 weight matrix is never materialized. Bit-identical to
   /// matmul(x, unpack(), false, true) for every AF_THREADS value.
   Tensor forward(const Tensor& x) const;
+
+  /// Context forward. Numeric policy picks the kernel: kQuantizedLut runs
+  /// the fused packed GEMM; kFp32 multiplies against the decoded weight
+  /// cache. A checksummed (ABFT) request also uses the decoded weights —
+  /// the checksums are computed over the full matrix — and a guard request
+  /// wraps the compute, reproducing the retired guarded_forward exactly.
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }

@@ -4,10 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "src/nn/conv2d.hpp"
-#include "src/nn/linear.hpp"
-#include "src/nn/lstm.hpp"
-#include "src/nn/quantized_linear.hpp"
 #include "src/numerics/quantizer.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/parallel.hpp"
@@ -145,52 +141,6 @@ Tensor LayerGuard::run(const std::function<Tensor()>& fn,
       throw;
     }
   }
-}
-
-Tensor guarded_forward(Linear& layer, const Tensor& x, const LayerGuard& guard,
-                       ResilienceReport* report) {
-  return guard.run([&] { return layer.forward(x); },
-                   {x.dim(0), layer.out_features()}, report);
-}
-
-Tensor guarded_forward(Conv2d& layer, const Tensor& x, const LayerGuard& guard,
-                       ResilienceReport* report) {
-  const Conv2dSpec& spec = layer.spec();
-  return guard.run(
-      [&] { return layer.forward(x); },
-      {x.dim(0), layer.out_channels(), spec.out_h(x.dim(2)),
-       spec.out_w(x.dim(3))},
-      report);
-}
-
-Tensor guarded_forward(Lstm& layer, const Tensor& x, const LayerGuard& guard,
-                       ResilienceReport* report) {
-  return guard.run([&] { return layer.forward(x); },
-                   {x.dim(0), x.dim(1), layer.hidden_size()}, report);
-}
-
-Tensor guarded_forward(const QuantizedLinear& layer, const Tensor& x,
-                       const LayerGuard& guard, ResilienceReport* report,
-                       PeFaultHook* mac_hook) {
-  AbftConfig cfg;
-  cfg.policy = guard.config().policy;
-  cfg.max_recomputes = guard.config().max_reruns;
-  cfg.layer = guard.layer();
-  return guard.run(
-      [&] {
-        // Cached decode: the packed payload is immutable, so the second
-        // guarded forward reuses the same FP32 weight tensor.
-        const Tensor& w = layer.decoded_weight();
-        AbftReport abft;
-        Tensor y = abft_matmul(x, w, false, /*trans_b=*/true, cfg, &abft,
-                               mac_hook);
-        if (report != nullptr) report->abft.merge(abft);
-        if (layer.bias().numel() == layer.out_features()) {
-          add_row_bias_inplace(y, layer.bias());
-        }
-        return y;
-      },
-      {x.dim(0), layer.out_features()}, report);
 }
 
 }  // namespace af

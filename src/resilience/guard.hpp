@@ -9,10 +9,12 @@
 // can never trip it. Violations are recorded into a ResilienceReport and
 // remedied per the RecoveryPolicy ladder (observe / clamp / retry / scrub).
 //
-// guarded_forward() overloads wrap the concrete layer types. The
-// QuantizedLinear overload additionally routes its matrix product through
-// abft_matmul, which is where the checksummed GEMM and the range guard
-// compose into the full protected compute path.
+// Layers compose with guards through the ExecutionContext dispatch
+// (src/runtime/execution_context.hpp): a context with a resilience policy
+// of kGuard wraps the layer's compute in LayerGuard::run, and kAbftGuard
+// additionally routes the matrix product through abft_matmul — the full
+// protected compute path. (This replaced the per-layer guarded_forward()
+// overloads that used to live here.)
 #pragma once
 
 #include <cstdint>
@@ -26,11 +28,7 @@
 
 namespace af {
 
-class Conv2d;
-class Linear;
-class Lstm;
 class Quantizer;
-class QuantizedLinear;
 
 /// One guard observation: a batch of same-kind violations found in a single
 /// tensor scan, and what the policy did about them.
@@ -100,22 +98,5 @@ class LayerGuard {
   std::string layer_;
   GuardConfig cfg_;
 };
-
-/// Guarded forward passes over the concrete layer types. Each wraps the
-/// layer's own forward in LayerGuard::run and scrubs the output.
-Tensor guarded_forward(Linear& layer, const Tensor& x, const LayerGuard& guard,
-                       ResilienceReport* report);
-Tensor guarded_forward(Conv2d& layer, const Tensor& x, const LayerGuard& guard,
-                       ResilienceReport* report);
-Tensor guarded_forward(Lstm& layer, const Tensor& x, const LayerGuard& guard,
-                       ResilienceReport* report);
-
-/// The fully protected deployment path: QuantizedLinear's product runs
-/// through abft_matmul (checksummed, with the guard's policy and the
-/// optional MAC fault hook), then the output is range/NaN-guarded. This is
-/// the "ABFT + guard" arm of the compute-fault benchmark.
-Tensor guarded_forward(const QuantizedLinear& layer, const Tensor& x,
-                       const LayerGuard& guard, ResilienceReport* report,
-                       PeFaultHook* mac_hook = nullptr);
 
 }  // namespace af

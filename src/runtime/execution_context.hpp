@@ -1,0 +1,89 @@
+// ExecutionContext: the single knob bundle threaded through
+// Module::forward(x, ctx) — the unified inference entry point that
+// replaced the per-layer side-paths (plain forward vs guarded_forward
+// overloads vs hand-wired abft_matmul call sites).
+//
+// A context carries:
+//  * the numeric policy — decode packed weights through the LUT-fused GEMM
+//    (deployment form) or to FP32 first (debug/reference form);
+//  * the resilience policy — none, output guard, ABFT-checksummed GEMMs,
+//    or both composed (the old guarded_forward(QuantizedLinear) semantics);
+//  * the mode flag — inference forwards push no adjoint caches, so eval
+//    loops no longer leak cache stacks that callers must clear_cache();
+//  * the thread count a session should pin (0 = ambient AF_THREADS).
+//
+// Every policy is value-preserving on a clean (fault-free) run: the guard
+// only observes, and abft_matmul computes C with the same kernel as
+// matmul(). Dispatching through a context therefore never changes bits —
+// the runtime tests pin this against the legacy paths for every policy.
+#pragma once
+
+#include <string>
+
+#include "src/hw/fault_hook.hpp"
+#include "src/resilience/abft.hpp"
+#include "src/resilience/guard.hpp"
+
+namespace af {
+
+/// How a layer realises its weights in the product.
+enum class NumericPolicy {
+  kQuantizedLut,  ///< packed AdaptivFloat codes via the fused LUT GEMM
+  kFp32,          ///< FP32 weights (decoded first for packed layers)
+};
+
+/// What protects the layer's compute.
+enum class ResiliencePolicy {
+  kNone,       ///< bare kernels
+  kGuard,      ///< LayerGuard::run around the layer (NaN/range monitor)
+  kAbft,       ///< checksummed GEMMs (abft_matmul) where the layer has one
+  kAbftGuard,  ///< abft inside, guard outside — the full protected path
+};
+
+struct ExecutionContext {
+  bool training = false;  ///< push adjoint caches; inference skips them
+  NumericPolicy numeric = NumericPolicy::kQuantizedLut;
+  ResiliencePolicy resilience = ResiliencePolicy::kNone;
+  /// Guard used by kGuard/kAbftGuard; nullptr selects a default
+  /// sentinel-only guard (NaN/Inf scrub, no range monitor).
+  const LayerGuard* guard = nullptr;
+  ResilienceReport* report = nullptr;  ///< optional observation sink
+  PeFaultHook* mac_hook = nullptr;     ///< modeled MAC upsets for kAbft*
+  int threads = 0;  ///< session-pinned thread count; 0 = ambient
+
+  bool wants_guard() const {
+    return resilience == ResiliencePolicy::kGuard ||
+           resilience == ResiliencePolicy::kAbftGuard;
+  }
+  bool wants_abft() const {
+    return resilience == ResiliencePolicy::kAbft ||
+           resilience == ResiliencePolicy::kAbftGuard;
+  }
+
+  /// The guard in force: the configured one, or a shared default whose
+  /// policy scrubs non-finite values and whose range monitor is off — a
+  /// clean output passes through bit-identical.
+  const LayerGuard& active_guard() const {
+    static const LayerGuard kDefault(
+        "ctx", GuardConfig{RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+    return guard != nullptr ? *guard : kDefault;
+  }
+
+  /// AbftConfig for a guarded GEMM at `site`. When a guard is installed,
+  /// its policy/rerun budget/layer name drive the checksummed multiply —
+  /// exactly how the deleted guarded_forward(QuantizedLinear) composed the
+  /// two mechanisms.
+  AbftConfig abft_config(const std::string& site) const {
+    AbftConfig cfg;
+    if (guard != nullptr) {
+      cfg.policy = guard->config().policy;
+      cfg.max_recomputes = guard->config().max_reruns;
+      cfg.layer = guard->layer();
+    } else {
+      cfg.layer = site;
+    }
+    return cfg;
+  }
+};
+
+}  // namespace af

@@ -1,0 +1,55 @@
+#include "src/runtime/session.hpp"
+
+#include <utility>
+
+#include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
+
+namespace af {
+
+InferenceSession::InferenceSession(ForwardFn forward, SessionConfig cfg)
+    : forward_(std::move(forward)), cfg_(std::move(cfg)) {
+  AF_CHECK(static_cast<bool>(forward_), "session needs a forward function");
+}
+
+const Tensor& InferenceSession::run(const Tensor& input) {
+  ExecutionContext ctx = cfg_.ctx;
+  ctx.training = false;
+
+  // Pin the session's thread count for the duration of the run; restore
+  // the ambient resolution afterwards.
+  const bool pin_threads = ctx.threads > 0;
+  int previous_threads = 0;
+  if (pin_threads) {
+    previous_threads = num_threads();
+    set_num_threads(ctx.threads);
+  }
+
+  const std::int64_t allocs_before = tensor_heap_allocs();
+  arena_.reset();
+  {
+    ArenaScope scope(&arena_);
+    Tensor y = forward_(input, ctx);
+    // copy_from targets owned storage and reuses its buffer when the
+    // output shape repeats, so steady-state runs allocate nothing here.
+    output_.copy_from(y);
+  }
+  if (runs_ == 0) {
+    // Planning pass complete: the peak is known, collapse the chunk list
+    // so later cycles bump through one contiguous block.
+    arena_.consolidate();
+  }
+  ++runs_;
+  last_run_allocs_ = tensor_heap_allocs() - allocs_before;
+
+  if (cfg_.cache_probe) {
+    const std::int64_t depth = cfg_.cache_probe();
+    AF_CHECK(depth == 0, "session forward leaked adjoint caches (depth " +
+                             std::to_string(depth) + ")");
+  }
+
+  if (pin_threads) set_num_threads(previous_threads);
+  return output_;
+}
+
+}  // namespace af

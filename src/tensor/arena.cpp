@@ -1,0 +1,121 @@
+#include "src/tensor/arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/check.hpp"
+
+namespace af {
+namespace {
+
+// Allocation granularity in floats: 64 bytes keeps every buffer
+// cache-line-aligned, matching the GEMM panel loads.
+constexpr std::int64_t kAlignFloats = 16;
+
+constexpr std::int64_t kMinChunkFloats = 1 << 16;  // 256 KiB
+
+std::int64_t round_up(std::int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+// The installed arena. Written only between parallel regions (ArenaScope
+// construction/destruction), read by worker threads mid-region; the
+// pool's task handoff orders those accesses, and the atomic keeps the
+// accesses themselves well-defined.
+std::atomic<Arena*> g_current{nullptr};
+
+// alloc(0) must return non-null without touching any chunk.
+float g_zero_sentinel[1];
+
+}  // namespace
+
+Arena::Arena(std::int64_t initial_floats) {
+  if (initial_floats > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    add_chunk(initial_floats);
+    stats_.chunk_growths = 0;  // pre-sizing is not growth
+  }
+}
+
+Arena::~Arena() = default;
+
+Arena::Chunk Arena::make_chunk(std::int64_t cap) {
+  Chunk c;
+  c.storage =
+      std::make_unique<float[]>(static_cast<std::size_t>(cap + kAlignFloats));
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(c.storage.get());
+  constexpr std::uintptr_t kAlignBytes = kAlignFloats * sizeof(float);
+  const std::uintptr_t aligned = (raw + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
+  c.base = c.storage.get() + (aligned - raw) / sizeof(float);
+  c.capacity = cap;
+  return c;
+}
+
+void Arena::add_chunk(std::int64_t min_floats) {
+  const std::int64_t cap =
+      std::max({round_up(min_floats), kMinChunkFloats,
+                stats_.reserved_bytes / static_cast<std::int64_t>(sizeof(float))});
+  chunks_.push_back(make_chunk(cap));
+  stats_.reserved_bytes += cap * static_cast<std::int64_t>(sizeof(float));
+  ++stats_.chunk_growths;
+}
+
+float* Arena::alloc(std::int64_t n) {
+  AF_CHECK(n >= 0, "arena alloc of negative size");
+  if (n == 0) return g_zero_sentinel;
+  const std::int64_t want = round_up(n);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (current_ < chunks_.size() &&
+         chunks_[current_].used + want > chunks_[current_].capacity) {
+    ++current_;
+  }
+  if (current_ == chunks_.size()) add_chunk(want);
+  Chunk& c = chunks_[current_];
+  float* p = c.base + c.used;
+  c.used += want;
+  used_floats_ += want;
+  ++stats_.allocs;
+  stats_.used_bytes = used_floats_ * static_cast<std::int64_t>(sizeof(float));
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.used_bytes);
+  return p;
+}
+
+void Arena::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  used_floats_ = 0;
+  stats_.used_bytes = 0;
+  ++stats_.resets;
+}
+
+void Arena::consolidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t peak_floats =
+      round_up(stats_.peak_bytes / static_cast<std::int64_t>(sizeof(float)));
+  const std::int64_t cap = std::max(peak_floats, kMinChunkFloats);
+  if (chunks_.size() == 1 && chunks_.front().capacity >= cap) {
+    chunks_.front().used = 0;
+  } else {
+    chunks_.clear();
+    chunks_.push_back(make_chunk(cap));
+    stats_.reserved_bytes = cap * static_cast<std::int64_t>(sizeof(float));
+  }
+  current_ = 0;
+  used_floats_ = 0;
+  stats_.used_bytes = 0;
+}
+
+ArenaScope::ArenaScope(Arena* arena)
+    : previous_(g_current.exchange(arena, std::memory_order_release)) {}
+
+ArenaScope::~ArenaScope() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+Arena* ArenaScope::current() {
+  return g_current.load(std::memory_order_acquire);
+}
+
+}  // namespace af

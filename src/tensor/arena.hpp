@@ -1,0 +1,102 @@
+// Bump-allocated workspace arena for steady-state inference.
+//
+// Every Tensor constructed while an ArenaScope is active draws its buffer
+// from the installed Arena instead of the heap. The arena is a chunked bump
+// allocator: alloc() never frees, reset() rewinds every chunk in O(chunks)
+// without releasing memory, and consolidate() replaces the chunk list with
+// one block sized to the observed peak. An InferenceSession therefore pays
+// heap allocations only on its first (planning) forward; every later
+// forward with the same shapes reuses the same bytes — the Stats counters
+// prove it (allocs served, resets, chunk growths, peak footprint).
+//
+// Thread safety: alloc() takes a mutex because layers construct Tensors
+// inside parallel_for worker bodies (Conv2d lowers each batch sample on a
+// worker). Addresses never feed back into computed values, and the stats
+// are totals, so results and counters stay bit-identical for any AF_THREADS.
+// Scope installation itself is not concurrent: ArenaScope is created and
+// destroyed only between parallel regions (enforced by convention, as with
+// set_num_threads).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace af {
+
+/// Chunked bump allocator for float tensor buffers.
+class Arena {
+ public:
+  /// Lifetime counters; reserved/peak are bytes of float storage.
+  struct Stats {
+    std::int64_t reserved_bytes = 0;  ///< total capacity across chunks
+    std::int64_t used_bytes = 0;      ///< bytes handed out since last reset
+    std::int64_t peak_bytes = 0;      ///< max used_bytes over all cycles
+    std::int64_t allocs = 0;          ///< alloc() calls served
+    std::int64_t resets = 0;          ///< reset() calls
+    std::int64_t chunk_growths = 0;   ///< chunks added after construction
+  };
+
+  explicit Arena(std::int64_t initial_floats = 0);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns 64-byte-aligned storage for n floats (n >= 0; n == 0 returns
+  /// a non-null sentinel). Grows by a fresh chunk when the current chunks
+  /// are exhausted. Thread-safe.
+  float* alloc(std::int64_t n);
+
+  /// Rewinds every chunk without releasing memory. All pointers previously
+  /// returned by alloc() are invalidated. Not thread-safe against alloc().
+  void reset();
+
+  /// Replaces the chunk list with a single chunk of at least peak size, so
+  /// subsequent cycles bump through one contiguous block. Implies reset().
+  void consolidate();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<float[]> storage;
+    float* base = nullptr;      // storage rounded up to 64-byte alignment
+    std::int64_t capacity = 0;  // floats
+    std::int64_t used = 0;      // floats
+  };
+
+  // Allocates a chunk of at least `cap` usable floats with a 64-byte
+  // aligned base (new[] only guarantees alignof(std::max_align_t)).
+  static Chunk make_chunk(std::int64_t cap);
+
+  // Caller must hold mu_.
+  void add_chunk(std::int64_t min_floats);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // first chunk with free space
+  std::int64_t used_floats_ = 0;
+  Stats stats_;
+  mutable std::mutex mu_;
+};
+
+/// RAII installation of the process-wide current arena. Pass nullptr to
+/// suspend arena allocation for the scope (used by lazy caches that must
+/// outlive the arena cycle). Restores the previous arena on destruction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// The arena new tensor buffers are drawn from, or nullptr for the heap.
+  static Arena* current();
+
+ private:
+  Arena* previous_;
+};
+
+}  // namespace af

@@ -1,10 +1,13 @@
 #include "src/tensor/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
+#include "src/tensor/arena.hpp"
 #include "src/util/parallel.hpp"
 
 namespace af {
@@ -14,7 +17,13 @@ namespace {
 // alone (never the thread count); min/max are exactly associative, so the
 // chunked reductions below are bit-identical to the serial scans.
 constexpr std::int64_t kReduceGrain = 1 << 16;
+
+std::atomic<std::int64_t> g_heap_allocs{0};
 }  // namespace
+
+std::int64_t tensor_heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
 
 std::int64_t numel_of(const Shape& shape) {
   std::int64_t n = 1;
@@ -36,14 +45,88 @@ std::string shape_str(const Shape& shape) {
   return out.str();
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(numel_of(shape_)), 0.0f) {}
+void Tensor::allocate() {
+  size_ = numel_of(shape_);
+  if (Arena* arena = ArenaScope::current(); arena != nullptr) {
+    arena_ = true;
+    ptr_ = arena->alloc(size_);
+    std::fill(ptr_, ptr_ + size_, 0.0f);
+    return;
+  }
+  arena_ = false;
+  data_.assign(static_cast<std::size_t>(size_), 0.0f);
+  ptr_ = data_.data();
+  if (size_ > 0) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) { allocate(); }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   AF_CHECK(static_cast<std::int64_t>(data_.size()) == numel_of(shape_),
            "data size does not match shape " + shape_str(shape_));
+  ptr_ = data_.data();
+  size_ = static_cast<std::int64_t>(data_.size());
+  if (size_ > 0) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  allocate();
+  if (size_ > 0) std::memcpy(ptr_, other.ptr_, sizeof(float) * size_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (size_ == other.size_ && size_ > 0) {
+    // Same footprint: reuse the existing buffer, owned or arena. A stale
+    // arena pointer cannot reach here — arena tensors never outlive their
+    // cycle (session outputs copy into owned storage via copy_from).
+    std::memcpy(ptr_, other.ptr_, sizeof(float) * size_);
+    return *this;
+  }
+  allocate();
+  if (size_ > 0) std::memcpy(ptr_, other.ptr_, sizeof(float) * size_);
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      ptr_(other.ptr_),
+      size_(other.size_),
+      arena_(other.arena_) {
+  other.shape_.clear();
+  other.ptr_ = nullptr;
+  other.size_ = 0;
+  other.arena_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  ptr_ = other.ptr_;
+  size_ = other.size_;
+  arena_ = other.arena_;
+  other.shape_.clear();
+  other.data_.clear();
+  other.ptr_ = nullptr;
+  other.size_ = 0;
+  other.arena_ = false;
+  return *this;
+}
+
+void Tensor::copy_from(const Tensor& other) {
+  shape_ = other.shape_;
+  if (arena_ || size_ != other.size_) {
+    arena_ = false;
+    data_.resize(static_cast<std::size_t>(other.size_));
+    ptr_ = data_.data();
+    size_ = other.size_;
+    if (size_ > 0) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size_ > 0) std::memcpy(ptr_, other.ptr_, sizeof(float) * size_);
 }
 
 Tensor Tensor::full(Shape shape, float value) {
@@ -54,13 +137,17 @@ Tensor Tensor::full(Shape shape, float value) {
 
 Tensor Tensor::randn(Shape shape, Pcg32& rng, float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = rng.normal(0.0f, stddev);
+  for (std::int64_t i = 0; i < t.size_; ++i) {
+    t.ptr_[i] = rng.normal(0.0f, stddev);
+  }
   return t;
 }
 
 Tensor Tensor::rand_uniform(Shape shape, Pcg32& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  for (std::int64_t i = 0; i < t.size_; ++i) {
+    t.ptr_[i] = rng.uniform(lo, hi);
+  }
   return t;
 }
 
@@ -74,11 +161,13 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   AF_CHECK(numel_of(new_shape) == numel(),
            "reshape " + shape_str(shape_) + " -> " + shape_str(new_shape) +
                " changes element count");
-  return Tensor(std::move(new_shape), data_);
+  Tensor out(std::move(new_shape));
+  if (size_ > 0) std::memcpy(out.ptr_, ptr_, sizeof(float) * size_);
+  return out;
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(ptr_, ptr_ + size_, value);
 }
 
 float Tensor::max_abs() const {
@@ -87,7 +176,7 @@ float Tensor::max_abs() const {
       [&](std::int64_t b, std::int64_t e) {
         float m = 0.0f;
         for (std::int64_t i = b; i < e; ++i) {
-          m = std::max(m, std::fabs(data_[static_cast<std::size_t>(i)]));
+          m = std::max(m, std::fabs(ptr_[i]));
         }
         return m;
       },
@@ -95,21 +184,21 @@ float Tensor::max_abs() const {
 }
 
 float Tensor::min() const {
-  AF_CHECK(!data_.empty(), "min of empty tensor");
+  AF_CHECK(size_ > 0, "min of empty tensor");
   return parallel_reduce<float>(
-      0, numel(), kReduceGrain, data_.front(),
+      0, numel(), kReduceGrain, ptr_[0],
       [&](std::int64_t b, std::int64_t e) {
-        return *std::min_element(data_.begin() + b, data_.begin() + e);
+        return *std::min_element(ptr_ + b, ptr_ + e);
       },
       [](float a, float b) { return std::min(a, b); });
 }
 
 float Tensor::max() const {
-  AF_CHECK(!data_.empty(), "max of empty tensor");
+  AF_CHECK(size_ > 0, "max of empty tensor");
   return parallel_reduce<float>(
-      0, numel(), kReduceGrain, data_.front(),
+      0, numel(), kReduceGrain, ptr_[0],
       [&](std::int64_t b, std::int64_t e) {
-        return *std::max_element(data_.begin() + b, data_.begin() + e);
+        return *std::max_element(ptr_ + b, ptr_ + e);
       },
       [](float a, float b) { return std::max(a, b); });
 }
@@ -118,17 +207,21 @@ float Tensor::sum() const {
   // Kahan summation: sums over large layers must not drift, because the
   // quantization-error statistics in Figure 4 are computed from them.
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  for (std::int64_t i = 0; i < size_; ++i) acc += ptr_[i];
   return static_cast<float>(acc);
 }
 
 float Tensor::mean() const {
-  AF_CHECK(!data_.empty(), "mean of empty tensor");
-  return sum() / static_cast<float>(data_.size());
+  AF_CHECK(size_ > 0, "mean of empty tensor");
+  return sum() / static_cast<float>(size_);
 }
 
 bool Tensor::equals(const Tensor& other) const {
-  return shape_ == other.shape_ && data_ == other.data_;
+  if (shape_ != other.shape_) return false;
+  for (std::int64_t i = 0; i < size_; ++i) {
+    if (!(ptr_[i] == other.ptr_[i])) return false;
+  }
+  return true;
 }
 
 std::size_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {

@@ -6,6 +6,13 @@
 //    float32 carriers, exactly as the paper's PyTorch "fake quantization"
 //    templates did;
 //  * shapes are std::vector<int64_t>; rank is small (<= 4 in practice).
+//
+// Storage is either owned (a heap buffer, the default) or a view into the
+// Arena installed by an ArenaScope (src/tensor/arena.hpp). Arena-backed
+// tensors are valid until the arena resets; the InferenceSession manages
+// that lifetime, and everything outside a scope behaves exactly as before.
+// tensor_heap_allocs() counts owned-buffer allocations so sessions can
+// prove their steady-state forwards allocate nothing.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,11 @@ std::int64_t numel_of(const Shape& shape);
 /// "[2, 3, 4]" — for error messages.
 std::string shape_str(const Shape& shape);
 
+/// Process-wide count of owned (heap) tensor-buffer allocations. Arena
+/// draws are not counted — the whole point of the arena is that they are
+/// not heap traffic. Monotonic; callers diff before/after a region.
+std::int64_t tensor_heap_allocs();
+
 /// Dense row-major float tensor.
 class Tensor {
  public:
@@ -38,7 +50,14 @@ class Tensor {
       : Tensor(Shape(shape)) {}
 
   /// Tensor with explicit contents; data.size() must equal numel(shape).
+  /// Always owned storage (the buffer already lives on the heap).
   Tensor(Shape shape, std::vector<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
 
   // ----- factories ---------------------------------------------------------
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -58,28 +77,42 @@ class Tensor {
     return shape_[axis];
   }
   std::size_t rank() const { return shape_.size(); }
-  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t numel() const { return size_; }
+
+  /// True when the buffer lives in an arena rather than on the heap.
+  bool arena_backed() const { return arena_; }
 
   /// Returns a copy with a new shape of identical numel.
   Tensor reshaped(Shape new_shape) const;
 
-  // ----- element access ----------------------------------------------------
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  /// Replaces contents (and shape) with a copy of `other`, always into
+  /// owned storage, reusing the existing buffer when the size matches.
+  /// This is how a session's persistent output escapes the arena cycle
+  /// without a steady-state allocation.
+  void copy_from(const Tensor& other);
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const {
-    return data_[static_cast<std::size_t>(i)];
+  // ----- element access ----------------------------------------------------
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  /// Owned storage only (arena-backed tensors have no vector to hand out).
+  std::vector<float>& vec() {
+    AF_CHECK(!arena_, "vec() on an arena-backed tensor");
+    return data_;
   }
+  const std::vector<float>& vec() const {
+    AF_CHECK(!arena_, "vec() on an arena-backed tensor");
+    return data_;
+  }
+
+  float& operator[](std::int64_t i) { return ptr_[i]; }
+  float operator[](std::int64_t i) const { return ptr_[i]; }
 
   /// Bounds-checked multi-index access (rank must match).
   float& at(std::initializer_list<std::int64_t> idx) {
-    return data_[offset(idx)];
+    return ptr_[offset(idx)];
   }
   float at(std::initializer_list<std::int64_t> idx) const {
-    return data_[offset(idx)];
+    return ptr_[offset(idx)];
   }
 
   // ----- small conveniences used everywhere --------------------------------
@@ -95,10 +128,16 @@ class Tensor {
   bool equals(const Tensor& other) const;
 
  private:
+  /// Allocates (arena-aware) zeroed storage for the current shape_.
+  void allocate();
+
   std::size_t offset(std::initializer_list<std::int64_t> idx) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  std::vector<float> data_;    // owned storage; empty when arena-backed
+  float* ptr_ = nullptr;       // element storage (owned or arena)
+  std::int64_t size_ = 0;      // element count
+  bool arena_ = false;
 };
 
 }  // namespace af

@@ -1,5 +1,6 @@
 // LayerGuard: NaN/Inf sentinels, calibrated range monitors, the rerun /
-// degrade ladder, and the guarded_forward wrappers.
+// degrade ladder, and the context-driven guard dispatch that replaced the
+// guarded_forward wrappers.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,6 +14,7 @@
 #include "src/nn/quantized_linear.hpp"
 #include "src/numerics/registry.hpp"
 #include "src/resilience/guard.hpp"
+#include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
 #include "src/util/fault.hpp"
@@ -177,7 +179,18 @@ TEST(LayerGuard, RunRethrowsWhenPolicyForbidsDegradation) {
       FaultError);
 }
 
-// ----- guarded_forward wrappers ----------------------------------------------
+// ----- context-driven guard dispatch -----------------------------------------
+// (the replacement for the retired guarded_forward overloads; the suite name
+// is kept so CI filters keep matching)
+
+ExecutionContext guard_ctx(const LayerGuard& guard, ResilienceReport* report,
+                           ResiliencePolicy policy) {
+  ExecutionContext ctx;
+  ctx.resilience = policy;
+  ctx.guard = &guard;
+  ctx.report = report;
+  return ctx;
+}
 
 TEST(GuardedForward, LinearCleanPathBitIdentical) {
   Pcg32 rng(11);
@@ -185,7 +198,9 @@ TEST(GuardedForward, LinearCleanPathBitIdentical) {
   Tensor x = random_tensor({5, 12}, 12);
   LayerGuard guard("fc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
   ResilienceReport report;
-  Tensor guarded = guarded_forward(fc, x, guard, &report);
+  ExecutionContext ctx = guard_ctx(guard, &report, ResiliencePolicy::kGuard);
+  Tensor guarded = fc.forward(x, ctx);
+  EXPECT_EQ(fc.cache_depth(), 0) << "inference forward pushed a cache";
   Tensor plain = fc.forward(x);
   EXPECT_TRUE(bit_equal(guarded, plain));
   EXPECT_TRUE(report.clean());
@@ -198,7 +213,9 @@ TEST(GuardedForward, Conv2dCleanPathBitIdentical) {
   Tensor x = random_tensor({2, 2, 6, 6}, 14);
   LayerGuard guard("conv", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
   ResilienceReport report;
-  Tensor guarded = guarded_forward(conv, x, guard, &report);
+  ExecutionContext ctx = guard_ctx(guard, &report, ResiliencePolicy::kGuard);
+  Tensor guarded = conv.forward(x, ctx);
+  EXPECT_EQ(conv.cache_depth(), 0) << "inference forward pushed a cache";
   Tensor plain = conv.forward(x);
   EXPECT_TRUE(bit_equal(guarded, plain));
   EXPECT_TRUE(report.clean());
@@ -210,7 +227,9 @@ TEST(GuardedForward, LstmCleanPathBitIdentical) {
   Tensor x = random_tensor({4, 2, 6}, 16);
   LayerGuard guard("lstm", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
   ResilienceReport report;
-  Tensor guarded = guarded_forward(lstm, x, guard, &report);
+  ExecutionContext ctx = guard_ctx(guard, &report, ResiliencePolicy::kGuard);
+  Tensor guarded = lstm.forward(x, ctx);
+  EXPECT_EQ(lstm.cache_depth(), 0) << "inference forward pushed a cache";
   Tensor plain = lstm.forward(x);
   EXPECT_TRUE(bit_equal(guarded, plain));
   EXPECT_TRUE(report.clean());
@@ -223,7 +242,9 @@ TEST(GuardedForward, QuantizedLinearCleanPathBitIdentical) {
   Tensor x = random_tensor({4, 10}, 18);
   LayerGuard guard("qfc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
   ResilienceReport report;
-  Tensor guarded = guarded_forward(qfc, x, guard, &report);
+  ExecutionContext ctx =
+      guard_ctx(guard, &report, ResiliencePolicy::kAbftGuard);
+  Tensor guarded = qfc.forward(x, ctx);
   Tensor plain = qfc.forward(x);
   EXPECT_TRUE(bit_equal(guarded, plain));
   EXPECT_EQ(report.abft.multiplies, 1);
@@ -246,7 +267,10 @@ TEST(GuardedForward, QuantizedLinearSurvivesMacUpsets) {
   Tensor x = random_tensor({6, 16}, 20);
   LayerGuard guard("qfc", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
   ResilienceReport report;
-  Tensor y = guarded_forward(qfc, x, guard, &report, &hook);
+  ExecutionContext ctx =
+      guard_ctx(guard, &report, ResiliencePolicy::kAbftGuard);
+  ctx.mac_hook = &hook;
+  Tensor y = qfc.forward(x, ctx);
   EXPECT_GT(report.abft.detected, 0);
   for (std::int64_t i = 0; i < y.numel(); ++i) {
     ASSERT_TRUE(std::isfinite(y[i]));

@@ -19,6 +19,7 @@
 #include "src/resilience/fault_injector.hpp"
 #include "src/resilience/guard.hpp"
 #include "src/resilience/protection.hpp"
+#include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
@@ -256,15 +257,19 @@ TEST(ProtectedDecode, PayloadMutationIsVisibleOnNextUnpack) {
 TEST(QuantizedLinearCache, GuardedForwardDecodesWeightsOnce) {
   Pcg32 rng(108);
   Linear fc(48, 32, rng);
-  const QuantizedLinear qfc(fc, 8, 3);
+  QuantizedLinear qfc(fc, 8, 3);
   const LayerGuard guard("fc", {RecoveryPolicy::kCorrect, 1, 0.0f});
   const Tensor x = Tensor::randn({5, 48}, rng);
 
   EXPECT_EQ(qfc.decode_count(), 0);
   ResilienceReport report;
-  const Tensor y1 = guarded_forward(qfc, x, guard, &report);
+  ExecutionContext ctx;
+  ctx.resilience = ResiliencePolicy::kAbftGuard;
+  ctx.guard = &guard;
+  ctx.report = &report;
+  const Tensor y1 = qfc.forward(x, ctx);
   EXPECT_EQ(qfc.decode_count(), 1);
-  const Tensor y2 = guarded_forward(qfc, x, guard, &report);
+  const Tensor y2 = qfc.forward(x, ctx);
   EXPECT_EQ(qfc.decode_count(), 1) << "second guarded forward re-decoded";
   EXPECT_TRUE(bit_equal(y1, y2));
 }

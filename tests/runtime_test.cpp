@@ -1,0 +1,588 @@
+// Inference runtime: Arena bump allocation, arena-backed Tensors,
+// ExecutionContext dispatch bit-equality against the legacy per-layer
+// entry points, and InferenceSession zero-steady-state-allocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/models/resnet.hpp"
+#include "src/models/seq2seq.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/lstm.hpp"
+#include "src/nn/quantized_linear.hpp"
+#include "src/resilience/guard.hpp"
+#include "src/runtime/execution_context.hpp"
+#include "src/runtime/session.hpp"
+#include "src/tensor/arena.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+Tensor random_tensor(std::initializer_list<std::int64_t> shape,
+                     std::uint64_t seed, float scale = 1.0f) {
+  Pcg32 rng(seed);
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.uniform(-scale, scale);
+  }
+  return t;
+}
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.numel() == 0) return true;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * 4) == 0;
+}
+
+/// Restores the ambient env-resolved thread count on scope exit.
+struct ThreadCountRestorer {
+  ~ThreadCountRestorer() { set_num_threads(0); }
+};
+
+// ----- Arena ----------------------------------------------------------------
+
+TEST(Arena, AllocationsAre64ByteAligned) {
+  Arena arena;
+  for (std::int64_t n : {1, 3, 17, 100, 4096}) {
+    float* p = arena.alloc(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << "n=" << n;
+  }
+  EXPECT_EQ(arena.stats().allocs, 5);
+}
+
+TEST(Arena, ZeroSizeAllocReturnsNonNull) {
+  Arena arena;
+  EXPECT_NE(arena.alloc(0), nullptr);
+}
+
+TEST(Arena, ResetReusesTheSameBytes) {
+  Arena arena;
+  float* a = arena.alloc(128);
+  arena.alloc(64);
+  arena.reset();
+  float* b = arena.alloc(128);
+  EXPECT_EQ(a, b) << "reset must rewind, not reallocate";
+  EXPECT_EQ(arena.stats().resets, 1);
+}
+
+TEST(Arena, GrowsWhenExhaustedAndCountsGrowths) {
+  Arena arena;
+  const std::int64_t before = arena.stats().chunk_growths;
+  // Far past any single chunk's initial capacity.
+  for (int i = 0; i < 64; ++i) arena.alloc(1 << 16);
+  EXPECT_GT(arena.stats().chunk_growths, before);
+  EXPECT_GE(arena.stats().reserved_bytes, arena.stats().used_bytes);
+}
+
+TEST(Arena, ConsolidateCollapsesToPeakSizedBlock) {
+  Arena arena;
+  for (int i = 0; i < 8; ++i) arena.alloc(1 << 16);
+  const std::int64_t peak = arena.stats().peak_bytes;
+  arena.consolidate();
+  EXPECT_EQ(arena.stats().used_bytes, 0);
+  EXPECT_GE(arena.stats().reserved_bytes, peak);
+  // A full peak-sized cycle must now fit without growing.
+  const std::int64_t growths = arena.stats().chunk_growths;
+  for (int i = 0; i < 8; ++i) arena.alloc(1 << 16);
+  EXPECT_EQ(arena.stats().chunk_growths, growths);
+}
+
+TEST(Arena, StatsTrackUsedAndPeak) {
+  Arena arena;
+  arena.alloc(16);
+  const std::int64_t used1 = arena.stats().used_bytes;
+  EXPECT_GE(used1, 16 * 4);
+  arena.alloc(16);
+  EXPECT_GT(arena.stats().used_bytes, used1);
+  const std::int64_t peak = arena.stats().peak_bytes;
+  EXPECT_EQ(peak, arena.stats().used_bytes);
+  arena.reset();
+  EXPECT_EQ(arena.stats().used_bytes, 0);
+  EXPECT_EQ(arena.stats().peak_bytes, peak);
+}
+
+// ----- Tensor-in-arena ------------------------------------------------------
+
+TEST(ArenaTensor, ScopeDivertsTensorStorage) {
+  Arena arena;
+  ArenaScope scope(&arena);
+  Tensor t({4, 4});
+  EXPECT_TRUE(t.arena_backed());
+  EXPECT_GT(arena.stats().allocs, 0);
+}
+
+TEST(ArenaTensor, NoHeapAllocsUnderScope) {
+  Arena arena;
+  // Warm the arena so the chunk itself is pre-grown.
+  { ArenaScope scope(&arena); Tensor warm({32, 32}); (void)warm; }
+  arena.reset();
+  const std::int64_t before = tensor_heap_allocs();
+  {
+    ArenaScope scope(&arena);
+    Tensor a({32, 32});
+    Tensor b({16, 8});
+    a.fill(1.0f);
+    b.fill(2.0f);
+  }
+  EXPECT_EQ(tensor_heap_allocs(), before);
+}
+
+TEST(ArenaTensor, NullScopeSuspendsArena) {
+  Arena arena;
+  ArenaScope scope(&arena);
+  {
+    ArenaScope suspend(nullptr);
+    Tensor t({8});
+    EXPECT_FALSE(t.arena_backed());
+  }
+  Tensor t({8});
+  EXPECT_TRUE(t.arena_backed());
+}
+
+TEST(ArenaTensor, ScopeRestoresPreviousArenaOnExit) {
+  EXPECT_EQ(ArenaScope::current(), nullptr);
+  Arena outer_arena;
+  ArenaScope outer(&outer_arena);
+  {
+    Arena inner_arena;
+    ArenaScope inner(&inner_arena);
+    EXPECT_EQ(ArenaScope::current(), &inner_arena);
+  }
+  EXPECT_EQ(ArenaScope::current(), &outer_arena);
+}
+
+TEST(ArenaTensor, CopyFromEscapesTheArena) {
+  Arena arena;
+  Tensor persistent;
+  {
+    ArenaScope scope(&arena);
+    Tensor t = random_tensor({3, 5}, 77);
+    persistent.copy_from(t);
+  }
+  Tensor expected = random_tensor({3, 5}, 77);
+  arena.reset();  // invalidates arena pointers; the copy must survive
+  EXPECT_FALSE(persistent.arena_backed());
+  EXPECT_TRUE(bit_equal(persistent, expected));
+}
+
+// ----- Context dispatch bit-equality ----------------------------------------
+
+struct TinyMlp {
+  Linear fc1;
+  ReLU relu;
+  Linear fc2;
+
+  explicit TinyMlp(std::uint64_t seed)
+      : fc1(make_fc1(seed)), fc2(make_fc2(seed)) {}
+
+  static Linear make_fc1(std::uint64_t seed) {
+    Pcg32 rng(seed, 1);
+    return Linear(24, 32, rng, true, "fc1");
+  }
+  static Linear make_fc2(std::uint64_t seed) {
+    Pcg32 rng(seed, 2);
+    return Linear(32, 10, rng, true, "fc2");
+  }
+
+  Tensor forward_legacy(const Tensor& x) {
+    Tensor y = fc2.forward(relu.forward(fc1.forward(x)));
+    fc1.clear_cache();
+    relu.clear_cache();
+    fc2.clear_cache();
+    return y;
+  }
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) {
+    return fc2.forward(relu.forward(fc1.forward(x, ctx), ctx), ctx);
+  }
+  std::int64_t cache_depth() const {
+    return fc1.cache_depth() + relu.cache_depth() + fc2.cache_depth();
+  }
+};
+
+TEST(ContextDispatch, MlpMatchesLegacyAcrossPoliciesAndThreads) {
+  ThreadCountRestorer restore;
+  TinyMlp model(31);
+  Tensor x = random_tensor({6, 24}, 32);
+  set_num_threads(1);
+  Tensor golden = model.forward_legacy(x);
+
+  LayerGuard guard("mlp", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  const ResiliencePolicy policies[] = {
+      ResiliencePolicy::kNone, ResiliencePolicy::kGuard,
+      ResiliencePolicy::kAbft, ResiliencePolicy::kAbftGuard};
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    ASSERT_TRUE(bit_equal(model.forward_legacy(x), golden));
+    for (ResiliencePolicy policy : policies) {
+      ExecutionContext ctx;
+      ctx.resilience = policy;
+      ctx.guard = &guard;
+      ResilienceReport report;
+      ctx.report = &report;
+      Tensor y = model.forward(x, ctx);
+      EXPECT_TRUE(bit_equal(y, golden))
+          << "threads=" << threads << " policy=" << static_cast<int>(policy);
+      EXPECT_EQ(model.cache_depth(), 0);
+    }
+  }
+}
+
+TEST(ContextDispatch, QuantizedLinearNumericPolicies) {
+  ThreadCountRestorer restore;
+  Pcg32 rng(41);
+  Linear fc(20, 12, rng);
+  QuantizedLinear qfc(fc, 8, 3);
+  Tensor x = random_tensor({5, 20}, 42);
+  set_num_threads(1);
+  Tensor golden_lut = qfc.forward(x);  // fused packed GEMM
+  Tensor golden_fp32 = matmul(x, qfc.decoded_weight(), false, true);
+  add_row_bias_inplace(golden_fp32, qfc.bias());
+
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    ExecutionContext lut_ctx;  // defaults: kQuantizedLut, kNone
+    EXPECT_TRUE(bit_equal(qfc.forward(x, lut_ctx), golden_lut));
+
+    ExecutionContext fp32_ctx;
+    fp32_ctx.numeric = NumericPolicy::kFp32;
+    EXPECT_TRUE(bit_equal(qfc.forward(x, fp32_ctx), golden_fp32));
+
+    // ABFT also multiplies against the decoded weights: same bits as fp32.
+    ExecutionContext abft_ctx;
+    abft_ctx.resilience = ResiliencePolicy::kAbft;
+    ResilienceReport report;
+    abft_ctx.report = &report;
+    EXPECT_TRUE(bit_equal(qfc.forward(x, abft_ctx), golden_fp32));
+    EXPECT_EQ(report.abft.detected, 0);
+    EXPECT_GT(report.abft.multiplies, 0);
+  }
+}
+
+TEST(ContextDispatch, LstmMatchesLegacyAcrossThreads) {
+  ThreadCountRestorer restore;
+  Pcg32 rng(51);
+  Lstm lstm(10, 14, 2, rng);
+  Tensor x = random_tensor({5, 3, 10}, 52);
+  set_num_threads(1);
+  Tensor golden = lstm.forward(x);
+  lstm.clear_cache();
+
+  LayerGuard guard("lstm", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    for (ResiliencePolicy policy :
+         {ResiliencePolicy::kNone, ResiliencePolicy::kGuard,
+          ResiliencePolicy::kAbft}) {
+      ExecutionContext ctx;
+      ctx.resilience = policy;
+      ctx.guard = &guard;
+      Tensor y = lstm.forward(x, ctx);
+      EXPECT_TRUE(bit_equal(y, golden))
+          << "threads=" << threads << " policy=" << static_cast<int>(policy);
+      EXPECT_EQ(lstm.cache_depth(), 0);
+    }
+  }
+}
+
+TEST(ContextDispatch, Conv2dAbftMatchesPlainAcrossThreads) {
+  ThreadCountRestorer restore;
+  Pcg32 rng(61);
+  Conv2d conv(3, 5, 3, 1, 1, rng);
+  Tensor x = random_tensor({4, 3, 8, 8}, 62);
+  set_num_threads(1);
+  Tensor golden = conv.forward(x);
+  conv.clear_cache();
+
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    ExecutionContext ctx;
+    ctx.resilience = ResiliencePolicy::kAbft;
+    ResilienceReport report;
+    ctx.report = &report;
+    Tensor y = conv.forward(x, ctx);
+    EXPECT_TRUE(bit_equal(y, golden)) << "threads=" << threads;
+    EXPECT_EQ(conv.cache_depth(), 0);
+    EXPECT_EQ(report.abft.detected, 0);
+    EXPECT_EQ(report.abft.multiplies, x.dim(0));  // one GEMM per sample
+  }
+}
+
+TEST(ContextDispatch, Seq2SeqGreedyDecodeMatchesLegacy) {
+  ThreadCountRestorer restore;
+  Seq2SeqConfig cfg;
+  cfg.feature_dim = 8;
+  cfg.hidden = 16;
+  cfg.enc_layers = 2;
+  cfg.vocab = 12;
+  cfg.max_decode_len = 10;
+  Seq2SeqAttn model(cfg, 71);
+  Tensor frames = random_tensor({6, 1, 8}, 72);
+
+  set_num_threads(1);
+  TokenSeq golden = model.greedy_decode(frames, 1, 2);
+  model.clear_caches();
+
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    ExecutionContext ctx;
+    TokenSeq toks = model.greedy_decode(frames, 1, 2, ctx);
+    EXPECT_EQ(toks, golden) << "threads=" << threads;
+    EXPECT_EQ(model.cache_depth(), 0);
+  }
+}
+
+TEST(ContextDispatch, ResNetMatchesLegacyAcrossThreads) {
+  ThreadCountRestorer restore;
+  ResNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.base_width = 4;
+  cfg.num_classes = 5;
+  cfg.image_size = 8;
+  cfg.blocks_per_stage = 1;
+  cfg.num_stages = 2;
+  ResNetClassifier model(cfg, 81);
+  Tensor x = random_tensor({2, 2, 8, 8}, 82);
+
+  set_num_threads(1);
+  Tensor golden = model.forward(x, /*training=*/false);
+  model.clear_caches();
+
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    ExecutionContext ctx;
+    Tensor y = model.forward(x, ctx);
+    EXPECT_TRUE(bit_equal(y, golden)) << "threads=" << threads;
+    EXPECT_EQ(model.cache_depth(), 0);
+  }
+}
+
+TEST(ContextDispatch, BaseModuleWithoutContextEntryFails) {
+  // A module that never grew a context forward must fail loudly, not
+  // silently fall back to an uncached path.
+  struct Legacy : Module {
+    void clear_cache() override {}
+  } legacy;
+  ExecutionContext ctx;
+  Tensor x({1});
+  EXPECT_THROW(legacy.forward(x, ctx), Error);
+}
+
+TEST(ContextDispatch, TrainingContextStillCaches) {
+  Pcg32 rng(91);
+  Linear fc(6, 4, rng);
+  Tensor x = random_tensor({2, 6}, 92);
+  ExecutionContext ctx;
+  ctx.training = true;
+  fc.forward(x, ctx);
+  EXPECT_EQ(fc.cache_depth(), 1);
+  fc.clear_cache();
+  EXPECT_EQ(fc.cache_depth(), 0);
+}
+
+// ----- InferenceSession -----------------------------------------------------
+
+TEST(Session, SteadyStateRunsAllocateNothing) {
+  ThreadCountRestorer restore;
+  auto model = std::make_shared<TinyMlp>(101);
+  SessionConfig cfg;
+  cfg.cache_probe = [model] { return model->cache_depth(); };
+  InferenceSession session(
+      [model](const Tensor& x, ExecutionContext& ctx) {
+        return model->forward(x, ctx);
+      },
+      cfg);
+  Tensor x = random_tensor({8, 24}, 102);
+  set_num_threads(1);
+  Tensor golden = model->forward_legacy(x);
+
+  session.run(x);  // planning pass: allocations expected
+  EXPECT_GT(session.arena_stats().peak_bytes, 0);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor& y = session.run(x);
+    EXPECT_EQ(session.last_run_heap_allocs(), 0)
+        << "steady-state run " << i << " hit the heap";
+    EXPECT_TRUE(bit_equal(y, golden));
+    EXPECT_FALSE(y.arena_backed());
+  }
+  EXPECT_EQ(session.runs(), 4);
+  // Consolidation happened after the planning pass; the chunk count no
+  // longer grows.
+  const std::int64_t growths = session.arena_stats().chunk_growths;
+  session.run(x);
+  EXPECT_EQ(session.arena_stats().chunk_growths, growths);
+}
+
+TEST(Session, MatchesLegacyForEveryPolicyAndThreadCount) {
+  ThreadCountRestorer restore;
+  auto model = std::make_shared<TinyMlp>(111);
+  Tensor x = random_tensor({4, 24}, 112);
+  set_num_threads(1);
+  Tensor golden = model->forward_legacy(x);
+
+  LayerGuard guard("mlp", {RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  for (int threads : {1, 4}) {
+    for (ResiliencePolicy policy :
+         {ResiliencePolicy::kNone, ResiliencePolicy::kGuard,
+          ResiliencePolicy::kAbft}) {
+      SessionConfig cfg;
+      cfg.ctx.resilience = policy;
+      cfg.ctx.guard = &guard;
+      cfg.ctx.threads = threads;
+      cfg.cache_probe = [model] { return model->cache_depth(); };
+      InferenceSession session(
+          [model](const Tensor& in, ExecutionContext& ctx) {
+            return model->forward(in, ctx);
+          },
+          cfg);
+      session.run(x);
+      const Tensor& y = session.run(x);
+      EXPECT_TRUE(bit_equal(y, golden))
+          << "threads=" << threads << " policy=" << static_cast<int>(policy);
+      EXPECT_EQ(session.last_run_heap_allocs(), 0);
+    }
+  }
+}
+
+TEST(Session, QuantizedModelZeroAllocSteadyState) {
+  ThreadCountRestorer restore;
+  Pcg32 rng(121);
+  auto fc = std::make_shared<Linear>(24, 16, rng);
+  auto qfc = std::make_shared<QuantizedLinear>(*fc, 8, 3);
+  Tensor x = random_tensor({6, 24}, 122);
+  set_num_threads(1);
+  Tensor golden = qfc->forward(x);
+
+  InferenceSession session(
+      [qfc](const Tensor& in, ExecutionContext& ctx) {
+        return qfc->forward(in, ctx);
+      });
+  session.run(x);
+  const Tensor& y = session.run(x);
+  EXPECT_TRUE(bit_equal(y, golden));
+  EXPECT_EQ(session.last_run_heap_allocs(), 0);
+}
+
+TEST(Session, AbftQuantizedModelZeroAllocAfterDecodeCache) {
+  ThreadCountRestorer restore;
+  Pcg32 rng(131);
+  auto fc = std::make_shared<Linear>(16, 12, rng);
+  auto qfc = std::make_shared<QuantizedLinear>(*fc, 8, 3);
+  Tensor x = random_tensor({4, 16}, 132);
+
+  SessionConfig cfg;
+  cfg.ctx.resilience = ResiliencePolicy::kAbft;
+  InferenceSession session(
+      [qfc](const Tensor& in, ExecutionContext& ctx) {
+        return qfc->forward(in, ctx);
+      },
+      cfg);
+  // Planning pass also populates the decoded-weight cache (heap-backed by
+  // design: it must outlive the arena cycle).
+  session.run(x);
+  EXPECT_EQ(qfc->decode_count(), 1);
+  session.run(x);
+  EXPECT_EQ(session.last_run_heap_allocs(), 0);
+  EXPECT_EQ(qfc->decode_count(), 1) << "steady state must not re-decode";
+  EXPECT_FALSE(qfc->decoded_weight().arena_backed());
+}
+
+TEST(Session, LstmSessionZeroAllocSteadyState) {
+  ThreadCountRestorer restore;
+  Pcg32 rng(141);
+  auto lstm = std::make_shared<Lstm>(8, 12, 2, rng);
+  Tensor x = random_tensor({5, 2, 8}, 142);
+  set_num_threads(1);
+  Tensor golden = lstm->forward(x);
+  lstm->clear_cache();
+
+  SessionConfig cfg;
+  cfg.cache_probe = [lstm] { return lstm->cache_depth(); };
+  InferenceSession session(
+      [lstm](const Tensor& in, ExecutionContext& ctx) {
+        return lstm->forward(in, ctx);
+      },
+      cfg);
+  session.run(x);
+  const Tensor& y = session.run(x);
+  EXPECT_TRUE(bit_equal(y, golden));
+  EXPECT_EQ(session.last_run_heap_allocs(), 0);
+}
+
+TEST(Session, ResNetSessionZeroAllocSteadyState) {
+  ThreadCountRestorer restore;
+  ResNetConfig rcfg;
+  rcfg.in_channels = 2;
+  rcfg.base_width = 4;
+  rcfg.num_classes = 5;
+  rcfg.image_size = 8;
+  rcfg.blocks_per_stage = 1;
+  rcfg.num_stages = 2;
+  auto model = std::make_shared<ResNetClassifier>(rcfg, 151);
+  Tensor x = random_tensor({2, 2, 8, 8}, 152);
+  set_num_threads(1);
+  Tensor golden = model->forward(x, /*training=*/false);
+  model->clear_caches();
+
+  SessionConfig cfg;
+  cfg.cache_probe = [model] { return model->cache_depth(); };
+  InferenceSession session(
+      [model](const Tensor& in, ExecutionContext& ctx) {
+        return model->forward(in, ctx);
+      },
+      cfg);
+  session.run(x);
+  const Tensor& y = session.run(x);
+  EXPECT_TRUE(bit_equal(y, golden));
+  EXPECT_EQ(session.last_run_heap_allocs(), 0);
+}
+
+TEST(Session, ThreadPinningRestoresAmbientCount) {
+  ThreadCountRestorer restore;
+  set_num_threads(2);
+  auto model = std::make_shared<TinyMlp>(161);
+  SessionConfig cfg;
+  cfg.ctx.threads = 4;
+  InferenceSession session(
+      [model](const Tensor& in, ExecutionContext& ctx) {
+        return model->forward(in, ctx);
+      },
+      cfg);
+  Tensor x = random_tensor({2, 24}, 162);
+  session.run(x);
+  EXPECT_EQ(num_threads(), 2);
+}
+
+TEST(Session, CacheProbeTripsOnLeakedCache) {
+  auto fc = std::make_shared<Linear>(4, 3, *[] {
+    static Pcg32 rng(171);
+    return &rng;
+  }());
+  SessionConfig cfg;
+  // A forward that (wrongly) runs in training mode leaks a cache; the
+  // probe must turn that into a hard failure.
+  cfg.cache_probe = [fc] { return fc->cache_depth(); };
+  InferenceSession session(
+      [fc](const Tensor& in, ExecutionContext& ctx) {
+        ExecutionContext train_ctx = ctx;
+        train_ctx.training = true;
+        return fc->forward(in, train_ctx);
+      },
+      cfg);
+  Tensor x = random_tensor({2, 4}, 172);
+  EXPECT_THROW(session.run(x), Error);
+  fc->clear_cache();
+}
+
+}  // namespace
+}  // namespace af
