@@ -10,12 +10,12 @@ namespace {
 /// The StrayBits::kReject policing of unpack_codes, shared by the fused
 /// unpack path: bits beyond the last code in an exactly-sized payload must
 /// be zero (pack_codes always leaves them zero).
-void check_no_stray_bits(const std::vector<std::uint8_t>& bytes, int bits,
-                         std::size_t count) {
+void check_no_stray_bits(const std::uint8_t* bytes, std::size_t nbytes,
+                         int bits, std::size_t count) {
   const std::size_t used_bits = count * static_cast<std::size_t>(bits);
-  if (bytes.size() == (used_bits + 7) / 8 && (used_bits & 7) != 0) {
+  if (nbytes == (used_bits + 7) / 8 && (used_bits & 7) != 0) {
     const auto stray =
-        static_cast<std::uint8_t>(bytes.back() >> (used_bits & 7));
+        static_cast<std::uint8_t>(bytes[nbytes - 1] >> (used_bits & 7));
     AF_CHECK(stray == 0,
              "stray high bits set in the final partial byte (corrupt or "
              "mis-sized payload); pass StrayBits::kMask to ignore them");
@@ -44,17 +44,18 @@ std::vector<std::uint8_t> pack_codes(const std::vector<std::uint16_t>& codes,
 std::vector<std::uint16_t> unpack_codes(const std::vector<std::uint8_t>& bytes,
                                         int bits, std::size_t count,
                                         StrayBits policy) {
+  return unpack_codes(bytes.data(), bytes.size(), bits, count, policy);
+}
+
+std::vector<std::uint16_t> unpack_codes(const std::uint8_t* bytes,
+                                        std::size_t nbytes, int bits,
+                                        std::size_t count, StrayBits policy) {
   AF_CHECK(bits >= 1 && bits <= 16, "code width must be in [1,16]");
   const std::size_t used_bits = count * static_cast<std::size_t>(bits);
-  AF_CHECK(bytes.size() * 8 >= used_bits,
+  AF_CHECK(nbytes * 8 >= used_bits,
            "packed payload too small for the requested element count");
-  if (policy == StrayBits::kReject && bytes.size() == (used_bits + 7) / 8 &&
-      (used_bits & 7) != 0) {
-    const auto stray = static_cast<std::uint8_t>(
-        bytes.back() >> (used_bits & 7));
-    AF_CHECK(stray == 0,
-             "stray high bits set in the final partial byte (corrupt or "
-             "mis-sized payload); pass StrayBits::kMask to ignore them");
+  if (policy == StrayBits::kReject) {
+    check_no_stray_bits(bytes, nbytes, bits, count);
   }
   std::vector<std::uint16_t> out(count, 0);
   std::size_t bitpos = 0;
@@ -75,9 +76,73 @@ PackedAdaptivFloatTensor::PackedAdaptivFloatTensor(
     : format_(format),
       shape_(std::move(shape)),
       bytes_(std::move(bytes)),
+      data_(bytes_.data()),
+      size_(bytes_.size()),
       lut_(std::make_shared<DecodeLut>(
           format_.bits(),
           [this](std::uint16_t code) { return format_.decode(code); })) {}
+
+PackedAdaptivFloatTensor::PackedAdaptivFloatTensor(
+    AdaptivFloatFormat format, Shape shape, const std::uint8_t* data,
+    std::size_t len, std::shared_ptr<const void> keepalive)
+    : format_(format),
+      shape_(std::move(shape)),
+      data_(data),
+      size_(len),
+      keepalive_(std::move(keepalive)),
+      lut_(std::make_shared<DecodeLut>(
+          format_.bits(),
+          [this](std::uint16_t code) { return format_.decode(code); })) {}
+
+// Copies must re-anchor data_ — an owned tensor's pointer targets its own
+// vector, never the source's. Views share the external span and keepalive.
+PackedAdaptivFloatTensor::PackedAdaptivFloatTensor(
+    const PackedAdaptivFloatTensor& other)
+    : format_(other.format_),
+      shape_(other.shape_),
+      bytes_(other.bytes_),
+      data_(other.is_view() ? other.data_ : bytes_.data()),
+      size_(other.size_),
+      keepalive_(other.keepalive_),
+      lut_(other.lut_) {}
+
+PackedAdaptivFloatTensor& PackedAdaptivFloatTensor::operator=(
+    const PackedAdaptivFloatTensor& other) {
+  if (this == &other) return *this;
+  format_ = other.format_;
+  shape_ = other.shape_;
+  bytes_ = other.bytes_;
+  data_ = other.is_view() ? other.data_ : bytes_.data();
+  size_ = other.size_;
+  keepalive_ = other.keepalive_;
+  lut_ = other.lut_;
+  return *this;
+}
+
+// Moving a vector transfers its heap buffer verbatim, so data_ stays valid
+// for owned tensors and external for views — it moves unchanged.
+PackedAdaptivFloatTensor::PackedAdaptivFloatTensor(
+    PackedAdaptivFloatTensor&& other) noexcept
+    : format_(other.format_),
+      shape_(std::move(other.shape_)),
+      bytes_(std::move(other.bytes_)),
+      data_(other.data_),
+      size_(other.size_),
+      keepalive_(std::move(other.keepalive_)),
+      lut_(std::move(other.lut_)) {}
+
+PackedAdaptivFloatTensor& PackedAdaptivFloatTensor::operator=(
+    PackedAdaptivFloatTensor&& other) noexcept {
+  if (this == &other) return *this;
+  format_ = other.format_;
+  shape_ = std::move(other.shape_);
+  bytes_ = std::move(other.bytes_);
+  data_ = other.data_;
+  size_ = other.size_;
+  keepalive_ = std::move(other.keepalive_);
+  lut_ = std::move(other.lut_);
+  return *this;
+}
 
 PackedAdaptivFloatTensor PackedAdaptivFloatTensor::quantize_pack(
     const Tensor& w, int bits, int exp_bits) {
@@ -86,17 +151,27 @@ PackedAdaptivFloatTensor PackedAdaptivFloatTensor::quantize_pack(
                                   pack_codes(res.codes, bits));
 }
 
+PackedAdaptivFloatTensor PackedAdaptivFloatTensor::view(
+    const AdaptivFloatFormat& format, Shape shape, const std::uint8_t* data,
+    std::size_t len, std::shared_ptr<const void> keepalive) {
+  const std::size_t need =
+      (static_cast<std::size_t>(numel_of(shape)) *
+           static_cast<std::size_t>(format.bits()) + 7) / 8;
+  AF_CHECK(len == need, "view payload size does not match shape and width");
+  return PackedAdaptivFloatTensor(format, std::move(shape), data, len,
+                                  std::move(keepalive));
+}
+
 Tensor PackedAdaptivFloatTensor::unpack() const {
   const auto count = static_cast<std::size_t>(numel());
   const int bits = format_.bits();
-  check_no_stray_bits(bytes_, bits, count);
+  check_no_stray_bits(data_, size_, bits, count);
   Tensor out(shape_);
   // Fused unpack+decode through the cached table; disjoint output chunks,
   // so bit-identical for any AF_THREADS value.
   constexpr std::int64_t kGrain = 1 << 12;
   parallel_for(0, numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
-    unpack_decode(bytes_.data(), bytes_.size(), bits, b, e - b, *lut_,
-                  out.data() + b);
+    unpack_decode(data_, size_, bits, b, e - b, *lut_, out.data() + b);
   });
   return out;
 }
@@ -108,7 +183,7 @@ std::uint16_t PackedAdaptivFloatTensor::code_at(std::int64_t index) const {
       static_cast<std::size_t>(index) * static_cast<std::size_t>(bits);
   std::uint16_t code = 0;
   for (int b = 0; b < bits; ++b, ++bitpos) {
-    if ((bytes_[bitpos >> 3] >> (bitpos & 7)) & 1u) {
+    if ((data_[bitpos >> 3] >> (bitpos & 7)) & 1u) {
       code |= static_cast<std::uint16_t>(1u << b);
     }
   }

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <map>
 
-#include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 namespace {
@@ -25,9 +25,19 @@ std::map<std::vector<std::int64_t>, std::int64_t> ngram_counts(
 
 double bleu_score(const std::vector<TokenSeq>& references,
                   const std::vector<TokenSeq>& hypotheses) {
-  AF_CHECK(references.size() == hypotheses.size(),
-           "BLEU needs one hypothesis per reference");
-  AF_CHECK(!references.empty(), "BLEU of an empty corpus");
+  // Corpus-shape violations are malformed *input*, not programmer error: a
+  // harness fed a truncated or misaligned evaluation set should be able to
+  // catch this, report the corpus as bad, and move on to the next one.
+  if (references.size() != hypotheses.size()) {
+    throw FaultError("metrics:bleu", FaultKind::kMalformedInput,
+                     "corpus mismatch: " + std::to_string(references.size()) +
+                         " references vs " + std::to_string(hypotheses.size()) +
+                         " hypotheses");
+  }
+  if (references.empty()) {
+    throw FaultError("metrics:bleu", FaultKind::kMalformedInput,
+                     "empty corpus");
+  }
 
   double log_precision_sum = 0.0;
   for (std::size_t n = 1; n <= 4; ++n) {
@@ -86,21 +96,32 @@ std::int64_t edit_distance(const TokenSeq& a, const TokenSeq& b) {
 
 double word_error_rate(const std::vector<TokenSeq>& references,
                        const std::vector<TokenSeq>& hypotheses) {
-  AF_CHECK(references.size() == hypotheses.size(),
-           "WER needs one hypothesis per reference");
+  if (references.size() != hypotheses.size()) {
+    throw FaultError("metrics:wer", FaultKind::kMalformedInput,
+                     "corpus mismatch: " + std::to_string(references.size()) +
+                         " references vs " + std::to_string(hypotheses.size()) +
+                         " hypotheses");
+  }
   std::int64_t errors = 0, ref_len = 0;
   for (std::size_t s = 0; s < references.size(); ++s) {
     errors += edit_distance(references[s], hypotheses[s]);
     ref_len += static_cast<std::int64_t>(references[s].size());
   }
-  AF_CHECK(ref_len > 0, "WER with empty references");
+  if (ref_len <= 0) {
+    throw FaultError("metrics:wer", FaultKind::kMalformedInput,
+                     "references contain no tokens");
+  }
   return 100.0 * static_cast<double>(errors) / static_cast<double>(ref_len);
 }
 
 double top1_accuracy(const std::vector<std::int64_t>& labels,
                      const std::vector<std::int64_t>& predictions) {
-  AF_CHECK(labels.size() == predictions.size() && !labels.empty(),
-           "Top-1 needs matching non-empty label/prediction lists");
+  if (labels.size() != predictions.size() || labels.empty()) {
+    throw FaultError("metrics:top1", FaultKind::kMalformedInput,
+                     "label/prediction lists must match and be non-empty (" +
+                         std::to_string(labels.size()) + " vs " +
+                         std::to_string(predictions.size()) + ")");
+  }
   std::int64_t hit = 0;
   for (std::size_t i = 0; i < labels.size(); ++i) {
     hit += (labels[i] == predictions[i]);
@@ -110,8 +131,12 @@ double top1_accuracy(const std::vector<std::int64_t>& labels,
 
 double prediction_flip_rate(const std::vector<std::int64_t>& baseline,
                             const std::vector<std::int64_t>& observed) {
-  AF_CHECK(baseline.size() == observed.size() && !baseline.empty(),
-           "flip rate needs matching non-empty prediction lists");
+  if (baseline.size() != observed.size() || baseline.empty()) {
+    throw FaultError("metrics:flip-rate", FaultKind::kMalformedInput,
+                     "prediction lists must match and be non-empty (" +
+                         std::to_string(baseline.size()) + " vs " +
+                         std::to_string(observed.size()) + ")");
+  }
   std::int64_t flips = 0;
   for (std::size_t i = 0; i < baseline.size(); ++i) {
     flips += (baseline[i] != observed[i]);

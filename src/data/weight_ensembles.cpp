@@ -3,14 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 
 Tensor sample_synthetic_layer(const SyntheticLayerSpec& spec, Pcg32& rng) {
-  AF_CHECK(spec.sigma > 0.0f, "layer sigma must be positive");
-  AF_CHECK(spec.outlier_fraction >= 0.0f && spec.outlier_fraction < 1.0f,
-           "outlier fraction must be in [0, 1)");
+  // Specs arrive as data (ensemble tables, sweep configs), so a bad one is
+  // malformed input a sweep harness can catch and skip, not a crash.
+  if (!(spec.sigma > 0.0f)) {
+    throw FaultError("ensemble:" + spec.name, FaultKind::kMalformedInput,
+                     "layer sigma must be positive");
+  }
+  if (!(spec.outlier_fraction >= 0.0f && spec.outlier_fraction < 1.0f)) {
+    throw FaultError("ensemble:" + spec.name, FaultKind::kMalformedInput,
+                     "outlier fraction must be in [0, 1)");
+  }
   Tensor w(spec.shape);
   for (std::int64_t i = 0; i < w.numel(); ++i) {
     const bool tail = rng.next_double() < spec.outlier_fraction;

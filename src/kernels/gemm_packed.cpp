@@ -32,8 +32,8 @@ Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w) {
   Tensor c({m, n});
   const float* pa = x.data();
   float* pc = c.data();
-  const std::uint8_t* bytes = w.bytes().data();
-  const std::size_t nbytes = w.bytes().size();
+  const std::uint8_t* bytes = w.data();
+  const std::size_t nbytes = w.payload_bytes();
   const int bits = w.format().bits();
   const DecodeLut& lut = w.decode_lut();
 

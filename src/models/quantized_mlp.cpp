@@ -1,0 +1,32 @@
+#include "src/models/quantized_mlp.hpp"
+
+#include "src/snapshot/writer.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+QuantizedMlp::QuantizedMlp(Linear& fc1, Linear& fc2, int bits, int exp_bits)
+    : q1_(fc1, bits, exp_bits), q2_(fc2, bits, exp_bits) {}
+
+QuantizedMlp::QuantizedMlp(const MappedSnapshot& snap)
+    : q1_(snap.packed_view("fc1.weight"), snap.fp32("fc1.bias")),
+      q2_(snap.packed_view("fc2.weight"), snap.fp32("fc2.bias")),
+      load_report_(snap.report()) {
+  AF_CHECK(q1_.out_features() == q2_.in_features(),
+           "snapshot layers do not chain: fc1 out != fc2 in");
+}
+
+void QuantizedMlp::save(const std::string& path) const {
+  SnapshotWriter writer;
+  writer.add_packed("fc1.weight", q1_.packed_weight());
+  writer.add_fp32("fc1.bias", q1_.bias());
+  writer.add_packed("fc2.weight", q2_.packed_weight());
+  writer.add_fp32("fc2.bias", q2_.bias());
+  writer.write(path);
+}
+
+Tensor QuantizedMlp::forward(const Tensor& x, ExecutionContext& ctx) {
+  return q2_.forward(act_.forward(q1_.forward(x, ctx), ctx), ctx);
+}
+
+}  // namespace af

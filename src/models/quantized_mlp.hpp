@@ -1,0 +1,54 @@
+// Deployment-form MLP: the snapshot round-trip model.
+//
+// One model, two boot paths that must agree bit-for-bit:
+//   * quantize  — from trained FP32 Linears through Algorithm 1 (the build
+//     machine's path), then save() persists the packed codes, per-tensor
+//     formats and sidecars into a snapshot container.
+//   * from_snapshot — mmap the container and serve the very same packed
+//     bytes zero-copy (the serving fleet's path). No decode, no
+//     re-quantization: the weight views point into the page cache.
+// The runtime tests pin the two paths to identical inference bits, and the
+// cold-start benchmark measures what skipping the rebuild is worth.
+#pragma once
+
+#include <string>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/quantized_linear.hpp"
+#include "src/snapshot/snapshot.hpp"
+
+namespace af {
+
+class QuantizedMlp {
+ public:
+  /// Quantizes a trained two-layer MLP (fc1 -> ReLU -> fc2) with the given
+  /// AdaptivFloat format.
+  QuantizedMlp(Linear& fc1, Linear& fc2, int bits, int exp_bits);
+
+  /// Boots from an opened snapshot: zero-copy weight views over the
+  /// mapping, biases copied out (tiny). The snapshot's load report is
+  /// retained so callers can see whether this model is serving repaired or
+  /// degraded weights. Sections: fc{1,2}.weight (packed), fc{1,2}.bias.
+  explicit QuantizedMlp(const MappedSnapshot& snap);
+
+  /// Persists the packed weights + biases through the crash-safe writer.
+  void save(const std::string& path) const;
+
+  Tensor forward(const Tensor& x, ExecutionContext& ctx);
+
+  std::int64_t cache_depth() const { return act_.cache_depth(); }
+  const QuantizedLinear& fc1() const { return q1_; }
+  const QuantizedLinear& fc2() const { return q2_; }
+
+  /// Load-time recovery record (empty for the quantize-path constructor).
+  const SnapshotLoadReport& load_report() const { return load_report_; }
+
+ private:
+  QuantizedLinear q1_;
+  ReLU act_;
+  QuantizedLinear q2_;
+  SnapshotLoadReport load_report_;
+};
+
+}  // namespace af

@@ -16,6 +16,16 @@ QuantizedLinear::QuantizedLinear(Linear& source, int bits, int exp_bits)
                                                       bits, exp_bits)),
       bias_(source.bias().value) {}
 
+QuantizedLinear::QuantizedLinear(PackedAdaptivFloatTensor weight, Tensor bias)
+    : in_(0), out_(0), weight_(std::move(weight)), bias_(std::move(bias)) {
+  AF_CHECK(weight_.shape().size() == 2,
+           "QuantizedLinear weights must be [out, in]");
+  out_ = weight_.shape()[0];
+  in_ = weight_.shape()[1];
+  AF_CHECK(bias_.numel() == 0 || bias_.numel() == out_,
+           "bias length must match out_features (or be empty)");
+}
+
 Tensor QuantizedLinear::forward(const Tensor& x) const {
   AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
            "QuantizedLinear input must be [m, in]");

@@ -21,6 +21,13 @@ class QuantizedLinear final : public Module {
   /// stays FP32 (biases are accumulated at full precision in the PE too).
   QuantizedLinear(Linear& source, int bits, int exp_bits);
 
+  /// Deployment-boot form: adopts already-packed [out, in] weights — in
+  /// particular a zero-copy view over an mmap'd snapshot, whose bytes the
+  /// fused GEMM then reads straight out of the page cache — plus an FP32
+  /// bias ([out], or empty for none). No quantization happens here; the
+  /// codes are served as stored.
+  QuantizedLinear(PackedAdaptivFloatTensor weight, Tensor bias);
+
   /// x: [m, in] -> [m, out] through the fused packed GEMM: weight panels
   /// are decoded by table into cache-resident tiles inside the kernel, so
   /// the full FP32 weight matrix is never materialized. Bit-identical to

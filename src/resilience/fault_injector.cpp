@@ -80,9 +80,13 @@ std::vector<std::int64_t> FaultInjector::draw_flips(std::int64_t nbits) {
 }
 
 void FaultInjector::corrupt_bytes(std::vector<std::uint8_t>& bytes) {
-  const auto nbits = static_cast<std::int64_t>(bytes.size()) * 8;
+  corrupt_bytes(bytes.data(), bytes.size());
+}
+
+void FaultInjector::corrupt_bytes(std::uint8_t* data, std::size_t len) {
+  const auto nbits = static_cast<std::int64_t>(len) * 8;
   for (std::int64_t f : draw_flips(nbits)) {
-    bytes[static_cast<std::size_t>(f >> 3)] ^=
+    data[static_cast<std::size_t>(f >> 3)] ^=
         static_cast<std::uint8_t>(1u << (f & 7));
   }
 }

@@ -52,6 +52,12 @@ class FaultInjector final : public PeFaultHook {
   /// Flips bits of a packed payload in place (SRAM weight-store model).
   void corrupt_bytes(std::vector<std::uint8_t>& bytes);
 
+  /// Raw byte-span form: the same seeded geometric-gap stream applied to
+  /// arbitrary memory — an mmap'd snapshot image, a file buffer, a
+  /// subrange of a container. Offering the same bytes through this
+  /// overload and through the vector overload draws identical flips.
+  void corrupt_bytes(std::uint8_t* data, std::size_t len);
+
   /// Flips bits of n-bit code words in place; flips never escape the low
   /// `bits` of each word (the stored word is only `bits` wide).
   void corrupt_codes(std::vector<std::uint16_t>& codes, int bits);

@@ -8,9 +8,8 @@
 #include "src/util/parallel.hpp"
 
 namespace af {
-namespace {
 
-std::uint8_t word_parity(std::uint16_t code) {
+std::uint8_t code_word_parity(std::uint16_t code) {
   std::uint16_t v = code;
   v ^= static_cast<std::uint16_t>(v >> 8);
   v ^= static_cast<std::uint16_t>(v >> 4);
@@ -19,10 +18,8 @@ std::uint8_t word_parity(std::uint16_t code) {
   return static_cast<std::uint8_t>(v & 1u);
 }
 
-std::uint8_t block_checksum(const std::vector<std::uint16_t>& codes,
-                            std::size_t begin, std::size_t end) {
-  // 8-bit additive checksum over both bytes of every word — an adder per
-  // written word in hardware.
+std::uint8_t code_block_checksum(const std::vector<std::uint16_t>& codes,
+                                 std::size_t begin, std::size_t end) {
   std::uint32_t sum = 0;
   for (std::size_t i = begin; i < end; ++i) {
     sum += codes[i] & 0xffu;
@@ -31,7 +28,29 @@ std::uint8_t block_checksum(const std::vector<std::uint16_t>& codes,
   return static_cast<std::uint8_t>(sum & 0xffu);
 }
 
-}  // namespace
+std::vector<std::uint8_t> build_parity_sidecar(
+    const std::vector<std::uint16_t>& codes) {
+  std::vector<std::uint8_t> parity((codes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (code_word_parity(codes[i])) {
+      parity[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+    }
+  }
+  return parity;
+}
+
+std::vector<std::uint8_t> build_checksum_sidecar(
+    const std::vector<std::uint16_t>& codes, int block_words) {
+  AF_CHECK(block_words >= 1, "block size must be positive");
+  const std::size_t bw = static_cast<std::size_t>(block_words);
+  std::vector<std::uint8_t> sums((codes.size() + bw - 1) / bw);
+  for (std::size_t b = 0; b < sums.size(); ++b) {
+    const std::size_t begin = b * bw;
+    sums[b] = code_block_checksum(codes, begin,
+                                  std::min(codes.size(), begin + bw));
+  }
+  return sums;
+}
 
 const char* protection_mode_name(ProtectionMode mode) {
   switch (mode) {
@@ -51,24 +70,10 @@ ProtectedCodes::ProtectedCodes(const std::vector<std::uint16_t>& codes,
   AF_CHECK(block_words_ >= 1, "block size must be positive");
   payload_ = pack_codes(codes, bits_);
   if (mode_ != ProtectionMode::kNone) {
-    parity_.assign((count_ + 7) / 8, 0);
-    for (std::size_t i = 0; i < count_; ++i) {
-      if (word_parity(codes[i])) {
-        parity_[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
-      }
-    }
+    parity_ = build_parity_sidecar(codes);
   }
   if (mode_ == ProtectionMode::kParityChecksum) {
-    const std::size_t blocks =
-        (count_ + static_cast<std::size_t>(block_words_) - 1) /
-        static_cast<std::size_t>(block_words_);
-    checksums_.resize(blocks);
-    for (std::size_t b = 0; b < blocks; ++b) {
-      const std::size_t begin = b * static_cast<std::size_t>(block_words_);
-      const std::size_t end =
-          std::min(count_, begin + static_cast<std::size_t>(block_words_));
-      checksums_[b] = block_checksum(codes, begin, end);
-    }
+    checksums_ = build_checksum_sidecar(codes, block_words_);
   }
 }
 
@@ -100,7 +105,7 @@ ScrubReport ProtectedCodes::scrub() {
   std::vector<bool> word_bad(count_, false);
   for (std::size_t i = 0; i < count_; ++i) {
     const std::uint8_t stored = (parity_[i >> 3] >> (i & 7)) & 1u;
-    if (word_parity(codes[i]) != stored) {
+    if (code_word_parity(codes[i]) != stored) {
       word_bad[i] = true;
       codes[i] = 0;
       ++report.parity_errors;
@@ -121,7 +126,7 @@ ScrubReport ProtectedCodes::scrub() {
       for (std::size_t i = begin; i < end; ++i) {
         any_parity_repair = any_parity_repair || word_bad[i];
       }
-      if (block_checksum(codes, begin, end) == checksums_[b]) continue;
+      if (code_block_checksum(codes, begin, end) == checksums_[b]) continue;
       ++report.checksum_errors;
       if (any_parity_repair) continue;  // mismatch explained by zeroing
       ++report.residual_blocks;
@@ -142,7 +147,7 @@ ScrubReport ProtectedCodes::scrub() {
   if (report.words_zeroed > 0) {
     for (std::size_t i = 0; i < count_; ++i) {
       const auto bit = static_cast<std::uint8_t>(1u << (i & 7));
-      if (word_parity(codes[i])) {
+      if (code_word_parity(codes[i])) {
         parity_[i >> 3] |= bit;
       } else {
         parity_[i >> 3] &= static_cast<std::uint8_t>(~bit);
@@ -152,7 +157,7 @@ ScrubReport ProtectedCodes::scrub() {
       const std::size_t begin = b * static_cast<std::size_t>(block_words_);
       const std::size_t end =
           std::min(count_, begin + static_cast<std::size_t>(block_words_));
-      checksums_[b] = block_checksum(codes, begin, end);
+      checksums_[b] = code_block_checksum(codes, begin, end);
     }
   }
   return report;

@@ -37,6 +37,28 @@ enum class ProtectionMode {
 /// "none" / "parity" / "parity+checksum".
 const char* protection_mode_name(ProtectionMode mode);
 
+// ----- sidecar primitives ----------------------------------------------------
+// The exact bit math ProtectedCodes uses, exported so other at-rest stores
+// (the snapshot container) carry byte-identical sidecars.
+
+/// Parity of a code word: XOR of all its bits.
+std::uint8_t code_word_parity(std::uint16_t code);
+
+/// 8-bit additive checksum over both bytes of codes[begin, end) — an adder
+/// per written word in hardware.
+std::uint8_t code_block_checksum(const std::vector<std::uint16_t>& codes,
+                                 std::size_t begin, std::size_t end);
+
+/// Packed per-word parity bits (LSB-first, one bit per word) — the parity
+/// half of the PR-1 sidecar.
+std::vector<std::uint8_t> build_parity_sidecar(
+    const std::vector<std::uint16_t>& codes);
+
+/// One additive checksum byte per block of `block_words` words — the
+/// checksum half of the PR-1 sidecar.
+std::vector<std::uint8_t> build_checksum_sidecar(
+    const std::vector<std::uint16_t>& codes, int block_words);
+
 /// What a scrub pass found and repaired.
 struct ScrubReport {
   std::int64_t words = 0;            ///< code words checked

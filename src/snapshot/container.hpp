@@ -1,0 +1,123 @@
+// On-disk layout of the zero-copy model snapshot container (v1).
+//
+// A snapshot is the packed runtime form of a model's weights, persisted:
+// the same n-bit code streams the LUT-fused GEMM consumes in memory, plus
+// per-tensor format descriptors (including the AdaptivFloat exp_bias) and
+// the PR-1 parity/checksum sidecars. Loading is mmap + pointer fixup — no
+// decode, no copy — so a pool of worker processes can share one read-only
+// mapping of the weights.
+//
+// Layout (all integers little-endian, explicitly serialized byte-by-byte;
+// no struct punning, so the format is identical on every host):
+//
+//   [header: 64 bytes]
+//     0  magic           8 bytes  "AFSNAP01"
+//     8  version         u32      kSnapshotVersion
+//    12  endian_tag      u32      kEndianTag (0x01020304)
+//    16  section_count   u64
+//    24  file_bytes      u64      total file size (truncation detector)
+//    32  toc_offset      u64      == 64
+//    40  toc_bytes       u64      section_count * kTocEntryBytes
+//    48  toc_crc         u32      CRC-32 of the TOC bytes
+//    52  header_crc      u32      CRC-32 of header bytes [0, 52)
+//    56  reserved        u64      zero
+//
+//   [TOC: section_count entries of 144 bytes each]  (see TOC entry fields
+//   in SectionDescriptor — names NUL-padded to kMaxNameBytes)
+//
+//   [payloads + sidecars], each 64-byte aligned, zero-padded between.
+//
+// Integrity is layered: the header and TOC carry their own CRCs and fail
+// closed (a torn or truncated write is never observed as a valid
+// snapshot); each section payload carries a CRC-32 for detection and — for
+// packed-code sections — the parity/checksum sidecar for word-exact
+// single-fault repair. See DESIGN.md §11 for the load-time recovery
+// decision tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/numerics/registry.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+inline constexpr char kSnapshotMagic[8] = {'A', 'F', 'S', 'N',
+                                           'A', 'P', '0', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kTocEntryBytes = 144;
+inline constexpr std::size_t kMaxNameBytes = 40;  ///< incl. NUL padding
+inline constexpr std::size_t kSectionAlign = 64;
+inline constexpr std::size_t kMaxRank = 4;
+
+/// What a section's payload holds.
+enum class SectionKind : std::uint8_t {
+  kPackedCodes = 0,  ///< n-bit codes of one of the five formats, bit-packed
+  kFloat32 = 1,      ///< raw IEEE-754 FP32 (biases, norms — tiny tensors)
+};
+
+/// One TOC entry, decoded. For kPackedCodes the format descriptor carries
+/// everything needed to reconstruct the codec: the FormatKind, total bits,
+/// exponent field, the AdaptivFloat exp_bias chosen by Algorithm 1, and
+/// the calibration max-abs the self-adaptive formats derive their
+/// parameters from. For kFloat32 only shape/count matter.
+struct SectionDescriptor {
+  std::string name;
+  SectionKind kind = SectionKind::kPackedCodes;
+  FormatKind format = FormatKind::kAdaptivFloat;
+  int bits = 8;
+  int exp_bits = -1;   ///< quantizer-options exponent field (-1 = default)
+  int exp_bias = 0;    ///< AdaptivFloat per-tensor exponent bias
+  float max_abs = 0.0f;  ///< calibration statistic of the source tensor
+  Shape shape;
+  std::uint64_t count = 0;  ///< code words / fp32 elements
+
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+
+  int block_words = 0;  ///< checksum block size (0 = no sidecar)
+  std::uint64_t sidecar_offset = 0;
+  std::uint64_t sidecar_bytes = 0;  ///< parity bytes + checksum bytes
+  std::uint32_t sidecar_crc = 0;
+
+  bool has_sidecar() const { return sidecar_bytes != 0; }
+};
+
+/// What happened to one section on the load path.
+enum class SectionOutcome {
+  kClean,     ///< CRC verified on first read
+  kRepaired,  ///< corrupt words reconstructed bit-exactly via the sidecar
+  kDegraded,  ///< unrepairable blocks scrubbed to the exact-zero code
+};
+
+const char* section_outcome_name(SectionOutcome outcome);
+
+struct SectionLoadReport {
+  std::string name;
+  SectionOutcome outcome = SectionOutcome::kClean;
+  std::int64_t words_repaired = 0;  ///< reconstructed via parity+checksum
+  std::int64_t words_zeroed = 0;    ///< scrubbed in degraded blocks
+};
+
+/// Aggregate load-time recovery record — the storage mirror of the PR-3
+/// ResilienceReport. A session boots with this attached so a degraded load
+/// is observable, never silent.
+struct SnapshotLoadReport {
+  std::vector<SectionLoadReport> sections;
+  std::int64_t sections_clean = 0;
+  std::int64_t sections_repaired = 0;
+  std::int64_t sections_degraded = 0;
+  std::int64_t words_repaired = 0;
+  std::int64_t words_zeroed = 0;
+
+  bool clean() const {
+    return sections_repaired == 0 && sections_degraded == 0;
+  }
+};
+
+}  // namespace af

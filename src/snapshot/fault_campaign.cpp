@@ -1,0 +1,84 @@
+#include "src/snapshot/fault_campaign.hpp"
+
+#include <cstdint>
+#include <map>
+
+#include "src/resilience/fault_injector.hpp"
+#include "src/snapshot/snapshot.hpp"
+#include "src/snapshot/writer.hpp"
+#include "src/util/check.hpp"
+
+namespace af {
+
+SnapshotCampaignResult run_snapshot_fault_campaign(
+    const std::vector<std::uint8_t>& image, const std::string& scratch_path,
+    const SnapshotCampaignConfig& cfg) {
+  AF_CHECK(cfg.trials >= 1, "campaign needs at least one trial");
+
+  // Reference pass: load the pristine image once to learn the section
+  // geometry and capture the ground-truth code words repairs must match.
+  atomic_write_file(scratch_path, image);
+  const MappedSnapshot pristine = MappedSnapshot::open(scratch_path);
+  AF_CHECK(pristine.report().clean(),
+           "campaign reference image failed its own verification");
+  std::map<std::string, std::vector<std::uint16_t>> reference;
+  for (const std::string& name : pristine.names()) {
+    if (pristine.descriptor(name).kind == SectionKind::kPackedCodes) {
+      reference.emplace(name, pristine.codes(name));
+    }
+  }
+
+  SnapshotCampaignResult result;
+  result.trials = cfg.trials;
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    FaultConfig fc;
+    fc.bit_error_rate = cfg.bit_error_rate;
+    // splitmix-style per-trial seed: trials are independent replayable
+    // streams, and the whole campaign is a pure function of cfg.seed.
+    fc.seed = cfg.seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+    FaultInjector injector(fc);
+
+    std::vector<std::uint8_t> corrupted = image;
+    if (cfg.payload_only) {
+      for (const std::string& name : pristine.names()) {
+        const SectionDescriptor& d = pristine.descriptor(name);
+        injector.corrupt_bytes(corrupted.data() + d.payload_offset,
+                               static_cast<std::size_t>(d.payload_bytes));
+      }
+    } else {
+      injector.corrupt_bytes(corrupted.data(), corrupted.size());
+    }
+    result.bits_flipped += injector.stats().bits_flipped;
+
+    atomic_write_file(scratch_path, corrupted);
+    try {
+      const MappedSnapshot snap =
+          MappedSnapshot::open(scratch_path, {cfg.policy});
+      const SnapshotLoadReport& r = snap.report();
+      result.words_repaired += r.words_repaired;
+      result.words_zeroed += r.words_zeroed;
+      if (r.sections_repaired > 0) {
+        for (const SectionLoadReport& s : r.sections) {
+          if (s.outcome != SectionOutcome::kRepaired) continue;
+          if (snap.codes(s.name) != reference.at(s.name)) {
+            ++result.repair_mismatches;
+          }
+        }
+      }
+      if (r.sections_degraded > 0) {
+        ++result.degraded;
+      } else if (r.sections_repaired > 0) {
+        ++result.repaired;
+      } else {
+        ++result.clean;
+      }
+    } catch (const FaultError&) {
+      ++result.failed_closed;
+    }
+  }
+  // Leave the scratch file pristine so a later open of the path works.
+  atomic_write_file(scratch_path, image);
+  return result;
+}
+
+}  // namespace af

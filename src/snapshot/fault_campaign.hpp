@@ -1,0 +1,56 @@
+// On-disk fault-injection campaign for the snapshot container.
+//
+// This is the storage mirror of the PR-3 inference fault campaign: instead
+// of upsetting PE datapaths, it drives the seeded FaultInjector over the
+// serialized file image (the raw-span overload working on bytes at rest),
+// writes each corrupted image to disk, and exercises the full
+// MappedSnapshot load path — mmap, CRC verification, sidecar repair,
+// scrub-to-zero — exactly as a serving process would experience bit rot.
+// Every trial is classified, and repaired sections are re-checked against
+// the pristine code words, so "repaired" in the result really means
+// bit-exact, not merely CRC-plausible. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/fault.hpp"
+
+namespace af {
+
+struct SnapshotCampaignConfig {
+  /// Per-bit flip probability applied to the targeted bytes.
+  double bit_error_rate = 1e-6;
+  int trials = 32;
+  std::uint64_t seed = 0x5eedf11e;
+  RecoveryPolicy policy = RecoveryPolicy::kDegradeToZero;
+  /// true: target only section payloads (the SRAM weight-store model,
+  /// matching the PR-1 in-memory campaigns). false: the whole file image,
+  /// header and TOC included — exercising the fail-closed paths.
+  bool payload_only = true;
+};
+
+struct SnapshotCampaignResult {
+  int trials = 0;
+  int clean = 0;          ///< no flip landed, or none survived to a section
+  int repaired = 0;       ///< sidecar repair restored every hit section
+  int degraded = 0;       ///< at least one section scrubbed under the policy
+  int failed_closed = 0;  ///< load refused with a typed FaultError
+  /// Repaired sections whose code words differ from the pristine snapshot.
+  /// The container's bit-exactness claim is precisely that this stays 0.
+  int repair_mismatches = 0;
+  std::int64_t bits_flipped = 0;
+  std::int64_t words_repaired = 0;
+  std::int64_t words_zeroed = 0;
+};
+
+/// Runs `cfg.trials` corrupt-write-load trials of `image` (a serialized
+/// snapshot, e.g. SnapshotWriter::serialize()). `scratch_path` is a
+/// writable file path the campaign may overwrite freely. Never throws for
+/// in-campaign faults — refusals are counted in `failed_closed`.
+SnapshotCampaignResult run_snapshot_fault_campaign(
+    const std::vector<std::uint8_t>& image, const std::string& scratch_path,
+    const SnapshotCampaignConfig& cfg);
+
+}  // namespace af

@@ -1,0 +1,418 @@
+#include "src/snapshot/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/resilience/protection.hpp"
+#include "src/snapshot/wire.hpp"
+#include "src/util/check.hpp"
+#include "src/util/hash.hpp"
+
+namespace af {
+
+struct MappedSnapshot::Mapping {
+  std::uint8_t* base = nullptr;
+  std::size_t size = 0;
+
+  ~Mapping() {
+    if (base != nullptr) ::munmap(base, size);
+  }
+};
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& path, const std::string& why) {
+  throw FaultError("snapshot:" + path, FaultKind::kMalformedInput, why);
+}
+
+/// Attempts sidecar-guided reconstruction of a packed payload whose CRC
+/// failed. Works on a scratch copy of the code words; the caller decides
+/// what to write back. Returns the blocks that could not be explained.
+struct RepairAttempt {
+  std::vector<std::uint16_t> codes;       ///< post-repair code words
+  std::vector<std::size_t> bad_blocks;    ///< unexplained block indices
+  std::int64_t words_repaired = 0;
+};
+
+RepairAttempt attempt_repair(const std::uint8_t* payload,
+                             const SectionDescriptor& d,
+                             const std::uint8_t* parity,
+                             const std::uint8_t* checksums) {
+  RepairAttempt r;
+  const auto count = static_cast<std::size_t>(d.count);
+  r.codes = unpack_codes(payload, static_cast<std::size_t>(d.payload_bytes),
+                         d.bits, count, StrayBits::kMask);
+  const std::size_t bw = static_cast<std::size_t>(d.block_words);
+  const std::size_t blocks = count == 0 ? 0 : (count + bw - 1) / bw;
+  const std::uint16_t code_limit = static_cast<std::uint16_t>(1u << d.bits);
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * bw;
+    const std::size_t end = std::min(count, begin + bw);
+
+    std::vector<std::size_t> flagged;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint8_t stored = (parity[i >> 3] >> (i & 7)) & 1u;
+      if (code_word_parity(r.codes[i]) != stored) flagged.push_back(i);
+    }
+    const bool sum_ok =
+        code_block_checksum(r.codes, begin, end) == checksums[b];
+
+    if (flagged.empty()) {
+      // Nothing localized. A matching checksum means this block is clean
+      // (any corruption confined to one word always moves the additive
+      // sum: distinct powers of two cannot cancel mod 256). A mismatch
+      // with no parity flag hides an even number of flips in one word —
+      // detectable, not localizable.
+      if (!sum_ok) r.bad_blocks.push_back(b);
+      continue;
+    }
+    if (flagged.size() > 1 || sum_ok) {
+      // Two corrupt words (or a parity flag the checksum cannot see,
+      // which implies corruption beyond one word) — beyond the sidecar's
+      // single-fault reconstruction power.
+      r.bad_blocks.push_back(b);
+      continue;
+    }
+
+    // Exactly one flagged word and a disagreeing checksum: reconstruct
+    // the word as stored_sum minus the sum of its intact neighbours.
+    const std::size_t w = flagged.front();
+    std::uint32_t others = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i != w) others += r.codes[i] & 0xffu;  // bits <= 8: high byte 0
+    }
+    const auto rebuilt = static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(checksums[b]) + 256u - (others & 0xffu)) &
+        0xffu);
+    const std::uint8_t stored_parity = (parity[w >> 3] >> (w & 7)) & 1u;
+    if (rebuilt >= code_limit || code_word_parity(rebuilt) != stored_parity) {
+      r.bad_blocks.push_back(b);  // reconstruction inconsistent — wider fault
+      continue;
+    }
+    r.codes[w] = rebuilt;
+    ++r.words_repaired;
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* section_outcome_name(SectionOutcome outcome) {
+  switch (outcome) {
+    case SectionOutcome::kClean: return "clean";
+    case SectionOutcome::kRepaired: return "repaired";
+    case SectionOutcome::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+MappedSnapshot MappedSnapshot::open(const std::string& path,
+                                    SnapshotLoadOptions opts) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    malformed(path, std::string("cannot open: ") + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    malformed(path, "cannot stat: " + err);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    malformed(path, "file shorter than the snapshot header (truncated?)");
+  }
+  // MAP_PRIVATE + PROT_WRITE: repair/scrub touch only this process's
+  // copy-on-write pages; the file and other processes' mappings are never
+  // modified, and clean pages stay physically shared.
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE,
+                      fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    malformed(path, std::string("mmap failed: ") + std::strerror(errno));
+  }
+
+  MappedSnapshot snap;
+  snap.map_ = std::make_shared<Mapping>();
+  snap.map_->base = static_cast<std::uint8_t*>(base);
+  snap.map_->size = size;
+  std::uint8_t* p = snap.map_->base;
+
+  // ----- header: every violation fails closed ------------------------------
+  if (std::memcmp(p, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    malformed(path, "bad magic (not a snapshot container)");
+  }
+  const std::uint32_t version = wire::get_u32(p + 8);
+  if (version != kSnapshotVersion) {
+    malformed(path, "unsupported container version " + std::to_string(version) +
+                        " (expected " + std::to_string(kSnapshotVersion) + ")");
+  }
+  if (wire::get_u32(p + 12) != kEndianTag) {
+    malformed(path, "endianness tag mismatch (byte-swapped container)");
+  }
+  if (wire::get_u32(p + 52) != crc32(p, 52)) {
+    throw FaultError("snapshot:" + path, FaultKind::kStorageCorruption,
+                     "header CRC mismatch — refusing to trust any field");
+  }
+  const std::uint64_t section_count = wire::get_u64(p + 16);
+  const std::uint64_t file_bytes = wire::get_u64(p + 24);
+  const std::uint64_t toc_offset = wire::get_u64(p + 32);
+  const std::uint64_t toc_bytes = wire::get_u64(p + 40);
+  const std::uint32_t toc_crc = wire::get_u32(p + 48);
+  if (file_bytes != size) {
+    malformed(path, "declared size " + std::to_string(file_bytes) +
+                        " != actual " + std::to_string(size) +
+                        " (truncated or torn write)");
+  }
+  if (toc_offset != kHeaderBytes ||
+      toc_bytes != section_count * kTocEntryBytes ||
+      toc_offset + toc_bytes > size) {
+    malformed(path, "TOC geometry out of bounds");
+  }
+  if (crc32(p + toc_offset, toc_bytes) != toc_crc) {
+    throw FaultError("snapshot:" + path, FaultKind::kStorageCorruption,
+                     "TOC CRC mismatch — section table untrusted");
+  }
+
+  // ----- TOC ----------------------------------------------------------------
+  snap.sections_.reserve(section_count);
+  for (std::uint64_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* e = p + toc_offset + i * kTocEntryBytes;
+    SectionDescriptor d;
+    const std::size_t name_len =
+        ::strnlen(reinterpret_cast<const char*>(e), kMaxNameBytes);
+    if (name_len == 0 || name_len == kMaxNameBytes) {
+      malformed(path, "TOC entry " + std::to_string(i) + " has a bad name");
+    }
+    d.name.assign(reinterpret_cast<const char*>(e), name_len);
+    const std::uint8_t kind = e[40];
+    if (kind > static_cast<std::uint8_t>(SectionKind::kFloat32)) {
+      malformed(path, "section '" + d.name + "' has unknown kind");
+    }
+    d.kind = static_cast<SectionKind>(kind);
+    const std::uint8_t format = e[41];
+    if (format > static_cast<std::uint8_t>(FormatKind::kAdaptivFloat)) {
+      malformed(path, "section '" + d.name + "' has unknown format kind");
+    }
+    d.format = static_cast<FormatKind>(format);
+    d.bits = e[42];
+    d.exp_bits = static_cast<std::int8_t>(e[43]);
+    d.exp_bias = wire::get_i32(e + 44);
+    d.max_abs = wire::get_f32(e + 48);
+    const std::uint32_t rank = wire::get_u32(e + 52);
+    if (rank > kMaxRank) {
+      malformed(path, "section '" + d.name + "' has rank > 4");
+    }
+    for (std::uint32_t r = 0; r < rank; ++r) {
+      d.shape.push_back(wire::get_i64(e + 56 + 8 * r));
+    }
+    d.count = wire::get_u64(e + 88);
+    d.payload_offset = wire::get_u64(e + 96);
+    d.payload_bytes = wire::get_u64(e + 104);
+    d.payload_crc = wire::get_u32(e + 112);
+    d.block_words = static_cast<int>(wire::get_u32(e + 116));
+    d.sidecar_offset = wire::get_u64(e + 120);
+    d.sidecar_bytes = wire::get_u64(e + 128);
+    d.sidecar_crc = wire::get_u32(e + 136);
+
+    if (static_cast<std::uint64_t>(numel_of(d.shape)) != d.count) {
+      malformed(path, "section '" + d.name + "' count/shape disagree");
+    }
+    std::uint64_t expect_payload = 0;
+    if (d.kind == SectionKind::kPackedCodes) {
+      if (d.bits < 1 || d.bits > 8) {
+        malformed(path, "section '" + d.name + "' has bad code width");
+      }
+      expect_payload = (d.count * static_cast<std::uint64_t>(d.bits) + 7) / 8;
+    } else {
+      expect_payload = d.count * sizeof(float);
+    }
+    if (d.payload_bytes != expect_payload ||
+        d.payload_offset + d.payload_bytes > size ||
+        d.payload_offset < toc_offset + toc_bytes) {
+      malformed(path, "section '" + d.name + "' payload out of bounds");
+    }
+    if (d.has_sidecar()) {
+      if (d.kind != SectionKind::kPackedCodes || d.block_words < 1) {
+        malformed(path, "section '" + d.name + "' sidecar misdeclared");
+      }
+      const std::uint64_t bw = static_cast<std::uint64_t>(d.block_words);
+      const std::uint64_t expect_sidecar =
+          (d.count + 7) / 8 + (d.count + bw - 1) / bw;
+      if (d.sidecar_bytes != expect_sidecar ||
+          d.sidecar_offset + d.sidecar_bytes > size) {
+        malformed(path, "section '" + d.name + "' sidecar out of bounds");
+      }
+    }
+    snap.sections_.push_back(std::move(d));
+  }
+
+  // ----- per-section verify → repair → degrade ------------------------------
+  for (const SectionDescriptor& d : snap.sections_) {
+    SectionLoadReport sr;
+    sr.name = d.name;
+    std::uint8_t* payload = snap.map_->base + d.payload_offset;
+
+    if (crc32(payload, d.payload_bytes) == d.payload_crc) {
+      snap.report_.sections.push_back(std::move(sr));
+      ++snap.report_.sections_clean;
+      continue;
+    }
+    if (opts.policy == RecoveryPolicy::kDetect) {
+      throw FaultError("snapshot-section:" + d.name,
+                       FaultKind::kStorageCorruption,
+                       "payload CRC mismatch under detect-only policy");
+    }
+
+    // Repair rung: only packed sections with a trustworthy sidecar have a
+    // reconstruction avenue.
+    bool repaired = false;
+    std::vector<std::size_t> bad_blocks;
+    if (d.has_sidecar()) {
+      const std::uint8_t* sidecar = snap.map_->base + d.sidecar_offset;
+      const bool sidecar_ok =
+          crc32(sidecar, d.sidecar_bytes) == d.sidecar_crc;
+      if (sidecar_ok) {
+        const std::uint8_t* parity = sidecar;
+        const std::uint8_t* checksums = sidecar + (d.count + 7) / 8;
+        RepairAttempt attempt = attempt_repair(payload, d, parity, checksums);
+        // Re-packing also clears flipped stray tail bits; the section CRC
+        // is the arbiter of bit-exactness.
+        std::vector<std::uint8_t> rebuilt = pack_codes(attempt.codes, d.bits);
+        if (attempt.bad_blocks.empty() &&
+            crc32(rebuilt.data(), rebuilt.size()) == d.payload_crc) {
+          std::memcpy(payload, rebuilt.data(), rebuilt.size());
+          sr.outcome = SectionOutcome::kRepaired;
+          sr.words_repaired = attempt.words_repaired;
+          repaired = true;
+        } else {
+          bad_blocks = std::move(attempt.bad_blocks);
+        }
+      }
+      if (!repaired && !sidecar_ok) bad_blocks.clear();  // nothing localized
+    }
+
+    if (repaired) {
+      ++snap.report_.sections_repaired;
+      snap.report_.words_repaired += sr.words_repaired;
+      snap.report_.sections.push_back(std::move(sr));
+      continue;
+    }
+    if (opts.policy != RecoveryPolicy::kDegradeToZero) {
+      throw FaultError(
+          "snapshot-section:" + d.name, FaultKind::kUncorrectable,
+          "payload corruption beyond single-fault sidecar repair");
+    }
+
+    // Degrade rung: scrub to the exact-zero code. When the sidecar
+    // localized the damage, only those blocks are lost; when nothing
+    // localized (multi-word cancellation, sidecar corruption, fp32
+    // payload), the whole payload is scrubbed — all-zero bytes decode to
+    // exact 0 in every format of the evaluation, so the damage is bounded.
+    sr.outcome = SectionOutcome::kDegraded;
+    if (!bad_blocks.empty()) {
+      auto codes = unpack_codes(payload,
+                                static_cast<std::size_t>(d.payload_bytes),
+                                d.bits, static_cast<std::size_t>(d.count),
+                                StrayBits::kMask);
+      const std::size_t bw = static_cast<std::size_t>(d.block_words);
+      for (std::size_t b : bad_blocks) {
+        const std::size_t begin = b * bw;
+        const std::size_t end =
+            std::min(static_cast<std::size_t>(d.count), begin + bw);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (codes[i] != 0) ++sr.words_zeroed;
+          codes[i] = 0;
+        }
+      }
+      const std::vector<std::uint8_t> rebuilt = pack_codes(codes, d.bits);
+      std::memcpy(payload, rebuilt.data(), rebuilt.size());
+    } else {
+      sr.words_zeroed = static_cast<std::int64_t>(d.count);
+      std::memset(payload, 0, d.payload_bytes);
+    }
+    snap.report_.words_zeroed += sr.words_zeroed;
+    snap.report_.sections.push_back(std::move(sr));
+    ++snap.report_.sections_degraded;
+  }
+
+  return snap;
+}
+
+bool MappedSnapshot::has(const std::string& name) const {
+  for (const SectionDescriptor& d : sections_) {
+    if (d.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> MappedSnapshot::names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const SectionDescriptor& d : sections_) out.push_back(d.name);
+  return out;
+}
+
+const SectionDescriptor& MappedSnapshot::find(const std::string& name) const {
+  for (const SectionDescriptor& d : sections_) {
+    if (d.name == name) return d;
+  }
+  fail("snapshot has no section named '" + name + "'");
+}
+
+const SectionDescriptor& MappedSnapshot::descriptor(
+    const std::string& name) const {
+  return find(name);
+}
+
+PackedAdaptivFloatTensor MappedSnapshot::packed_view(
+    const std::string& name) const {
+  const SectionDescriptor& d = find(name);
+  AF_CHECK(d.kind == SectionKind::kPackedCodes &&
+               d.format == FormatKind::kAdaptivFloat,
+           "packed_view needs an AdaptivFloat packed section: '" + name + "'");
+  AF_CHECK(d.exp_bits >= 0, "AdaptivFloat section lacks its exponent width");
+  const AdaptivFloatFormat fmt(d.bits, d.exp_bits, d.exp_bias);
+  return PackedAdaptivFloatTensor::view(
+      fmt, d.shape, map_->base + d.payload_offset,
+      static_cast<std::size_t>(d.payload_bytes), map_);
+}
+
+std::vector<std::uint16_t> MappedSnapshot::codes(
+    const std::string& name) const {
+  const SectionDescriptor& d = find(name);
+  AF_CHECK(d.kind == SectionKind::kPackedCodes,
+           "codes() needs a packed section: '" + name + "'");
+  return unpack_codes(map_->base + d.payload_offset,
+                      static_cast<std::size_t>(d.payload_bytes), d.bits,
+                      static_cast<std::size_t>(d.count), StrayBits::kReject);
+}
+
+Tensor MappedSnapshot::fp32(const std::string& name) const {
+  const SectionDescriptor& d = find(name);
+  AF_CHECK(d.kind == SectionKind::kFloat32,
+           "fp32() needs a float32 section: '" + name + "'");
+  Tensor t(d.shape);
+  std::memcpy(t.data(), map_->base + d.payload_offset,
+              static_cast<std::size_t>(d.payload_bytes));
+  return t;
+}
+
+const std::uint8_t* MappedSnapshot::payload(const std::string& name) const {
+  const SectionDescriptor& d = find(name);
+  return map_->base + d.payload_offset;
+}
+
+std::size_t MappedSnapshot::file_bytes() const {
+  return map_ == nullptr ? 0 : map_->size;
+}
+
+}  // namespace af

@@ -1,0 +1,87 @@
+// MappedSnapshot: zero-copy, integrity-checked model snapshot loading.
+//
+// open() maps the container with mmap(MAP_PRIVATE) and walks the recovery
+// ladder per section before handing out views:
+//
+//   CRC ok ──────────────────────────────────────────────► clean
+//   CRC mismatch + policy kDetect ──────────────────────► FaultError
+//   parity localizes one corrupt word per block ────────► reconstruct it
+//     from the additive block checksum, re-verify CRC ──► repaired
+//     (bit-exact — the section CRC is the arbiter)
+//   wider corruption + policy kDegradeToZero ───────────► scrub the
+//     affected blocks (or the whole payload when nothing localizes) to
+//     the all-zero code, which decodes to exact 0 in every format ──► degraded
+//   anything else ──────────────────────────────────────► FaultError
+//     (typed, catchable — a bad snapshot degrades a request, it never
+//     aborts a serving process)
+//
+// Repair and scrub write through the private mapping: copy-on-write pages
+// keep the file untouched, and the clean pages stay shared read-only
+// across every process that mapped the same snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bitpack.hpp"
+#include "src/snapshot/container.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/util/fault.hpp"
+
+namespace af {
+
+struct SnapshotLoadOptions {
+  /// kDetect: any corruption throws. kCorrect/kRecompute: sidecar repair,
+  /// then throw (storage has no upstream to recompute from, so the two
+  /// rungs coincide at load time). kDegradeToZero: repair, then scrub.
+  RecoveryPolicy policy = RecoveryPolicy::kCorrect;
+};
+
+class MappedSnapshot {
+ public:
+  /// Maps and verifies `path`. Header/TOC corruption always fails closed
+  /// with a FaultError (kMalformedInput for structural violations,
+  /// kStorageCorruption for CRC disagreement) — recovery applies only to
+  /// section payloads, whose handling follows `opts.policy`.
+  static MappedSnapshot open(const std::string& path,
+                             SnapshotLoadOptions opts = {});
+
+  std::size_t section_count() const { return sections_.size(); }
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+  const SectionDescriptor& descriptor(const std::string& name) const;
+
+  /// Zero-copy packed tensor over the mapping (AdaptivFloat packed
+  /// sections). The view shares ownership of the mapping, so it remains
+  /// valid after this MappedSnapshot is destroyed.
+  PackedAdaptivFloatTensor packed_view(const std::string& name) const;
+
+  /// Code words of any packed section (copies out of the mapping).
+  std::vector<std::uint16_t> codes(const std::string& name) const;
+
+  /// FP32 section contents (copied — tiny tensors: biases, norms).
+  Tensor fp32(const std::string& name) const;
+
+  /// Post-recovery payload bytes of a section, inside the mapping.
+  const std::uint8_t* payload(const std::string& name) const;
+
+  /// What the load-time recovery ladder did, per section and aggregate.
+  const SnapshotLoadReport& report() const { return report_; }
+
+  std::size_t file_bytes() const;
+
+ private:
+  struct Mapping;
+
+  MappedSnapshot() = default;
+
+  const SectionDescriptor& find(const std::string& name) const;
+
+  std::shared_ptr<Mapping> map_;
+  std::vector<SectionDescriptor> sections_;
+  SnapshotLoadReport report_;
+};
+
+}  // namespace af

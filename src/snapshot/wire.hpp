@@ -1,0 +1,69 @@
+// Little-endian wire helpers for the snapshot container.
+//
+// All multi-byte fields are serialized explicitly byte-by-byte, so the
+// file format is host-independent and there is no struct punning or
+// alignment assumption anywhere in the reader — important because the
+// reader runs over an mmap'd image whose bytes are untrusted until their
+// CRC verifies.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace af::wire {
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t image = 0;
+  std::memcpy(&image, &v, sizeof(image));
+  put_u32(out, image);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+inline std::int32_t get_i32(const std::uint8_t* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+inline std::int64_t get_i64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+inline float get_f32(const std::uint8_t* p) {
+  const std::uint32_t image = get_u32(p);
+  float v = 0.0f;
+  std::memcpy(&v, &image, sizeof(v));
+  return v;
+}
+
+}  // namespace af::wire

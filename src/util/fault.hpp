@@ -23,6 +23,10 @@ enum class FaultKind {
   kRangeViolation,       ///< value outside the calibrated plausibility bound
   kChecksumMismatch,     ///< ABFT row/column checksum disagreement
   kAccumulatorOverflow,  ///< PE accumulator left its register invariant
+  kMalformedInput,       ///< external data violates its declared structure
+                         ///< (bad file, mismatched corpus, invalid spec)
+  kStorageCorruption,    ///< at-rest bytes disagree with their CRC/parity
+                         ///< sidecar (torn write, bit rot in a snapshot)
   kUncorrectable,        ///< detected, but every repair avenue is exhausted
 };
 
@@ -32,6 +36,8 @@ inline const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRangeViolation: return "range-violation";
     case FaultKind::kChecksumMismatch: return "checksum-mismatch";
     case FaultKind::kAccumulatorOverflow: return "accumulator-overflow";
+    case FaultKind::kMalformedInput: return "malformed-input";
+    case FaultKind::kStorageCorruption: return "storage-corruption";
     case FaultKind::kUncorrectable: return "uncorrectable";
   }
   return "unknown";

@@ -24,6 +24,31 @@ inline std::uint64_t fnv1a64(const void* data, std::size_t size,
   return h;
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte span.
+/// Unlike FNV-1a this detects any burst shorter than 32 bits with
+/// certainty, which is what the snapshot container's per-section integrity
+/// check wants: a torn write or a localized flip must never verify.
+inline std::uint32_t crc32(const void* data, std::size_t size,
+                           std::uint32_t crc = 0) {
+  static const auto kTable = [] {
+    struct Table { std::uint32_t e[256]; } t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t.e[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable.e[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
 /// Fixed-width lowercase hex, for printing digests in diffable output.
 inline std::string digest_hex(std::uint64_t h) {
   static const char* kHex = "0123456789abcdef";

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "src/data/metrics.hpp"
-#include "src/util/check.hpp"
+#include "src/data/weight_ensembles.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 namespace {
@@ -106,6 +109,42 @@ TEST(Top1, Basics) {
   EXPECT_DOUBLE_EQ(top1_accuracy({1}, {0}), 0.0);
   EXPECT_THROW(top1_accuracy({}, {}), Error);
   EXPECT_THROW(top1_accuracy({1}, {1, 2}), Error);
+}
+
+TEST(MalformedInput, MetricShapeViolationsAreTypedAndCatchable) {
+  // Corpus-shape violations are data errors, not programmer errors: an
+  // evaluation harness must be able to catch them as FaultError
+  // (kMalformedInput), log the corpus as bad, and keep sweeping.
+  const auto expect_malformed = [](const std::function<void()>& call) {
+    try {
+      call();
+      FAIL() << "malformed input was accepted";
+    } catch (const FaultError& e) {
+      EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+    }
+  };
+  expect_malformed([] { bleu_score({{1}}, {}); });
+  expect_malformed([] { bleu_score({}, {}); });
+  expect_malformed([] { word_error_rate({{1}}, {}); });
+  expect_malformed([] { word_error_rate({{}}, {{}}); });
+  expect_malformed([] { top1_accuracy({1}, {1, 2}); });
+  expect_malformed([] { prediction_flip_rate({}, {}); });
+}
+
+TEST(MalformedInput, BadEnsembleSpecIsTypedAndCatchable) {
+  Pcg32 rng(9);
+  SyntheticLayerSpec spec{"bad", {4, 4}, /*sigma=*/-1.0f,
+                          /*outlier_fraction=*/0.0f, /*outlier_scale=*/1.0f,
+                          /*max_abs=*/1.0f};
+  try {
+    sample_synthetic_layer(spec, rng);
+    FAIL() << "negative sigma was accepted";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+  }
+  spec.sigma = 0.1f;
+  spec.outlier_fraction = 1.5f;
+  EXPECT_THROW(sample_synthetic_layer(spec, rng), FaultError);
 }
 
 }  // namespace

@@ -77,6 +77,55 @@ TEST(FaultInjector, ReplayHoldsAcrossCallBoundaries) {
   EXPECT_EQ(a, b1);
 }
 
+TEST(FaultInjector, SpanOverloadIsBitIdenticalToVectorOverload) {
+  // The raw-span entry point (what the on-disk snapshot campaign drives
+  // over an mmap'd file image) must draw the exact same flips as the
+  // vector path for the same bytes — one seeded stream, two spellings.
+  const FaultConfig cfg{0.01, FaultModel::kSingleBit, 4, 0xabcdULL};
+  FaultInjector vec_inj(cfg), span_inj(cfg);
+  auto vec_bytes = test_payload(2048, 6);
+  auto span_bytes = vec_bytes;
+  vec_inj.corrupt_bytes(vec_bytes);
+  span_inj.corrupt_bytes(span_bytes.data(), span_bytes.size());
+  EXPECT_EQ(vec_bytes, span_bytes);
+  EXPECT_EQ(vec_inj.stats().bits_flipped, span_inj.stats().bits_flipped);
+  EXPECT_EQ(vec_inj.stats().bits_seen, span_inj.stats().bits_seen);
+  EXPECT_GT(span_inj.stats().bits_flipped, 0);
+
+  // And the stream semantics carry over: a span call advances the same
+  // virtual bit stream as the equivalent vector call, so a split span
+  // replay matches a whole vector pass.
+  FaultInjector whole(cfg), split(cfg);
+  auto a = test_payload(1024, 7);
+  auto b = a;
+  whole.corrupt_bytes(a);
+  split.corrupt_bytes(b.data(), 300);
+  split.corrupt_bytes(b.data() + 300, b.size() - 300);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjector, SpanOverloadMatchesCodeWordPathAtByteWidth) {
+  // 8-bit code words stored one per byte: corrupting them through the
+  // byte-span overload and through corrupt_codes must flip identical bits.
+  const FaultConfig cfg{0.02, FaultModel::kSingleBit, 4, 0x5150ULL};
+  std::vector<std::uint16_t> codes(512);
+  Pcg32 rng(8);
+  for (auto& c : codes) c = static_cast<std::uint16_t>(rng.next_below(256));
+
+  std::vector<std::uint8_t> bytes(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(codes[i]);
+  }
+
+  FaultInjector code_inj(cfg), span_inj(cfg);
+  code_inj.corrupt_codes(codes, 8);
+  span_inj.corrupt_bytes(bytes.data(), bytes.size());
+  ASSERT_EQ(code_inj.stats().bits_flipped, span_inj.stats().bits_flipped);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(codes[i], static_cast<std::uint16_t>(bytes[i])) << "word " << i;
+  }
+}
+
 TEST(FaultInjector, DifferentSeedsDiffer) {
   FaultInjector a(FaultConfig{0.01, FaultModel::kSingleBit, 4, 1});
   FaultInjector b(FaultConfig{0.01, FaultModel::kSingleBit, 4, 2});

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/models/quantized_mlp.hpp"
 #include "src/models/resnet.hpp"
 #include "src/models/seq2seq.hpp"
 #include "src/nn/activations.hpp"
@@ -582,6 +583,50 @@ TEST(Session, CacheProbeTripsOnLeakedCache) {
   Tensor x = random_tensor({2, 4}, 172);
   EXPECT_THROW(session.run(x), Error);
   fc->clear_cache();
+}
+
+// ----- snapshot boot --------------------------------------------------------
+
+TEST(Session, SnapshotBootedSessionMatchesRebuiltBitExactly) {
+  // The deployment contract of the snapshot container: a session booted
+  // from mmap'd packed weights produces the same bits as one whose model
+  // was re-quantized from the FP32 source — across thread counts, with
+  // zero steady-state heap allocations on both.
+  ThreadCountRestorer restore;
+  Pcg32 r1(181, 1), r2(181, 2);
+  Linear fc1(32, 48, r1, true, "fc1"), fc2(48, 12, r2, true, "fc2");
+  auto built = std::make_shared<QuantizedMlp>(fc1, fc2, 8, 3);
+
+  const std::string path = testing::TempDir() + "/session_boot.afsnap";
+  built->save(path);
+  const MappedSnapshot snap = MappedSnapshot::open(path);
+  ASSERT_TRUE(snap.report().clean());
+  auto booted = std::make_shared<QuantizedMlp>(snap);
+
+  Tensor x = random_tensor({8, 32}, 183);
+  for (const int threads : {1, 4}) {
+    set_num_threads(threads);
+    SessionConfig cfg_a, cfg_b;
+    cfg_a.cache_probe = [built] { return built->cache_depth(); };
+    cfg_b.cache_probe = [booted] { return booted->cache_depth(); };
+    InferenceSession rebuilt_session(
+        [built](const Tensor& in, ExecutionContext& ctx) {
+          return built->forward(in, ctx);
+        },
+        cfg_a);
+    InferenceSession snapshot_session(
+        [booted](const Tensor& in, ExecutionContext& ctx) {
+          return booted->forward(in, ctx);
+        },
+        cfg_b);
+    rebuilt_session.run(x);
+    snapshot_session.run(x);
+    const Tensor& a = rebuilt_session.run(x);
+    const Tensor& b = snapshot_session.run(x);
+    EXPECT_TRUE(bit_equal(a, b)) << "threads=" << threads;
+    EXPECT_EQ(rebuilt_session.last_run_heap_allocs(), 0);
+    EXPECT_EQ(snapshot_session.last_run_heap_allocs(), 0);
+  }
 }
 
 }  // namespace
