@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""AVX2 speedup acceptance gate.
+
+Reads BENCH_gemm.json and asserts that the fused AVX2 GEMM beat the fused
+scalar GEMM by at least AF_AVX2_SPEEDUP_MIN (default 2.0) single-threaded
+on the 512^3 8-bit workload — the headline acceptance number for the
+kernel-backend dispatch layer. The bench reports the ratio as
+speedup_avx2_vs_scalar_fused_t1, and writes 0.0 when the AVX2 path did not
+run at all; on this x86-only CI job that absence is itself a failure, not
+a skip, so a silently broken cpuid probe cannot pass the gate.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: avx2_speedup_gate.py BENCH_gemm.json", file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        doc = json.load(f)
+    minimum = float(os.environ.get("AF_AVX2_SPEEDUP_MIN", "2.0"))
+
+    gated = [w for w in doc.get("workloads", []) if w.get("bits") == 8]
+    if not gated:
+        print("avx2-speedup-gate: no 8-bit workload in BENCH_gemm.json")
+        return 1
+
+    ok = True
+    for w in gated:
+        speedup = w.get("speedup_avx2_vs_scalar_fused_t1", 0.0)
+        ulp = w.get("avx2_max_ulp", 0.0)
+        verdict = "ok" if speedup >= minimum else "FAIL"
+        if speedup < minimum:
+            ok = False
+        print(f"  {w['name']:<24} avx2/scalar fused t1: {speedup:5.2f}x "
+              f"(need >= {minimum:.2f}x, max {ulp:.2f} scaled ulp)  {verdict}")
+    if not ok:
+        print(f"\navx2-speedup-gate: fused[avx2] below {minimum:.2f}x over "
+              f"fused[scalar] (AF_AVX2_SPEEDUP_MIN); 0.00x means the AVX2 "
+              f"backend never ran")
+        return 1
+    print("\navx2-speedup-gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

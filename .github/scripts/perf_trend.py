@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Packed-GEMM perf-trend gate.
+
+Compares the GFLOP/s of every (workload, path, backend, threads) row in the
+current BENCH_gemm.json against the same row in the baseline artifact
+fetched from the last successful CI run on main. Single-thread rows that
+regress by more than AF_PERF_REGRESSION_PCT percent (default 20) fail the
+check; multi-thread rows are printed for the record but are never fatal,
+because shared-runner scheduling noise dominates them. AF_PERF_WARN_ONLY=1
+(set by CI on pull_request events, where cold ccache and fork runners skew
+timings) reports regressions without failing. A missing baseline file —
+first run on a repo, or an expired artifact — skips the check with exit 0.
+"""
+
+import json
+import os
+import sys
+
+
+def rows(doc):
+    """Flatten BENCH_gemm.json into {(workload, path, backend, threads): gflops}."""
+    out = {}
+    for w in doc.get("workloads", []):
+        for p in w.get("paths", []):
+            key = (w["name"], p["name"], p.get("backend", ""), p["threads"])
+            out[key] = p["gflops"]
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: perf_trend.py CURRENT.json BASELINE.json", file=sys.stderr)
+        return 2
+    cur_path, base_path = argv[1], argv[2]
+    if not os.path.exists(base_path):
+        print(f"perf-trend: no baseline at {base_path}; skipping")
+        return 0
+    with open(cur_path) as f:
+        cur = rows(json.load(f))
+    with open(base_path) as f:
+        base = rows(json.load(f))
+
+    pct = float(os.environ.get("AF_PERF_REGRESSION_PCT", "20"))
+    warn_only = os.environ.get("AF_PERF_WARN_ONLY", "0") == "1"
+
+    failures = 0
+    for key, base_gf in sorted(base.items()):
+        cur_gf = cur.get(key)
+        if cur_gf is None:
+            # A renamed or removed path is not a perf regression; the digest
+            # and golden gates own correctness of the row set.
+            print(f"perf-trend: {key} in baseline but not in current run")
+            continue
+        delta = 100.0 * (cur_gf - base_gf) / base_gf if base_gf > 0 else 0.0
+        wl, path, backend, threads = key
+        line = (f"  {wl:<24} {path:<14} {backend:<8} t{threads}: "
+                f"{base_gf:8.2f} -> {cur_gf:8.2f} GF/s ({delta:+6.1f}%)")
+        if threads == 1 and delta < -pct:
+            failures += 1
+            line += "  << REGRESSION"
+        print(line)
+
+    if failures:
+        print(f"\nperf-trend: {failures} single-thread row(s) slower than the "
+              f"last successful main run by more than {pct:.0f}% "
+              f"(AF_PERF_REGRESSION_PCT)")
+        if warn_only:
+            print("perf-trend: warn-only mode (pull_request); not failing")
+            return 0
+        return 1
+    print(f"\nperf-trend: all single-thread rows within {pct:.0f}% of main")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,26 +1,35 @@
 // Perf-regression harness for the LUT-fused packed GEMM.
 //
-// Three implementations of the same product y = x * W^T with W stored as
-// packed AdaptivFloat codes:
-//   scalar_ref — the pre-kernel-layer path, reproduced locally: per-element
-//                scalar decode of every code, then the strided trans_b
-//                matmul loop. This is the baseline the speedup gate is
-//                measured against.
-//   lut_unpack — table-driven unpack() to a full FP32 matrix, then the
-//                current tile-packed matmul.
-//   fused      — matmul_packed: packed panels decoded by table into
-//                cache-resident tiles inside the GEMM; the FP32 weight
-//                matrix never exists.
-// All three must produce bit-identical outputs (the harness exits nonzero
-// on any mismatch), so the table only buys speed, never bits.
+// Implementations of the same product y = x * W^T with W stored as packed
+// AdaptivFloat codes:
+//   scalar_ref    — the pre-kernel-layer path, reproduced locally: per-
+//                   element scalar decode of every code, then the strided
+//                   trans_b matmul loop. This is the baseline the speedup
+//                   gate is measured against.
+//   lut_unpack    — table-driven unpack() to a full FP32 matrix, then the
+//                   current tile-packed matmul.
+//   fused[<be>]   — matmul_packed through kernel backend <be>: packed
+//                   panels decoded by table into cache-resident tiles
+//                   inside the GEMM; the FP32 weight matrix never exists.
+//                   Measured once per available backend.
+// Numeric contract (the harness exits nonzero on any violation):
+//   * scalar_ref, lut_unpack and fused[scalar] are bit-identical — the
+//     table and the scalar backend only buy speed, never bits;
+//   * fused[avx2] is within kGemmBackendUlpTol norm-scaled ULPs of
+//     scalar_ref per element (FMA rounds once per multiply-add where the
+//     scalar chain rounds twice; the scale is the dot product's L1 norm —
+//     see ulp_at_scale), and bit-identical across thread counts.
 //
 // Modes:
 //   micro_gemm_packed           — timing table at 1 and 4 threads, writes
 //                                 BENCH_gemm.json (machine-readable: ms,
-//                                 GFLOP/s, FNV-1a digests, speedups).
+//                                 GFLOP/s, FNV-1a digests, speedups,
+//                                 max_ulp per backend).
 //   micro_gemm_packed --verify  — prints only output digests under the
-//                                 *current* AF_THREADS setting; CI diffs
-//                                 this across thread counts.
+//                                 *current* AF_THREADS and AF_BACKEND
+//                                 settings; CI diffs this across thread
+//                                 counts and against the pinned scalar
+//                                 goldens (tests/golden/).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,12 +40,14 @@
 #include <vector>
 
 #include "src/core/bitpack.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/kernels/gemm_packed.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/hash.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
+#include "src/util/ulp.hpp"
 
 namespace af {
 namespace {
@@ -60,6 +71,24 @@ std::uint64_t digest(const Tensor& t) {
   return fnv1a64(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
 }
 
+Tensor abs_of(const Tensor& t) {
+  Tensor out(t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    out[i] = t[i] < 0.0f ? -t[i] : t[i];
+  }
+  return out;
+}
+
+/// Worst per-element divergence in norm-scaled ULPs (see ulp_at_scale):
+/// norms[i] = sum_k |A_ik * B_jk|, the dot product's L1 norm.
+double max_scaled_ulp(const Tensor& a, const Tensor& b, const Tensor& norms) {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, ulp_at_scale(a[i], b[i], norms[i]));
+  }
+  return worst;
+}
+
 // ----- scalar reference: the seed path, byte-for-byte ----------------------
 
 /// Per-element scalar decode, exactly what unpack() did before the LUT.
@@ -76,7 +105,7 @@ Tensor unpack_scalar(const PackedAdaptivFloatTensor& p) {
 
 /// The seed matmul's trans_b kernel: cache-blocked i-k-j with strided reads
 /// of B columns (no panel packing). Same chunking and accumulation order as
-/// the current kernel, so its output is the bit-exactness oracle.
+/// the scalar-backend kernel, so its output is the bit-exactness oracle.
 Tensor matmul_seed_tb(const Tensor& a, const Tensor& b) {
   constexpr std::int64_t kRowGrain = 16;
   constexpr std::int64_t kKBlock = 256;
@@ -132,13 +161,62 @@ std::vector<Workload> make_workloads() {
   return out;
 }
 
+/// How a path's output is held against the scalar reference.
+enum class Tolerance { kBitExact, kUlpBound };
+
 struct Path {
   std::string name;
+  std::string backend;  // backend column for the JSON / trend keys
+  Tolerance tol;
   std::function<Tensor(const Workload&)> run;
 };
 
 std::vector<Path> make_paths() {
-  return {
+  std::vector<Path> paths = {
+      {"scalar_ref", "scalar", Tolerance::kBitExact,
+       [](const Workload& w) {
+         return matmul_seed_tb(w.x, unpack_scalar(w.w));
+       }},
+      {"lut_unpack", "scalar", Tolerance::kBitExact,
+       [](const Workload& w) {
+         // unpack() decodes by table (bit-identical on every backend) and
+         // matmul() is the always-scalar ops.cpp kernel.
+         return matmul(w.x, w.w.unpack(), false, /*trans_b=*/true);
+       }},
+      {"fused[scalar]", "scalar", Tolerance::kBitExact,
+       [](const Workload& w) {
+         return matmul_packed(w.x, w.w, scalar_backend());
+       }},
+  };
+  if (const KernelBackend* avx2 = avx2_backend()) {
+    paths.push_back({"fused[avx2]", "avx2", Tolerance::kUlpBound,
+                     [avx2](const Workload& w) {
+                       return matmul_packed(w.x, w.w, *avx2);
+                     }});
+  }
+  return paths;
+}
+
+struct Measurement {
+  std::string path;
+  std::string backend;
+  int threads;
+  double ms;
+  double gflops;
+  std::uint64_t dig;
+  double ulp;  // norm-scaled ULPs vs the 1-thread scalar reference
+};
+
+int run_verify_only() {
+  // Ambient AF_THREADS / AF_BACKEND only — CI diffs this output across
+  // thread counts and backends. The row set is fixed (fused means "the
+  // active backend"), so a scalar run is byte-comparable to the pinned
+  // goldens recorded before the backend layer existed.
+  struct VerifyPath {
+    const char* name;
+    std::function<Tensor(const Workload&)> run;
+  };
+  const VerifyPath paths[] = {
       {"scalar_ref",
        [](const Workload& w) {
          return matmul_seed_tb(w.x, unpack_scalar(w.w));
@@ -149,22 +227,10 @@ std::vector<Path> make_paths() {
        }},
       {"fused", [](const Workload& w) { return matmul_packed(w.x, w.w); }},
   };
-}
-
-struct Measurement {
-  std::string path;
-  int threads;
-  double ms;
-  double gflops;
-  std::uint64_t dig;
-};
-
-int run_verify_only() {
-  // Ambient AF_THREADS only — CI diffs this output across thread counts.
   for (const Workload& w : make_workloads()) {
-    for (const Path& p : make_paths()) {
+    for (const VerifyPath& p : paths) {
       const Tensor y = p.run(w);
-      std::printf("%-22s %-12s %s\n", w.name.c_str(), p.name.c_str(),
+      std::printf("%-22s %-12s %s\n", w.name.c_str(), p.name,
                   digest_hex(digest(y)).c_str());
     }
   }
@@ -175,57 +241,92 @@ int run_bench(const char* json_path) {
   const std::vector<Workload> workloads = make_workloads();
   const std::vector<Path> paths = make_paths();
 
-  bool all_equal = true;
+  bool all_ok = true;
   std::string json = "{\n  \"bench\": \"micro_gemm_packed\",\n"
                      "  \"workloads\": [\n";
 
   TextTable table("micro_gemm_packed: y = x * W^T, W packed AdaptivFloat");
   table.set_header({"Workload", "Path", "1 thr (ms)", "1 thr GF/s",
                     std::to_string(kParallelThreads) + " thr (ms)", "Speedup",
-                    "Bit-equal"});
+                    "Numerics"});
 
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     const Workload& w = workloads[wi];
     const double flops = 2.0 * static_cast<double>(w.m) *
                          static_cast<double>(w.n) * static_cast<double>(w.k);
     std::vector<Measurement> ms;
+    Tensor ref;
+    Tensor norms;  // per-element dot-product L1 norm, the ULP scale
     std::uint64_t ref_digest = 0;
-    double scalar_t1 = 0.0, fused_t1 = 0.0;
+    double scalar_t1 = 0.0, fused_scalar_t1 = 0.0, fused_avx2_t1 = 0.0;
+    double avx2_worst_ulp = 0.0;
 
     for (const Path& p : paths) {
       for (const int threads : {1, kParallelThreads}) {
         set_num_threads(threads);
         const Tensor y = p.run(w);
         const double t = time_ms([&] { p.run(w); }, kReps);
-        ms.push_back({p.name, threads, t, flops / (t * 1e6), digest(y)});
         if (p.name == "scalar_ref" && threads == 1) {
+          ref = y;
+          norms = matmul(abs_of(w.x), abs_of(unpack_scalar(w.w)), false,
+                         /*trans_b=*/true);
           ref_digest = digest(y);
           scalar_t1 = t;
         }
-        if (p.name == "fused" && threads == 1) fused_t1 = t;
+        const double ulp =
+            p.tol == Tolerance::kUlpBound ? max_scaled_ulp(y, ref, norms) : 0;
+        ms.push_back({p.name, p.backend, threads, t, flops / (t * 1e6),
+                      digest(y), ulp});
+        if (p.name == "fused[scalar]" && threads == 1) fused_scalar_t1 = t;
+        if (p.name == "fused[avx2]" && threads == 1) fused_avx2_t1 = t;
       }
     }
     set_num_threads(0);
 
-    for (const Measurement& m : ms) {
-      const bool equal = m.dig == ref_digest;
-      all_equal = all_equal && equal;
-      if (m.threads == 1) {
-        // Pair this 1-thread row with its N-thread sibling for the table.
-        double par_ms = m.ms;
-        bool par_equal = true;
-        for (const Measurement& o : ms) {
-          if (o.path == m.path && o.threads == kParallelThreads) {
-            par_ms = o.ms;
-            par_equal = o.dig == ref_digest;
-          }
+    // Enforce the numeric contract. AVX2 rows must also agree with each
+    // other across thread counts (fixed accumulation chain per backend).
+    for (const Path& p : paths) {
+      std::uint64_t t1_digest = 0;
+      for (const Measurement& m : ms) {
+        if (m.path != p.name) continue;
+        if (m.threads == 1) t1_digest = m.dig;
+        bool ok = true;
+        if (p.tol == Tolerance::kBitExact) {
+          ok = m.dig == ref_digest;
+        } else {
+          ok = m.ulp <= kGemmBackendUlpTol && m.dig == t1_digest;
+          avx2_worst_ulp = std::max(avx2_worst_ulp, m.ulp);
         }
-        all_equal = all_equal && par_equal;
-        table.add_row({w.name, m.path, fmt_fixed(m.ms, 2),
-                       fmt_fixed(flops / (m.ms * 1e6), 2), fmt_fixed(par_ms, 2),
-                       fmt_fixed(scalar_t1 / m.ms, 2) + "x",
-                       equal && par_equal ? "yes" : "NO"});
+        all_ok = all_ok && ok;
       }
+    }
+
+    for (const Measurement& m : ms) {
+      if (m.threads != 1) continue;
+      // Pair this 1-thread row with its N-thread sibling for the table.
+      double par_ms = m.ms;
+      std::uint64_t par_dig = m.dig;
+      for (const Measurement& o : ms) {
+        if (o.path == m.path && o.threads == kParallelThreads) {
+          par_ms = o.ms;
+          par_dig = o.dig;
+        }
+      }
+      std::string numerics;
+      const Path& p = *std::find_if(paths.begin(), paths.end(),
+                                    [&](const Path& q) {
+                                      return q.name == m.path;
+                                    });
+      if (p.tol == Tolerance::kBitExact) {
+        numerics = (m.dig == ref_digest && par_dig == ref_digest)
+                       ? "bit-equal" : "DIVERGED";
+      } else {
+        numerics = m.ulp <= kGemmBackendUlpTol && par_dig == m.dig
+                       ? fmt_fixed(m.ulp, 1) + " ulp" : "DIVERGED";
+      }
+      table.add_row({w.name, m.path, fmt_fixed(m.ms, 2),
+                     fmt_fixed(flops / (m.ms * 1e6), 2), fmt_fixed(par_ms, 2),
+                     fmt_fixed(scalar_t1 / m.ms, 2) + "x", numerics});
     }
 
     json += "    {\n      \"name\": \"" + w.name + "\",\n";
@@ -236,20 +337,28 @@ int run_bench(const char* json_path) {
     json += "      \"paths\": [\n";
     for (std::size_t i = 0; i < ms.size(); ++i) {
       const Measurement& m = ms[i];
-      char buf[256];
+      char buf[320];
       std::snprintf(buf, sizeof(buf),
-                    "        {\"name\": \"%s\", \"threads\": %d, "
-                    "\"ms\": %.3f, \"gflops\": %.3f, \"digest\": \"%s\"}%s\n",
-                    m.path.c_str(), m.threads, m.ms, m.gflops,
-                    digest_hex(m.dig).c_str(),
+                    "        {\"name\": \"%s\", \"backend\": \"%s\", "
+                    "\"threads\": %d, \"ms\": %.3f, \"gflops\": %.3f, "
+                    "\"digest\": \"%s\", \"max_ulp\": %.2f}%s\n",
+                    m.path.c_str(), m.backend.c_str(), m.threads, m.ms,
+                    m.gflops, digest_hex(m.dig).c_str(), m.ulp,
                     i + 1 < ms.size() ? "," : "");
       json += buf;
     }
     json += "      ],\n";
-    char buf[128];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "      \"speedup_fused_vs_scalar_t1\": %.3f\n",
-                  scalar_t1 / fused_t1);
+                  "      \"speedup_fused_vs_scalar_t1\": %.3f,\n",
+                  scalar_t1 / fused_scalar_t1);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "      \"speedup_avx2_vs_scalar_fused_t1\": %.3f,\n",
+                  fused_avx2_t1 > 0.0 ? fused_scalar_t1 / fused_avx2_t1 : 0.0);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "      \"avx2_max_ulp\": %.2f\n", avx2_worst_ulp);
     json += buf;
     json += wi + 1 < workloads.size() ? "    },\n" : "    }\n";
   }
@@ -263,10 +372,12 @@ int run_bench(const char* json_path) {
   out.close();
   std::printf("wrote %s\n", json_path);
 
-  if (!all_equal) {
+  if (!all_ok) {
     std::fprintf(stderr,
-                 "micro_gemm_packed: BIT-EQUALITY VIOLATION between the "
-                 "scalar reference and a LUT path\n");
+                 "micro_gemm_packed: NUMERIC CONTRACT VIOLATION — a "
+                 "bit-exact path diverged from the scalar reference, or an "
+                 "AVX2 result exceeded the documented ULP bound / changed "
+                 "across thread counts\n");
     return 1;
   }
   return 0;

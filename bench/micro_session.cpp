@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/kernels/backend.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/linear.hpp"
 #include "src/nn/lstm.hpp"
@@ -171,8 +172,10 @@ std::vector<Case> make_cases() {
   }
 
   // Quantized MLP under the full protection ladder (ABFT + layer guard).
-  // The clean protected path is bit-identical to the unprotected one, so
-  // the legacy comparator is the plain packed forward.
+  // The clean protected path decodes to FP32 and runs the checksummed
+  // scalar GEMM, so it is bit-identical to the unprotected forward *under
+  // the scalar backend* — the legacy comparator pins scalar to keep that
+  // invariant independent of the ambient AF_BACKEND selection.
   {
     auto m = std::make_shared<QuantMlp>(41, 256, 512, 64);
     Tensor x = random_input({32, 256}, 42);
@@ -188,7 +191,11 @@ std::vector<Case> make_cases() {
         },
         cfg);
     cases.push_back({"mlp abft+guard",
-                     [m, x] { return m->legacy_forward(x); }, session, x});
+                     [m, x] {
+                       ScopedKernelBackend pin(scalar_backend());
+                       return m->legacy_forward(x);
+                     },
+                     session, x});
   }
 
   // 2-layer LSTM over a [24, 8, 64] sequence.

@@ -1,6 +1,7 @@
 #include "src/core/bitpack.hpp"
 
 #include "src/core/algorithm1.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
@@ -168,10 +169,14 @@ Tensor PackedAdaptivFloatTensor::unpack() const {
   check_no_stray_bits(data_, size_, bits, count);
   Tensor out(shape_);
   // Fused unpack+decode through the cached table; disjoint output chunks,
-  // so bit-identical for any AF_THREADS value.
+  // so bit-identical for any AF_THREADS value (and across backends — the
+  // decode is a pure table map).
+  const KernelBackend& be = active_backend();
+  count_backend_dispatch(be);
+  const float* table = lut_->data();
   constexpr std::int64_t kGrain = 1 << 12;
   parallel_for(0, numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
-    unpack_decode(data_, size_, bits, b, e - b, *lut_, out.data() + b);
+    be.unpack_decode(data_, size_, bits, b, e - b, table, out.data() + b);
   });
   return out;
 }

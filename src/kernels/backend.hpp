@@ -1,0 +1,152 @@
+// Runtime-dispatched SIMD kernel backends.
+//
+// The LUT-fused kernels (decode tables, packed-panel GEMM, nearest-boundary
+// search) are pure inner loops over flat arrays — exactly the shape SIMD
+// wants. This module is the seam between "which loop body runs" and
+// "what the loop computes": a KernelBackend is a table of function pointers
+// for the three hot primitives, selected once at startup (cpuid + the
+// AF_BACKEND env override) and threaded through ExecutionContext so a
+// session can pin a backend explicitly.
+//
+// Determinism contract (see DESIGN.md §12):
+//  * Within a backend, every primitive has one fixed accumulation /
+//    traversal order — results are bit-identical across AF_THREADS values
+//    and across runs on the same machine.
+//  * The scalar backend is the reference: byte-identical to the pre-backend
+//    code paths (CI pins its digests against the recorded goldens).
+//  * Decode (`unpack_decode*`) and the NearestLut boundary search are pure
+//    integer/table maps, so they are bit-identical across *all* backends.
+//  * The AVX2 GEMM accumulates with FMA (one rounding per multiply-add
+//    instead of two), so cross-backend bit-equality is NOT promised for
+//    FP accumulation — divergence is bounded by kGemmBackendUlpTol and
+//    asserted in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace af {
+
+enum class BackendKind { kScalar = 0, kAvx2 = 1 };
+
+/// Raw-array view of a NearestLut's search state — what a backend's
+/// boundary search actually touches (the value/code payload stays behind in
+/// NearestLut; the search only resolves interval indices).
+struct NearestLutView {
+  const std::uint32_t* edge_keys;  ///< [v]; [j] = first key of interval j
+  const std::uint32_t* bucket_lo;  ///< [1 << 16]; per (key >> 16) start
+  std::size_t v;                   ///< interval count
+  std::uint32_t nan_index;         ///< interval NaN inputs resolve to
+};
+
+/// One kernel implementation set. Plain function pointers (no virtuals):
+/// the table is selected once, the members are hot-loop entry points.
+struct KernelBackend {
+  const char* name;  ///< "scalar" / "avx2" — stable CI identifier
+  BackendKind kind;
+
+  /// C[i0:i1, 0:n] += A[:, k0:k1] * Bt over one k-window; same contract as
+  /// detail::gemm_panel_accumulate (src/tensor/gemm_kernel.hpp), including
+  /// the exact-zero-A skip. k advances in ascending order within the
+  /// window, so the per-element accumulation chain is fixed per backend.
+  void (*gemm_panel_accumulate)(float* c, std::int64_t ldc, const float* a,
+                                std::int64_t lda, bool trans_a,
+                                const float* bt, std::int64_t ldbt,
+                                std::int64_t n, std::int64_t i0,
+                                std::int64_t i1, std::int64_t k0,
+                                std::int64_t k1);
+
+  /// Fused unpack+decode of `count` consecutive codes starting at element
+  /// `first` of an LSB-first packed stream, through the 2^bits-entry FP32
+  /// table. Bit-identical across backends (pure table map).
+  void (*unpack_decode)(const std::uint8_t* bytes, std::size_t nbytes,
+                        int bits, std::int64_t first, std::int64_t count,
+                        const float* table, float* out);
+
+  /// Strided variant for GEMM tile fill: element i lands at
+  /// out[i * out_stride]. Same values as unpack_decode by construction.
+  void (*unpack_decode_strided)(const std::uint8_t* bytes, std::size_t nbytes,
+                                int bits, std::int64_t first,
+                                std::int64_t count, const float* table,
+                                float* out, std::int64_t out_stride);
+
+  /// Batched NearestLut boundary search: idx[i] = the interval index of
+  /// x[i] (NaN -> nan_index), exactly NearestLut::index_of per element.
+  /// Integer search — bit-identical across backends, no tolerance.
+  void (*nearest_indices)(const NearestLutView& lut, const float* x,
+                          std::uint32_t* idx, std::int64_t count);
+};
+
+/// Documented cross-backend tolerance for the FMA GEMM, in ULPs *at the
+/// scale of the dot product*: for every output element,
+///
+///   |avx2 - scalar|  <=  kGemmBackendUlpTol * 2^-24 * sum_k |A_ik * B_jk|
+///
+/// (2^-24 * norm is one half-ULP at the product-norm scale). The norm is
+/// the natural backward-error unit — both chains round once or twice per
+/// step against partial sums bounded by it, so their difference is a
+/// random walk of a few norm-scaled ULPs, while raw element-relative ULP
+/// distance explodes wherever cancellation leaves |y| << norm and says
+/// nothing about kernel correctness. For the k <= 512 panels benched here
+/// the measured divergence is < 32 scaled ULPs; 256 leaves headroom
+/// without masking real bugs (a mis-accumulated element is off by O(norm),
+/// i.e. ~2^24 scaled ULPs).
+constexpr std::uint32_t kGemmBackendUlpTol = 256;
+
+/// True when this CPU executes AVX2 + FMA (runtime cpuid probe; false on
+/// non-x86 builds).
+bool cpu_supports_avx2();
+
+/// The reference backend. Always available.
+const KernelBackend& scalar_backend();
+
+/// The AVX2 backend, or nullptr when the binary was built without AVX2
+/// support or this CPU lacks AVX2/FMA.
+const KernelBackend* avx2_backend();
+
+/// Resolves an AF_BACKEND-style spec ("scalar" | "avx2" | "auto").
+/// Unknown specs and an explicit "avx2" on a machine without AVX2 fail
+/// closed with a typed FaultError (kMalformedInput); "auto" silently falls
+/// back to scalar when AVX2 is unavailable.
+const KernelBackend& resolve_backend(const std::string& spec);
+
+/// Test seam: same resolution logic with the AVX2-availability probe
+/// replaced by `allow_avx2` — lets a test exercise the no-AVX2 fallback
+/// and the fail-closed path on any machine.
+const KernelBackend& resolve_backend(const std::string& spec, bool allow_avx2);
+
+/// The process-wide active backend: resolved from AF_BACKEND (default
+/// "auto") on first use, then cached. Every dispatch site that is not
+/// handed an explicit backend (plain forward(), bulk unpack, quantize)
+/// routes through this.
+const KernelBackend& active_backend();
+
+/// Overrides the active backend (nullptr re-resolves AF_BACKEND on the
+/// next active_backend() call). Test seam; not thread-safe against
+/// concurrent kernel launches.
+void set_active_backend(const KernelBackend* backend);
+
+/// RAII pin for tests: installs `be` as the active backend, restores the
+/// previous selection on destruction.
+class ScopedKernelBackend {
+ public:
+  explicit ScopedKernelBackend(const KernelBackend& be);
+  ~ScopedKernelBackend();
+  ScopedKernelBackend(const ScopedKernelBackend&) = delete;
+  ScopedKernelBackend& operator=(const ScopedKernelBackend&) = delete;
+
+ private:
+  const KernelBackend* prev_;
+};
+
+/// Dispatch-count seam: how many kernel launches (GEMMs, bulk unpacks,
+/// batched quantize/encode passes) each backend has served since process
+/// start. Tests assert that an override actually routes — e.g. that
+/// AF_BACKEND=scalar on an AVX2 machine leaves the AVX2 counter flat.
+std::uint64_t backend_dispatch_count(BackendKind kind);
+
+/// Records one dispatch against `be` (called by the kernel entry points).
+void count_backend_dispatch(const KernelBackend& be);
+
+}  // namespace af

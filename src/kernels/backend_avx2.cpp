@@ -1,0 +1,306 @@
+// AVX2 + FMA kernel backend.
+//
+// This translation unit is the only one compiled with -mavx2 -mfma; it must
+// not be entered unless cpu_supports_avx2() returned true (backend.cpp
+// guards that). Three primitives:
+//
+//  * gemm_panel_accumulate — register-blocked FMA accumulation: 4-row ×
+//    16-column blocks held in ymm accumulators across the whole k-window
+//    (one C load/store per window, and each B row load amortized over 4
+//    output rows instead of re-streamed per row). The per-element
+//    accumulation chain is "ascending k, one fused multiply-add per step,
+//    no zero skip" — identical for every row/column block width (the
+//    narrower and scalar tails use the same FMA chain via std::fmaf), so
+//    results are bit-identical across AF_THREADS and across block
+//    alignment, but NOT to the scalar backend (FMA rounds once per step
+//    where mul+add rounds twice; bounded by kGemmBackendUlpTol at the
+//    product-norm scale — see backend.hpp).
+//  * unpack_decode / unpack_decode_strided — vectorized 3-byte-window code
+//    extraction: 8 codes per iteration via a 32-bit gather on the byte
+//    stream, per-lane variable shift + mask, then a gathered LUT decode.
+//    Pure table map — bit-identical to the scalar backend.
+//  * nearest_indices — lane-parallel NearestLut boundary search: 8 inputs
+//    walk the bucketed edge table together (masked gathers, unsigned
+//    compares via sign-bit flip). Integer search — bit-identical to the
+//    scalar backend by construction.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/kernels/backend.hpp"
+#include "src/kernels/decode_lut.hpp"
+
+namespace af {
+namespace {
+
+// ----- GEMM ----------------------------------------------------------------
+
+// A-operand read for one (row, k) pair; the layout indirection is hoisted
+// out of the microkernels below.
+inline float a_at(const float* a, std::int64_t lda, bool trans_a,
+                  std::int64_t i, std::int64_t kk) {
+  return trans_a ? a[kk * lda + i] : a[i * lda + kk];
+}
+
+// One row's tail columns [j, n) via the same FMA chain as the vector body.
+inline void row_tail_fma(float* crow, const float* a, std::int64_t lda,
+                         bool trans_a, const float* bt, std::int64_t ldbt,
+                         std::int64_t n, std::int64_t i, std::int64_t j0,
+                         std::int64_t k0, std::int64_t k1) {
+  for (std::int64_t j = j0; j < n; ++j) {
+    float acc = crow[j];
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      acc = std::fmaf(a_at(a, lda, trans_a, i, kk),
+                      bt[(kk - k0) * ldbt + j], acc);
+    }
+    crow[j] = acc;
+  }
+}
+
+void avx2_gemm_panel_accumulate(float* c, std::int64_t ldc, const float* a,
+                                std::int64_t lda, bool trans_a,
+                                const float* bt, std::int64_t ldbt,
+                                std::int64_t n, std::int64_t i0,
+                                std::int64_t i1, std::int64_t k0,
+                                std::int64_t k1) {
+  std::int64_t i = i0;
+  // 4-row × 16-column register block: 8 accumulators live across the whole
+  // k-window, and each B row load feeds four output rows.
+  for (; i + 4 <= i1; i += 4) {
+    float* c0 = c + i * ldc;
+    float* c1 = c0 + ldc;
+    float* c2 = c1 + ldc;
+    float* c3 = c2 + ldc;
+    std::int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256 a00 = _mm256_loadu_ps(c0 + j);
+      __m256 a01 = _mm256_loadu_ps(c0 + j + 8);
+      __m256 a10 = _mm256_loadu_ps(c1 + j);
+      __m256 a11 = _mm256_loadu_ps(c1 + j + 8);
+      __m256 a20 = _mm256_loadu_ps(c2 + j);
+      __m256 a21 = _mm256_loadu_ps(c2 + j + 8);
+      __m256 a30 = _mm256_loadu_ps(c3 + j);
+      __m256 a31 = _mm256_loadu_ps(c3 + j + 8);
+      const float* bj = bt + j;
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float* brow = bj + (kk - k0) * ldbt;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        const __m256 v0 = _mm256_set1_ps(a_at(a, lda, trans_a, i, kk));
+        a00 = _mm256_fmadd_ps(v0, b0, a00);
+        a01 = _mm256_fmadd_ps(v0, b1, a01);
+        const __m256 v1 = _mm256_set1_ps(a_at(a, lda, trans_a, i + 1, kk));
+        a10 = _mm256_fmadd_ps(v1, b0, a10);
+        a11 = _mm256_fmadd_ps(v1, b1, a11);
+        const __m256 v2 = _mm256_set1_ps(a_at(a, lda, trans_a, i + 2, kk));
+        a20 = _mm256_fmadd_ps(v2, b0, a20);
+        a21 = _mm256_fmadd_ps(v2, b1, a21);
+        const __m256 v3 = _mm256_set1_ps(a_at(a, lda, trans_a, i + 3, kk));
+        a30 = _mm256_fmadd_ps(v3, b0, a30);
+        a31 = _mm256_fmadd_ps(v3, b1, a31);
+      }
+      _mm256_storeu_ps(c0 + j, a00);
+      _mm256_storeu_ps(c0 + j + 8, a01);
+      _mm256_storeu_ps(c1 + j, a10);
+      _mm256_storeu_ps(c1 + j + 8, a11);
+      _mm256_storeu_ps(c2 + j, a20);
+      _mm256_storeu_ps(c2 + j + 8, a21);
+      _mm256_storeu_ps(c3 + j, a30);
+      _mm256_storeu_ps(c3 + j + 8, a31);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 a0 = _mm256_loadu_ps(c0 + j);
+      __m256 a1 = _mm256_loadu_ps(c1 + j);
+      __m256 a2 = _mm256_loadu_ps(c2 + j);
+      __m256 a3 = _mm256_loadu_ps(c3 + j);
+      const float* bj = bt + j;
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(bj + (kk - k0) * ldbt);
+        a0 = _mm256_fmadd_ps(
+            _mm256_set1_ps(a_at(a, lda, trans_a, i, kk)), b0, a0);
+        a1 = _mm256_fmadd_ps(
+            _mm256_set1_ps(a_at(a, lda, trans_a, i + 1, kk)), b0, a1);
+        a2 = _mm256_fmadd_ps(
+            _mm256_set1_ps(a_at(a, lda, trans_a, i + 2, kk)), b0, a2);
+        a3 = _mm256_fmadd_ps(
+            _mm256_set1_ps(a_at(a, lda, trans_a, i + 3, kk)), b0, a3);
+      }
+      _mm256_storeu_ps(c0 + j, a0);
+      _mm256_storeu_ps(c1 + j, a1);
+      _mm256_storeu_ps(c2 + j, a2);
+      _mm256_storeu_ps(c3 + j, a3);
+    }
+    if (j < n) {
+      for (int r = 0; r < 4; ++r) {
+        row_tail_fma(c + (i + r) * ldc, a, lda, trans_a, bt, ldbt, n, i + r,
+                     j, k0, k1);
+      }
+    }
+  }
+  // Remainder rows: single-row 16/8-wide blocks, same chain.
+  for (; i < i1; ++i) {
+    float* crow = c + i * ldc;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      const float* bj = bt + j;
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        acc = _mm256_fmadd_ps(
+            _mm256_set1_ps(a_at(a, lda, trans_a, i, kk)),
+            _mm256_loadu_ps(bj + (kk - k0) * ldbt), acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    row_tail_fma(crow, a, lda, trans_a, bt, ldbt, n, i, j, k0, k1);
+  }
+}
+
+// ----- fused unpack + decode ----------------------------------------------
+
+void avx2_unpack_decode(const std::uint8_t* bytes, std::size_t nbytes,
+                        int bits, std::int64_t first, std::int64_t count,
+                        const float* table, float* out) {
+  std::int64_t i = 0;
+  if (count >= 8) {
+    const std::size_t first_bit =
+        static_cast<std::size_t>(first) * static_cast<std::size_t>(bits);
+    // 8*bits is a multiple of 8, so the bit phase within the base byte is
+    // the same for every 8-element group: lane byte offsets and shifts are
+    // loop constants, and the base byte pointer advances by `bits` bytes
+    // per group.
+    const unsigned phase = static_cast<unsigned>(first_bit & 7u);
+    alignas(32) std::int32_t lane_byte[8];
+    alignas(32) std::int32_t lane_shift[8];
+    for (int l = 0; l < 8; ++l) {
+      const unsigned off = phase + static_cast<unsigned>(l * bits);
+      lane_byte[l] = static_cast<std::int32_t>(off >> 3);
+      lane_shift[l] = static_cast<std::int32_t>(off & 7u);
+    }
+    const __m256i vbyte =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_byte));
+    const __m256i vshift =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_shift));
+    const __m256i vmask = _mm256_set1_epi32((1 << bits) - 1);
+    std::size_t base = first_bit >> 3;
+    // Each gather reads 4 bytes at bytes + base + lane_byte[l]; stay vector
+    // only while the furthest lane's window is fully inside the payload.
+    const std::size_t reach = static_cast<std::size_t>(lane_byte[7]) + 4;
+    while (i + 8 <= count && base + reach <= nbytes) {
+      const __m256i win = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(bytes + base), vbyte, 1);
+      const __m256i codes =
+          _mm256_and_si256(_mm256_srlv_epi32(win, vshift), vmask);
+      _mm256_storeu_ps(out + i, _mm256_i32gather_ps(table, codes, 4));
+      i += 8;
+      base += static_cast<std::size_t>(bits);
+    }
+  }
+  // Scalar tail (and payload-edge windows the 4-byte gather cannot touch).
+  std::size_t bitpos = static_cast<std::size_t>(first + i) *
+                       static_cast<std::size_t>(bits);
+  for (; i < count; ++i, bitpos += bits) {
+    out[i] = table[packed_code_at(bytes, nbytes, bitpos, bits)];
+  }
+}
+
+void avx2_unpack_decode_strided(const std::uint8_t* bytes, std::size_t nbytes,
+                                int bits, std::int64_t first,
+                                std::int64_t count, const float* table,
+                                float* out, std::int64_t out_stride) {
+  // Decode contiguously with the vector kernel, then scatter (AVX2 has no
+  // scatter instruction; the strided stores are plain scalar writes).
+  constexpr std::int64_t kChunk = 256;
+  float tmp[kChunk];
+  for (std::int64_t off = 0; off < count; off += kChunk) {
+    const std::int64_t c = std::min(kChunk, count - off);
+    avx2_unpack_decode(bytes, nbytes, bits, first + off, c, table, tmp);
+    for (std::int64_t t = 0; t < c; ++t) {
+      out[(off + t) * out_stride] = tmp[t];
+    }
+  }
+}
+
+// ----- NearestLut boundary search ------------------------------------------
+
+void avx2_nearest_indices(const NearestLutView& lut, const float* x,
+                          std::uint32_t* idx, std::int64_t count) {
+  const __m256i sign = _mm256_set1_epi32(
+      static_cast<std::int32_t>(0x80000000u));
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i exp_mask = _mm256_set1_epi32(0x7f800000);
+  const __m256i vcount = _mm256_set1_epi32(static_cast<std::int32_t>(lut.v));
+  const __m256i one = _mm256_set1_epi32(1);
+  const auto* edges = reinterpret_cast<const int*>(lut.edge_keys);
+  const auto* buckets = reinterpret_cast<const int*>(lut.bucket_lo);
+
+  std::int64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(x + i));
+    // NaN lanes: (u & 0x7fffffff) > 0x7f800000. Both operands are in the
+    // non-negative int32 range, so the signed compare is exact.
+    const __m256i is_nan =
+        _mm256_cmpgt_epi32(_mm256_and_si256(u, abs_mask), exp_mask);
+    // Monotone key: negatives -> ~u, non-negatives -> u | 0x80000000 —
+    // both are u XOR (sign | (u >> 31 arithmetic)).
+    const __m256i key =
+        _mm256_xor_si256(u, _mm256_or_si256(sign, _mm256_srai_epi32(u, 31)));
+    __m256i j = _mm256_i32gather_epi32(
+        buckets, _mm256_srli_epi32(key, 16), 4);
+    // key and edge values are full-range uint32; flip sign bits so signed
+    // compares order them as unsigned.
+    const __m256i skey = _mm256_xor_si256(key, sign);
+    // Lane-parallel scan: advance j while j+1 < v and edge_keys[j+1] <= key,
+    // exactly the scalar bucket walk. Lanes retire from `alive` the first
+    // time their condition fails.
+    __m256i alive = _mm256_set1_epi32(-1);
+    for (;;) {
+      const __m256i jn = _mm256_add_epi32(j, one);
+      __m256i cond = _mm256_and_si256(alive, _mm256_cmpgt_epi32(vcount, jn));
+      if (_mm256_testz_si256(cond, cond)) break;
+      const __m256i edge = _mm256_mask_i32gather_epi32(
+          _mm256_setzero_si256(), edges, jn, cond, 4);
+      const __m256i sedge = _mm256_xor_si256(edge, sign);
+      // edge <= key  <=>  !(edge > key)
+      cond = _mm256_andnot_si256(_mm256_cmpgt_epi32(sedge, skey), cond);
+      if (_mm256_testz_si256(cond, cond)) break;
+      j = _mm256_sub_epi32(j, cond);  // cond lanes are -1: j += 1
+      alive = cond;
+    }
+    const __m256i result = _mm256_blendv_epi8(
+        j, _mm256_set1_epi32(static_cast<std::int32_t>(lut.nan_index)),
+        is_nan);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(idx + i), result);
+  }
+  // Scalar tail — same walk as the scalar backend.
+  for (; i < count; ++i) {
+    std::uint32_t u = 0;
+    std::memcpy(&u, &x[i], sizeof(u));
+    if ((u & 0x7fffffffu) > 0x7f800000u) {
+      idx[i] = lut.nan_index;
+      continue;
+    }
+    const std::uint32_t key = (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+    std::size_t j = lut.bucket_lo[key >> 16];
+    while (j + 1 < lut.v && lut.edge_keys[j + 1] <= key) ++j;
+    idx[i] = static_cast<std::uint32_t>(j);
+  }
+}
+
+const KernelBackend kAvx2Backend = {
+    "avx2",
+    BackendKind::kAvx2,
+    &avx2_gemm_panel_accumulate,
+    &avx2_unpack_decode,
+    &avx2_unpack_decode_strided,
+    &avx2_nearest_indices,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelBackend& avx2_backend_impl() { return kAvx2Backend; }
+}  // namespace detail
+
+}  // namespace af

@@ -66,20 +66,44 @@ inline std::uint16_t packed_code_at(const std::uint8_t* bytes,
   return static_cast<std::uint16_t>((window >> shift) & mask);
 }
 
-/// Fused unpack+decode: decodes `count` consecutive codes starting at
-/// element `first` of the packed stream into out[0..count). Stray high bits
-/// in the final partial byte are masked off per code (the caller polices
-/// them if its policy is kReject). Pure function of the inputs — safe to
-/// call from disjoint parallel_for chunks.
-inline void unpack_decode(const std::uint8_t* bytes, std::size_t nbytes,
-                          int bits, std::int64_t first, std::int64_t count,
-                          const DecodeLut& lut, float* out) {
+/// Fused unpack+decode over a raw 2^bits-entry table: decodes `count`
+/// consecutive codes starting at element `first` of the packed stream into
+/// out[0..count). Stray high bits in the final partial byte are masked off
+/// per code (the caller polices them if its policy is kReject). Pure
+/// function of the inputs — safe to call from disjoint parallel_for chunks.
+/// This is the scalar backend's unpack_decode primitive.
+inline void unpack_decode_scalar(const std::uint8_t* bytes, std::size_t nbytes,
+                                 int bits, std::int64_t first,
+                                 std::int64_t count, const float* table,
+                                 float* out) {
   std::size_t bitpos =
       static_cast<std::size_t>(first) * static_cast<std::size_t>(bits);
-  const float* table = lut.data();
   for (std::int64_t i = 0; i < count; ++i, bitpos += bits) {
     out[i] = table[packed_code_at(bytes, nbytes, bitpos, bits)];
   }
+}
+
+/// Strided form: element i lands at out[i * out_stride] — the packed GEMM's
+/// tile fill writes decoded k-runs down a k-major tile column. Identical
+/// values to unpack_decode_scalar by construction.
+inline void unpack_decode_strided_scalar(const std::uint8_t* bytes,
+                                         std::size_t nbytes, int bits,
+                                         std::int64_t first,
+                                         std::int64_t count,
+                                         const float* table, float* out,
+                                         std::int64_t out_stride) {
+  std::size_t bitpos =
+      static_cast<std::size_t>(first) * static_cast<std::size_t>(bits);
+  for (std::int64_t i = 0; i < count; ++i, bitpos += bits) {
+    out[i * out_stride] = table[packed_code_at(bytes, nbytes, bitpos, bits)];
+  }
+}
+
+/// DecodeLut convenience wrapper kept for existing call sites.
+inline void unpack_decode(const std::uint8_t* bytes, std::size_t nbytes,
+                          int bits, std::int64_t first, std::int64_t count,
+                          const DecodeLut& lut, float* out) {
+  unpack_decode_scalar(bytes, nbytes, bits, first, count, lut.data(), out);
 }
 
 }  // namespace af

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "src/kernels/backend.hpp"
 #include "src/kernels/decode_lut.hpp"
-#include "src/tensor/gemm_kernel.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
@@ -19,7 +19,8 @@ constexpr std::int64_t kMatmulJTile = 64;
 
 }  // namespace
 
-Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w) {
+Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w,
+                     const KernelBackend& backend) {
   AF_CHECK(x.rank() == 2, "matmul_packed input must be rank-2");
   AF_CHECK(w.shape().size() == 2, "matmul_packed weight must be rank-2");
   const std::int64_t m = x.dim(0);
@@ -29,13 +30,14 @@ Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w) {
            "matmul_packed inner dimensions disagree: " + shape_str(x.shape()) +
                " x packed " + shape_str(w.shape()));
 
+  count_backend_dispatch(backend);
   Tensor c({m, n});
   const float* pa = x.data();
   float* pc = c.data();
   const std::uint8_t* bytes = w.data();
   const std::size_t nbytes = w.payload_bytes();
   const int bits = w.format().bits();
-  const DecodeLut& lut = w.decode_lut();
+  const float* table = w.decode_lut().data();
 
   parallel_for(0, m, kMatmulRowGrain, [&](std::int64_t i0, std::int64_t i1) {
     float tile[kMatmulKBlock * kMatmulJTile];
@@ -45,21 +47,22 @@ Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w) {
         const std::int64_t j1 = std::min(n, j0 + kMatmulJTile);
         const std::int64_t jt = j1 - j0;
         // Decode W[j0:j1, k0:k1) once into a k-major tile. Weight row j is
-        // a contiguous bit run starting at element j*k + k0.
+        // a contiguous bit run starting at element j*k + k0; its decoded
+        // values go down tile column (j - j0) with stride jt.
         for (std::int64_t jj = j0; jj < j1; ++jj) {
-          std::size_t bitpos = static_cast<std::size_t>(jj * k + k0) *
-                               static_cast<std::size_t>(bits);
-          for (std::int64_t kk = k0; kk < k1; ++kk, bitpos += bits) {
-            tile[(kk - k0) * jt + (jj - j0)] =
-                lut[packed_code_at(bytes, nbytes, bitpos, bits)];
-          }
+          backend.unpack_decode_strided(bytes, nbytes, bits, jj * k + k0,
+                                        k1 - k0, table, tile + (jj - j0), jt);
         }
-        detail::gemm_panel_accumulate(pc + j0, n, pa, k, /*trans_a=*/false,
+        backend.gemm_panel_accumulate(pc + j0, n, pa, k, /*trans_a=*/false,
                                       tile, jt, jt, i0, i1, k0, k1);
       }
     }
   });
   return c;
+}
+
+Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w) {
+  return matmul_packed(x, w, active_backend());
 }
 
 }  // namespace af

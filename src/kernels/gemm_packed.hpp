@@ -6,24 +6,34 @@
 // HFINT PE never does that — operands stay at code width until the MAC.
 // matmul_packed mirrors that: packed codes are tiled into cache-resident
 // panels, each panel is decoded once through the tensor's DecodeLut into a
-// stack-local FP32 tile, and the shared cache-blocked k-panel microkernel
-// runs over the tile. The full FP32 weight matrix never exists.
+// stack-local FP32 tile, and a kernel-backend microkernel runs over the
+// tile. The full FP32 weight matrix never exists.
 //
 // Determinism: row panels ride the same fixed-grain parallel_for as
-// matmul_acc, panel decode is a pure per-element table map, and the
-// accumulation chain per output element is identical to
-// matmul(x, w.unpack(), false, true) — so the result is bit-identical to
-// the scalar-decode path for every AF_THREADS value.
+// matmul_acc, panel decode is a pure per-element table map (bit-identical
+// across backends), and the accumulation chain per output element is fixed
+// within a backend — so every backend's result is bit-identical across
+// AF_THREADS values. The scalar backend reproduces
+// matmul(x, w.unpack(), false, true) byte-for-byte; the AVX2 backend
+// accumulates with FMA and is bounded against scalar by kGemmBackendUlpTol
+// (see src/kernels/backend.hpp).
 #pragma once
 
 #include "src/core/bitpack.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace af {
 
-/// y = x · Wᵀ with W the packed [out, in] weight tensor: exactly
-/// matmul(x, w.unpack(), false, /*trans_b=*/true), without materializing
-/// the decoded matrix. x is [m, in]; the result is [m, out].
+/// y = x · Wᵀ with W the packed [out, in] weight tensor, computed by the
+/// process-wide active backend (AF_BACKEND). x is [m, in]; the result is
+/// [m, out]. Under the scalar backend this is exactly
+/// matmul(x, w.unpack(), false, /*trans_b=*/true) without materializing
+/// the decoded matrix.
 Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w);
+
+/// Same product through an explicit backend — the ExecutionContext path.
+Tensor matmul_packed(const Tensor& x, const PackedAdaptivFloatTensor& w,
+                     const KernelBackend& backend);
 
 }  // namespace af

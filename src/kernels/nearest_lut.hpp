@@ -33,6 +33,8 @@
 #include <limits>
 #include <vector>
 
+#include "src/kernels/backend.hpp"
+
 namespace af {
 
 /// Tensors below this element count keep the scalar path: building a LUT
@@ -156,6 +158,49 @@ class NearestLut {
 
   float value_of(float x) const { return entries_[index_of(x)].value; }
   std::uint16_t code_of(float x) const { return entries_[index_of(x)].code; }
+
+  /// Raw-array view of the search state for a kernel backend's batched
+  /// boundary search. Valid while this LUT is alive and unmodified.
+  NearestLutView view() const {
+    return {edge_keys_.data(), bucket_lo_.data(), entries_.size(),
+            nan_index_};
+  }
+
+  /// Batched interval resolve through `be`: idx[i] = index_of(x[i]).
+  /// The search is integer-exact, so every backend returns the same
+  /// indices — dispatching here changes speed, never bits.
+  void indices_of(const float* x, std::uint32_t* idx, std::int64_t n,
+                  const KernelBackend& be) const {
+    be.nearest_indices(view(), x, idx, n);
+  }
+
+  /// Batched value_of: out[i] = value_of(x[i]).
+  void values_of(const float* x, float* out, std::int64_t n,
+                 const KernelBackend& be) const {
+    constexpr std::int64_t kChunk = 512;
+    std::uint32_t idx[kChunk];
+    for (std::int64_t off = 0; off < n; off += kChunk) {
+      const std::int64_t c = std::min(kChunk, n - off);
+      be.nearest_indices(view(), x + off, idx, c);
+      for (std::int64_t i = 0; i < c; ++i) {
+        out[off + i] = entries_[idx[i]].value;
+      }
+    }
+  }
+
+  /// Batched code_of: out[i] = code_of(x[i]).
+  void codes_of(const float* x, std::uint16_t* out, std::int64_t n,
+                const KernelBackend& be) const {
+    constexpr std::int64_t kChunk = 512;
+    std::uint32_t idx[kChunk];
+    for (std::int64_t off = 0; off < n; off += kChunk) {
+      const std::int64_t c = std::min(kChunk, n - off);
+      be.nearest_indices(view(), x + off, idx, c);
+      for (std::int64_t i = 0; i < c; ++i) {
+        out[off + i] = entries_[idx[i]].code;
+      }
+    }
+  }
 
  private:
   std::vector<NearestLutEntry> entries_;    // key-sorted intervals

@@ -52,7 +52,7 @@ Tensor QuantizedLinear::forward(const Tensor& x, ExecutionContext& ctx) {
     } else if (ctx.numeric == NumericPolicy::kFp32) {
       y = matmul(x, decoded_weight(), false, /*trans_b=*/true);
     } else {
-      y = matmul_packed(x, weight_);
+      y = matmul_packed(x, weight_, ctx.kernel_backend());
     }
     if (bias_.numel() == out_) add_row_bias_inplace(y, bias_);
     return y;

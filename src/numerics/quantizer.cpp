@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/kernels/backend.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
@@ -45,8 +46,10 @@ Tensor Quantizer::quantize(const Tensor& t) const {
   constexpr std::int64_t kGrain = 1 << 12;
   Tensor out(t.shape());
   if (const NearestLut* lut = round_lut(t.numel())) {
+    const KernelBackend& be = active_backend();
+    count_backend_dispatch(be);
     parallel_for(0, t.numel(), kGrain, [&](std::int64_t b, std::int64_t e) {
-      for (std::int64_t i = b; i < e; ++i) out[i] = lut->value_of(t[i]);
+      lut->values_of(t.data() + b, out.data() + b, e - b, be);
     });
     return out;
   }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/algorithm1.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/numerics/float_format.hpp"
 #include "src/numerics/posit.hpp"
 #include "src/util/check.hpp"
@@ -51,11 +52,23 @@ const NearestLut* FormatCodec::cached_encode_lut(std::int64_t numel) const {
 std::vector<std::uint16_t> FormatCodec::encode_tensor(const Tensor& t) const {
   std::vector<std::uint16_t> codes(static_cast<std::size_t>(t.numel()));
   const NearestLut* lut = cached_encode_lut(t.numel());
+  if (lut != nullptr) {
+    // Batched boundary search through the active backend. The search is
+    // integer-exact, so every backend emits the same codes.
+    const KernelBackend& be = active_backend();
+    count_backend_dispatch(be);
+    parallel_for(0, t.numel(), kCodecGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   lut->codes_of(t.data() + lo,
+                                 codes.data() + static_cast<std::size_t>(lo),
+                                 hi - lo, be);
+                 });
+    return codes;
+  }
   parallel_for(0, t.numel(), kCodecGrain,
                [&](std::int64_t lo, std::int64_t hi) {
                  for (std::int64_t i = lo; i < hi; ++i) {
-                   codes[static_cast<std::size_t>(i)] =
-                       lut != nullptr ? lut->code_of(t[i]) : encode(t[i]);
+                   codes[static_cast<std::size_t>(i)] = encode(t[i]);
                  }
                });
   return codes;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/algorithm1.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/resilience/fault_injector.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
@@ -187,11 +188,14 @@ Tensor ProtectedPackedTensor::unpack() const {
   // disjoint ranges, so the result is bit-identical for any AF_THREADS.
   const std::vector<std::uint8_t>& bytes = codes_.payload();
   Tensor out(shape_);
+  const KernelBackend& be = active_backend();
+  count_backend_dispatch(be);
+  const float* table = lut_->data();
   constexpr std::int64_t kGrain = 1 << 12;
   parallel_for(0, out.numel(), kGrain,
                [&](std::int64_t b, std::int64_t e) {
-                 unpack_decode(bytes.data(), bytes.size(), codes_.bits(), b,
-                               e - b, *lut_, out.data() + b);
+                 be.unpack_decode(bytes.data(), bytes.size(), codes_.bits(),
+                                  b, e - b, table, out.data() + b);
                });
   return out;
 }

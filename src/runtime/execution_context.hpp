@@ -21,6 +21,7 @@
 #include <string>
 
 #include "src/hw/fault_hook.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/resilience/abft.hpp"
 #include "src/resilience/guard.hpp"
 
@@ -50,6 +51,15 @@ struct ExecutionContext {
   ResilienceReport* report = nullptr;  ///< optional observation sink
   PeFaultHook* mac_hook = nullptr;     ///< modeled MAC upsets for kAbft*
   int threads = 0;  ///< session-pinned thread count; 0 = ambient
+  /// Kernel backend pin; nullptr = the process-wide active backend
+  /// (AF_BACKEND). Sessions pin this so a run's backend is fixed even if
+  /// the ambient selection changes mid-flight.
+  const KernelBackend* backend = nullptr;
+
+  /// The backend in force for this context's kernels.
+  const KernelBackend& kernel_backend() const {
+    return backend != nullptr ? *backend : active_backend();
+  }
 
   bool wants_guard() const {
     return resilience == ResiliencePolicy::kGuard ||

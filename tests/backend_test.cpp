@@ -1,0 +1,289 @@
+// Kernel-backend dispatch: AF_BACKEND resolution (fail-closed on bad
+// specs, silent scalar fallback for auto), dispatch-count routing through
+// the override seams, and the cross-backend numeric contract (decode and
+// boundary search bit-identical; FMA GEMM bounded by kGemmBackendUlpTol at
+// the product-norm scale). AVX2-dependent assertions GTEST_SKIP on
+// machines without AVX2+FMA — the selection and fallback logic is still
+// covered there via the resolve_backend(spec, allow_avx2) seam.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "src/core/bitpack.hpp"
+#include "src/kernels/backend.hpp"
+#include "src/kernels/decode_lut.hpp"
+#include "src/kernels/gemm_packed.hpp"
+#include "src/kernels/nearest_lut.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/quantized_linear.hpp"
+#include "src/resilience/codec.hpp"
+#include "src/runtime/execution_context.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/ulp.hpp"
+
+namespace af {
+namespace {
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// ----- selection -----------------------------------------------------------
+
+TEST(KernelBackendSelect, UnknownSpecFailsClosedWithTypedError) {
+  try {
+    resolve_backend("sse9");
+    FAIL() << "unknown AF_BACKEND value resolved instead of throwing";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+    EXPECT_NE(std::string(e.what()).find("sse9"), std::string::npos)
+        << "error should name the offending spec: " << e.what();
+  }
+}
+
+TEST(KernelBackendSelect, ExplicitAvx2WithoutSupportFailsClosed) {
+  // The allow_avx2=false seam models a machine (or build) without AVX2:
+  // an explicit request must throw, never silently degrade.
+  EXPECT_THROW(resolve_backend("avx2", /*allow_avx2=*/false), FaultError);
+}
+
+TEST(KernelBackendSelect, AutoWithoutAvx2FallsBackToScalarSilently) {
+  EXPECT_EQ(&resolve_backend("auto", /*allow_avx2=*/false),
+            &scalar_backend());
+  EXPECT_EQ(&resolve_backend("", /*allow_avx2=*/false), &scalar_backend());
+}
+
+TEST(KernelBackendSelect, ScalarResolvesRegardlessOfAvx2) {
+  EXPECT_EQ(&resolve_backend("scalar", true), &scalar_backend());
+  EXPECT_EQ(&resolve_backend("scalar", false), &scalar_backend());
+  EXPECT_EQ(scalar_backend().kind, BackendKind::kScalar);
+  EXPECT_STREQ(scalar_backend().name, "scalar");
+}
+
+TEST(KernelBackendSelect, AutoPrefersAvx2WhenAvailable) {
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  EXPECT_EQ(&resolve_backend("auto"), avx2);
+  EXPECT_EQ(&resolve_backend("avx2"), avx2);
+  EXPECT_EQ(avx2->kind, BackendKind::kAvx2);
+  EXPECT_STREQ(avx2->name, "avx2");
+}
+
+// ----- dispatch routing ----------------------------------------------------
+
+TEST(KernelBackendDispatch, ScalarOverrideRoutesAwayFromAvx2) {
+  // On an AVX2 machine the default would pick avx2; a scalar pin must
+  // route every kernel entry to the scalar table and leave the AVX2
+  // dispatch counter flat. (On a non-AVX2 machine this still verifies the
+  // scalar counter moves.)
+  Pcg32 rng(7);
+  const Tensor x = Tensor::randn({8, 64}, rng);
+  const auto w = PackedAdaptivFloatTensor::quantize_pack(
+      Tensor::randn({16, 64}, rng, 0.5f), 8, 3);
+
+  ScopedKernelBackend pin(scalar_backend());
+  const std::uint64_t scalar0 = backend_dispatch_count(BackendKind::kScalar);
+  const std::uint64_t avx20 = backend_dispatch_count(BackendKind::kAvx2);
+  (void)matmul_packed(x, w);  // GEMM dispatch
+  (void)w.unpack();           // bulk unpack dispatch
+  EXPECT_GE(backend_dispatch_count(BackendKind::kScalar), scalar0 + 2);
+  EXPECT_EQ(backend_dispatch_count(BackendKind::kAvx2), avx20);
+}
+
+TEST(KernelBackendDispatch, ContextPinOverridesAmbientBackend) {
+  Pcg32 rng(8);
+  Linear fc(48, 24, rng);
+  QuantizedLinear qfc(fc, 8, 3);
+  const Tensor x = Tensor::randn({4, 48}, rng);
+
+  ExecutionContext ctx;
+  ctx.backend = &scalar_backend();
+  const std::uint64_t scalar0 = backend_dispatch_count(BackendKind::kScalar);
+  const std::uint64_t avx20 = backend_dispatch_count(BackendKind::kAvx2);
+  const Tensor y = qfc.forward(x, ctx);
+  EXPECT_GT(backend_dispatch_count(BackendKind::kScalar), scalar0);
+  EXPECT_EQ(backend_dispatch_count(BackendKind::kAvx2), avx20);
+
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  ctx.backend = avx2;
+  (void)qfc.forward(x, ctx);
+  EXPECT_EQ(backend_dispatch_count(BackendKind::kAvx2), avx20 + 1);
+}
+
+TEST(KernelBackendDispatch, ScopedPinRestoresPreviousSelection) {
+  const KernelBackend& before = active_backend();
+  {
+    ScopedKernelBackend pin(scalar_backend());
+    EXPECT_EQ(&active_backend(), &scalar_backend());
+  }
+  EXPECT_EQ(&active_backend(), &before);
+}
+
+// ----- cross-backend numerics ----------------------------------------------
+
+TEST(KernelBackendNumerics, GemmWithinScaledUlpBoundAcrossBits) {
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  Pcg32 rng(31);
+  const struct {
+    int bits, exp_bits;
+  } fmts[] = {{8, 3}, {6, 3}, {4, 2}};
+  for (const auto& f : fmts) {
+    const Tensor x = Tensor::randn({33, 130}, rng);
+    const Tensor wf = Tensor::randn({65, 130}, rng, 0.5f);
+    const auto packed =
+        PackedAdaptivFloatTensor::quantize_pack(wf, f.bits, f.exp_bits);
+    const Tensor ref = matmul_packed(x, packed, scalar_backend());
+    const Tensor got = matmul_packed(x, packed, *avx2);
+    // Per-element scale: the dot product's L1 norm over the decoded
+    // weights actually used by both kernels.
+    const Tensor wd = packed.unpack();
+    ASSERT_EQ(ref.shape(), got.shape());
+    for (std::int64_t i = 0; i < ref.dim(0); ++i) {
+      for (std::int64_t j = 0; j < ref.dim(1); ++j) {
+        double norm = 0.0;
+        for (std::int64_t kk = 0; kk < x.dim(1); ++kk) {
+          norm += std::abs(static_cast<double>(x[i * x.dim(1) + kk]) *
+                           wd[j * x.dim(1) + kk]);
+        }
+        const double ulp = ulp_at_scale(ref[i * ref.dim(1) + j],
+                                        got[i * ref.dim(1) + j], norm);
+        EXPECT_LE(ulp, kGemmBackendUlpTol)
+            << "bits=" << f.bits << " element (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelBackendNumerics, Avx2GemmBitStableAcrossThreadCounts) {
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  Pcg32 rng(32);
+  const Tensor x = Tensor::randn({37, 200}, rng);
+  const auto packed = PackedAdaptivFloatTensor::quantize_pack(
+      Tensor::randn({50, 200}, rng, 0.5f), 8, 3);
+  set_num_threads(1);
+  const Tensor t1 = matmul_packed(x, packed, *avx2);
+  for (const int threads : {2, 4, 8}) {
+    set_num_threads(threads);
+    EXPECT_TRUE(bit_equal(t1, matmul_packed(x, packed, *avx2)))
+        << "threads=" << threads;
+  }
+  set_num_threads(0);
+}
+
+TEST(KernelBackendNumerics, UnpackDecodeBitIdenticalToScalar) {
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  Pcg32 rng(33);
+  for (const int bits : {4, 6, 8}) {
+    // A payload with every code value represented, plus a ragged element
+    // count so the vector kernel hits both its payload-edge guard and the
+    // scalar tail.
+    const std::int64_t count = 1231;
+    const std::size_t nbytes =
+        (static_cast<std::size_t>(count) * bits + 7) / 8;
+    std::vector<std::uint8_t> bytes(nbytes);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    std::vector<float> table(std::size_t{1} << bits);
+    for (auto& v : table) v = rng.uniform(-4.0f, 4.0f);
+
+    // Sweep (first, count) windows, including bit-phase offsets that are
+    // not byte-aligned for 6-bit codes.
+    const std::int64_t firsts[] = {0, 1, 3, 7, 17, count - 40};
+    for (const std::int64_t first : firsts) {
+      const std::int64_t n = count - first;
+      std::vector<float> got_s(static_cast<std::size_t>(n), -1.0f);
+      std::vector<float> got_v(static_cast<std::size_t>(n), -2.0f);
+      scalar_backend().unpack_decode(bytes.data(), nbytes, bits, first, n,
+                                     table.data(), got_s.data());
+      avx2->unpack_decode(bytes.data(), nbytes, bits, first, n, table.data(),
+                          got_v.data());
+      EXPECT_EQ(0, std::memcmp(got_s.data(), got_v.data(),
+                               got_s.size() * sizeof(float)))
+          << "bits=" << bits << " first=" << first;
+
+      // Strided variant writes the same values at stride 3.
+      std::vector<float> strided_s(static_cast<std::size_t>(n) * 3, 0.0f);
+      std::vector<float> strided_v(static_cast<std::size_t>(n) * 3, 0.0f);
+      scalar_backend().unpack_decode_strided(bytes.data(), nbytes, bits,
+                                             first, n, table.data(),
+                                             strided_s.data(), 3);
+      avx2->unpack_decode_strided(bytes.data(), nbytes, bits, first, n,
+                                  table.data(), strided_v.data(), 3);
+      EXPECT_EQ(0, std::memcmp(strided_s.data(), strided_v.data(),
+                               strided_s.size() * sizeof(float)))
+          << "bits=" << bits << " first=" << first;
+    }
+  }
+}
+
+TEST(KernelBackendNumerics, NearestIndicesBitIdenticalAcrossFormats) {
+  // The boundary search is integer-exact: no tolerance, every format,
+  // including NaN/Inf/signed-zero/denormal inputs.
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  Pcg32 rng(34);
+  for (const FormatKind kind : all_format_kinds()) {
+    const auto codec = make_codec(kind, 8, 2.0f);
+    const NearestLut lut = build_encode_lut(
+        codec->bits(), [&](float v) { return codec->encode(v); },
+        [&](std::uint16_t c) { return codec->decode(c); });
+    if (lut.empty()) continue;  // format fell back to scalar encode
+
+    std::vector<float> xs;
+    for (int i = 0; i < 4096; ++i) xs.push_back(rng.uniform(-3.0f, 3.0f));
+    xs.insert(xs.end(),
+              {0.0f, -0.0f, std::numeric_limits<float>::infinity(),
+               -std::numeric_limits<float>::infinity(),
+               std::numeric_limits<float>::quiet_NaN(),
+               std::numeric_limits<float>::denorm_min(),
+               -std::numeric_limits<float>::denorm_min(), 1e-38f, -1e-38f,
+               2.0f, -2.0f, 1000.0f, -1000.0f});
+    const auto n = static_cast<std::int64_t>(xs.size());
+    std::vector<std::uint32_t> idx_s(xs.size(), 0xffffffffu);
+    std::vector<std::uint32_t> idx_v(xs.size(), 0xfffffffeu);
+    lut.indices_of(xs.data(), idx_s.data(), n, scalar_backend());
+    lut.indices_of(xs.data(), idx_v.data(), n, *avx2);
+    EXPECT_EQ(idx_s, idx_v) << "format " << format_kind_name(kind);
+    // And against the per-element scalar method, the original oracle.
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(idx_s[i], lut.index_of(xs[i]))
+          << format_kind_name(kind) << " x=" << xs[i];
+    }
+  }
+}
+
+TEST(KernelBackendNumerics, EncodeTensorBackendInvariant) {
+  // encode_tensor dispatches the boundary search through the active
+  // backend; codes must not depend on which one runs.
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2+FMA on this machine";
+  Pcg32 rng(35);
+  Tensor t = Tensor::randn({128, 128}, rng);  // above the LUT threshold
+  for (const FormatKind kind : all_format_kinds()) {
+    const auto codec = make_codec(kind, 8, t.max_abs());
+    std::vector<std::uint16_t> scalar_codes, avx2_codes;
+    {
+      ScopedKernelBackend pin(scalar_backend());
+      scalar_codes = codec->encode_tensor(t);
+    }
+    {
+      ScopedKernelBackend pin(*avx2);
+      avx2_codes = codec->encode_tensor(t);
+    }
+    EXPECT_EQ(scalar_codes, avx2_codes) << format_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace af

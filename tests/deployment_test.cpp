@@ -6,6 +6,7 @@
 
 #include "src/core/algorithm1.hpp"
 #include "src/core/channel_quant.hpp"
+#include "src/kernels/backend.hpp"
 #include "src/nn/pruning.hpp"
 #include "src/nn/quant.hpp"
 #include "src/nn/quantized_linear.hpp"
@@ -17,7 +18,9 @@ namespace {
 
 TEST(QuantizedLinear, MatchesFakeQuantizedReference) {
   // The packed execution path must agree bit-for-bit with the evaluation
-  // path (WeightQuantScope around an FP32 Linear).
+  // path (WeightQuantScope around an FP32 Linear). The fake-quant path
+  // runs the scalar matmul, so pin the scalar backend for the comparison.
+  ScopedKernelBackend pin(scalar_backend());
   Pcg32 rng(1);
   Linear lin(12, 7, rng);
   Tensor x = Tensor::randn({5, 12}, rng);

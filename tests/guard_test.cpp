@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/kernels/backend.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/linear.hpp"
 #include "src/nn/lstm.hpp"
@@ -236,6 +237,9 @@ TEST(GuardedForward, LstmCleanPathBitIdentical) {
 }
 
 TEST(GuardedForward, QuantizedLinearCleanPathBitIdentical) {
+  // The abft side runs the scalar checksummed GEMM over decoded weights;
+  // it matches the fused forward bit-for-bit only under the scalar backend.
+  ScopedKernelBackend pin(scalar_backend());
   Pcg32 rng(17);
   Linear fc(10, 6, rng);
   QuantizedLinear qfc(fc, 8, 3);

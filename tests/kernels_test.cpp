@@ -43,6 +43,10 @@ class ThreadRestore : public ::testing::Test {
 using MatmulPacked = ThreadRestore;
 
 TEST_F(MatmulPacked, BitIdenticalToUnpackThenMatmul) {
+  // The unpack-then-matmul reference is the scalar ops.cpp kernel; exact
+  // bit-equality is the *scalar backend's* contract (AVX2 is FMA-bounded,
+  // covered in backend_test.cpp), so pin scalar for this test.
+  ScopedKernelBackend pin(scalar_backend());
   Pcg32 rng(101);
   const struct {
     std::int64_t m, k, n;
@@ -275,6 +279,9 @@ TEST(QuantizedLinearCache, GuardedForwardDecodesWeightsOnce) {
 }
 
 TEST(QuantizedLinearCache, FusedForwardMatchesDecodedMatmul) {
+  // matmul() over decoded weights is always scalar; the fused path only
+  // matches it bit-for-bit under the scalar backend.
+  ScopedKernelBackend pin(scalar_backend());
   Pcg32 rng(109);
   Linear fc(70, 33, rng);
   const QuantizedLinear qfc(fc, 6, 3);
