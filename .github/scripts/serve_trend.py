@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Serving-core perf-trend gate.
+
+Compares BENCH_serve.json against the bench-serve artifact fetched from the
+last successful CI run on main. The fatal metric is the closed-loop drain
+arm's throughput_rps — the open-loop arms only echo their offered rate, so
+their throughput says nothing about the server. The open-loop arms' latency
+percentiles and shed/degrade counters are printed for the record but never
+fail the gate: shared-runner scheduling noise dominates wall-clock
+percentiles. A drop of more than AF_PERF_REGRESSION_PCT percent (default
+20) fails the check; AF_PERF_WARN_ONLY=1 (set on pull_request events)
+reports without failing. A missing baseline skips with exit 0.
+"""
+
+import json
+import os
+import sys
+
+FATAL_ARMS = ("drain",)
+
+
+def arms(doc):
+    return {a["name"]: a for a in doc.get("arms", [])}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: serve_trend.py CURRENT.json BASELINE.json", file=sys.stderr)
+        return 2
+    cur_path, base_path = argv[1], argv[2]
+    if not os.path.exists(base_path):
+        print(f"serve-trend: no baseline at {base_path}; skipping")
+        return 0
+    with open(cur_path) as f:
+        cur = arms(json.load(f))
+    with open(base_path) as f:
+        base = arms(json.load(f))
+
+    pct = float(os.environ.get("AF_PERF_REGRESSION_PCT", "20"))
+    warn_only = os.environ.get("AF_PERF_WARN_ONLY", "0") == "1"
+
+    failures = 0
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            print(f"serve-trend: arm '{name}' in baseline but not in current run")
+            continue
+        b_tp, c_tp = b["throughput_rps"], c["throughput_rps"]
+        delta = 100.0 * (c_tp - b_tp) / b_tp if b_tp > 0 else 0.0
+        fatal = name in FATAL_ARMS
+        line = (f"  {name:<8} throughput {b_tp:9.1f} -> {c_tp:9.1f} rps "
+                f"({delta:+6.1f}%)  p99 {b['p99_us']:>8} -> {c['p99_us']:>8} us")
+        if fatal and delta < -pct:
+            failures += 1
+            line += "  << REGRESSION"
+        elif not fatal:
+            line += "  (informational)"
+        print(line)
+
+    if failures:
+        print(f"\nserve-trend: drain throughput below the last successful main "
+              f"run by more than {pct:.0f}% (AF_PERF_REGRESSION_PCT)")
+        if warn_only:
+            print("serve-trend: warn-only mode (pull_request); not failing")
+            return 0
+        return 1
+    print(f"\nserve-trend: drain throughput within {pct:.0f}% of main")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

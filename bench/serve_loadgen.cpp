@@ -1,0 +1,418 @@
+// Load harness for the serving core (src/serve/).
+//
+// Drives an InferenceServer over a packed AdaptivFloat MLP with seeded
+// open-loop traffic — Poisson arrivals plus heavy-tail bursts, the arrival
+// process every queueing result in DESIGN.md §13 assumes — and reports the
+// latency distribution (p50/p99/p999), achieved throughput, and every shed/
+// degrade/fail count the admission and breaker paths produce. A second arm
+// replays the same traffic with a seeded FaultInjector wired into every
+// worker's MACs, showing the breaker ladder absorbing a fault storm while
+// the server keeps answering. A closed-loop drain arm (burst-submit, then
+// drain) gives the saturation throughput the CI perf-trend step tracks.
+//
+// Modes:
+//   serve_loadgen            — all arms, prints tables, writes
+//                              BENCH_serve.json (--json PATH to move it).
+//   serve_loadgen --verify   — deterministic digest mode: a fixed request
+//                              set served with no deadlines and no faults;
+//                              prints one digest line per request plus the
+//                              fold. Response bits are a pure function of
+//                              the request (workers are serial-pinned), so
+//                              CI diffs this output across AF_THREADS and
+//                              worker counts. Exits nonzero on any failed
+//                              request or a steady-state heap allocation.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/quantized_linear.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/resilience/guard.hpp"
+#include "src/serve/server.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/util/hash.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace af {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ----- model ----------------------------------------------------------------
+
+constexpr std::uint64_t kModelSeed = 71;
+constexpr std::int64_t kIn = 128, kHidden = 256, kOut = 32, kBatch = 8;
+
+// One worker's model replica: every worker builds from the same seed, so
+// replicas are bit-identical and any worker may serve any request.
+struct ServedMlp {
+  Linear fc1, fc2;
+  QuantizedLinear q1, q2;
+  ReLU act;
+  ServedMlp()
+      : fc1([] {
+          Pcg32 r(kModelSeed, 1);
+          return Linear(kIn, kHidden, r, true, "fc1");
+        }()),
+        fc2([] {
+          Pcg32 r(kModelSeed, 2);
+          return Linear(kHidden, kOut, r, true, "fc2");
+        }()),
+        q1(fc1, 8, 3),
+        q2(fc2, 8, 3) {}
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) {
+    return q2.forward(act.forward(q1.forward(x, ctx), ctx), ctx);
+  }
+};
+
+InferenceServer::ForwardFactory make_factory() {
+  return [](int /*worker*/) -> InferenceSession::ForwardFn {
+    auto m = std::make_shared<ServedMlp>();
+    return [m](const Tensor& x, ExecutionContext& ctx) {
+      return m->forward(x, ctx);
+    };
+  };
+}
+
+// A small pool of distinct request payloads; request i sends pool[i % N].
+std::vector<Tensor> make_inputs(std::size_t n, std::uint64_t seed) {
+  std::vector<Tensor> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Pcg32 rng(seed + i);
+    pool.push_back(Tensor::randn({kBatch, kIn}, rng));
+  }
+  return pool;
+}
+
+std::uint64_t digest(const Tensor& t) {
+  return fnv1a64(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_us.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  idx = std::min(idx, sorted_us.size() - 1);
+  return sorted_us[idx];
+}
+
+// ----- verify mode ----------------------------------------------------------
+
+constexpr int kVerifyRequests = 48;
+constexpr int kVerifyWorkers = 3;
+
+int run_verify_only() {
+  ServerConfig cfg;
+  cfg.workers = kVerifyWorkers;
+  cfg.queue_capacity = kVerifyRequests;
+  cfg.queue_shards = 2;
+  InferenceServer server(make_factory(), cfg);
+
+  auto guard = std::make_shared<LayerGuard>(
+      "serve", GuardConfig{RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  TenantConfig tenant;
+  tenant.name = "verify";
+  tenant.guard = guard.get();
+  server.add_tenant(tenant);
+
+  const std::vector<Tensor> inputs = make_inputs(8, 91);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(kVerifyRequests);
+  for (int i = 0; i < kVerifyRequests; ++i) {
+    Request req;
+    req.tenant = "verify";
+    req.input = inputs[static_cast<std::size_t>(i) % inputs.size()];
+    futs.push_back(server.submit(std::move(req)));
+  }
+
+  bool ok = true;
+  std::uint64_t fold = kFnvOffset;
+  for (int i = 0; i < kVerifyRequests; ++i) {
+    Response r = futs[static_cast<std::size_t>(i)].get();
+    const std::uint64_t dig = r.ok ? digest(r.output) : 0;
+    fold = fnv1a64(&dig, sizeof(dig), fold);
+    ok = ok && r.ok && !r.degraded;
+    std::printf("req %02d ok %d degraded %d digest %s\n", i, r.ok ? 1 : 0,
+                r.degraded ? 1 : 0, digest_hex(dig).c_str());
+  }
+  server.shutdown();
+  const std::int64_t steady = server.max_steady_state_allocs();
+  std::printf("fold %s steady_allocs %lld\n", digest_hex(fold).c_str(),
+              static_cast<long long>(steady));
+  if (!ok || steady != 0) {
+    std::fprintf(stderr,
+                 "serve_loadgen: verify failed (request error, degraded "
+                 "clean-path response, or steady-state allocation)\n");
+    return 1;
+  }
+  return 0;
+}
+
+// ----- load arms ------------------------------------------------------------
+
+struct ArmResult {
+  std::string name;
+  double offered_rps = 0.0;
+  double wall_ms = 0.0;
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+  double throughput_rps = 0.0;
+  StatsSnapshot stats;
+  std::int64_t breaker_opens = 0;
+  std::int64_t breaker_step_downs = 0;
+};
+
+struct TrafficConfig {
+  int requests = 1500;
+  double rate_rps = 4000.0;   ///< open-loop offered rate
+  double burst_prob = 0.04;   ///< per-arrival chance of a heavy-tail burst
+  int burst_size = 24;        ///< back-to-back submissions per burst
+  std::chrono::microseconds deadline{50000};
+  std::uint64_t seed = 7;
+  double fault_ber = 0.0;     ///< >0 wires a seeded FaultInjector per worker
+};
+
+ArmResult run_arm(const std::string& name, const TrafficConfig& t) {
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 256;
+  cfg.queue_shards = 4;
+  if (t.fault_ber > 0.0) {
+    const double ber = t.fault_ber;
+    const std::uint64_t seed = t.seed;
+    cfg.mac_hook_factory =
+        [ber, seed](int worker) -> std::unique_ptr<PeFaultHook> {
+      FaultConfig fc;
+      fc.bit_error_rate = ber;
+      fc.seed = seed + static_cast<std::uint64_t>(worker) * 1000003ULL;
+      return std::make_unique<FaultInjector>(fc);
+    };
+  }
+  InferenceServer server(make_factory(), cfg);
+
+  // kRecompute guard: ABFT detections beyond the rerun budget throw
+  // kUncorrectable (recoverable -> retried -> breaker fault) instead of
+  // silently passing corrupted values through.
+  auto guard = std::make_shared<LayerGuard>(
+      "serve", GuardConfig{RecoveryPolicy::kRecompute, 1, 0.0f});
+  TenantConfig tenant;
+  tenant.name = "load";
+  tenant.guard = guard.get();
+  tenant.use_mac_hook = t.fault_ber > 0.0;
+  tenant.retry.max_retries = 2;
+  tenant.retry.backoff_base = std::chrono::microseconds(100);
+  tenant.default_deadline = t.deadline;
+  server.add_tenant(tenant);
+
+  const std::vector<Tensor> inputs = make_inputs(16, t.seed + 101);
+  Pcg32 arrivals(t.seed, 11);
+
+  std::vector<std::future<Response>> futs;
+  futs.reserve(static_cast<std::size_t>(t.requests));
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next = start;
+  int submitted = 0, burst_left = 0;
+  while (submitted < t.requests) {
+    if (burst_left == 0) {
+      // Exponential inter-arrival gap; occasionally a heavy-tail burst
+      // lands the next `burst_size` requests back-to-back.
+      const double u = std::max(arrivals.next_double(), 1e-12);
+      next += std::chrono::microseconds(
+          static_cast<std::int64_t>(-std::log(u) / t.rate_rps * 1e6));
+      if (arrivals.next_double() < t.burst_prob) burst_left = t.burst_size;
+      std::this_thread::sleep_until(next);
+    } else {
+      --burst_left;
+    }
+    Request req;
+    req.tenant = "load";
+    req.input = inputs[static_cast<std::size_t>(submitted) % inputs.size()];
+    try {
+      futs.push_back(server.submit(std::move(req)));
+    } catch (const FaultError&) {
+      // Admission shed (overload / breaker open) — already counted in the
+      // server stats; the open-loop generator just moves on.
+    }
+    ++submitted;
+  }
+
+  std::vector<double> lat_us;
+  lat_us.reserve(futs.size());
+  for (auto& f : futs) {
+    Response r = f.get();
+    if (r.ok) lat_us.push_back(static_cast<double>(r.total_us.count()));
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  // Join the workers before snapshotting: counters are bumped after the
+  // response future is delivered, so a live snapshot could run one short.
+  server.shutdown();
+
+  ArmResult a;
+  a.name = name;
+  a.offered_rps = t.rate_rps;
+  a.wall_ms = wall_ms;
+  a.stats = server.stats();
+  std::sort(lat_us.begin(), lat_us.end());
+  a.p50_us = percentile(lat_us, 0.50);
+  a.p99_us = percentile(lat_us, 0.99);
+  a.p999_us = percentile(lat_us, 0.999);
+  a.throughput_rps =
+      static_cast<double>(a.stats.completed) / (wall_ms / 1000.0);
+  const HealthReport h = server.health();
+  for (const TenantHealth& th : h.tenants) {
+    a.breaker_opens += th.breaker.opens;
+    a.breaker_step_downs += th.breaker.step_downs;
+  }
+  return a;
+}
+
+// Closed-loop saturation arm: burst-submit a fixed batch with no pacing and
+// no deadlines, then drain. Wall time measures how fast the worker pool can
+// chew through a full queue — the perf-trend throughput metric (open-loop
+// throughput only echoes the offered rate).
+ArmResult run_drain_arm(int requests) {
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = requests;
+  cfg.queue_shards = 4;
+  InferenceServer server(make_factory(), cfg);
+
+  auto guard = std::make_shared<LayerGuard>(
+      "serve", GuardConfig{RecoveryPolicy::kDegradeToZero, 1, 0.0f});
+  TenantConfig tenant;
+  tenant.name = "drain";
+  tenant.guard = guard.get();
+  server.add_tenant(tenant);
+
+  const std::vector<Tensor> inputs = make_inputs(16, 301);
+  std::vector<std::future<Response>> futs;
+  futs.reserve(static_cast<std::size_t>(requests));
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    Request req;
+    req.tenant = "drain";
+    req.input = inputs[static_cast<std::size_t>(i) % inputs.size()];
+    futs.push_back(server.submit(std::move(req)));
+  }
+  for (auto& f : futs) f.get();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  server.shutdown();
+
+  ArmResult a;
+  a.name = "drain";
+  a.wall_ms = wall_ms;
+  a.stats = server.stats();
+  a.throughput_rps =
+      static_cast<double>(a.stats.completed) / (wall_ms / 1000.0);
+  return a;
+}
+
+int run_bench(const char* json_path) {
+  std::vector<ArmResult> arms;
+
+  TrafficConfig baseline;
+  arms.push_back(run_arm("steady", baseline));
+
+  TrafficConfig storm = baseline;
+  storm.fault_ber = 2e-4;
+  arms.push_back(run_arm("faults", storm));
+
+  arms.push_back(run_drain_arm(512));
+
+  TextTable table("serve_loadgen: open-loop Poisson+burst traffic");
+  table.set_header({"Arm", "Offered rps", "Done", "Shed", "Degraded",
+                    "Failed", "p50 us", "p99 us", "p99.9 us", "Tput rps"});
+  for (const ArmResult& a : arms) {
+    const std::int64_t shed = a.stats.rejected_overload +
+                              a.stats.rejected_open + a.stats.shed_deadline;
+    table.add_row({a.name,
+                   a.offered_rps > 0 ? fmt_fixed(a.offered_rps, 0) : "closed",
+                   std::to_string(a.stats.completed), std::to_string(shed),
+                   std::to_string(a.stats.degraded),
+                   std::to_string(a.stats.failed), fmt_fixed(a.p50_us, 0),
+                   fmt_fixed(a.p99_us, 0), fmt_fixed(a.p999_us, 0),
+                   fmt_fixed(a.throughput_rps, 0)});
+  }
+  table.print();
+  std::printf("\n");
+
+  std::string json = "{\n  \"bench\": \"serve_loadgen\",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"offered_rps\": %.1f, \"wall_ms\": %.1f, "
+        "\"submitted\": %lld, \"completed\": %lld, \"rejected_overload\": "
+        "%lld, \"rejected_open\": %lld, \"shed_deadline\": %lld, "
+        "\"deadline_missed\": %lld, \"degraded\": %lld, \"failed\": %lld, "
+        "\"retries\": %lld, \"breaker_opens\": %lld, \"breaker_step_downs\": "
+        "%lld, \"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+        "\"throughput_rps\": %.1f}%s\n",
+        a.name.c_str(), a.offered_rps, a.wall_ms,
+        static_cast<long long>(a.stats.submitted),
+        static_cast<long long>(a.stats.completed),
+        static_cast<long long>(a.stats.rejected_overload),
+        static_cast<long long>(a.stats.rejected_open),
+        static_cast<long long>(a.stats.shed_deadline),
+        static_cast<long long>(a.stats.deadline_missed),
+        static_cast<long long>(a.stats.degraded),
+        static_cast<long long>(a.stats.failed),
+        static_cast<long long>(a.stats.retries),
+        static_cast<long long>(a.breaker_opens),
+        static_cast<long long>(a.breaker_step_downs), a.p50_us, a.p99_us,
+        a.p999_us, a.throughput_rps, i + 1 < arms.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(json_path);
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", json_path);
+
+  // The no-fault arms must not fail a single request; the storm arm must
+  // keep completing (the whole point of the ladder).
+  const ArmResult& steady = arms[0];
+  const ArmResult& faults = arms[1];
+  const ArmResult& drain = arms[2];
+  if (steady.stats.failed - steady.stats.shed_deadline -
+              steady.stats.deadline_missed >
+          0 ||
+      drain.stats.failed > 0 || faults.stats.completed == 0) {
+    std::fprintf(stderr,
+                 "serve_loadgen: clean-arm failures or zero completions "
+                 "under faults\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace af
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) return af::run_verify_only();
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  return af::run_bench(json_path);
+}

@@ -4,8 +4,24 @@
 #include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
+namespace {
+
+// Forward-path shape validation is reachable from a serving request, so a
+// mismatch is a typed, catchable rejection (the request is malformed) —
+// never a process abort. Backward/training checks stay AF_CHECK.
+void check_forward_input(const Tensor& x, std::int64_t in,
+                         const std::string& layer) {
+  if (x.rank() != 2 || x.dim(1) != in) {
+    throw FaultError(layer, FaultKind::kMalformedInput,
+                     "input must be [m, " + std::to_string(in) + "], got " +
+                         shape_str(x.shape()));
+  }
+}
+
+}  // namespace
 
 Linear::Linear(std::int64_t in_features, std::int64_t out_features, Pcg32& rng,
                bool has_bias, const std::string& name)
@@ -18,9 +34,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Pcg32& rng,
       bias_(name + ".bias", Tensor({out_features})) {}
 
 Tensor Linear::forward(const Tensor& x) {
-  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
-           "Linear input must be [m, " + std::to_string(in_) + "], got " +
-               shape_str(x.shape()));
+  check_forward_input(x, in_, weight_.name);
   Tensor y = matmul(x, weight_.value, false, /*trans_b=*/true);
   if (has_bias_) add_row_bias_inplace(y, bias_.value);
   cached_x_.push_back(x);
@@ -28,9 +42,7 @@ Tensor Linear::forward(const Tensor& x) {
 }
 
 Tensor Linear::forward(const Tensor& x, ExecutionContext& ctx) {
-  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
-           "Linear input must be [m, " + std::to_string(in_) + "], got " +
-               shape_str(x.shape()));
+  check_forward_input(x, in_, weight_.name);
   auto compute = [&]() -> Tensor {
     Tensor y;
     if (ctx.wants_abft()) {

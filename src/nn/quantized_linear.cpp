@@ -6,8 +6,22 @@
 #include "src/tensor/arena.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
+namespace {
+
+// Serving-reachable shape validation: malformed requests are typed,
+// catchable rejections, never aborts (see src/nn/linear.cpp).
+void check_forward_input(const Tensor& x, std::int64_t in) {
+  if (x.rank() != 2 || x.dim(1) != in) {
+    throw FaultError("quantized_linear", FaultKind::kMalformedInput,
+                     "input must be [m, " + std::to_string(in) + "], got " +
+                         shape_str(x.shape()));
+  }
+}
+
+}  // namespace
 
 QuantizedLinear::QuantizedLinear(Linear& source, int bits, int exp_bits)
     : in_(source.in_features()),
@@ -27,8 +41,7 @@ QuantizedLinear::QuantizedLinear(PackedAdaptivFloatTensor weight, Tensor bias)
 }
 
 Tensor QuantizedLinear::forward(const Tensor& x) const {
-  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
-           "QuantizedLinear input must be [m, in]");
+  check_forward_input(x, in_);
   // Fused path: panels of packed codes are decoded by table inside the
   // GEMM, so memory traffic stays at code width and the FP32 weight matrix
   // never exists. Bit-identical to unpack()-then-matmul.
@@ -38,8 +51,7 @@ Tensor QuantizedLinear::forward(const Tensor& x) const {
 }
 
 Tensor QuantizedLinear::forward(const Tensor& x, ExecutionContext& ctx) {
-  AF_CHECK(x.rank() == 2 && x.dim(1) == in_,
-           "QuantizedLinear input must be [m, in]");
+  check_forward_input(x, in_);
   auto compute = [&]() -> Tensor {
     Tensor y;
     if (ctx.wants_abft()) {

@@ -2,30 +2,61 @@
 
 #include <utility>
 
-#include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/parallel.hpp"
 
 namespace af {
+namespace {
+
+// Exception-safe thread pin: restores the previous pool configuration even
+// when the forward throws mid-flight (the serving retry path re-enters the
+// session and must find the ambient resolution intact). A thread carrying a
+// ScopedSerialExecution pin never reconfigures the shared pool — its
+// forwards run inline regardless, and the global setting belongs to the
+// other threads.
+class ScopedThreadPin {
+ public:
+  explicit ScopedThreadPin(int threads)
+      : active_(threads > 0 && !serial_execution_pinned()) {
+    if (active_) {
+      previous_ = num_threads();
+      set_num_threads(threads);
+    }
+  }
+  ~ScopedThreadPin() {
+    if (active_) set_num_threads(previous_);
+  }
+  ScopedThreadPin(const ScopedThreadPin&) = delete;
+  ScopedThreadPin& operator=(const ScopedThreadPin&) = delete;
+
+ private:
+  bool active_;
+  int previous_ = 0;
+};
+
+}  // namespace
 
 InferenceSession::InferenceSession(ForwardFn forward, SessionConfig cfg)
     : forward_(std::move(forward)), cfg_(std::move(cfg)) {
-  AF_CHECK(static_cast<bool>(forward_), "session needs a forward function");
+  // A session without a forward is a malformed configuration a serving
+  // layer must be able to reject without dying — typed, not an abort.
+  if (!forward_) {
+    throw FaultError("session", FaultKind::kMalformedInput,
+                     "session needs a forward function");
+  }
 }
 
 const Tensor& InferenceSession::run(const Tensor& input) {
   ExecutionContext ctx = cfg_.ctx;
   ctx.training = false;
 
-  // Pin the session's thread count for the duration of the run; restore
-  // the ambient resolution afterwards.
-  const bool pin_threads = ctx.threads > 0;
-  int previous_threads = 0;
-  if (pin_threads) {
-    previous_threads = num_threads();
-    set_num_threads(ctx.threads);
-  }
+  // Pin the session's thread count for the duration of the run; restored
+  // by RAII on every exit path, including a throwing forward.
+  ScopedThreadPin pin(ctx.threads);
 
-  const std::int64_t allocs_before = tensor_heap_allocs();
+  // Per-thread counter: a concurrent session planning on another worker
+  // thread must not leak its allocations into this run's delta.
+  const std::int64_t allocs_before = tensor_heap_allocs_this_thread();
   arena_.reset();
   {
     ArenaScope scope(&arena_);
@@ -40,15 +71,19 @@ const Tensor& InferenceSession::run(const Tensor& input) {
     arena_.consolidate();
   }
   ++runs_;
-  last_run_allocs_ = tensor_heap_allocs() - allocs_before;
+  last_run_allocs_ = tensor_heap_allocs_this_thread() - allocs_before;
 
   if (cfg_.cache_probe) {
     const std::int64_t depth = cfg_.cache_probe();
-    AF_CHECK(depth == 0, "session forward leaked adjoint caches (depth " +
-                             std::to_string(depth) + ")");
+    // A leaked adjoint cache means the forward is not inference-clean; in
+    // a server this is a rejectable request defect, not a process abort.
+    if (depth != 0) {
+      throw FaultError("session", FaultKind::kMalformedInput,
+                       "forward leaked adjoint caches (depth " +
+                           std::to_string(depth) + ")");
+    }
   }
 
-  if (pin_threads) set_num_threads(previous_threads);
   return output_;
 }
 

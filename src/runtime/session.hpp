@@ -47,7 +47,20 @@ class InferenceSession {
 
   /// One forward pass. The returned reference stays valid (and is
   /// overwritten) across subsequent run() calls.
+  ///
+  /// Exception-safe: when the forward throws (a FaultError from the
+  /// resilience ladder, a typed rejection of a malformed request), the
+  /// thread pin and ambient arena are restored before the exception
+  /// escapes, and the next run() starts from a clean arena cycle — the
+  /// serving retry path depends on re-entering an undamaged session.
   const Tensor& run(const Tensor& input);
+
+  /// The context template applied to every subsequent run() (`training` is
+  /// still forced off). Mutable so a serving worker can re-point the
+  /// resilience policy, guard, report sink and fault hook per request while
+  /// keeping the planned arena. Not thread-safe against a concurrent run().
+  ExecutionContext& context() { return cfg_.ctx; }
+  const ExecutionContext& context() const { return cfg_.ctx; }
 
   const Arena::Stats& arena_stats() const { return arena_.stats(); }
   /// Owned-buffer heap allocations during the most recent run().

@@ -1,0 +1,116 @@
+#include "src/serve/breaker.hpp"
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg) : cfg_(cfg) {
+  AF_CHECK(cfg_.ladder_levels >= 1, "breaker needs at least one ladder level");
+  AF_CHECK(cfg_.fault_threshold >= 1, "fault_threshold must be >= 1");
+  AF_CHECK(cfg_.recovery_threshold >= 1, "recovery_threshold must be >= 1");
+  AF_CHECK(cfg_.open_cooldown >= 1, "open_cooldown must be >= 1");
+  AF_CHECK(cfg_.half_open_probes >= 1, "half_open_probes must be >= 1");
+}
+
+void CircuitBreaker::transition(BreakerState to_state, int to_level,
+                                const std::string& reason) {
+  if (log_.size() >= kMaxTransitions) log_.erase(log_.begin());
+  log_.push_back({state_, level_, to_state, to_level, reason});
+  state_ = to_state;
+  level_ = to_level;
+  consecutive_faults_ = 0;
+  consecutive_successes_ = 0;
+}
+
+CircuitBreaker::Decision CircuitBreaker::admit() {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return {true, false, level_};
+    case BreakerState::kOpen:
+      ++counters_.rejected;
+      if (++open_rejections_ >= cfg_.open_cooldown) {
+        ++counters_.half_opens;
+        probe_successes_ = 0;
+        transition(BreakerState::kHalfOpen, cfg_.ladder_levels - 1,
+                   "cooldown elapsed after " +
+                       std::to_string(open_rejections_) + " rejections");
+      }
+      return {false, false, level_};
+    case BreakerState::kHalfOpen:
+      ++counters_.probes;
+      return {true, true, cfg_.ladder_levels - 1};
+  }
+  return {false, false, level_};
+}
+
+void CircuitBreaker::on_success(bool probe) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (!probe) return;  // stale outcome from before the breaker opened
+    if (++probe_successes_ >= cfg_.half_open_probes) {
+      ++counters_.closes;
+      transition(BreakerState::kClosed, cfg_.ladder_levels - 1,
+                 std::to_string(probe_successes_) + " clean probes");
+    }
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;  // stale outcome while open
+  consecutive_faults_ = 0;
+  if (++consecutive_successes_ >= cfg_.recovery_threshold && level_ > 0) {
+    ++counters_.step_ups;
+    const int to = level_ - 1;
+    transition(BreakerState::kClosed, to,
+               std::to_string(consecutive_successes_) +
+                   " clean requests at level " + std::to_string(to + 1));
+  }
+}
+
+void CircuitBreaker::on_fault(bool probe) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (!probe) return;
+    ++counters_.opens;
+    open_rejections_ = 0;
+    transition(BreakerState::kOpen, level_, "probe faulted");
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;
+  consecutive_successes_ = 0;
+  if (++consecutive_faults_ < cfg_.fault_threshold) return;
+  if (level_ + 1 < cfg_.ladder_levels) {
+    ++counters_.step_downs;
+    const int to = level_ + 1;
+    transition(BreakerState::kClosed, to,
+               std::to_string(consecutive_faults_) + " faults at level " +
+                   std::to_string(to - 1));
+  } else {
+    ++counters_.opens;
+    open_rejections_ = 0;
+    transition(BreakerState::kOpen, level_,
+               std::to_string(consecutive_faults_) +
+                   " faults at the most degraded level");
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+int CircuitBreaker::level() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return level_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::vector<BreakerTransition> CircuitBreaker::transitions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_;
+}
+
+}  // namespace af

@@ -1,0 +1,120 @@
+// Per-tenant circuit breaker: the policy-ladder walker of the serving core.
+//
+// A tenant serves at a resilience level — an index into its policy ladder
+// (canonically {kAbftGuard, kGuard}: full checksummed protection first,
+// scrub-only guarding as the cheap survival mode). The breaker watches the
+// per-request fault signal (a request that failed after retries, or that
+// completed with a non-clean ResilienceReport) and walks the ladder:
+//
+//   Closed(L)    --faults >= fault_threshold-->   Closed(L+1)   (step down)
+//   Closed(max)  --faults >= fault_threshold-->   Open          (reject)
+//   Open         --rejects >= open_cooldown-->    HalfOpen      (probe)
+//   HalfOpen     --probe fault-->                 Open          (re-open)
+//   HalfOpen     --probes >= half_open_probes-->  Closed(max)   (recover)
+//   Closed(L>0)  --successes >= recovery_threshold--> Closed(L-1) (step up)
+//
+// Every decision is driven by counts of observed request outcomes — no
+// wall clock anywhere — so a fault storm replayed request-by-request walks
+// the exact same transition sequence every time, which is what makes the
+// storm integration test deterministic. Transitions are recorded into a
+// bounded log that HealthReport exposes.
+//
+// Thread-safe: all entry points take the internal mutex. Under concurrent
+// workers the interleaving of outcome arrivals is scheduling-dependent, but
+// the machine itself never skips a state.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace af {
+
+enum class BreakerState {
+  kClosed,    ///< serving at ladder level `level()`
+  kOpen,      ///< rejecting every request unexecuted
+  kHalfOpen,  ///< admitting probe requests at the most-degraded level
+};
+
+inline const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+struct BreakerConfig {
+  int ladder_levels = 2;      ///< closed levels before open (>= 1)
+  int fault_threshold = 4;    ///< consecutive faults to step down / open
+  int recovery_threshold = 8; ///< consecutive successes to step up a level
+  int open_cooldown = 16;     ///< rejections while open before half-open
+  int half_open_probes = 2;   ///< successful probes to close again
+};
+
+/// One recorded state-machine transition, for HealthReport visibility.
+struct BreakerTransition {
+  BreakerState from_state;
+  int from_level;
+  BreakerState to_state;
+  int to_level;
+  std::string reason;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig cfg = {});
+
+  /// Admission decision for the next request.
+  struct Decision {
+    bool admit = false;
+    bool probe = false;  ///< half-open probe: its outcome gates recovery
+    int level = 0;       ///< ladder level the request must execute at
+  };
+  Decision admit();
+
+  /// Outcome feedback. `probe` echoes the admission decision's flag.
+  void on_success(bool probe);
+  void on_fault(bool probe);
+
+  BreakerState state() const;
+  int level() const;
+
+  struct Counters {
+    std::int64_t step_downs = 0;  ///< Closed(L) -> Closed(L+1)
+    std::int64_t step_ups = 0;    ///< Closed(L) -> Closed(L-1)
+    std::int64_t opens = 0;       ///< -> Open
+    std::int64_t half_opens = 0;  ///< Open -> HalfOpen
+    std::int64_t closes = 0;      ///< HalfOpen -> Closed
+    std::int64_t rejected = 0;    ///< admit() refusals while open
+    std::int64_t probes = 0;      ///< probe admissions
+  };
+  Counters counters() const;
+
+  /// The most recent transitions, oldest first (bounded; earlier entries
+  /// are dropped once the log exceeds kMaxTransitions).
+  std::vector<BreakerTransition> transitions() const;
+
+  const BreakerConfig& config() const { return cfg_; }
+
+  static constexpr std::size_t kMaxTransitions = 64;
+
+ private:
+  void transition(BreakerState to_state, int to_level,
+                  const std::string& reason);
+
+  BreakerConfig cfg_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int level_ = 0;
+  int consecutive_faults_ = 0;
+  int consecutive_successes_ = 0;
+  int open_rejections_ = 0;
+  int probe_successes_ = 0;
+  Counters counters_;
+  std::vector<BreakerTransition> log_;
+};
+
+}  // namespace af

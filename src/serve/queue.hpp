@@ -1,0 +1,135 @@
+// Bounded mutex-sharded MPMC request queue — the serving core's admission
+// point.
+//
+// Capacity is enforced by one relaxed global counter (exact: an admission
+// either reserves a slot or fails fast, so the queue can never grow past
+// its bound and latency can never hide in an unbounded backlog); storage is
+// sharded deques each under its own mutex, so concurrent producers and
+// consumers contend on different locks. Producers place items round-robin
+// by an atomic cursor; consumers sweep the shards starting from their own
+// rotating cursor. Ordering is therefore FIFO per shard but only
+// approximately FIFO globally — the serving layer orders correctness by
+// per-request deadlines, not by global queue position.
+//
+// try_push never blocks: a full queue is an admission-control decision the
+// caller converts into a typed FaultError(kOverloaded). pop blocks with a
+// timeout so workers can interleave heartbeat updates and drain/shutdown
+// checks with their waits.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace af {
+
+template <typename T>
+class ShardedBoundedQueue {
+ public:
+  ShardedBoundedQueue(std::int64_t capacity, int shards)
+      : capacity_(capacity), shards_(static_cast<std::size_t>(shards)) {
+    AF_CHECK(capacity > 0, "queue capacity must be positive");
+    AF_CHECK(shards > 0, "queue shard count must be positive");
+  }
+
+  /// Admission: reserves a slot and enqueues, or returns false immediately
+  /// when the queue is at capacity (the caller sheds the request).
+  bool try_push(T item) {
+    // Optimistic reservation: back out if the bound was overshot. The
+    // counter is the single source of truth for the bound, so the check is
+    // exact even with many concurrent producers.
+    if (size_.fetch_add(1, std::memory_order_acq_rel) >= capacity_) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    const std::size_t s =
+        push_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    {
+      std::lock_guard<std::mutex> lk(shards_[s].mu);
+      shards_[s].items.push_back(std::move(item));
+    }
+    {
+      // Empty critical section pairing with the consumers'
+      // predicate-check-then-sleep, so the wakeup cannot be lost.
+      std::lock_guard<std::mutex> lk(wait_mu_);
+    }
+    wait_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available, the timeout elapses, or the queue
+  /// is closed and empty. Returns true when `out` was filled.
+  bool pop(T& out, std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (try_pop(out)) return true;
+      std::unique_lock<std::mutex> lk(wait_mu_);
+      const bool woke = wait_cv_.wait_until(lk, deadline, [&] {
+        return closed_.load(std::memory_order_acquire) ||
+               size_.load(std::memory_order_acquire) > 0;
+      });
+      if (!woke) return false;  // timed out
+      if (closed_.load(std::memory_order_acquire) &&
+          size_.load(std::memory_order_acquire) == 0) {
+        return false;
+      }
+      // An item appeared — race other consumers for it on the next sweep.
+    }
+  }
+
+  /// Non-blocking pop: sweeps every shard once from this consumer's cursor.
+  bool try_pop(T& out) {
+    if (size_.load(std::memory_order_acquire) <= 0) return false;
+    const std::size_t start =
+        pop_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = shards_[(start + i) % shards_.size()];
+      std::lock_guard<std::mutex> lk(shard.mu);
+      if (shard.items.empty()) continue;
+      out = std::move(shard.items.front());
+      shard.items.pop_front();
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  }
+
+  /// Wakes every blocked consumer; pop() returns false once the backlog is
+  /// drained. Pushes after close are still accepted only by capacity (the
+  /// server gates admission separately with its accepting flag).
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    { std::lock_guard<std::mutex> lk(wait_mu_); }
+    wait_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  std::int64_t size() const { return size_.load(std::memory_order_acquire); }
+  std::int64_t capacity() const { return capacity_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<T> items;
+  };
+
+  const std::int64_t capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::int64_t> size_{0};
+  std::atomic<std::uint64_t> push_cursor_{0};
+  std::atomic<std::uint64_t> pop_cursor_{0};
+  std::atomic<bool> closed_{false};
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace af

@@ -1,0 +1,551 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/resilience/guard.hpp"
+#include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
+
+namespace af {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::chrono::microseconds since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0);
+}
+
+}  // namespace
+
+// One request in flight through the serving core. Shared between the
+// submitting client (future), the queue, the executing worker and the
+// watchdog; `completed` is the single-completion gate — whoever wins the
+// exchange delivers the response, every other completion attempt is a
+// no-op (a wedged worker's late result is discarded, never double-set).
+struct InferenceServer::Ticket {
+  std::promise<Response> promise;
+  std::atomic<bool> completed{false};
+  Tensor input;
+  TenantState* tenant = nullptr;
+  std::uint64_t id = 0;
+  int level = 0;
+  bool probe = false;
+  Clock::time_point submit_tp;
+  Clock::time_point deadline_tp = Clock::time_point::max();
+  bool has_deadline = false;
+  /// Set by the worker when execution starts (guarded by the slot mutex
+  /// that also publishes the ticket to the watchdog).
+  Clock::time_point exec_tp;
+  bool executing = false;
+};
+
+struct InferenceServer::TenantState {
+  TenantConfig cfg;
+  CircuitBreaker breaker;
+  explicit TenantState(TenantConfig c)
+      : cfg(std::move(c)), breaker([&] {
+          BreakerConfig b = cfg.breaker;
+          b.ladder_levels = static_cast<int>(cfg.ladder.size());
+          return b;
+        }()) {}
+};
+
+struct InferenceServer::WorkerSlot {
+  int index = 0;
+  std::atomic<std::int64_t> heartbeat_ns{0};
+  std::atomic<bool> wedged{false};
+  std::atomic<bool> alive{true};
+  std::atomic<std::int64_t> max_steady_allocs{0};
+
+  std::mutex mu;  ///< guards inflight (worker publishes, watchdog reads)
+  std::shared_ptr<Ticket> inflight;
+
+  // Worker-thread-only state below (never touched by the watchdog).
+  std::unique_ptr<InferenceSession> session;
+  std::unique_ptr<PeFaultHook> mac_hook;
+  /// Bitmask of ResiliencePolicy values whose planning run already
+  /// happened — later runs at a seen policy must not allocate (under the
+  /// fixed request shapes the bench and tests serve).
+  unsigned planned_policies = 0;
+};
+
+InferenceServer::InferenceServer(ForwardFactory factory, ServerConfig cfg)
+    : factory_(std::move(factory)),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity, cfg.queue_shards) {
+  AF_CHECK(static_cast<bool>(factory_), "server needs a forward factory");
+  AF_CHECK(cfg_.workers >= 1, "server needs at least one worker");
+  {
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    for (int i = 0; i < cfg_.workers; ++i) spawn_worker_locked();
+  }
+  if (cfg_.watchdog.enabled) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::add_tenant(TenantConfig cfg) {
+  AF_CHECK(!cfg.name.empty(), "tenant needs a name");
+  AF_CHECK(!cfg.ladder.empty(), "tenant needs a non-empty policy ladder");
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  for (const auto& t : tenants_) {
+    AF_CHECK(t->cfg.name != cfg.name, "tenant already registered: " + cfg.name);
+  }
+  tenants_.push_back(std::make_unique<TenantState>(std::move(cfg)));
+}
+
+InferenceServer::TenantState* InferenceServer::find_tenant(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  for (const auto& t : tenants_) {
+    if (t->cfg.name == name) return t.get();
+  }
+  return nullptr;
+}
+
+bool InferenceServer::complete(const std::shared_ptr<Ticket>& ticket,
+                               Response&& r) {
+  bool expected = false;
+  if (!ticket->completed.compare_exchange_strong(expected, true)) {
+    return false;  // someone (the watchdog) already responded
+  }
+  r.id = ticket->id;
+  r.probe = ticket->probe;
+  const Clock::time_point done = Clock::now();
+  r.total_us = since(ticket->submit_tp, done);
+  if (ticket->executing) {
+    r.queue_us = since(ticket->submit_tp, ticket->exec_tp);
+  } else {
+    r.queue_us = r.total_us;
+  }
+  ticket->promise.set_value(std::move(r));
+  return true;
+}
+
+std::future<Response> InferenceServer::submit(Request req) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  TenantState* tenant = find_tenant(req.tenant);
+  if (tenant == nullptr) {
+    throw FaultError("serve", FaultKind::kMalformedInput,
+                     "unknown tenant '" + req.tenant + "'");
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    throw FaultError("serve", FaultKind::kShutdown,
+                     "server is draining; request rejected");
+  }
+
+  const CircuitBreaker::Decision d = tenant->breaker.admit();
+  if (!d.admit) {
+    stats_.rejected_open.fetch_add(1, std::memory_order_relaxed);
+    throw FaultError(
+        "serve/" + tenant->cfg.name, FaultKind::kCircuitOpen,
+        "tenant breaker open; request rejected without execution");
+  }
+
+  auto ticket = std::make_shared<Ticket>();
+  ticket->input = std::move(req.input);
+  ticket->tenant = tenant;
+  ticket->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ticket->level = d.level;
+  ticket->probe = d.probe;
+  ticket->submit_tp = Clock::now();
+  const auto deadline =
+      req.deadline.count() > 0 ? req.deadline : tenant->cfg.default_deadline;
+  if (deadline.count() > 0) {
+    ticket->has_deadline = true;
+    ticket->deadline_tp = ticket->submit_tp + deadline;
+  }
+
+  std::future<Response> fut = ticket->promise.get_future();
+  if (!queue_.try_push(ticket)) {
+    stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    throw FaultError("serve", FaultKind::kOverloaded,
+                     "request queue at capacity (" +
+                         std::to_string(queue_.capacity()) +
+                         "); request rejected");
+  }
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+void InferenceServer::spawn_worker_locked() {
+  auto slot = std::make_shared<WorkerSlot>();
+  slot->index = next_worker_index_++;
+  slot->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+  slots_.push_back(slot);
+  threads_.push_back(std::make_unique<std::thread>(
+      [this, slot] { worker_main(slot); }));
+}
+
+void InferenceServer::worker_main(std::shared_ptr<WorkerSlot> slot) {
+  // The whole worker runs serial-pinned: every forward executes inline on
+  // this thread in the fixed chunk order — N workers make independent
+  // progress and bits never depend on AF_THREADS or on each other.
+  ScopedSerialExecution serial;
+
+  try {
+    slot->session =
+        std::make_unique<InferenceSession>(factory_(slot->index));
+    if (cfg_.mac_hook_factory) {
+      slot->mac_hook = cfg_.mac_hook_factory(slot->index);
+    }
+  } catch (...) {
+    // A worker that cannot build its session serves nothing; the watchdog
+    // sees no heartbeat progress only if work was in flight, so just
+    // retire quietly — the remaining workers carry the queue.
+    slot->alive.store(false, std::memory_order_release);
+    return;
+  }
+
+  while (true) {
+    slot->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+    std::shared_ptr<Ticket> ticket;
+    if (queue_.pop(ticket, std::chrono::milliseconds(2))) {
+      process(*slot, ticket);
+      std::lock_guard<std::mutex> lk(slot->mu);
+      slot->inflight.reset();
+    } else if (!running_.load(std::memory_order_acquire) &&
+               queue_.size() == 0) {
+      break;  // graceful drain complete
+    }
+    if (slot->wedged.load(std::memory_order_acquire)) {
+      break;  // watchdog already failed our request and replaced us
+    }
+  }
+  slot->alive.store(false, std::memory_order_release);
+}
+
+void InferenceServer::process(WorkerSlot& slot,
+                              const std::shared_ptr<Ticket>& ticket) {
+  if (ticket->completed.load(std::memory_order_acquire)) return;
+  const TenantConfig& tcfg = ticket->tenant->cfg;
+  CircuitBreaker& breaker = ticket->tenant->breaker;
+
+  // Deadline shed: a request already past its deadline is never executed
+  // (running it could only produce a result the client must not use).
+  if (ticket->has_deadline && Clock::now() > ticket->deadline_tp) {
+    Response r;
+    r.error_kind = FaultKind::kDeadlineExceeded;
+    r.error = "deadline expired in queue; request shed before execution";
+    if (complete(ticket, std::move(r))) {
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      stats_.count_failure(FaultKind::kDeadlineExceeded);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    ticket->exec_tp = Clock::now();
+    ticket->executing = true;
+    slot.inflight = ticket;
+  }
+  slot.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+
+  const int level =
+      std::min(ticket->level, static_cast<int>(tcfg.ladder.size()) - 1);
+  const ResiliencePolicy policy = tcfg.ladder[static_cast<std::size_t>(level)];
+
+  InferenceSession& session = *slot.session;
+  int attempt = 0;
+  for (;;) {
+    ResilienceReport report;
+    ExecutionContext& ctx = session.context();
+    ctx.resilience = policy;
+    ctx.guard = tcfg.guard;
+    ctx.report = &report;
+    ctx.mac_hook = tcfg.use_mac_hook ? slot.mac_hook.get() : nullptr;
+    ctx.threads = 0;  // serial-pinned worker; never touch the global pool
+
+    try {
+      const Tensor& y = session.run(ticket->input);
+
+      // Track the zero-steady-state-alloc contract: the first run at a
+      // given policy plans arena growth; later runs must not allocate.
+      const unsigned bit = 1u << static_cast<unsigned>(policy);
+      if ((slot.planned_policies & bit) != 0) {
+        const std::int64_t allocs = session.last_run_heap_allocs();
+        std::int64_t prev =
+            slot.max_steady_allocs.load(std::memory_order_relaxed);
+        while (allocs > prev && !slot.max_steady_allocs.compare_exchange_weak(
+                                    prev, allocs, std::memory_order_relaxed)) {
+        }
+      }
+      slot.planned_policies |= bit;
+
+      // Deadline recheck: a stale result is failed typed, never returned
+      // as if it were fresh.
+      // Breaker feedback strictly precedes completion: a client that
+      // awaited the response and then submits again must find the breaker
+      // already informed by this outcome (what makes the storm test's
+      // transition sequence exactly reproducible).
+      if (ticket->has_deadline && Clock::now() > ticket->deadline_tp) {
+        // Numerically the tenant is healthy — lateness is load, not a
+        // fault; let probes recover the breaker even under pressure.
+        breaker.on_success(ticket->probe);
+        Response r;
+        r.error_kind = FaultKind::kDeadlineExceeded;
+        r.error = "completed after deadline; stale result withheld";
+        r.retries = attempt;
+        r.breaker_level = level;
+        r.policy = policy;
+        if (complete(ticket, std::move(r))) {
+          stats_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+          stats_.count_failure(FaultKind::kDeadlineExceeded);
+        }
+        return;
+      }
+
+      // A completed request whose report shows ladder interventions is the
+      // breaker's fault signal: the tenant is absorbing faults even though
+      // clients still get answers.
+      if (report.clean()) {
+        breaker.on_success(ticket->probe);
+      } else {
+        breaker.on_fault(ticket->probe);
+      }
+      Response r;
+      r.ok = true;
+      r.output.copy_from(y);
+      r.retries = attempt;
+      r.breaker_level = level;
+      r.policy = policy;
+      r.degraded = !report.clean() || level > 0;
+      if (complete(ticket, std::move(r))) {
+        stats_.completed.fetch_add(1, std::memory_order_relaxed);
+        if (!report.clean() || level > 0) {
+          stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return;
+    } catch (const FaultError& err) {
+      const bool recoverable = fault_kind_recoverable(err.kind());
+      if (recoverable && attempt < tcfg.retry.max_retries) {
+        const auto backoff = std::chrono::microseconds(
+            tcfg.retry.backoff_base.count() << attempt);
+        const bool budget_left =
+            !ticket->has_deadline ||
+            Clock::now() + backoff < ticket->deadline_tp;
+        if (budget_left) {
+          ++attempt;
+          stats_.retries.fetch_add(1, std::memory_order_relaxed);
+          if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+          slot.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+          continue;
+        }
+      }
+      // Malformed requests are the client's defect, not the tenant's
+      // compute health — they never walk the breaker ladder.
+      if (err.kind() != FaultKind::kMalformedInput) {
+        breaker.on_fault(ticket->probe);
+      }
+      Response r;
+      r.error_kind = err.kind();
+      r.error = err.what();
+      r.retries = attempt;
+      r.breaker_level = level;
+      r.policy = policy;
+      if (complete(ticket, std::move(r))) {
+        stats_.count_failure(err.kind());
+      }
+      return;
+    } catch (const std::exception& err) {
+      // Fault containment backstop: even a programmer-error Error from
+      // deep inside a kernel becomes a typed failed response, never a
+      // dead server.
+      breaker.on_fault(ticket->probe);
+      Response r;
+      r.error_kind = FaultKind::kUncorrectable;
+      r.error = err.what();
+      r.retries = attempt;
+      r.breaker_level = level;
+      r.policy = policy;
+      if (complete(ticket, std::move(r))) {
+        stats_.count_failure(FaultKind::kUncorrectable);
+      }
+      return;
+    }
+  }
+}
+
+void InferenceServer::watchdog_main() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(cfg_.watchdog.check_interval);
+    const std::int64_t limit_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            cfg_.watchdog.wedge_timeout)
+            .count();
+
+    std::vector<std::shared_ptr<WorkerSlot>> slots;
+    {
+      std::lock_guard<std::mutex> lk(workers_mu_);
+      slots = slots_;
+    }
+    for (const auto& slot : slots) {
+      if (slot->wedged.load(std::memory_order_acquire) ||
+          !slot->alive.load(std::memory_order_acquire)) {
+        continue;
+      }
+      const std::int64_t hb = slot->heartbeat_ns.load(std::memory_order_relaxed);
+      if (now_ns() - hb < limit_ns) continue;
+
+      std::shared_ptr<Ticket> stuck;
+      {
+        std::lock_guard<std::mutex> lk(slot->mu);
+        stuck = slot->inflight;
+      }
+      if (!stuck) continue;  // idle worker; stale heartbeat is harmless
+
+      // The worker has been silent past the wedge budget with a request in
+      // flight: fail the request typed and replace the worker. The wedged
+      // thread retires itself when (if) its forward ever returns; its late
+      // result loses the completion race and is discarded.
+      slot->wedged.store(true, std::memory_order_release);
+      Response r;
+      r.error_kind = FaultKind::kWorkerWedged;
+      r.error = "worker " + std::to_string(slot->index) +
+                " heartbeat stalled past wedge timeout; request failed";
+      if (complete(stuck, std::move(r))) {
+        stats_.watchdog_failed.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_failure(FaultKind::kWorkerWedged);
+      }
+      {
+        std::lock_guard<std::mutex> lk(workers_mu_);
+        spawn_worker_locked();
+      }
+    }
+  }
+}
+
+void InferenceServer::shutdown() {
+  bool was_accepting = accepting_.exchange(false, std::memory_order_acq_rel);
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    (void)was_accepting;
+    return;  // already shut down
+  }
+  queue_.close();
+  if (watchdog_.joinable()) watchdog_.join();
+  std::vector<std::unique_ptr<std::thread>> threads;
+  {
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t->joinable()) t->join();
+  }
+}
+
+int InferenceServer::workers() const {
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  int alive = 0;
+  for (const auto& s : slots_) {
+    if (s->alive.load(std::memory_order_acquire) &&
+        !s->wedged.load(std::memory_order_acquire)) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+std::int64_t InferenceServer::max_steady_state_allocs() const {
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  std::int64_t worst = 0;
+  for (const auto& s : slots_) {
+    worst = std::max(worst,
+                     s->max_steady_allocs.load(std::memory_order_relaxed));
+  }
+  return worst;
+}
+
+HealthReport InferenceServer::health() const {
+  HealthReport h;
+  h.stats = stats_.snapshot();
+  h.queue_depth = queue_.size();
+  h.queue_capacity = queue_.capacity();
+  h.accepting = accepting_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    for (const auto& s : slots_) {
+      const bool wedged = s->wedged.load(std::memory_order_acquire);
+      if (wedged) ++h.workers_wedged;
+      if (s->alive.load(std::memory_order_acquire) && !wedged) ++h.workers;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (const auto& t : tenants_) {
+      TenantHealth th;
+      th.name = t->cfg.name;
+      th.state = t->breaker.state();
+      th.level = t->breaker.level();
+      const auto idx = static_cast<std::size_t>(
+          std::min(th.level, static_cast<int>(t->cfg.ladder.size()) - 1));
+      th.policy = th.state == BreakerState::kOpen
+                      ? ResiliencePolicy::kNone
+                      : t->cfg.ladder[idx];
+      th.breaker = t->breaker.counters();
+      th.transitions = t->breaker.transitions();
+      h.tenants.push_back(std::move(th));
+    }
+  }
+  return h;
+}
+
+std::string HealthReport::to_string() const {
+  std::string out;
+  out += "serve: workers=" + std::to_string(workers) +
+         (workers_wedged > 0
+              ? " wedged=" + std::to_string(workers_wedged)
+              : "") +
+         " queue=" + std::to_string(queue_depth) + "/" +
+         std::to_string(queue_capacity) +
+         (accepting ? " accepting" : " draining") + "\n";
+  out += "serve: admitted=" + std::to_string(stats.admitted) +
+         " completed=" + std::to_string(stats.completed) +
+         " degraded=" + std::to_string(stats.degraded) +
+         " failed=" + std::to_string(stats.failed) +
+         " retries=" + std::to_string(stats.retries) +
+         " shed[overloaded]=" + std::to_string(stats.rejected_overload) +
+         " shed[circuit-open]=" + std::to_string(stats.rejected_open) +
+         " shed[deadline-exceeded]=" + std::to_string(stats.shed_deadline) +
+         " late[deadline-exceeded]=" + std::to_string(stats.deadline_missed) +
+         " failed[worker-wedged]=" + std::to_string(stats.watchdog_failed) +
+         "\n";
+  for (std::size_t k = 0; k < stats.failed_by_kind.size(); ++k) {
+    if (stats.failed_by_kind[k] == 0) continue;
+    out += "serve: failures[" +
+           std::string(fault_kind_name(static_cast<FaultKind>(k))) +
+           "]=" + std::to_string(stats.failed_by_kind[k]) + "\n";
+  }
+  for (const TenantHealth& t : tenants) {
+    out += "serve: tenant " + t.name + " breaker=" +
+           breaker_state_name(t.state) + " level=" + std::to_string(t.level) +
+           " policy=" + resilience_policy_name(t.policy) +
+           " opens=" + std::to_string(t.breaker.opens) +
+           " step_downs=" + std::to_string(t.breaker.step_downs) +
+           " step_ups=" + std::to_string(t.breaker.step_ups) +
+           " probes=" + std::to_string(t.breaker.probes) +
+           " rejected=" + std::to_string(t.breaker.rejected) + "\n";
+    for (const BreakerTransition& tr : t.transitions) {
+      out += "serve:   " + std::string(breaker_state_name(tr.from_state)) +
+             "(L" + std::to_string(tr.from_level) + ") -> " +
+             breaker_state_name(tr.to_state) + "(L" +
+             std::to_string(tr.to_level) + "): " + tr.reason + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace af

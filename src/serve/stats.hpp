@@ -1,0 +1,121 @@
+// Serving observability: relaxed-atomic counters and the HealthReport
+// snapshot — the deterministic observation point the tests and the load
+// bench assert against.
+//
+// ServerStats counters are written on the request hot paths with relaxed
+// atomics (each is an independent monotone event count; no counter orders
+// another), and read by snapshot() into a plain-value StatsSnapshot.
+// HealthReport composes that snapshot with the per-tenant breaker states
+// and the worker/queue liveness picture, and renders log lines that name
+// fault kinds via fault_kind_name() — a report says "deadline-exceeded",
+// never a raw enum integer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/execution_context.hpp"
+#include "src/serve/breaker.hpp"
+#include "src/util/fault.hpp"
+
+namespace af {
+
+inline const char* resilience_policy_name(ResiliencePolicy p) {
+  switch (p) {
+    case ResiliencePolicy::kNone: return "none";
+    case ResiliencePolicy::kGuard: return "guard";
+    case ResiliencePolicy::kAbft: return "abft";
+    case ResiliencePolicy::kAbftGuard: return "abft+guard";
+  }
+  return "unknown";
+}
+
+/// Plain-value copy of the counters, safe to compare and print.
+struct StatsSnapshot {
+  std::int64_t submitted = 0;         ///< submit() calls
+  std::int64_t admitted = 0;          ///< accepted into the queue
+  std::int64_t rejected_overload = 0; ///< shed at admission: queue full
+  std::int64_t rejected_open = 0;     ///< shed at admission: breaker open
+  std::int64_t rejected_shutdown = 0; ///< shed at admission: draining
+  std::int64_t shed_deadline = 0;     ///< expired in queue, never executed
+  std::int64_t deadline_missed = 0;   ///< executed but finished too late
+  std::int64_t completed = 0;         ///< responded ok
+  std::int64_t degraded = 0;          ///< ok but non-clean report or level>0
+  std::int64_t failed = 0;            ///< responded with a typed error
+  std::int64_t retries = 0;           ///< re-executions after recoverable faults
+  std::int64_t watchdog_failed = 0;   ///< in-flight requests failed as wedged
+  std::array<std::int64_t, kFaultKindCount> failed_by_kind{};
+};
+
+/// Relaxed-atomic counters bumped on the request paths.
+struct ServerStats {
+  std::atomic<std::int64_t> submitted{0};
+  std::atomic<std::int64_t> admitted{0};
+  std::atomic<std::int64_t> rejected_overload{0};
+  std::atomic<std::int64_t> rejected_open{0};
+  std::atomic<std::int64_t> rejected_shutdown{0};
+  std::atomic<std::int64_t> shed_deadline{0};
+  std::atomic<std::int64_t> deadline_missed{0};
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> degraded{0};
+  std::atomic<std::int64_t> failed{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> watchdog_failed{0};
+  std::array<std::atomic<std::int64_t>, kFaultKindCount> failed_by_kind{};
+
+  void count_failure(FaultKind kind) {
+    failed.fetch_add(1, std::memory_order_relaxed);
+    failed_by_kind[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  StatsSnapshot snapshot() const {
+    StatsSnapshot s;
+    s.submitted = submitted.load(std::memory_order_relaxed);
+    s.admitted = admitted.load(std::memory_order_relaxed);
+    s.rejected_overload = rejected_overload.load(std::memory_order_relaxed);
+    s.rejected_open = rejected_open.load(std::memory_order_relaxed);
+    s.rejected_shutdown = rejected_shutdown.load(std::memory_order_relaxed);
+    s.shed_deadline = shed_deadline.load(std::memory_order_relaxed);
+    s.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
+    s.completed = completed.load(std::memory_order_relaxed);
+    s.degraded = degraded.load(std::memory_order_relaxed);
+    s.failed = failed.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.watchdog_failed = watchdog_failed.load(std::memory_order_relaxed);
+    for (std::size_t k = 0; k < s.failed_by_kind.size(); ++k) {
+      s.failed_by_kind[k] =
+          failed_by_kind[k].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+};
+
+/// One tenant's breaker picture inside a HealthReport.
+struct TenantHealth {
+  std::string name;
+  BreakerState state = BreakerState::kClosed;
+  int level = 0;
+  ResiliencePolicy policy =
+      ResiliencePolicy::kNone;  ///< set by the server from the ladder
+  CircuitBreaker::Counters breaker;
+  std::vector<BreakerTransition> transitions;
+};
+
+/// Point-in-time health of the whole server.
+struct HealthReport {
+  StatsSnapshot stats;
+  std::vector<TenantHealth> tenants;
+  int workers = 0;
+  int workers_wedged = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t queue_capacity = 0;
+  bool accepting = false;
+
+  std::string to_string() const;
+};
+
+}  // namespace af

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 
 namespace af {
 namespace {
@@ -19,11 +20,19 @@ std::int64_t round_up(std::int64_t n) {
   return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
 }
 
-// The installed arena. Written only between parallel regions (ArenaScope
-// construction/destruction), read by worker threads mid-region; the
-// pool's task handoff orders those accesses, and the atomic keeps the
-// accesses themselves well-defined.
+// The published fallback arena, read by threads with no binding of their
+// own — the parallel pool's workers mid-region. Written only by unpinned
+// threads between parallel regions (ArenaScope construction/destruction);
+// the pool's task handoff orders those accesses, and the atomic keeps the
+// accesses themselves well-defined. Serial-pinned threads (serving
+// workers) never publish here: their forwards run inline, so nothing else
+// ever needs their arena, and N workers installing scopes concurrently
+// must not fight over one slot.
 std::atomic<Arena*> g_current{nullptr};
+
+// The calling thread's own binding; shadows the fallback while bound.
+thread_local Arena* t_current = nullptr;
+thread_local bool t_bound = false;
 
 // alloc(0) must return non-null without touching any chunk.
 float g_zero_sentinel[1];
@@ -108,13 +117,26 @@ void Arena::consolidate() {
 }
 
 ArenaScope::ArenaScope(Arena* arena)
-    : previous_(g_current.exchange(arena, std::memory_order_release)) {}
+    : previous_(t_current),
+      previous_bound_(t_bound),
+      published_(!serial_execution_pinned()) {
+  t_current = arena;
+  t_bound = true;
+  if (published_) {
+    previous_global_ = g_current.exchange(arena, std::memory_order_release);
+  }
+}
 
 ArenaScope::~ArenaScope() {
-  g_current.store(previous_, std::memory_order_release);
+  t_current = previous_;
+  t_bound = previous_bound_;
+  if (published_) {
+    g_current.store(previous_global_, std::memory_order_release);
+  }
 }
 
 Arena* ArenaScope::current() {
+  if (t_bound) return t_current;
   return g_current.load(std::memory_order_acquire);
 }
 

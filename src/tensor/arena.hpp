@@ -81,9 +81,16 @@ class Arena {
   mutable std::mutex mu_;
 };
 
-/// RAII installation of the process-wide current arena. Pass nullptr to
-/// suspend arena allocation for the scope (used by lazy caches that must
-/// outlive the arena cycle). Restores the previous arena on destruction.
+/// RAII installation of the current arena. Pass nullptr to suspend arena
+/// allocation for the scope (used by lazy caches that must outlive the
+/// arena cycle). Restores the previous arena on destruction.
+///
+/// The binding is per-thread, so concurrent sessions — a serving worker
+/// pool, each with its own arena — never stomp each other's installation.
+/// A thread with no binding of its own falls back to a process-wide slot
+/// that only unpinned threads publish to: that is how parallel-pool workers
+/// inherit the region submitter's arena (the pre-serving behaviour), while
+/// a serial-pinned serving worker keeps its arena entirely to itself.
 class ArenaScope {
  public:
   explicit ArenaScope(Arena* arena);
@@ -92,11 +99,15 @@ class ArenaScope {
   ArenaScope(const ArenaScope&) = delete;
   ArenaScope& operator=(const ArenaScope&) = delete;
 
-  /// The arena new tensor buffers are drawn from, or nullptr for the heap.
+  /// The arena new tensor buffers are drawn from, or nullptr for the heap:
+  /// the calling thread's innermost binding, else the published fallback.
   static Arena* current();
 
  private:
   Arena* previous_;
+  bool previous_bound_;
+  bool published_;
+  Arena* previous_global_ = nullptr;
 };
 
 }  // namespace af

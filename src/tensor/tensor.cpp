@@ -19,11 +19,19 @@ namespace {
 constexpr std::int64_t kReduceGrain = 1 << 16;
 
 std::atomic<std::int64_t> g_heap_allocs{0};
+thread_local std::int64_t t_heap_allocs = 0;
+
+void note_heap_alloc() {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  ++t_heap_allocs;
+}
 }  // namespace
 
 std::int64_t tensor_heap_allocs() {
   return g_heap_allocs.load(std::memory_order_relaxed);
 }
+
+std::int64_t tensor_heap_allocs_this_thread() { return t_heap_allocs; }
 
 std::int64_t numel_of(const Shape& shape) {
   std::int64_t n = 1;
@@ -56,7 +64,7 @@ void Tensor::allocate() {
   arena_ = false;
   data_.assign(static_cast<std::size_t>(size_), 0.0f);
   ptr_ = data_.data();
-  if (size_ > 0) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size_ > 0) note_heap_alloc();
 }
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) { allocate(); }
@@ -67,7 +75,7 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
            "data size does not match shape " + shape_str(shape_));
   ptr_ = data_.data();
   size_ = static_cast<std::int64_t>(data_.size());
-  if (size_ > 0) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size_ > 0) note_heap_alloc();
 }
 
 Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
@@ -124,7 +132,7 @@ void Tensor::copy_from(const Tensor& other) {
     data_.resize(static_cast<std::size_t>(other.size_));
     ptr_ = data_.data();
     size_ = other.size_;
-    if (size_ > 0) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (size_ > 0) note_heap_alloc();
   }
   if (size_ > 0) std::memcpy(ptr_, other.ptr_, sizeof(float) * size_);
 }

@@ -38,6 +38,12 @@ std::string shape_str(const Shape& shape);
 /// not heap traffic. Monotonic; callers diff before/after a region.
 std::int64_t tensor_heap_allocs();
 
+/// The calling thread's share of that count. Sessions diff this one around
+/// a run so that concurrent sessions on other threads (a serving worker
+/// pool, each mid-planning) never pollute each other's steady-state
+/// zero-allocation proof.
+std::int64_t tensor_heap_allocs_this_thread();
+
 /// Dense row-major float tensor.
 class Tensor {
  public:

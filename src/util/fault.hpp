@@ -28,7 +28,16 @@ enum class FaultKind {
   kStorageCorruption,    ///< at-rest bytes disagree with their CRC/parity
                          ///< sidecar (torn write, bit rot in a snapshot)
   kUncorrectable,        ///< detected, but every repair avenue is exhausted
+  kOverloaded,           ///< serving queue full; request rejected at admission
+  kDeadlineExceeded,     ///< request shed before, or stale after, its deadline
+  kCircuitOpen,          ///< tenant breaker open; request rejected unexecuted
+  kWorkerWedged,         ///< watchdog failed a request stuck on a dead worker
+  kShutdown,             ///< server draining; no new work accepted
 };
+
+/// Number of FaultKind values — sized for per-kind counter arrays. Keep in
+/// lockstep with the enum above.
+inline constexpr int kFaultKindCount = 12;
 
 inline const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
@@ -39,6 +48,11 @@ inline const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kMalformedInput: return "malformed-input";
     case FaultKind::kStorageCorruption: return "storage-corruption";
     case FaultKind::kUncorrectable: return "uncorrectable";
+    case FaultKind::kOverloaded: return "overloaded";
+    case FaultKind::kDeadlineExceeded: return "deadline-exceeded";
+    case FaultKind::kCircuitOpen: return "circuit-open";
+    case FaultKind::kWorkerWedged: return "worker-wedged";
+    case FaultKind::kShutdown: return "shutdown";
   }
   return "unknown";
 }

@@ -12,6 +12,7 @@ namespace af {
 namespace {
 
 thread_local bool tls_in_worker = false;
+thread_local bool tls_serial_pin = false;
 
 int hardware_threads() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -91,9 +92,10 @@ class Pool {
     if (chunks == 0) return;
 
     // Serial fallback paths run the identical chunk loop inline: one
-    // configured thread, a single chunk, or a nested call from a worker.
+    // configured thread, a single chunk, a nested call from a worker, or a
+    // thread holding a ScopedSerialExecution pin.
     const int nt = threads();
-    if (nt == 1 || chunks == 1 || tls_in_worker) {
+    if (nt == 1 || chunks == 1 || tls_in_worker || tls_serial_pin) {
       Job job;
       job.begin = begin;
       job.end = end;
@@ -214,6 +216,16 @@ void set_num_threads(int n) {
 }
 
 bool in_parallel_region() { return tls_in_worker; }
+
+bool serial_execution_pinned() { return tls_serial_pin; }
+
+ScopedSerialExecution::ScopedSerialExecution() : previous_(tls_serial_pin) {
+  tls_serial_pin = true;
+}
+
+ScopedSerialExecution::~ScopedSerialExecution() {
+  tls_serial_pin = previous_;
+}
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body) {

@@ -42,6 +42,28 @@ void set_num_threads(int n);
 /// serially inline).
 bool in_parallel_region();
 
+/// True when the calling thread carries a ScopedSerialExecution pin.
+bool serial_execution_pinned();
+
+/// Thread-local serial pin: while alive, every parallel_for/parallel_reduce
+/// issued from this thread runs its (thread-count-independent) chunk loop
+/// inline on the calling thread, never touching the shared pool or its
+/// global configuration. This is how a concurrent serving worker executes a
+/// whole model forward on its own thread: N workers each make progress
+/// independently instead of serializing on the pool's top-level run mutex,
+/// and the results are bit-identical by the fixed-chunking contract.
+/// Nestable; restores the previous pin state on destruction.
+class ScopedSerialExecution {
+ public:
+  ScopedSerialExecution();
+  ~ScopedSerialExecution();
+  ScopedSerialExecution(const ScopedSerialExecution&) = delete;
+  ScopedSerialExecution& operator=(const ScopedSerialExecution&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Number of fixed-size chunks the range [begin, end) splits into: a pure
 /// function of the range and grain, never of the thread count.
 inline std::int64_t num_chunks(std::int64_t begin, std::int64_t end,

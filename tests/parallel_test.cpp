@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/numerics/registry.hpp"
@@ -222,6 +223,52 @@ TEST_F(ParallelTest, SetNumThreadsValidation) {
   EXPECT_EQ(num_threads(), 3);
   set_num_threads(0);
   EXPECT_GE(num_threads(), 1);
+}
+
+TEST_F(ParallelTest, SerialPinForcesEveryChunkInline) {
+  set_num_threads(8);
+  ScopedSerialExecution serial;
+  EXPECT_TRUE(serial_execution_pinned());
+  const std::thread::id self = std::this_thread::get_id();
+  std::atomic<int> offloaded{0};
+  parallel_for(0, 1000, 8, [&](std::int64_t, std::int64_t) {
+    if (std::this_thread::get_id() != self) ++offloaded;
+  });
+  EXPECT_EQ(offloaded.load(), 0)
+      << "a pinned thread must never hand chunks to the pool";
+}
+
+TEST_F(ParallelTest, SerialPinNestsAndRestores) {
+  EXPECT_FALSE(serial_execution_pinned());
+  {
+    ScopedSerialExecution outer;
+    EXPECT_TRUE(serial_execution_pinned());
+    {
+      ScopedSerialExecution inner;
+      EXPECT_TRUE(serial_execution_pinned());
+    }
+    EXPECT_TRUE(serial_execution_pinned()) << "inner exit must not unpin";
+  }
+  EXPECT_FALSE(serial_execution_pinned());
+}
+
+TEST_F(ParallelTest, SerialPinIsPerThread) {
+  ScopedSerialExecution serial;
+  bool other_pinned = true;
+  std::thread([&] { other_pinned = serial_execution_pinned(); }).join();
+  EXPECT_FALSE(other_pinned) << "the pin must not leak across threads";
+}
+
+TEST_F(ParallelTest, SerialPinnedResultsMatchPooledResults) {
+  set_num_threads(8);
+  Pcg32 rng(6161);
+  Tensor a = Tensor::randn({64, 97}, rng);
+  Tensor b = Tensor::randn({64, 97}, rng);
+  const Tensor pooled = add(a, b);
+  const Tensor pooled_soft = softmax_rows(a);
+  ScopedSerialExecution serial;
+  EXPECT_TRUE(pooled.equals(add(a, b)));
+  EXPECT_TRUE(pooled_soft.equals(softmax_rows(a)));
 }
 
 }  // namespace

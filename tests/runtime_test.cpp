@@ -3,8 +3,11 @@
 // entry points, and InferenceSession zero-steady-state-allocation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "src/models/quantized_mlp.hpp"
@@ -22,6 +25,7 @@
 #include "src/tensor/ops.hpp"
 #include "src/tensor/tensor.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
@@ -562,6 +566,92 @@ TEST(Session, ThreadPinningRestoresAmbientCount) {
   Tensor x = random_tensor({2, 24}, 162);
   session.run(x);
   EXPECT_EQ(num_threads(), 2);
+}
+
+TEST(Session, RestoresThreadPinWhenForwardThrows) {
+  // The serving worker pool relies on run() being exception-safe: a
+  // throwing forward must still unwind the thread-count pin, or one faulty
+  // request would poison the ambient configuration for every later one.
+  ThreadCountRestorer restore;
+  set_num_threads(2);
+  SessionConfig cfg;
+  cfg.ctx.threads = 4;
+  InferenceSession session(
+      [](const Tensor&, ExecutionContext&) -> Tensor {
+        throw FaultError("boom", FaultKind::kChecksumMismatch, "injected");
+      },
+      cfg);
+  Tensor x = random_tensor({2, 4}, 173);
+  EXPECT_THROW(session.run(x), FaultError);
+  EXPECT_EQ(num_threads(), 2) << "the pin must unwind through the throw";
+}
+
+TEST(Session, CleanReentryAfterForwardThrows) {
+  // A session must be reusable after a faulted run: the next run with the
+  // same shapes produces exactly the bits a never-faulted session produces,
+  // and the arena still reaches its zero-alloc steady state.
+  auto model = std::make_shared<TinyMlp>(174);
+  auto flaky = std::make_shared<int>(2);  // first two runs throw
+  SessionConfig cfg;
+  InferenceSession session(
+      [model, flaky](const Tensor& in, ExecutionContext& ctx) -> Tensor {
+        if (*flaky > 0) {
+          --*flaky;
+          throw FaultError("fc1", FaultKind::kNonFinite, "injected");
+        }
+        return model->forward(in, ctx);
+      },
+      cfg);
+  InferenceSession steady(
+      [model](const Tensor& in, ExecutionContext& ctx) {
+        return model->forward(in, ctx);
+      },
+      cfg);
+  Tensor x = random_tensor({2, 24}, 175);
+  EXPECT_THROW(session.run(x), FaultError);  // planning run faults
+  EXPECT_THROW(session.run(x), FaultError);  // steady-state run faults
+  steady.run(x);
+  const Tensor golden = steady.run(x);
+  session.run(x);
+  const Tensor& recovered = session.run(x);
+  EXPECT_TRUE(bit_equal(recovered, golden));
+  EXPECT_EQ(session.last_run_heap_allocs(), 0)
+      << "faulted runs must not wedge the arena plan";
+}
+
+TEST(Session, GuardAndReportContextSurviveAThrowingRun) {
+  // The dispatch contract: ctx.guard / ctx.report installed by the session
+  // config are intact on the run after a throw — the report accumulates
+  // events from the successful retry, not garbage from the unwound one.
+  LayerGuard guard("fc", GuardConfig{RecoveryPolicy::kCorrect, 1, 0.0f});
+  ResilienceReport report;
+  auto fc = std::make_shared<Linear>(4, 4, *[] {
+    static Pcg32 rng(176);
+    return &rng;
+  }());
+  auto flaky = std::make_shared<int>(1);
+  SessionConfig cfg;
+  cfg.ctx.resilience = ResiliencePolicy::kGuard;
+  cfg.ctx.guard = &guard;
+  cfg.ctx.report = &report;
+  InferenceSession session(
+      [fc, flaky, &guard](const Tensor& in, ExecutionContext& ctx) -> Tensor {
+        EXPECT_EQ(&ctx.active_guard(), &guard) << "configured guard in force";
+        if (*flaky > 0) {
+          --*flaky;
+          throw FaultError("fc", FaultKind::kRangeViolation, "injected");
+        }
+        return fc->forward(in, ctx);
+      },
+      cfg);
+  Tensor x = random_tensor({2, 4}, 177);
+  x.data()[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(session.run(x), FaultError);
+  const Tensor& y = session.run(x);
+  EXPECT_GT(report.events.size(), 0u) << "guard must observe the NaN";
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
 }
 
 TEST(Session, CacheProbeTripsOnLeakedCache) {

@@ -1,0 +1,268 @@
+// Fault-storm integration: a seeded MAC-upset storm plus poisoned inputs
+// drive one tenant's circuit breaker down the whole degrade ladder —
+// kAbftGuard -> kGuard -> reject-open — and, once the injection stops,
+// half-open probing walks it all the way back to full protection. The
+// server must never abort; every step is visible in the HealthReport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/linear.hpp"
+#include "src/resilience/fault_injector.hpp"
+#include "src/resilience/guard.hpp"
+#include "src/serve/breaker.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/stats.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+constexpr std::int64_t kDim = 8;
+constexpr std::uint64_t kModelSeed = 2026;
+
+// A switchable MAC-upset source: forwards accumulator offers to a seeded
+// FaultInjector while enabled, and is perfectly transparent once disabled —
+// the storm the test turns on and off.
+class ToggleHook final : public PeFaultHook {
+ public:
+  ToggleHook(std::shared_ptr<std::atomic<bool>> enabled, FaultConfig cfg)
+      : enabled_(std::move(enabled)), injector_(cfg) {}
+
+  void on_accumulator(std::int64_t& acc, int acc_bits) override {
+    if (enabled_->load(std::memory_order_acquire)) {
+      injector_.on_accumulator(acc, acc_bits);
+    }
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> enabled_;
+  FaultInjector injector_;
+};
+
+InferenceServer::ForwardFactory storm_factory() {
+  return [](int /*worker*/) -> InferenceSession::ForwardFn {
+    auto fc = std::make_shared<Linear>([] {
+      Pcg32 r(kModelSeed);
+      return Linear(kDim, kDim, r, true, "fc");
+    }());
+    return [fc](const Tensor& x, ExecutionContext& ctx) {
+      return fc->forward(x, ctx);
+    };
+  };
+}
+
+Tensor clean_input() {
+  Pcg32 rng(11);
+  return Tensor::randn({2, kDim}, rng);
+}
+
+// A client-side data fault: NaN in the activations. At kGuard the guard
+// clamps it (degraded success); the breaker still counts the unclean run.
+Tensor poisoned_input() {
+  Tensor t = clean_input();
+  t.data()[3] = std::numeric_limits<float>::quiet_NaN();
+  return t;
+}
+
+struct StormRig {
+  std::shared_ptr<std::atomic<bool>> storm_on =
+      std::make_shared<std::atomic<bool>>(true);
+  LayerGuard guard{"fc", GuardConfig{RecoveryPolicy::kRecompute, 1, 0.0f}};
+  std::unique_ptr<InferenceServer> server;
+
+  StormRig() {
+    ServerConfig cfg;
+    cfg.workers = 1;  // sequential submit/await => deterministic walk
+    cfg.queue_capacity = 8;
+    cfg.watchdog.enabled = false;
+    auto storm = storm_on;
+    cfg.mac_hook_factory = [storm](int worker) -> std::unique_ptr<PeFaultHook> {
+      FaultConfig fc;
+      fc.bit_error_rate = 0.05;  // dense upsets: ~1 flip per 20 offered bits
+      fc.seed = 93 + static_cast<std::uint64_t>(worker);
+      return std::make_unique<ToggleHook>(storm, fc);
+    };
+    server = std::make_unique<InferenceServer>(storm_factory(), cfg);
+
+    TenantConfig t;
+    t.name = "storm";
+    t.ladder = {ResiliencePolicy::kAbftGuard, ResiliencePolicy::kGuard};
+    t.guard = &guard;
+    t.use_mac_hook = true;
+    t.breaker.fault_threshold = 2;
+    t.breaker.recovery_threshold = 2;
+    t.breaker.open_cooldown = 2;
+    t.breaker.half_open_probes = 2;
+    t.retry.max_retries = 0;  // one breaker fault per request, no reruns
+    server->add_tenant(t);
+  }
+
+  Response serve(Tensor input) {
+    Request req;
+    req.tenant = "storm";
+    req.input = std::move(input);
+    return server->submit(std::move(req)).get();
+  }
+
+  FaultKind serve_rejected(Tensor input) {
+    Request req;
+    req.tenant = "storm";
+    req.input = std::move(input);
+    try {
+      server->submit(std::move(req));
+    } catch (const FaultError& err) {
+      return err.kind();
+    }
+    ADD_FAILURE() << "expected a typed admission rejection";
+    return FaultKind::kNonFinite;
+  }
+
+  TenantHealth tenant_health() {
+    const HealthReport h = server->health();
+    EXPECT_EQ(h.tenants.size(), 1u);
+    return h.tenants.empty() ? TenantHealth{} : h.tenants[0];
+  }
+};
+
+TEST(ServeFaultStorm, WalksTheLadderDownAndRecoversThroughProbes) {
+  StormRig rig;
+
+  // --- Phase 1: MAC upsets at full protection (kAbftGuard, level 0). The
+  // dense storm defeats the recompute budget or at minimum trips detection;
+  // either way each request is one breaker fault. Never an abort.
+  for (int i = 0; i < 2; ++i) {
+    const Response r = rig.serve(clean_input());
+    if (r.ok) {
+      EXPECT_TRUE(r.degraded) << "a clean report under the storm is a miracle";
+    } else {
+      EXPECT_TRUE(fault_kind_recoverable(r.error_kind))
+          << fault_kind_name(r.error_kind);
+    }
+    EXPECT_EQ(r.policy, ResiliencePolicy::kAbftGuard);
+    EXPECT_EQ(r.breaker_level, 0);
+  }
+  {
+    const TenantHealth t = rig.tenant_health();
+    EXPECT_EQ(t.state, BreakerState::kClosed);
+    EXPECT_EQ(t.level, 1) << "two faults must step the ladder down";
+    EXPECT_EQ(t.policy, ResiliencePolicy::kGuard);
+  }
+
+  // --- Phase 2: poisoned activations at the degraded level. The guard
+  // clamps the NaN so the request still succeeds (degraded), but the
+  // unclean report keeps feeding the breaker until it opens.
+  for (int i = 0; i < 2; ++i) {
+    const Response r = rig.serve(poisoned_input());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.policy, ResiliencePolicy::kGuard);
+    for (std::int64_t j = 0; j < r.output.numel(); ++j) {
+      EXPECT_TRUE(std::isfinite(r.output.data()[j])) << "NaN must not escape";
+    }
+  }
+  EXPECT_EQ(rig.tenant_health().state, BreakerState::kOpen);
+
+  // --- Phase 3: open breaker sheds load; the cooldown admits probes.
+  EXPECT_EQ(rig.serve_rejected(clean_input()), FaultKind::kCircuitOpen);
+  EXPECT_EQ(rig.serve_rejected(clean_input()), FaultKind::kCircuitOpen);
+  EXPECT_EQ(rig.tenant_health().state, BreakerState::kHalfOpen);
+
+  // A faulty probe slams the breaker shut again.
+  {
+    const Response r = rig.serve(poisoned_input());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.probe);
+    EXPECT_TRUE(r.degraded);
+  }
+  EXPECT_EQ(rig.tenant_health().state, BreakerState::kOpen);
+  EXPECT_EQ(rig.serve_rejected(clean_input()), FaultKind::kCircuitOpen);
+  EXPECT_EQ(rig.serve_rejected(clean_input()), FaultKind::kCircuitOpen);
+  EXPECT_EQ(rig.tenant_health().state, BreakerState::kHalfOpen);
+
+  // --- Phase 4: the storm ends. Clean probes close the breaker at the
+  // degraded level; a recovery streak steps back to full protection.
+  rig.storm_on->store(false);
+  for (int i = 0; i < 2; ++i) {
+    const Response r = rig.serve(clean_input());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.probe);
+    // The run itself is clean now, but a probe executes below full
+    // protection — the response must still disclose the degradation.
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.breaker_level, 1);
+  }
+  {
+    const TenantHealth t = rig.tenant_health();
+    EXPECT_EQ(t.state, BreakerState::kClosed);
+    EXPECT_EQ(t.level, 1) << "recovery re-closes at the most degraded level";
+  }
+  for (int i = 0; i < 2; ++i) {
+    const Response r = rig.serve(clean_input());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.degraded) << "still one rung down the ladder";
+    EXPECT_EQ(r.policy, ResiliencePolicy::kGuard);
+  }
+  {
+    const TenantHealth t = rig.tenant_health();
+    EXPECT_EQ(t.level, 0) << "a success streak must restore full protection";
+    EXPECT_EQ(t.policy, ResiliencePolicy::kAbftGuard);
+  }
+  {
+    const Response r = rig.serve(clean_input());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.policy, ResiliencePolicy::kAbftGuard);
+    EXPECT_EQ(r.breaker_level, 0);
+  }
+
+  // --- The whole walk is on the record.
+  const TenantHealth t = rig.tenant_health();
+  EXPECT_EQ(t.breaker.step_downs, 1);
+  EXPECT_EQ(t.breaker.opens, 2);
+  EXPECT_EQ(t.breaker.half_opens, 2);
+  EXPECT_EQ(t.breaker.closes, 1);
+  EXPECT_EQ(t.breaker.step_ups, 1);
+  EXPECT_EQ(t.breaker.probes, 3);
+  EXPECT_EQ(t.breaker.rejected, 4);
+
+  ASSERT_EQ(t.transitions.size(), 7u);
+  const std::vector<std::pair<BreakerState, BreakerState>> expected = {
+      {BreakerState::kClosed, BreakerState::kClosed},    // step down 0 -> 1
+      {BreakerState::kClosed, BreakerState::kOpen},      // ladder exhausted
+      {BreakerState::kOpen, BreakerState::kHalfOpen},    // cooldown
+      {BreakerState::kHalfOpen, BreakerState::kOpen},    // probe fault
+      {BreakerState::kOpen, BreakerState::kHalfOpen},    // cooldown again
+      {BreakerState::kHalfOpen, BreakerState::kClosed},  // probes succeed
+      {BreakerState::kClosed, BreakerState::kClosed},    // step up 1 -> 0
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(t.transitions[i].from_state, expected[i].first) << "at " << i;
+    EXPECT_EQ(t.transitions[i].to_state, expected[i].second) << "at " << i;
+  }
+  EXPECT_EQ(t.transitions[0].from_level, 0);
+  EXPECT_EQ(t.transitions[0].to_level, 1);
+  EXPECT_EQ(t.transitions[6].from_level, 1);
+  EXPECT_EQ(t.transitions[6].to_level, 0);
+
+  // The report narrates the storm in plain words.
+  const std::string text = rig.server->health().to_string();
+  EXPECT_NE(text.find("breaker=closed"), std::string::npos) << text;
+  EXPECT_NE(text.find("policy=abft+guard"), std::string::npos) << text;
+
+  rig.server->shutdown();
+  const StatsSnapshot s = rig.server->stats();
+  EXPECT_EQ(s.rejected_open, 4);
+  EXPECT_EQ(s.submitted, 14);
+  EXPECT_EQ(s.admitted, 10);
+}
+
+}  // namespace
+}  // namespace af

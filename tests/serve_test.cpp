@@ -1,0 +1,625 @@
+// Serving core: bounded sharded queue, circuit-breaker state machine,
+// admission control, deadline enforcement, retry/backoff, watchdog
+// replacement, graceful drain, and the zero-steady-state-allocation
+// contract under concurrent workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/nn/linear.hpp"
+#include "src/runtime/execution_context.hpp"
+#include "src/serve/breaker.hpp"
+#include "src/serve/queue.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/stats.hpp"
+#include "src/tensor/tensor.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/rng.hpp"
+
+namespace af {
+namespace {
+
+using namespace std::chrono_literals;
+
+Tensor random_tensor(std::initializer_list<std::int64_t> shape,
+                     std::uint64_t seed) {
+  Pcg32 rng(seed);
+  return Tensor::randn(shape, rng);
+}
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.numel() == 0) return true;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * 4) == 0;
+}
+
+// ----- ShardedBoundedQueue --------------------------------------------------
+
+TEST(ServeQueue, PushPopRoundTrip) {
+  ShardedBoundedQueue<int> q(8, 2);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  EXPECT_EQ(q.size(), 5);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(q.size(), 0);
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(ServeQueue, EnforcesExactCapacityBound) {
+  ShardedBoundedQueue<int> q(3, 2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4)) << "push past capacity must be refused";
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(5)) << "freed slot must be reusable";
+}
+
+TEST(ServeQueue, PopTimesOutWhenEmpty) {
+  ShardedBoundedQueue<int> q(4, 1);
+  int v = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop(v, 10ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 5ms);
+}
+
+TEST(ServeQueue, CloseDrainsBacklogThenReturnsFalse) {
+  // Intake gating is the server's job (accepting_); close() only promises
+  // that consumers drain the backlog and then return false immediately
+  // instead of waiting out their timeout.
+  ShardedBoundedQueue<int> q(4, 2);
+  ASSERT_TRUE(q.try_push(7));
+  ASSERT_TRUE(q.try_push(8));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  int v = 0;
+  EXPECT_TRUE(q.pop(v, 10ms));
+  EXPECT_TRUE(q.pop(v, 10ms));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop(v, 500ms)) << "closed and drained";
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 400ms)
+      << "a drained closed queue must not sit out the timeout";
+}
+
+TEST(ServeQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4, kPerProducer = 200;
+  ShardedBoundedQueue<int> q(64, 4);
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (q.pop(v, 50ms)) {
+        sum.fetch_add(v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i;
+        while (!q.try_push(int(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (q.size() > 0) std::this_thread::sleep_for(1ms);
+  q.close();
+  for (auto& t : consumers) t.join();
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), total);
+  EXPECT_EQ(sum.load(), std::int64_t{total} * (total - 1) / 2);
+}
+
+// ----- CircuitBreaker -------------------------------------------------------
+
+BreakerConfig small_breaker() {
+  BreakerConfig cfg;
+  cfg.ladder_levels = 2;
+  cfg.fault_threshold = 2;
+  cfg.recovery_threshold = 2;
+  cfg.open_cooldown = 2;
+  cfg.half_open_probes = 2;
+  return cfg;
+}
+
+TEST(ServeBreaker, StepsDownAfterConsecutiveFaults) {
+  CircuitBreaker b(small_breaker());
+  EXPECT_EQ(b.level(), 0);
+  b.on_fault(false);
+  EXPECT_EQ(b.level(), 0) << "one fault is below the threshold";
+  b.on_fault(false);
+  EXPECT_EQ(b.level(), 1);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.counters().step_downs, 1);
+}
+
+TEST(ServeBreaker, SuccessResetsTheFaultStreak) {
+  CircuitBreaker b(small_breaker());
+  b.on_fault(false);
+  b.on_success(false);
+  b.on_fault(false);
+  EXPECT_EQ(b.level(), 0) << "streak must be consecutive";
+}
+
+TEST(ServeBreaker, OpensAtMostDegradedLevelAndRejects) {
+  CircuitBreaker b(small_breaker());
+  for (int i = 0; i < 4; ++i) b.on_fault(false);  // 2 -> step down, 2 -> open
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  const auto d = b.admit();
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(b.counters().rejected, 1);
+  EXPECT_EQ(b.counters().opens, 1);
+}
+
+TEST(ServeBreaker, CooldownLeadsToHalfOpenAndProbesRecover) {
+  CircuitBreaker b(small_breaker());
+  for (int i = 0; i < 4; ++i) b.on_fault(false);
+  b.admit();  // rejection 1
+  b.admit();  // rejection 2 -> cooldown reached, now half-open
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  auto d = b.admit();
+  EXPECT_TRUE(d.admit);
+  EXPECT_TRUE(d.probe);
+  EXPECT_EQ(d.level, 1) << "probes run at the most degraded level";
+  b.on_success(true);
+  b.on_success(true);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.level(), 1) << "recovery closes at the most degraded level";
+  EXPECT_EQ(b.counters().closes, 1);
+}
+
+TEST(ServeBreaker, ProbeFaultReopens) {
+  CircuitBreaker b(small_breaker());
+  for (int i = 0; i < 4; ++i) b.on_fault(false);
+  b.admit();
+  b.admit();
+  ASSERT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.on_fault(true);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.counters().opens, 2);
+}
+
+TEST(ServeBreaker, StepsUpAfterRecoveryStreak) {
+  CircuitBreaker b(small_breaker());
+  b.on_fault(false);
+  b.on_fault(false);
+  ASSERT_EQ(b.level(), 1);
+  b.on_success(false);
+  b.on_success(false);
+  EXPECT_EQ(b.level(), 0);
+  EXPECT_EQ(b.counters().step_ups, 1);
+}
+
+TEST(ServeBreaker, StaleOutcomesWhileOpenAreIgnored) {
+  CircuitBreaker b(small_breaker());
+  for (int i = 0; i < 4; ++i) b.on_fault(false);
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  b.on_success(false);  // a pre-open request finishing late
+  b.on_fault(false);
+  EXPECT_EQ(b.state(), BreakerState::kOpen) << "no transition from stale data";
+}
+
+TEST(ServeBreaker, TransitionLogRecordsTheWalk) {
+  CircuitBreaker b(small_breaker());
+  for (int i = 0; i < 4; ++i) b.on_fault(false);
+  const auto log = b.transitions();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].from_level, 0);
+  EXPECT_EQ(log[0].to_level, 1);
+  EXPECT_EQ(log[1].from_state, BreakerState::kClosed);
+  EXPECT_EQ(log[1].to_state, BreakerState::kOpen);
+  EXPECT_FALSE(log[1].reason.empty());
+}
+
+// ----- server test rig ------------------------------------------------------
+
+// Shared control panel for the test forward: inject typed faults for the
+// next N runs, or block every forward on a spin gate.
+struct Knobs {
+  std::atomic<int> fail_next{0};
+  std::atomic<int> fail_kind{static_cast<int>(FaultKind::kChecksumMismatch)};
+  std::atomic<bool> block{false};
+};
+
+constexpr std::uint64_t kSeed = 404;
+constexpr std::int64_t kDim = 8;
+
+// Every worker's replica is built from the same seed, so any worker serves
+// any request with identical bits.
+InferenceServer::ForwardFactory test_factory(std::shared_ptr<Knobs> knobs) {
+  return [knobs](int /*worker*/) -> InferenceSession::ForwardFn {
+    auto fc = std::make_shared<Linear>([] {
+      Pcg32 r(kSeed);
+      return Linear(kDim, kDim, r, true, "fc");
+    }());
+    return [knobs, fc](const Tensor& x, ExecutionContext& ctx) {
+      while (knobs->block.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(1ms);
+      }
+      int n = knobs->fail_next.load(std::memory_order_relaxed);
+      while (n > 0 && !knobs->fail_next.compare_exchange_weak(n, n - 1)) {
+      }
+      if (n > 0) {
+        throw FaultError("test", static_cast<FaultKind>(knobs->fail_kind.load()),
+                         "injected fault");
+      }
+      return fc->forward(x, ctx);
+    };
+  };
+}
+
+TenantConfig plain_tenant(const std::string& name) {
+  TenantConfig t;
+  t.name = name;
+  t.ladder = {ResiliencePolicy::kNone};
+  t.retry.backoff_base = std::chrono::microseconds(0);
+  return t;
+}
+
+Request make_request(const std::string& tenant, std::uint64_t seed = 1) {
+  Request req;
+  req.tenant = tenant;
+  req.input = random_tensor({2, kDim}, seed);
+  return req;
+}
+
+FaultKind submit_expecting_rejection(InferenceServer& server, Request req) {
+  try {
+    server.submit(std::move(req));
+  } catch (const FaultError& err) {
+    return err.kind();
+  }
+  ADD_FAILURE() << "submit was expected to throw FaultError";
+  return FaultKind::kNonFinite;
+}
+
+// ----- admission ------------------------------------------------------------
+
+TEST(ServeAdmission, CompletesAndMatchesTheDirectForward) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  server.add_tenant(plain_tenant("t"));
+
+  Response r = server.submit(make_request("t", 21)).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_EQ(r.breaker_level, 0);
+
+  Pcg32 rng(kSeed);
+  Linear direct(kDim, kDim, rng, true, "fc");
+  ExecutionContext ctx;
+  const Tensor expected = direct.forward(random_tensor({2, kDim}, 21), ctx);
+  EXPECT_TRUE(bit_equal(r.output, expected));
+}
+
+TEST(ServeAdmission, UnknownTenantRejectedTyped) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  server.add_tenant(plain_tenant("t"));
+  EXPECT_EQ(submit_expecting_rejection(server, make_request("nope")),
+            FaultKind::kMalformedInput);
+}
+
+TEST(ServeAdmission, OverloadShedsTypedAtAdmission) {
+  auto knobs = std::make_shared<Knobs>();
+  knobs->block.store(true);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.watchdog.enabled = false;
+  InferenceServer server(test_factory(knobs), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  auto first = server.submit(make_request("t"));
+  // Let the lone worker pop the first request and park in the gate.
+  std::this_thread::sleep_for(20ms);
+  auto second = server.submit(make_request("t"));
+  auto third = server.submit(make_request("t"));
+  EXPECT_EQ(submit_expecting_rejection(server, make_request("t")),
+            FaultKind::kOverloaded);
+
+  knobs->block.store(false);
+  EXPECT_TRUE(first.get().ok);
+  EXPECT_TRUE(second.get().ok);
+  EXPECT_TRUE(third.get().ok);
+  server.shutdown();
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.rejected_overload, 1);
+  EXPECT_EQ(s.admitted, 3);
+}
+
+TEST(ServeAdmission, BreakerOpenRejectsTyped) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  TenantConfig t = plain_tenant("t");
+  t.breaker.fault_threshold = 1;
+  t.retry.max_retries = 0;  // the injected fault must reach the breaker
+  server.add_tenant(t);
+
+  knobs->fail_next.store(1);
+  Response r = server.submit(make_request("t")).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(submit_expecting_rejection(server, make_request("t")),
+            FaultKind::kCircuitOpen);
+  server.shutdown();
+  EXPECT_EQ(server.stats().rejected_open, 1);
+}
+
+TEST(ServeAdmission, ShutdownRejectsTyped) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  server.add_tenant(plain_tenant("t"));
+  server.shutdown();
+  EXPECT_EQ(submit_expecting_rejection(server, make_request("t")),
+            FaultKind::kShutdown);
+  EXPECT_EQ(server.stats().rejected_shutdown, 1);
+}
+
+// ----- deadlines ------------------------------------------------------------
+
+TEST(ServeDeadline, ExpiredInQueueIsShedBeforeExecution) {
+  auto knobs = std::make_shared<Knobs>();
+  knobs->block.store(true);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.watchdog.enabled = false;
+  InferenceServer server(test_factory(knobs), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  auto blocked = server.submit(make_request("t"));
+  std::this_thread::sleep_for(10ms);  // worker now parked in the gate
+  Request hurried = make_request("t");
+  hurried.deadline = std::chrono::microseconds(5000);
+  auto doomed = server.submit(std::move(hurried));
+  std::this_thread::sleep_for(30ms);  // deadline passes while queued
+  knobs->block.store(false);
+
+  EXPECT_TRUE(blocked.get().ok);
+  Response r = doomed.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kDeadlineExceeded);
+  server.shutdown();
+  EXPECT_EQ(server.stats().shed_deadline, 1);
+}
+
+TEST(ServeDeadline, LateCompletionFailsTypedNeverReturnsStale) {
+  auto knobs = std::make_shared<Knobs>();
+  knobs->block.store(true);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.watchdog.enabled = false;
+  InferenceServer server(test_factory(knobs), cfg);
+  TenantConfig t = plain_tenant("t");
+  t.default_deadline = std::chrono::microseconds(15000);
+  server.add_tenant(t);
+
+  auto fut = server.submit(make_request("t"));
+  std::this_thread::sleep_for(40ms);  // executing, but past the deadline
+  knobs->block.store(false);
+  Response r = fut.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kDeadlineExceeded);
+  EXPECT_EQ(r.output.numel(), 0) << "a stale result must be withheld";
+  server.shutdown();
+  EXPECT_EQ(server.stats().deadline_missed, 1);
+  EXPECT_EQ(server.stats().shed_deadline, 0);
+}
+
+// ----- retry ----------------------------------------------------------------
+
+TEST(ServeRetry, RecoverableKindsAreExactlyTheComputeLadderKinds) {
+  EXPECT_TRUE(fault_kind_recoverable(FaultKind::kNonFinite));
+  EXPECT_TRUE(fault_kind_recoverable(FaultKind::kChecksumMismatch));
+  EXPECT_TRUE(fault_kind_recoverable(FaultKind::kUncorrectable));
+  EXPECT_FALSE(fault_kind_recoverable(FaultKind::kMalformedInput));
+  EXPECT_FALSE(fault_kind_recoverable(FaultKind::kStorageCorruption));
+  EXPECT_FALSE(fault_kind_recoverable(FaultKind::kOverloaded));
+  EXPECT_FALSE(fault_kind_recoverable(FaultKind::kShutdown));
+}
+
+TEST(ServeRetry, RecoverableFaultRetriedToSuccess) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  TenantConfig t = plain_tenant("t");
+  t.retry.max_retries = 2;
+  server.add_tenant(t);
+
+  knobs->fail_next.store(1);
+  Response r = server.submit(make_request("t")).get();
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.retries, 1);
+  server.shutdown();
+  EXPECT_EQ(server.stats().retries, 1);
+  EXPECT_EQ(server.stats().completed, 1);
+}
+
+TEST(ServeRetry, ExhaustedBudgetFailsWithTheOriginalKind) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  TenantConfig t = plain_tenant("t");
+  t.retry.max_retries = 2;
+  t.breaker.fault_threshold = 100;  // keep the breaker out of this test
+  server.add_tenant(t);
+
+  knobs->fail_next.store(100);
+  Response r = server.submit(make_request("t")).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kChecksumMismatch);
+  EXPECT_EQ(r.retries, 2);
+  knobs->fail_next.store(0);
+  server.shutdown();
+  EXPECT_EQ(server.stats().retries, 2);
+}
+
+TEST(ServeRetry, MalformedInputIsNeverRetried) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  TenantConfig t = plain_tenant("t");
+  t.retry.max_retries = 3;
+  server.add_tenant(t);
+
+  Request req;
+  req.tenant = "t";
+  req.input = random_tensor({2, kDim + 1}, 9);  // wrong inner dimension
+  Response r = server.submit(std::move(req)).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kMalformedInput);
+  EXPECT_EQ(r.retries, 0);
+  server.shutdown();
+  EXPECT_EQ(server.stats().retries, 0);
+}
+
+// ----- malformed input fault containment ------------------------------------
+
+TEST(ServeMalformed, TypedRejectionLeavesServerAndBreakerIntact) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  TenantConfig t = plain_tenant("t");
+  t.breaker.fault_threshold = 1;  // a single *compute* fault would trip it
+  server.add_tenant(t);
+
+  for (int i = 0; i < 3; ++i) {
+    Request req;
+    req.tenant = "t";
+    req.input = random_tensor({2, kDim + 3}, 50 + static_cast<unsigned>(i));
+    Response r = server.submit(std::move(req)).get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_kind, FaultKind::kMalformedInput);
+  }
+  // Malformed requests are the client's defect: the tenant breaker must
+  // still be closed and a well-formed request must still serve.
+  const HealthReport h = server.health();
+  ASSERT_EQ(h.tenants.size(), 1u);
+  EXPECT_EQ(h.tenants[0].state, BreakerState::kClosed);
+  EXPECT_TRUE(server.submit(make_request("t")).get().ok);
+}
+
+// ----- watchdog -------------------------------------------------------------
+
+TEST(ServeWatchdog, WedgedWorkerRequestFailedTypedAndWorkerReplaced) {
+  auto knobs = std::make_shared<Knobs>();
+  knobs->block.store(true);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.watchdog.check_interval = 2ms;
+  cfg.watchdog.wedge_timeout = 25ms;
+  InferenceServer server(test_factory(knobs), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  auto fut = server.submit(make_request("t"));
+  Response r = fut.get();  // the watchdog must deliver this, not the worker
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kWorkerWedged);
+
+  knobs->block.store(false);  // let the wedged thread retire
+  Response again = server.submit(make_request("t")).get();
+  EXPECT_TRUE(again.ok) << "replacement worker must serve";
+
+  server.shutdown();
+  EXPECT_EQ(server.stats().watchdog_failed, 1);
+  EXPECT_EQ(server.stats().completed, 1);
+}
+
+// ----- drain ----------------------------------------------------------------
+
+TEST(ServeDrain, ShutdownServesTheBacklogThenRejects) {
+  auto knobs = std::make_shared<Knobs>();
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 32;
+  InferenceServer server(test_factory(knobs), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(server.submit(make_request("t", 100 + static_cast<unsigned>(i))));
+  }
+  server.shutdown();
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+  EXPECT_EQ(server.stats().completed, 16);
+  EXPECT_EQ(submit_expecting_rejection(server, make_request("t")),
+            FaultKind::kShutdown);
+  server.shutdown();  // idempotent
+}
+
+TEST(ServeDrain, DestructorDrainsOutstandingRequests) {
+  auto knobs = std::make_shared<Knobs>();
+  std::vector<std::future<Response>> futs;
+  {
+    InferenceServer server(test_factory(knobs), ServerConfig{});
+    server.add_tenant(plain_tenant("t"));
+    for (int i = 0; i < 8; ++i) {
+      futs.push_back(server.submit(make_request("t")));
+    }
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+}
+
+// ----- steady-state allocations ---------------------------------------------
+
+TEST(ServeSteadyAllocs, ZeroAcrossConcurrentWorkers) {
+  auto knobs = std::make_shared<Knobs>();
+  ServerConfig cfg;
+  cfg.workers = 3;
+  cfg.queue_capacity = 64;
+  InferenceServer server(test_factory(knobs), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 36; ++i) {
+    futs.push_back(server.submit(make_request("t")));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+  server.shutdown();
+  EXPECT_EQ(server.max_steady_state_allocs(), 0)
+      << "steady-state forwards must be allocation-free on every worker";
+}
+
+// ----- health report --------------------------------------------------------
+
+TEST(ServeHealth, ReportNamesKindsStatesAndPolicies) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), ServerConfig{});
+  TenantConfig t = plain_tenant("t");
+  t.breaker.fault_threshold = 100;
+  t.retry.max_retries = 0;  // let the fault surface as a failure
+  server.add_tenant(t);
+
+  knobs->fail_next.store(1);
+  EXPECT_FALSE(server.submit(make_request("t")).get().ok);
+  knobs->fail_next.store(0);
+  EXPECT_TRUE(server.submit(make_request("t")).get().ok);
+  server.shutdown();
+
+  const std::string text = server.health().to_string();
+  EXPECT_NE(text.find("failures[checksum-mismatch]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("breaker=closed"), std::string::npos) << text;
+  EXPECT_NE(text.find("policy=none"), std::string::npos) << text;
+  EXPECT_NE(text.find("draining"), std::string::npos) << text;
+}
+
+TEST(ServeHealth, FaultKindNamesCoverEveryKind) {
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    const char* name = fault_kind_name(static_cast<FaultKind>(k));
+    EXPECT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << "kind " << k << " has no name";
+  }
+}
+
+}  // namespace
+}  // namespace af
