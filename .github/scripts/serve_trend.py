@@ -2,21 +2,24 @@
 """Serving-core perf-trend gate.
 
 Compares BENCH_serve.json against the bench-serve artifact fetched from the
-last successful CI run on main. The fatal metric is the closed-loop drain
-arm's throughput_rps — the open-loop arms only echo their offered rate, so
-their throughput says nothing about the server. The open-loop arms' latency
-percentiles and shed/degrade counters are printed for the record but never
-fail the gate: shared-runner scheduling noise dominates wall-clock
-percentiles. A drop of more than AF_PERF_REGRESSION_PCT percent (default
-20) fails the check; AF_PERF_WARN_ONLY=1 (set on pull_request events)
-reports without failing. A missing baseline skips with exit 0.
+last successful CI run on main. The fatal metrics are the closed-loop drain
+arms' throughput_rps — the batch-1 "drain" arm and the batched "drain_b8"
+arm, so both the single-request path and the micro-batching path are held
+to the last main run. The open-loop arms only echo their offered rate, so
+their throughput says nothing about the server; their latency percentiles
+and shed/degrade counters are printed for the record but never fail the
+gate: shared-runner scheduling noise dominates wall-clock percentiles. A
+drop of more than AF_PERF_REGRESSION_PCT percent (default 20) fails the
+check; AF_PERF_WARN_ONLY=1 (set on pull_request events) reports without
+failing. A missing baseline (or an arm missing from the baseline, as when
+main predates the batch sweep) skips that comparison with exit 0.
 """
 
 import json
 import os
 import sys
 
-FATAL_ARMS = ("drain",)
+FATAL_ARMS = ("drain", "drain_b8")
 
 
 def arms(doc):
@@ -48,8 +51,11 @@ def main(argv):
         b_tp, c_tp = b["throughput_rps"], c["throughput_rps"]
         delta = 100.0 * (c_tp - b_tp) / b_tp if b_tp > 0 else 0.0
         fatal = name in FATAL_ARMS
-        line = (f"  {name:<8} throughput {b_tp:9.1f} -> {c_tp:9.1f} rps "
+        line = (f"  {name:<9} throughput {b_tp:9.1f} -> {c_tp:9.1f} rps "
                 f"({delta:+6.1f}%)  p99 {b['p99_us']:>8} -> {c['p99_us']:>8} us")
+        if c.get("batch", 1) > 1 and "drain_speedup_vs_b1" in c:
+            line += (f"  batch={c['batch']} "
+                     f"speedup_vs_b1={c['drain_speedup_vs_b1']:.2f}x")
         if fatal and delta < -pct:
             failures += 1
             line += "  << REGRESSION"

@@ -207,6 +207,83 @@ struct Measurement {
   double ulp;  // norm-scaled ULPs vs the 1-thread scalar reference
 };
 
+// ----- M-sweep: decode amortization vs batch rows ---------------------------
+//
+// matmul_packed decodes each weight panel once per *call*, so the decode
+// cost is amortized over however many activation rows the call carries.
+// This is exactly what the serving batcher exploits: coalescing B requests
+// into one [B*rows, k] forward divides the decode work by B. The sweep
+// times the fused kernel at M in {1, 4, 16, 64} rows against the 8-bit
+// 512x512 weight per backend and reports GFLOP/s plus the throughput
+// ratio vs M=1 — the kernel-layer ceiling on batching speedup.
+//
+// Row-independence is enforced while we're here: the first M rows of the
+// full 512-row product must be byte-identical to the M-row run (the
+// contract the serving scatter depends on).
+void append_m_sweep(const Workload& w, std::string& json, bool& all_ok) {
+  struct SweepBackend {
+    const char* name;
+    const KernelBackend* be;
+  };
+  std::vector<SweepBackend> backends = {{"scalar", &scalar_backend()}};
+  if (const KernelBackend* avx2 = avx2_backend()) {
+    backends.push_back({"avx2", avx2});
+  }
+  const std::vector<std::int64_t> ms_rows = {1, 4, 16, 64};
+
+  TextTable table("m_sweep: matmul_packed rows vs decode amortization "
+                  "(8-bit, 1 thread)");
+  table.set_header({"Backend", "M", "ms", "GF/s", "vs M=1", "Rows"});
+
+  set_num_threads(1);
+  json += "  \"m_sweep\": [\n";
+  for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+    const SweepBackend& b = backends[bi];
+    // Full-width reference run: rows sliced out of this must match the
+    // narrow runs byte-for-byte.
+    const Tensor full = matmul_packed(w.x, w.w, *b.be);
+    double gflops_m1 = 0.0;
+    json += "    {\"backend\": \"" + std::string(b.name) +
+            "\", \"points\": [\n";
+    for (std::size_t mi = 0; mi < ms_rows.size(); ++mi) {
+      const std::int64_t m = ms_rows[mi];
+      Tensor xm({m, w.k});
+      std::memcpy(xm.data(), w.x.data(),
+                  sizeof(float) * static_cast<std::size_t>(m * w.k));
+      const Tensor y = matmul_packed(xm, w.w, *b.be);
+      const bool rows_ok =
+          std::memcmp(y.data(), full.data(),
+                      sizeof(float) * static_cast<std::size_t>(m * w.n)) == 0;
+      all_ok = all_ok && rows_ok;
+      // Small-M calls are fast; take best-of over more reps for stability.
+      const int reps = m >= 64 ? kReps : 10;
+      const double t = time_ms([&] { matmul_packed(xm, w.w, *b.be); }, reps);
+      const double gflops = 2.0 * static_cast<double>(m) *
+                            static_cast<double>(w.n) *
+                            static_cast<double>(w.k) / (t * 1e6);
+      if (m == 1) gflops_m1 = gflops;
+      table.add_row({b.name, std::to_string(m), fmt_fixed(t, 3),
+                     fmt_fixed(gflops, 2),
+                     fmt_fixed(gflops / gflops_m1, 2) + "x",
+                     rows_ok ? "bit-equal" : "DIVERGED"});
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"m\": %lld, \"ms\": %.4f, \"gflops\": %.3f, "
+                    "\"vs_m1\": %.3f, \"rows_bit_equal\": %s}%s\n",
+                    static_cast<long long>(m), t, gflops, gflops / gflops_m1,
+                    rows_ok ? "true" : "false",
+                    mi + 1 < ms_rows.size() ? "," : "");
+      json += buf;
+    }
+    json += bi + 1 < backends.size() ? "    ]},\n" : "    ]}\n";
+  }
+  json += "  ]\n";
+  set_num_threads(0);
+
+  table.print();
+  std::printf("\n");
+}
+
 int run_verify_only() {
   // Ambient AF_THREADS / AF_BACKEND only — CI diffs this output across
   // thread counts and backends. The row set is fixed (fused means "the
@@ -362,10 +439,15 @@ int run_bench(const char* json_path) {
     json += buf;
     json += wi + 1 < workloads.size() ? "    },\n" : "    }\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
 
   table.print();
   std::printf("\n");
+
+  // Batch-rows sweep on the 8-bit workload (new top-level key; the trend
+  // script's "workloads" iteration is unaffected).
+  append_m_sweep(workloads[0], json, all_ok);
+  json += "}\n";
 
   std::ofstream out(json_path);
   out << json;

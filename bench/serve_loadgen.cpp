@@ -14,17 +14,23 @@
 //   serve_loadgen            — all arms, prints tables, writes
 //                              BENCH_serve.json (--json PATH to move it).
 //   serve_loadgen --verify   — deterministic digest mode: a fixed request
-//                              set served with no deadlines and no faults;
-//                              prints one digest line per request plus the
-//                              fold. Response bits are a pure function of
-//                              the request (workers are serial-pinned), so
-//                              CI diffs this output across AF_THREADS and
-//                              worker counts. Exits nonzero on any failed
-//                              request or a steady-state heap allocation.
+//                              set served with no deadlines and no faults,
+//                              once serially and once per coalescing batch
+//                              size in {4, 8, 16}; prints one digest line
+//                              per request plus per-batch folds. Response
+//                              bits are a pure function of the request
+//                              (workers are serial-pinned and batch rows
+//                              are independent), so the batched digests
+//                              must equal the serial ones and CI diffs the
+//                              whole output across AF_THREADS and worker
+//                              counts. Exits nonzero on any failed request,
+//                              a batched/serial digest divergence, or a
+//                              steady-state heap allocation.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -33,9 +39,8 @@
 #include <thread>
 #include <vector>
 
-#include "src/nn/activations.hpp"
+#include "src/models/quantized_mlp.hpp"
 #include "src/nn/linear.hpp"
-#include "src/nn/quantized_linear.hpp"
 #include "src/resilience/fault_injector.hpp"
 #include "src/resilience/guard.hpp"
 #include "src/serve/server.hpp"
@@ -54,31 +59,17 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint64_t kModelSeed = 71;
 constexpr std::int64_t kIn = 128, kHidden = 256, kOut = 32, kBatch = 8;
 
-// One worker's model replica: every worker builds from the same seed, so
-// replicas are bit-identical and any worker may serve any request.
-struct ServedMlp {
-  Linear fc1, fc2;
-  QuantizedLinear q1, q2;
-  ReLU act;
-  ServedMlp()
-      : fc1([] {
-          Pcg32 r(kModelSeed, 1);
-          return Linear(kIn, kHidden, r, true, "fc1");
-        }()),
-        fc2([] {
-          Pcg32 r(kModelSeed, 2);
-          return Linear(kHidden, kOut, r, true, "fc2");
-        }()),
-        q1(fc1, 8, 3),
-        q2(fc2, 8, 3) {}
-  Tensor forward(const Tensor& x, ExecutionContext& ctx) {
-    return q2.forward(act.forward(q1.forward(x, ctx), ctx), ctx);
-  }
-};
-
+// One worker's model replica — the deployment-form QuantizedMlp from
+// src/models/. Every worker builds from the same seed, so replicas are
+// bit-identical and any worker may serve any request; its batched forward
+// handles [m, kIn] for any m, the property the coalescing workers pack
+// against.
 InferenceServer::ForwardFactory make_factory() {
   return [](int /*worker*/) -> InferenceSession::ForwardFn {
-    auto m = std::make_shared<ServedMlp>();
+    Pcg32 r1(kModelSeed, 1), r2(kModelSeed, 2);
+    Linear fc1(kIn, kHidden, r1, true, "fc1");
+    Linear fc2(kHidden, kOut, r2, true, "fc2");
+    auto m = std::make_shared<QuantizedMlp>(fc1, fc2, 8, 3);
     return [m](const Tensor& x, ExecutionContext& ctx) {
       return m->forward(x, ctx);
     };
@@ -113,11 +104,24 @@ double percentile(std::vector<double>& sorted_us, double q) {
 constexpr int kVerifyRequests = 48;
 constexpr int kVerifyWorkers = 3;
 
-int run_verify_only() {
+/// Serves the fixed verify request set once and returns the per-request
+/// digests (0 for a failed request). With max_batch > 1 the workers
+/// coalesce under a generous window; the digests must not change — each
+/// response is bit-identical to its serial execution no matter which batch
+/// it rode in, so this output is deterministic across batch sizes, worker
+/// scheduling and AF_THREADS. Batch occupancy and timing are deliberately
+/// NOT printed here (they are scheduling-dependent).
+std::vector<std::uint64_t> serve_verify_pass(int max_batch, bool* all_ok,
+                                             std::int64_t* steady_allocs) {
   ServerConfig cfg;
   cfg.workers = kVerifyWorkers;
   cfg.queue_capacity = kVerifyRequests;
   cfg.queue_shards = 2;
+  cfg.batch.max_batch = max_batch;
+  if (max_batch > 1) {
+    cfg.batch.coalesce_window = std::chrono::milliseconds(5);
+    cfg.batch.plan_rows = static_cast<std::int64_t>(max_batch) * kBatch;
+  }
   InferenceServer server(make_factory(), cfg);
 
   auto guard = std::make_shared<LayerGuard>(
@@ -137,24 +141,57 @@ int run_verify_only() {
     futs.push_back(server.submit(std::move(req)));
   }
 
-  bool ok = true;
-  std::uint64_t fold = kFnvOffset;
-  for (int i = 0; i < kVerifyRequests; ++i) {
-    Response r = futs[static_cast<std::size_t>(i)].get();
-    const std::uint64_t dig = r.ok ? digest(r.output) : 0;
-    fold = fnv1a64(&dig, sizeof(dig), fold);
-    ok = ok && r.ok && !r.degraded;
-    std::printf("req %02d ok %d degraded %d digest %s\n", i, r.ok ? 1 : 0,
-                r.degraded ? 1 : 0, digest_hex(dig).c_str());
+  std::vector<std::uint64_t> digests;
+  digests.reserve(kVerifyRequests);
+  for (auto& f : futs) {
+    Response r = f.get();
+    if (!r.ok || r.degraded) *all_ok = false;
+    digests.push_back(r.ok ? digest(r.output) : 0);
   }
   server.shutdown();
-  const std::int64_t steady = server.max_steady_state_allocs();
+  *steady_allocs = std::max(*steady_allocs, server.max_steady_state_allocs());
+  return digests;
+}
+
+int run_verify_only() {
+  bool ok = true;
+  std::int64_t steady = 0;
+
+  // Serial reference pass: batching off, the PR-8 single-request path.
+  const std::vector<std::uint64_t> serial =
+      serve_verify_pass(/*max_batch=*/1, &ok, &steady);
+  std::uint64_t fold = kFnvOffset;
+  for (int i = 0; i < kVerifyRequests; ++i) {
+    const std::uint64_t dig = serial[static_cast<std::size_t>(i)];
+    fold = fnv1a64(&dig, sizeof(dig), fold);
+    ok = ok && dig != 0;
+    std::printf("req %02d ok %d degraded 0 digest %s\n", i, dig != 0 ? 1 : 0,
+                digest_hex(dig).c_str());
+  }
+
+  // Batched passes: every batch size must reproduce the serial digests
+  // bit-for-bit, request by request.
+  bool batch_equal = true;
+  for (const int b : {4, 8, 16}) {
+    const std::vector<std::uint64_t> batched =
+        serve_verify_pass(b, &ok, &steady);
+    bool equal = batched == serial;
+    batch_equal = batch_equal && equal;
+    std::uint64_t bfold = kFnvOffset;
+    for (const std::uint64_t dig : batched) {
+      bfold = fnv1a64(&dig, sizeof(dig), bfold);
+    }
+    std::printf("batch %02d fold %s matches_serial %d\n", b,
+                digest_hex(bfold).c_str(), equal ? 1 : 0);
+  }
+
   std::printf("fold %s steady_allocs %lld\n", digest_hex(fold).c_str(),
               static_cast<long long>(steady));
-  if (!ok || steady != 0) {
+  if (!ok || !batch_equal || steady != 0) {
     std::fprintf(stderr,
                  "serve_loadgen: verify failed (request error, degraded "
-                 "clean-path response, or steady-state allocation)\n");
+                 "clean-path response, batched digests diverging from "
+                 "serial, or steady-state allocation)\n");
     return 1;
   }
   return 0;
@@ -164,10 +201,12 @@ int run_verify_only() {
 
 struct ArmResult {
   std::string name;
+  int batch = 1;  ///< max_batch the arm served with
   double offered_rps = 0.0;
   double wall_ms = 0.0;
   double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0;
   double throughput_rps = 0.0;
+  double speedup_vs_b1 = 0.0;  ///< drain arms: throughput / batch-1 drain
   StatsSnapshot stats;
   std::int64_t breaker_opens = 0;
   std::int64_t breaker_step_downs = 0;
@@ -282,12 +321,24 @@ ArmResult run_arm(const std::string& name, const TrafficConfig& t) {
 // Closed-loop saturation arm: burst-submit a fixed batch with no pacing and
 // no deadlines, then drain. Wall time measures how fast the worker pool can
 // chew through a full queue — the perf-trend throughput metric (open-loop
-// throughput only echoes the offered rate).
-ArmResult run_drain_arm(int requests) {
+// throughput only echoes the offered rate). With max_batch > 1 the workers
+// coalesce the full queue into packed forwards, amortizing the LUT decode
+// of the weight panels across batch rows — the micro-batching speedup the
+// CI gate tracks ("drain" stays batch=1 for baseline continuity; the
+// drain_bN arms sweep the batch sizes).
+ArmResult run_drain_arm(const std::string& name, int requests,
+                        int max_batch) {
   ServerConfig cfg;
   cfg.workers = 4;
   cfg.queue_capacity = requests;
   cfg.queue_shards = 4;
+  cfg.batch.max_batch = max_batch;
+  if (max_batch > 1) {
+    // The queue is pre-filled, so matches are found immediately — a tiny
+    // window covers pop/push races without adding idle tail latency.
+    cfg.batch.coalesce_window = std::chrono::microseconds(500);
+    cfg.batch.plan_rows = static_cast<std::int64_t>(max_batch) * kBatch;
+  }
   InferenceServer server(make_factory(), cfg);
 
   auto guard = std::make_shared<LayerGuard>(
@@ -314,7 +365,8 @@ ArmResult run_drain_arm(int requests) {
   server.shutdown();
 
   ArmResult a;
-  a.name = "drain";
+  a.name = name;
+  a.batch = max_batch;
   a.wall_ms = wall_ms;
   a.stats = server.stats();
   a.throughput_rps =
@@ -332,21 +384,35 @@ int run_bench(const char* json_path) {
   storm.fault_ber = 2e-4;
   arms.push_back(run_arm("faults", storm));
 
-  arms.push_back(run_drain_arm(512));
+  // Micro-batching sweep: same closed-loop workload, batch in {1, 4, 8,
+  // 16}. "drain" is the batch-1 baseline the perf trend has always
+  // tracked; speedup_vs_b1 quantifies the decode-amortization win.
+  constexpr int kDrainRequests = 512;
+  arms.push_back(run_drain_arm("drain", kDrainRequests, 1));
+  const double drain_b1_tput = arms.back().throughput_rps;
+  for (const int b : {4, 8, 16}) {
+    arms.push_back(
+        run_drain_arm("drain_b" + std::to_string(b), kDrainRequests, b));
+    arms.back().speedup_vs_b1 =
+        drain_b1_tput > 0.0 ? arms.back().throughput_rps / drain_b1_tput : 0.0;
+  }
 
   TextTable table("serve_loadgen: open-loop Poisson+burst traffic");
-  table.set_header({"Arm", "Offered rps", "Done", "Shed", "Degraded",
-                    "Failed", "p50 us", "p99 us", "p99.9 us", "Tput rps"});
+  table.set_header({"Arm", "Batch", "Offered rps", "Done", "Shed", "Degraded",
+                    "Failed", "p50 us", "p99 us", "p99.9 us", "Tput rps",
+                    "Speedup"});
   for (const ArmResult& a : arms) {
     const std::int64_t shed = a.stats.rejected_overload +
                               a.stats.rejected_open + a.stats.shed_deadline;
-    table.add_row({a.name,
+    table.add_row({a.name, std::to_string(a.batch),
                    a.offered_rps > 0 ? fmt_fixed(a.offered_rps, 0) : "closed",
                    std::to_string(a.stats.completed), std::to_string(shed),
                    std::to_string(a.stats.degraded),
                    std::to_string(a.stats.failed), fmt_fixed(a.p50_us, 0),
                    fmt_fixed(a.p99_us, 0), fmt_fixed(a.p999_us, 0),
-                   fmt_fixed(a.throughput_rps, 0)});
+                   fmt_fixed(a.throughput_rps, 0),
+                   a.speedup_vs_b1 > 0.0 ? fmt_fixed(a.speedup_vs_b1, 2)
+                                         : "-"});
   }
   table.print();
   std::printf("\n");
@@ -354,17 +420,25 @@ int run_bench(const char* json_path) {
   std::string json = "{\n  \"bench\": \"serve_loadgen\",\n  \"arms\": [\n";
   for (std::size_t i = 0; i < arms.size(); ++i) {
     const ArmResult& a = arms[i];
-    char buf[640];
+    const double mean_occupancy =
+        a.stats.batches_executed > 0
+            ? static_cast<double>(a.stats.batched_requests) /
+                  static_cast<double>(a.stats.batches_executed)
+            : 0.0;
+    char buf[960];
     std::snprintf(
         buf, sizeof(buf),
-        "    {\"name\": \"%s\", \"offered_rps\": %.1f, \"wall_ms\": %.1f, "
+        "    {\"name\": \"%s\", \"batch\": %d, \"offered_rps\": %.1f, "
+        "\"wall_ms\": %.1f, "
         "\"submitted\": %lld, \"completed\": %lld, \"rejected_overload\": "
         "%lld, \"rejected_open\": %lld, \"shed_deadline\": %lld, "
         "\"deadline_missed\": %lld, \"degraded\": %lld, \"failed\": %lld, "
         "\"retries\": %lld, \"breaker_opens\": %lld, \"breaker_step_downs\": "
         "%lld, \"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
-        "\"throughput_rps\": %.1f}%s\n",
-        a.name.c_str(), a.offered_rps, a.wall_ms,
+        "\"queue_wait_p50_us\": %lld, \"queue_wait_p99_us\": %lld, "
+        "\"mean_occupancy\": %.2f, \"coalesce_wait_us\": %lld, "
+        "\"throughput_rps\": %.1f, \"drain_speedup_vs_b1\": %.3f}%s\n",
+        a.name.c_str(), a.batch, a.offered_rps, a.wall_ms,
         static_cast<long long>(a.stats.submitted),
         static_cast<long long>(a.stats.completed),
         static_cast<long long>(a.stats.rejected_overload),
@@ -376,7 +450,11 @@ int run_bench(const char* json_path) {
         static_cast<long long>(a.stats.retries),
         static_cast<long long>(a.breaker_opens),
         static_cast<long long>(a.breaker_step_downs), a.p50_us, a.p99_us,
-        a.p999_us, a.throughput_rps, i + 1 < arms.size() ? "," : "");
+        a.p999_us,
+        static_cast<long long>(a.stats.queue_wait_percentile_us(0.50)),
+        static_cast<long long>(a.stats.queue_wait_percentile_us(0.99)),
+        mean_occupancy, static_cast<long long>(a.stats.coalesce_wait_us),
+        a.throughput_rps, a.speedup_vs_b1, i + 1 < arms.size() ? "," : "");
     json += buf;
   }
   json += "  ]\n}\n";
@@ -390,14 +468,45 @@ int run_bench(const char* json_path) {
   // keep completing (the whole point of the ladder).
   const ArmResult& steady = arms[0];
   const ArmResult& faults = arms[1];
-  const ArmResult& drain = arms[2];
+  const ArmResult* drain_b1 = nullptr;
+  const ArmResult* drain_b8 = nullptr;
+  bool drain_failed = false;
+  for (const ArmResult& a : arms) {
+    if (a.name == "drain") drain_b1 = &a;
+    if (a.name == "drain_b8") drain_b8 = &a;
+    if (a.name.rfind("drain", 0) == 0 && a.stats.failed > 0) {
+      drain_failed = true;
+    }
+  }
   if (steady.stats.failed - steady.stats.shed_deadline -
               steady.stats.deadline_missed >
           0 ||
-      drain.stats.failed > 0 || faults.stats.completed == 0) {
+      drain_failed || faults.stats.completed == 0) {
     std::fprintf(stderr,
                  "serve_loadgen: clean-arm failures or zero completions "
                  "under faults\n");
+    return 1;
+  }
+
+  // Batching acceptance gate: batch 8 must beat batch 1 drain throughput
+  // by AF_BATCH_SPEEDUP_MIN (default 1.5x — the decode-amortization win
+  // the micro-batching layer exists for).
+  double min_speedup = 1.5;
+  if (const char* env = std::getenv("AF_BATCH_SPEEDUP_MIN")) {
+    min_speedup = std::atof(env);
+  }
+  const double speedup =
+      (drain_b1 != nullptr && drain_b8 != nullptr &&
+       drain_b1->throughput_rps > 0.0)
+          ? drain_b8->throughput_rps / drain_b1->throughput_rps
+          : 0.0;
+  std::printf("drain batch-8 speedup vs batch-1: %.2fx (gate %.2fx)\n",
+              speedup, min_speedup);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "serve_loadgen: batch-8 drain speedup %.2fx below the "
+                 "%.2fx gate\n",
+                 speedup, min_speedup);
     return 1;
   }
   return 0;

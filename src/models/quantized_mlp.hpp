@@ -35,7 +35,14 @@ class QuantizedMlp {
   /// Persists the packed weights + biases through the crash-safe writer.
   void save(const std::string& path) const;
 
+  /// Batched forward: `x` is [m, in_features] for any m >= 1. Every layer
+  /// on the path (packed GEMM, bias add, ReLU) treats rows independently,
+  /// so row i of a batched forward is bit-identical to the same row run
+  /// solo — the contract the serving batcher scatters responses under.
   Tensor forward(const Tensor& x, ExecutionContext& ctx);
+
+  std::int64_t in_features() const { return q1_.in_features(); }
+  std::int64_t out_features() const { return q2_.out_features(); }
 
   std::int64_t cache_depth() const { return act_.cache_depth(); }
   const QuantizedLinear& fc1() const { return q1_; }

@@ -1,0 +1,71 @@
+#include "src/runtime/batch.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "src/tensor/arena.hpp"
+#include "src/util/fault.hpp"
+
+namespace af {
+
+Tensor pack_rows(const std::vector<const Tensor*>& inputs,
+                 std::vector<std::int64_t>* row_offsets) {
+  if (inputs.empty()) {
+    throw FaultError("batch", FaultKind::kMalformedInput,
+                     "pack_rows needs at least one input");
+  }
+  const Tensor& first = *inputs.front();
+  if (first.rank() != 2) {
+    throw FaultError("batch", FaultKind::kMalformedInput,
+                     "pack_rows inputs must be rank-2, got " +
+                         shape_str(first.shape()));
+  }
+  const std::int64_t d = first.dim(1);
+  std::int64_t total = 0;
+  for (const Tensor* t : inputs) {
+    if (t->rank() != 2 || t->dim(1) != d) {
+      throw FaultError("batch", FaultKind::kMalformedInput,
+                       "pack_rows width mismatch: [*, " + std::to_string(d) +
+                           "] vs " + shape_str(t->shape()));
+    }
+    total += t->dim(0);
+  }
+  if (row_offsets != nullptr) {
+    row_offsets->clear();
+    row_offsets->reserve(inputs.size());
+  }
+  Tensor packed({total, d});
+  std::int64_t row = 0;
+  for (const Tensor* t : inputs) {
+    if (row_offsets != nullptr) row_offsets->push_back(row);
+    const std::int64_t n = t->dim(0) * d;
+    if (n > 0) {
+      std::memcpy(packed.data() + row * d, t->data(),
+                  sizeof(float) * static_cast<std::size_t>(n));
+    }
+    row += t->dim(0);
+  }
+  return packed;
+}
+
+Tensor copy_row_block(const Tensor& src, std::int64_t row0,
+                      std::int64_t rows) {
+  if (src.rank() != 2 || row0 < 0 || rows < 0 || row0 + rows > src.dim(0)) {
+    throw FaultError("batch", FaultKind::kMalformedInput,
+                     "copy_row_block rows [" + std::to_string(row0) + ", " +
+                         std::to_string(row0 + rows) + ") out of range for " +
+                         shape_str(src.shape()));
+  }
+  const std::int64_t d = src.dim(1);
+  // The scatter target escapes the worker's arena cycle: force owned
+  // storage even while a staging/session ArenaScope is active.
+  ArenaScope no_arena(nullptr);
+  Tensor out({rows, d});
+  if (rows * d > 0) {
+    std::memcpy(out.data(), src.data() + row0 * d,
+                sizeof(float) * static_cast<std::size_t>(rows * d));
+  }
+  return out;
+}
+
+}  // namespace af

@@ -55,6 +55,15 @@ class InferenceSession {
   /// serving retry path depends on re-entering an undamaged session.
   const Tensor& run(const Tensor& input);
 
+  /// Explicit planning pass: runs the forward once on `exemplar` (typically
+  /// a zero tensor at the largest shape the caller will ever serve, e.g.
+  /// max_batch rows for a batching worker) so the arena grows — and, on the
+  /// first-ever run, consolidates — at that peak. Subsequent run() calls at
+  /// or below the exemplar's shape replay through the planned arena with
+  /// zero steady-state heap allocations; smaller batches reuse the same
+  /// bytes as arena-backed sub-batch footprints of the planned peak.
+  void plan(const Tensor& exemplar) { (void)run(exemplar); }
+
   /// The context template applied to every subsequent run() (`training` is
   /// still forced off). Mutable so a serving worker can re-point the
   /// resilience policy, guard, report sink and fault hook per request while

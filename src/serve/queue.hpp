@@ -101,6 +101,45 @@ class ShardedBoundedQueue {
     return false;
   }
 
+  /// Non-blocking conditional pop: sweeps every shard once and extracts the
+  /// first item (front-to-back within each shard, so per-shard FIFO order is
+  /// preserved among matching items) satisfying `pred`. Used by the batching
+  /// worker to coalesce only same-tenant, shape-compatible requests; items
+  /// that fail the predicate are left in place untouched.
+  template <typename Pred>
+  bool try_pop_if(T& out, Pred&& pred) {
+    if (size_.load(std::memory_order_acquire) <= 0) return false;
+    const std::size_t start =
+        pop_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = shards_[(start + i) % shards_.size()];
+      std::lock_guard<std::mutex> lk(shard.mu);
+      for (auto it = shard.items.begin(); it != shard.items.end(); ++it) {
+        if (!pred(*it)) continue;
+        out = std::move(*it);
+        shard.items.erase(it);
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pops up to `max_items` predicate-matching items into `out` (appended).
+  /// Returns the number popped. One sweep over the shards: this is a
+  /// best-effort coalescing aid, not a barrier — callers that need to fill a
+  /// batch keep calling it inside their coalesce-window loop.
+  template <typename Pred>
+  int try_pop_batch(std::vector<T>& out, int max_items, Pred&& pred) {
+    int popped = 0;
+    T item;
+    while (popped < max_items && try_pop_if(item, pred)) {
+      out.push_back(std::move(item));
+      ++popped;
+    }
+    return popped;
+  }
+
   /// Wakes every blocked consumer; pop() returns false once the backlog is
   /// drained. Pushes after close are still accepted only by capacity (the
   /// server gates admission separately with its accepting flag).

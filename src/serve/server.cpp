@@ -1,9 +1,12 @@
 #include "src/serve/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "src/resilience/guard.hpp"
+#include "src/runtime/batch.hpp"
+#include "src/tensor/arena.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
@@ -66,15 +69,25 @@ struct InferenceServer::WorkerSlot {
   std::atomic<std::int64_t> max_steady_allocs{0};
 
   std::mutex mu;  ///< guards inflight (worker publishes, watchdog reads)
-  std::shared_ptr<Ticket> inflight;
+  /// Every ticket of the batch being executed: a wedged worker has ALL of
+  /// its in-flight batch members failed typed, not just one.
+  std::vector<std::shared_ptr<Ticket>> inflight;
 
   // Worker-thread-only state below (never touched by the watchdog).
   std::unique_ptr<InferenceSession> session;
   std::unique_ptr<PeFaultHook> mac_hook;
-  /// Bitmask of ResiliencePolicy values whose planning run already
-  /// happened — later runs at a seen policy must not allocate (under the
-  /// fixed request shapes the bench and tests serve).
-  unsigned planned_policies = 0;
+  /// Staging arena the batched activation tensor is packed into. Separate
+  /// from the session's arena (which resets at the start of every run), so
+  /// the packed input stays valid across the forward.
+  Arena staging;
+  /// Per-ResiliencePolicy largest activation row count whose planning run
+  /// already happened — later runs at or below a planned row count must
+  /// not allocate (the arena holds the larger peak and owned buffers
+  /// shrink in place). Generalizes the PR-8 per-policy planned bitmask to
+  /// variable batch shapes.
+  std::array<std::int64_t,
+             static_cast<std::size_t>(ResiliencePolicy::kAbftGuard) + 1>
+      planned_rows{};
 };
 
 InferenceServer::InferenceServer(ForwardFactory factory, ServerConfig cfg)
@@ -128,6 +141,7 @@ bool InferenceServer::complete(const std::shared_ptr<Ticket>& ticket,
   } else {
     r.queue_us = r.total_us;
   }
+  stats_.record_queue_wait(r.queue_us.count());
   ticket->promise.set_value(std::move(r));
   return true;
 }
@@ -213,9 +227,13 @@ void InferenceServer::worker_main(std::shared_ptr<WorkerSlot> slot) {
     slot->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
     std::shared_ptr<Ticket> ticket;
     if (queue_.pop(ticket, std::chrono::milliseconds(2))) {
-      process(*slot, ticket);
+      std::vector<std::shared_ptr<Ticket>> batch;
+      batch.push_back(std::move(ticket));
+      std::chrono::microseconds waited{0};
+      if (cfg_.batch.max_batch > 1) waited = coalesce(*slot, batch);
+      process(*slot, batch, waited);
       std::lock_guard<std::mutex> lk(slot->mu);
-      slot->inflight.reset();
+      slot->inflight.clear();
     } else if (!running_.load(std::memory_order_acquire) &&
                queue_.size() == 0) {
       break;  // graceful drain complete
@@ -227,38 +245,136 @@ void InferenceServer::worker_main(std::shared_ptr<WorkerSlot> slot) {
   slot->alive.store(false, std::memory_order_release);
 }
 
-void InferenceServer::process(WorkerSlot& slot,
-                              const std::shared_ptr<Ticket>& ticket) {
-  if (ticket->completed.load(std::memory_order_acquire)) return;
-  const TenantConfig& tcfg = ticket->tenant->cfg;
-  CircuitBreaker& breaker = ticket->tenant->breaker;
-
-  // Deadline shed: a request already past its deadline is never executed
-  // (running it could only produce a result the client must not use).
-  if (ticket->has_deadline && Clock::now() > ticket->deadline_tp) {
-    Response r;
-    r.error_kind = FaultKind::kDeadlineExceeded;
-    r.error = "deadline expired in queue; request shed before execution";
-    if (complete(ticket, std::move(r))) {
-      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-      stats_.count_failure(FaultKind::kDeadlineExceeded);
-    }
-    return;
+std::chrono::microseconds InferenceServer::coalesce(
+    WorkerSlot& slot, std::vector<std::shared_ptr<Ticket>>& batch) {
+  const BatchConfig& bc = cfg_.batch;
+  const std::shared_ptr<Ticket> lead = batch.front();
+  // A half-open probe is the breaker's isolated health check and runs
+  // solo; malformed (non-rank-2, empty) inputs must also fail
+  // individually, never drag a batch down with them.
+  if (lead->probe || lead->input.rank() != 2 || lead->input.dim(0) <= 0) {
+    return std::chrono::microseconds{0};
   }
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point window_end = t0 + bc.coalesce_window;
+  TenantState* const tenant = lead->tenant;
+  const int level = lead->level;
+  const std::int64_t d = lead->input.dim(1);
+  const auto match = [&](const std::shared_ptr<Ticket>& t) {
+    // Never cross-tenant, never across ladder levels (one policy must
+    // serve the whole batch), never probes, rank-2 same-width rows only.
+    return t->tenant == tenant && t->level == level && !t->probe &&
+           t->input.rank() == 2 && t->input.dim(1) == d &&
+           t->input.dim(0) > 0;
+  };
+  for (;;) {
+    queue_.try_pop_batch(batch, bc.max_batch - static_cast<int>(batch.size()),
+                         match);
+    if (static_cast<int>(batch.size()) >= bc.max_batch) break;
+    const Clock::time_point now = Clock::now();
+    // Wait bound: the coalesce window, tightened so the batch never holds
+    // a member past the point it could still complete on time — the
+    // margin budgets pack + forward + scatter.
+    Clock::time_point bound = window_end;
+    for (const auto& t : batch) {
+      if (!t->has_deadline) continue;
+      bound = std::min(bound, t->deadline_tp - bc.deadline_margin);
+    }
+    if (now >= bound) break;
+    slot.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::min<Clock::duration>(
+        bound - now, std::chrono::microseconds(200)));
+  }
+  return since(t0, Clock::now());
+}
+
+void InferenceServer::process(WorkerSlot& slot,
+                              std::vector<std::shared_ptr<Ticket>>& batch,
+                              std::chrono::microseconds coalesce_us) {
+  // Per-member shed before packing: already-completed tickets drop
+  // silently; members past their deadline are shed typed without
+  // execution — queue expiry is a per-request fault, never the batch's
+  // (running an expired member could only produce a result its client
+  // must not use).
+  std::vector<std::shared_ptr<Ticket>> live;
+  live.reserve(batch.size());
+  for (auto& ticket : batch) {
+    if (ticket->completed.load(std::memory_order_acquire)) continue;
+    if (ticket->has_deadline && Clock::now() > ticket->deadline_tp) {
+      Response r;
+      r.error_kind = FaultKind::kDeadlineExceeded;
+      r.error = "deadline expired in queue; request shed before execution";
+      if (complete(ticket, std::move(r))) {
+        stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_failure(FaultKind::kDeadlineExceeded);
+      }
+      continue;
+    }
+    live.push_back(ticket);
+  }
+  if (live.empty()) return;
+
+  const TenantConfig& tcfg = live.front()->tenant->cfg;
+  CircuitBreaker& breaker = live.front()->tenant->breaker;
 
   {
     std::lock_guard<std::mutex> lk(slot.mu);
-    ticket->exec_tp = Clock::now();
-    ticket->executing = true;
-    slot.inflight = ticket;
+    const Clock::time_point start = Clock::now();
+    for (const auto& ticket : live) {
+      ticket->exec_tp = start;
+      ticket->executing = true;
+    }
+    slot.inflight = live;
   }
   slot.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
 
-  const int level =
-      std::min(ticket->level, static_cast<int>(tcfg.ladder.size()) - 1);
+  const int level = std::min(live.front()->level,
+                             static_cast<int>(tcfg.ladder.size()) - 1);
   const ResiliencePolicy policy = tcfg.ladder[static_cast<std::size_t>(level)];
+  const std::size_t pidx = static_cast<std::size_t>(policy);
+  const int batch_size = static_cast<int>(live.size());
+
+  // Pack the members into one [total_rows, d] activation tensor in the
+  // worker's staging arena (not the session arena — run() resets that). A
+  // solo request executes its input tensor directly: the batch=1 path is
+  // the PR-8 single-request path, byte-for-byte.
+  const Tensor* input = &live.front()->input;
+  Tensor packed;
+  std::vector<std::int64_t> row_offsets;
+  if (batch_size > 1) {
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(live.size());
+    for (const auto& ticket : live) inputs.push_back(&ticket->input);
+    slot.staging.reset();
+    ArenaScope scope(&slot.staging);
+    packed = pack_rows(inputs, &row_offsets);
+    input = &packed;
+  }
+  stats_.count_batch(batch_size, coalesce_us.count());
 
   InferenceSession& session = *slot.session;
+
+  // Eager pre-plan (BatchConfig::plan_rows): before the first counted run
+  // at this policy, grow the arena with a zero-input forward at the
+  // configured peak row count, so every real batch at or below it replays
+  // alloc-free from its first execution.
+  if (cfg_.batch.plan_rows > 0 && slot.planned_rows[pidx] == 0 &&
+      input->rank() == 2 && input->dim(0) < cfg_.batch.plan_rows) {
+    ExecutionContext& ctx = session.context();
+    ctx.resilience = policy;
+    ctx.guard = tcfg.guard;
+    ctx.report = nullptr;
+    ctx.mac_hook = nullptr;
+    ctx.threads = 0;
+    try {
+      session.plan(Tensor({cfg_.batch.plan_rows, input->dim(1)}));
+      slot.planned_rows[pidx] = cfg_.batch.plan_rows;
+    } catch (...) {
+      // Planning is best-effort (a strict guard could flag the zero
+      // exemplar); fall back to lazy shape-driven planning below.
+    }
+  }
+
   int attempt = 0;
   for (;;) {
     ResilienceReport report;
@@ -270,74 +386,101 @@ void InferenceServer::process(WorkerSlot& slot,
     ctx.threads = 0;  // serial-pinned worker; never touch the global pool
 
     try {
-      const Tensor& y = session.run(ticket->input);
+      const std::int64_t rows = input->rank() == 2 ? input->dim(0) : 1;
+      const bool was_planned =
+          slot.planned_rows[pidx] > 0 && rows <= slot.planned_rows[pidx];
+      const Tensor& y = session.run(*input);
 
-      // Track the zero-steady-state-alloc contract: the first run at a
-      // given policy plans arena growth; later runs must not allocate.
-      const unsigned bit = 1u << static_cast<unsigned>(policy);
-      if ((slot.planned_policies & bit) != 0) {
+      // Zero-steady-state-alloc contract: a run at or below the planned
+      // row count for its policy must not allocate (the arena holds the
+      // larger peak; owned output buffers shrink in place). A larger run
+      // is a planning run and raises the planned row count instead.
+      if (was_planned) {
         const std::int64_t allocs = session.last_run_heap_allocs();
         std::int64_t prev =
             slot.max_steady_allocs.load(std::memory_order_relaxed);
         while (allocs > prev && !slot.max_steady_allocs.compare_exchange_weak(
                                     prev, allocs, std::memory_order_relaxed)) {
         }
+      } else {
+        slot.planned_rows[pidx] = std::max(slot.planned_rows[pidx], rows);
       }
-      slot.planned_policies |= bit;
 
       // Deadline recheck: a stale result is failed typed, never returned
       // as if it were fresh.
-      // Breaker feedback strictly precedes completion: a client that
-      // awaited the response and then submits again must find the breaker
+      // Breaker feedback strictly precedes every completion: a client that
+      // awaited a response and then submits again must find the breaker
       // already informed by this outcome (what makes the storm test's
-      // transition sequence exactly reproducible).
-      if (ticket->has_deadline && Clock::now() > ticket->deadline_tp) {
-        // Numerically the tenant is healthy — lateness is load, not a
-        // fault; let probes recover the breaker even under pressure.
-        breaker.on_success(ticket->probe);
+      // transition sequence exactly reproducible). The batch executed as
+      // one forward, but the ladder walks request-by-request, exactly as
+      // the serial path would have.
+      const Clock::time_point done = Clock::now();
+      for (const auto& ticket : live) {
+        const bool late = ticket->has_deadline && done > ticket->deadline_tp;
+        if (late || report.clean()) {
+          // A late result means the tenant is numerically healthy —
+          // lateness is load, not a fault; probes still recover the
+          // breaker under pressure.
+          breaker.on_success(ticket->probe);
+        } else {
+          breaker.on_fault(ticket->probe);
+        }
+      }
+
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto& ticket = live[i];
         Response r;
-        r.error_kind = FaultKind::kDeadlineExceeded;
-        r.error = "completed after deadline; stale result withheld";
         r.retries = attempt;
         r.breaker_level = level;
         r.policy = policy;
-        if (complete(ticket, std::move(r))) {
-          stats_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
-          stats_.count_failure(FaultKind::kDeadlineExceeded);
+        r.batch_size = batch_size;
+        r.coalesce_us = coalesce_us;
+        if (ticket->has_deadline && done > ticket->deadline_tp) {
+          r.error_kind = FaultKind::kDeadlineExceeded;
+          r.error = "completed after deadline; stale result withheld";
+          if (complete(ticket, std::move(r))) {
+            stats_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+            stats_.count_failure(FaultKind::kDeadlineExceeded);
+          }
+          continue;
         }
-        return;
-      }
-
-      // A completed request whose report shows ladder interventions is the
-      // breaker's fault signal: the tenant is absorbing faults even though
-      // clients still get answers.
-      if (report.clean()) {
-        breaker.on_success(ticket->probe);
-      } else {
-        breaker.on_fault(ticket->probe);
-      }
-      Response r;
-      r.ok = true;
-      r.output.copy_from(y);
-      r.retries = attempt;
-      r.breaker_level = level;
-      r.policy = policy;
-      r.degraded = !report.clean() || level > 0;
-      if (complete(ticket, std::move(r))) {
-        stats_.completed.fetch_add(1, std::memory_order_relaxed);
-        if (!report.clean() || level > 0) {
-          stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+        r.ok = true;
+        if (batch_size == 1) {
+          r.output.copy_from(y);
+        } else {
+          // Scatter: this member's rows, copied out of the batched output
+          // into owned storage (bit-identical to its serial execution by
+          // row independence of every kernel on the path).
+          r.output =
+              copy_row_block(y, row_offsets[i], ticket->input.dim(0));
+        }
+        const bool degraded = !report.clean() || level > 0;
+        r.degraded = degraded;
+        if (complete(ticket, std::move(r))) {
+          stats_.completed.fetch_add(1, std::memory_order_relaxed);
+          if (degraded) {
+            stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
       return;
     } catch (const FaultError& err) {
+      // Fault attribution: a compute fault surfaced by the batched forward
+      // cannot be pinned on one member, so the WHOLE batch retries (and,
+      // when retries exhaust, fails) together through the breaker ladder.
       const bool recoverable = fault_kind_recoverable(err.kind());
       if (recoverable && attempt < tcfg.retry.max_retries) {
         const auto backoff = std::chrono::microseconds(
             tcfg.retry.backoff_base.count() << attempt);
+        Clock::time_point tightest = Clock::time_point::max();
+        bool any_deadline = false;
+        for (const auto& ticket : live) {
+          if (!ticket->has_deadline) continue;
+          any_deadline = true;
+          tightest = std::min(tightest, ticket->deadline_tp);
+        }
         const bool budget_left =
-            !ticket->has_deadline ||
-            Clock::now() + backoff < ticket->deadline_tp;
+            !any_deadline || Clock::now() + backoff < tightest;
         if (budget_left) {
           ++attempt;
           stats_.retries.fetch_add(1, std::memory_order_relaxed);
@@ -349,31 +492,39 @@ void InferenceServer::process(WorkerSlot& slot,
       // Malformed requests are the client's defect, not the tenant's
       // compute health — they never walk the breaker ladder.
       if (err.kind() != FaultKind::kMalformedInput) {
-        breaker.on_fault(ticket->probe);
+        for (const auto& ticket : live) breaker.on_fault(ticket->probe);
       }
-      Response r;
-      r.error_kind = err.kind();
-      r.error = err.what();
-      r.retries = attempt;
-      r.breaker_level = level;
-      r.policy = policy;
-      if (complete(ticket, std::move(r))) {
-        stats_.count_failure(err.kind());
+      for (const auto& ticket : live) {
+        Response r;
+        r.error_kind = err.kind();
+        r.error = err.what();
+        r.retries = attempt;
+        r.breaker_level = level;
+        r.policy = policy;
+        r.batch_size = batch_size;
+        r.coalesce_us = coalesce_us;
+        if (complete(ticket, std::move(r))) {
+          stats_.count_failure(err.kind());
+        }
       }
       return;
     } catch (const std::exception& err) {
       // Fault containment backstop: even a programmer-error Error from
-      // deep inside a kernel becomes a typed failed response, never a
+      // deep inside a kernel becomes typed failed responses, never a
       // dead server.
-      breaker.on_fault(ticket->probe);
-      Response r;
-      r.error_kind = FaultKind::kUncorrectable;
-      r.error = err.what();
-      r.retries = attempt;
-      r.breaker_level = level;
-      r.policy = policy;
-      if (complete(ticket, std::move(r))) {
-        stats_.count_failure(FaultKind::kUncorrectable);
+      for (const auto& ticket : live) breaker.on_fault(ticket->probe);
+      for (const auto& ticket : live) {
+        Response r;
+        r.error_kind = FaultKind::kUncorrectable;
+        r.error = err.what();
+        r.retries = attempt;
+        r.breaker_level = level;
+        r.policy = policy;
+        r.batch_size = batch_size;
+        r.coalesce_us = coalesce_us;
+        if (complete(ticket, std::move(r))) {
+          stats_.count_failure(FaultKind::kUncorrectable);
+        }
       }
       return;
     }
@@ -401,25 +552,28 @@ void InferenceServer::watchdog_main() {
       const std::int64_t hb = slot->heartbeat_ns.load(std::memory_order_relaxed);
       if (now_ns() - hb < limit_ns) continue;
 
-      std::shared_ptr<Ticket> stuck;
+      std::vector<std::shared_ptr<Ticket>> stuck;
       {
         std::lock_guard<std::mutex> lk(slot->mu);
         stuck = slot->inflight;
       }
-      if (!stuck) continue;  // idle worker; stale heartbeat is harmless
+      if (stuck.empty()) continue;  // idle worker; stale heartbeat is harmless
 
-      // The worker has been silent past the wedge budget with a request in
-      // flight: fail the request typed and replace the worker. The wedged
-      // thread retires itself when (if) its forward ever returns; its late
-      // result loses the completion race and is discarded.
+      // The worker has been silent past the wedge budget with work in
+      // flight: fail EVERY member of its batch typed and replace the
+      // worker. The wedged thread retires itself when (if) its forward
+      // ever returns; its late results lose the completion race and are
+      // discarded.
       slot->wedged.store(true, std::memory_order_release);
-      Response r;
-      r.error_kind = FaultKind::kWorkerWedged;
-      r.error = "worker " + std::to_string(slot->index) +
-                " heartbeat stalled past wedge timeout; request failed";
-      if (complete(stuck, std::move(r))) {
-        stats_.watchdog_failed.fetch_add(1, std::memory_order_relaxed);
-        stats_.count_failure(FaultKind::kWorkerWedged);
+      for (const auto& ticket : stuck) {
+        Response r;
+        r.error_kind = FaultKind::kWorkerWedged;
+        r.error = "worker " + std::to_string(slot->index) +
+                  " heartbeat stalled past wedge timeout; request failed";
+        if (complete(ticket, std::move(r))) {
+          stats_.watchdog_failed.fetch_add(1, std::memory_order_relaxed);
+          stats_.count_failure(FaultKind::kWorkerWedged);
+        }
       }
       {
         std::lock_guard<std::mutex> lk(workers_mu_);
@@ -523,6 +677,30 @@ std::string HealthReport::to_string() const {
          " late[deadline-exceeded]=" + std::to_string(stats.deadline_missed) +
          " failed[worker-wedged]=" + std::to_string(stats.watchdog_failed) +
          "\n";
+  out += "serve: queue_wait_p50_us<=" +
+         std::to_string(stats.queue_wait_percentile_us(0.50)) +
+         " queue_wait_p99_us<=" +
+         std::to_string(stats.queue_wait_percentile_us(0.99)) + "\n";
+  if (stats.batches_executed > 0) {
+    const double mean_occupancy =
+        static_cast<double>(stats.batched_requests) /
+        static_cast<double>(stats.batches_executed);
+    out += "serve: batches=" + std::to_string(stats.batches_executed) +
+           " batched_requests=" + std::to_string(stats.batched_requests) +
+           " mean_occupancy=" +
+           std::to_string(mean_occupancy).substr(0, 5) +
+           " coalesce_wait_us=" + std::to_string(stats.coalesce_wait_us) +
+           "\n";
+    std::string occ;
+    for (std::size_t b = 1; b < stats.batch_occupancy.size(); ++b) {
+      if (stats.batch_occupancy[b] == 0) continue;
+      if (!occ.empty()) occ += " ";
+      occ += std::to_string(b) +
+             (b == kBatchOccupancyBuckets ? "+" : "") + ":" +
+             std::to_string(stats.batch_occupancy[b]);
+    }
+    if (!occ.empty()) out += "serve: batch_occupancy " + occ + "\n";
+  }
   for (std::size_t k = 0; k < stats.failed_by_kind.size(); ++k) {
     if (stats.failed_by_kind[k] == 0) continue;
     out += "serve: failures[" +

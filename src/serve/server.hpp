@@ -111,6 +111,32 @@ struct Request {
   std::chrono::microseconds deadline{0};
 };
 
+/// Adaptive micro-batching (DESIGN.md §14). A worker that popped a request
+/// keeps coalescing same-tenant, shape-compatible requests until the batch
+/// is full, the coalesce window closes, or waiting any longer would risk a
+/// member's deadline — the wait bound is
+///   min(pop_time + coalesce_window, tightest member deadline - margin)
+/// so coalescing never converts an on-time request into a late one. The
+/// batch runs as ONE packed forward; rows are independent in every kernel
+/// on the path, so each member's response is bit-identical to its serial
+/// single-request execution (enforced in tests and serve_loadgen --verify).
+struct BatchConfig {
+  /// Max requests coalesced into one forward. 1 disables batching: the
+  /// worker loop is then byte-for-byte the PR-8 single-request path.
+  int max_batch = 1;
+  /// How long a worker holding a non-full batch waits for more work.
+  std::chrono::microseconds coalesce_window{0};
+  /// Safety margin subtracted from the tightest member deadline when
+  /// bounding the coalesce wait (covers pack + forward + scatter time).
+  std::chrono::microseconds deadline_margin{1000};
+  /// Activation rows to pre-plan each worker session at per resilience
+  /// policy (typically max_batch * rows-per-request): the planning forward
+  /// runs on a zero tensor at this row count, so every subsequent batch at
+  /// or below it replays through the consolidated arena with zero
+  /// steady-state heap allocations. 0 = plan lazily from observed shapes.
+  std::int64_t plan_rows = 0;
+};
+
 struct Response {
   bool ok = false;
   FaultKind error_kind = FaultKind::kUncorrectable;  ///< valid when !ok
@@ -127,6 +153,10 @@ struct Response {
   bool degraded = false;
   std::chrono::microseconds queue_us{0};  ///< admission -> execution start
   std::chrono::microseconds total_us{0};  ///< admission -> completion
+  /// Requests in the forward that produced this response (1 = ran solo).
+  int batch_size = 1;
+  /// Time the executing worker spent widening this response's batch.
+  std::chrono::microseconds coalesce_us{0};
 };
 
 struct WatchdogConfig {
@@ -142,6 +172,7 @@ struct ServerConfig {
   std::int64_t queue_capacity = 64;
   int queue_shards = 4;
   WatchdogConfig watchdog;
+  BatchConfig batch;
   /// Per-worker fault hook (a seeded FaultInjector in the storm tests and
   /// the loadgen fault arm). Owned by the worker; one instance per worker
   /// so injection streams never race.
@@ -200,10 +231,17 @@ class InferenceServer {
 
   void worker_main(std::shared_ptr<WorkerSlot> slot);
   void watchdog_main();
-  void process(WorkerSlot& slot, const std::shared_ptr<Ticket>& ticket);
+  /// Widens `batch` (seeded with one popped ticket) with predicate-matching
+  /// queue entries until full / window closed / tightest-deadline bound hit.
+  /// Returns the time spent waiting.
+  std::chrono::microseconds coalesce(
+      WorkerSlot& slot, std::vector<std::shared_ptr<Ticket>>& batch);
+  void process(WorkerSlot& slot,
+               std::vector<std::shared_ptr<Ticket>>& batch,
+               std::chrono::microseconds coalesce_us);
   void spawn_worker_locked();
   TenantState* find_tenant(const std::string& name);
-  static bool complete(const std::shared_ptr<Ticket>& ticket, Response&& r);
+  bool complete(const std::shared_ptr<Ticket>& ticket, Response&& r);
 
   ForwardFactory factory_;
   ServerConfig cfg_;

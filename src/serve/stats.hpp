@@ -11,6 +11,7 @@
 // never a raw enum integer.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -33,6 +34,30 @@ inline const char* resilience_policy_name(ResiliencePolicy p) {
   return "unknown";
 }
 
+/// Log2-bucketed microsecond histogram: bucket b counts samples in
+/// [2^b, 2^(b+1)) us (bucket 0 additionally holds 0us samples). 32 buckets
+/// cover ~71 minutes — far beyond any deadline the server accepts.
+inline constexpr std::size_t kLatencyBuckets = 32;
+
+inline std::size_t latency_bucket_of(std::int64_t us) {
+  if (us <= 1) return 0;
+  std::size_t b = 0;
+  while ((std::int64_t{1} << (b + 1)) <= us && b + 1 < kLatencyBuckets) ++b;
+  return b;
+}
+
+/// Upper bound (exclusive) of a latency bucket in microseconds — the value
+/// percentile queries report, so estimates are conservative (never report a
+/// latency smaller than any sample in the bucket).
+inline std::int64_t latency_bucket_upper_us(std::size_t bucket) {
+  return std::int64_t{1} << (bucket + 1);
+}
+
+/// Largest batch size the occupancy histogram resolves exactly; larger
+/// batches clamp into the last bucket. Index i counts executions with
+/// batch size i (index 0 unused).
+inline constexpr std::size_t kBatchOccupancyBuckets = 32;
+
 /// Plain-value copy of the counters, safe to compare and print.
 struct StatsSnapshot {
   std::int64_t submitted = 0;         ///< submit() calls
@@ -48,6 +73,28 @@ struct StatsSnapshot {
   std::int64_t retries = 0;           ///< re-executions after recoverable faults
   std::int64_t watchdog_failed = 0;   ///< in-flight requests failed as wedged
   std::array<std::int64_t, kFaultKindCount> failed_by_kind{};
+
+  std::int64_t batches_executed = 0;  ///< batched forwards run (size >= 1)
+  std::int64_t batched_requests = 0;  ///< requests carried by those forwards
+  std::int64_t coalesce_wait_us = 0;  ///< total time spent widening batches
+  std::array<std::int64_t, kBatchOccupancyBuckets + 1> batch_occupancy{};
+  std::array<std::int64_t, kLatencyBuckets> queue_wait_hist{};
+
+  /// Conservative percentile (bucket upper bound) over recorded queue
+  /// waits, in microseconds. Returns 0 when no waits were recorded.
+  std::int64_t queue_wait_percentile_us(double p) const {
+    std::int64_t total = 0;
+    for (std::int64_t c : queue_wait_hist) total += c;
+    if (total == 0) return 0;
+    const std::int64_t rank =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(p * total + 0.5));
+    std::int64_t seen = 0;
+    for (std::size_t b = 0; b < queue_wait_hist.size(); ++b) {
+      seen += queue_wait_hist[b];
+      if (seen >= rank) return latency_bucket_upper_us(b);
+    }
+    return latency_bucket_upper_us(queue_wait_hist.size() - 1);
+  }
 };
 
 /// Relaxed-atomic counters bumped on the request paths.
@@ -65,6 +112,28 @@ struct ServerStats {
   std::atomic<std::int64_t> retries{0};
   std::atomic<std::int64_t> watchdog_failed{0};
   std::array<std::atomic<std::int64_t>, kFaultKindCount> failed_by_kind{};
+
+  std::atomic<std::int64_t> batches_executed{0};
+  std::atomic<std::int64_t> batched_requests{0};
+  std::atomic<std::int64_t> coalesce_wait_us{0};
+  std::array<std::atomic<std::int64_t>, kBatchOccupancyBuckets + 1>
+      batch_occupancy{};
+  std::array<std::atomic<std::int64_t>, kLatencyBuckets> queue_wait_hist{};
+
+  /// Called once per batched forward, before per-request completion.
+  void count_batch(int size, std::int64_t wait_us) {
+    batches_executed.fetch_add(1, std::memory_order_relaxed);
+    batched_requests.fetch_add(size, std::memory_order_relaxed);
+    coalesce_wait_us.fetch_add(wait_us, std::memory_order_relaxed);
+    const std::size_t b = std::min<std::size_t>(
+        kBatchOccupancyBuckets, static_cast<std::size_t>(std::max(size, 1)));
+    batch_occupancy[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_queue_wait(std::int64_t us) {
+    queue_wait_hist[latency_bucket_of(us)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   void count_failure(FaultKind kind) {
     failed.fetch_add(1, std::memory_order_relaxed);
@@ -89,6 +158,15 @@ struct ServerStats {
     for (std::size_t k = 0; k < s.failed_by_kind.size(); ++k) {
       s.failed_by_kind[k] =
           failed_by_kind[k].load(std::memory_order_relaxed);
+    }
+    s.batches_executed = batches_executed.load(std::memory_order_relaxed);
+    s.batched_requests = batched_requests.load(std::memory_order_relaxed);
+    s.coalesce_wait_us = coalesce_wait_us.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < s.batch_occupancy.size(); ++b) {
+      s.batch_occupancy[b] = batch_occupancy[b].load(std::memory_order_relaxed);
+    }
+    for (std::size_t b = 0; b < s.queue_wait_hist.size(); ++b) {
+      s.queue_wait_hist[b] = queue_wait_hist[b].load(std::memory_order_relaxed);
     }
     return s;
   }

@@ -128,11 +128,17 @@ Tensor& Tensor::operator=(Tensor&& other) noexcept {
 void Tensor::copy_from(const Tensor& other) {
   shape_ = other.shape_;
   if (arena_ || size_ != other.size_) {
+    // Only count a heap allocation when the vector actually has to grow:
+    // shrinking (or re-growing within retained capacity) keeps the old
+    // buffer, so sessions pre-planned at max batch rows stay alloc-free
+    // when smaller batches run through them.
+    const bool grows =
+        static_cast<std::size_t>(other.size_) > data_.capacity();
     arena_ = false;
     data_.resize(static_cast<std::size_t>(other.size_));
     ptr_ = data_.data();
     size_ = other.size_;
-    if (size_ > 0) note_heap_alloc();
+    if (size_ > 0 && grows) note_heap_alloc();
   }
   if (size_ > 0) std::memcpy(ptr_, other.ptr_, sizeof(float) * size_);
 }

@@ -39,7 +39,10 @@ enum class FaultKind {
 /// lockstep with the enum above.
 inline constexpr int kFaultKindCount = 12;
 
-inline const char* fault_kind_name(FaultKind kind) {
+/// constexpr so switch completeness is enforceable at compile time: the
+/// fault test static_asserts that every kind below kFaultKindCount maps to
+/// a real name and only out-of-range casts fall through to "unknown".
+inline constexpr const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::kNonFinite: return "non-finite";
     case FaultKind::kRangeViolation: return "range-violation";
@@ -76,7 +79,7 @@ enum class RecoveryPolicy {
   kDegradeToZero,
 };
 
-inline const char* recovery_policy_name(RecoveryPolicy policy) {
+inline constexpr const char* recovery_policy_name(RecoveryPolicy policy) {
   switch (policy) {
     case RecoveryPolicy::kDetect: return "detect";
     case RecoveryPolicy::kCorrect: return "correct";

@@ -13,6 +13,7 @@
 #include "src/models/quantized_mlp.hpp"
 #include "src/models/resnet.hpp"
 #include "src/models/seq2seq.hpp"
+#include "src/runtime/batch.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/linear.hpp"
@@ -716,6 +717,114 @@ TEST(Session, SnapshotBootedSessionMatchesRebuiltBitExactly) {
     EXPECT_TRUE(bit_equal(a, b)) << "threads=" << threads;
     EXPECT_EQ(rebuilt_session.last_run_heap_allocs(), 0);
     EXPECT_EQ(snapshot_session.last_run_heap_allocs(), 0);
+  }
+}
+
+// ----- batch pack / scatter -------------------------------------------------
+
+TEST(BatchPack, PackRowsConcatenatesAndScatterRoundTrips) {
+  Tensor a = random_tensor({2, 5}, 901);
+  Tensor b = random_tensor({1, 5}, 902);
+  Tensor c = random_tensor({3, 5}, 903);
+  std::vector<std::int64_t> offsets;
+  Tensor packed = pack_rows({&a, &b, &c}, &offsets);
+  ASSERT_EQ(packed.dim(0), 6);
+  ASSERT_EQ(packed.dim(1), 5);
+  ASSERT_EQ(offsets, (std::vector<std::int64_t>{0, 2, 3}));
+
+  EXPECT_TRUE(bit_equal(copy_row_block(packed, offsets[0], 2), a));
+  EXPECT_TRUE(bit_equal(copy_row_block(packed, offsets[1], 1), b));
+  EXPECT_TRUE(bit_equal(copy_row_block(packed, offsets[2], 3), c));
+}
+
+TEST(BatchPack, MismatchedInputsThrowTypedMalformed) {
+  Tensor a = random_tensor({2, 5}, 904);
+  Tensor narrow = random_tensor({2, 4}, 905);  // width mismatch
+  Tensor flat({10});                           // rank mismatch
+  try {
+    pack_rows({&a, &narrow});
+    FAIL() << "width mismatch must throw";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+  }
+  try {
+    pack_rows({&a, &flat});
+    FAIL() << "rank mismatch must throw";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+  }
+  EXPECT_THROW(copy_row_block(a, 1, 5), FaultError) << "rows past the end";
+}
+
+TEST(BatchPack, PackStagesInAmbientArenaScatterEscapesIt) {
+  Arena staging;
+  // Warm the staging arena the way a worker does, so steady-state packing
+  // grows nothing.
+  Tensor a = random_tensor({2, 6}, 906);
+  Tensor b = random_tensor({4, 6}, 907);
+  {
+    ArenaScope scope(&staging);
+    Tensor warm = pack_rows({&a, &b});
+    (void)warm;
+  }
+  staging.reset();
+
+  Tensor escaped;
+  const std::int64_t before = tensor_heap_allocs();
+  {
+    ArenaScope scope(&staging);
+    Tensor packed = pack_rows({&a, &b});
+    EXPECT_TRUE(packed.arena_backed());
+    escaped = copy_row_block(packed, 2, 4);
+  }
+  EXPECT_FALSE(escaped.arena_backed())
+      << "scatter output must outlive the arena cycle";
+  staging.reset();  // invalidates packed; the scatter copy must survive
+  EXPECT_TRUE(bit_equal(escaped, b));
+  // Exactly one owned allocation: the scatter copy. The pack itself stayed
+  // in the warmed arena.
+  EXPECT_EQ(tensor_heap_allocs(), before + 1);
+}
+
+TEST(BatchPack, CopyFromWithinCapacityCountsNoAllocation) {
+  // The response-reuse path: a persistent output tensor shrinks and regrows
+  // across batches of different sizes; only growth past capacity may touch
+  // the heap (and the allocation counter).
+  Tensor big = random_tensor({8, 4}, 908);
+  Tensor small = random_tensor({2, 4}, 909);
+  Tensor out;
+  out.copy_from(big);  // first copy allocates
+  const std::int64_t before = tensor_heap_allocs();
+  out.copy_from(small);  // shrink: reuse
+  EXPECT_TRUE(bit_equal(out, small));
+  out.copy_from(big);  // regrow within capacity: reuse
+  EXPECT_TRUE(bit_equal(out, big));
+  EXPECT_EQ(tensor_heap_allocs(), before)
+      << "copy_from within capacity must not count an allocation";
+}
+
+TEST(Session, PlanAtMaxRowsThenSmallerBatchesAllocateNothing) {
+  // The batching worker's arena contract: one plan() at the widest batch,
+  // then every smaller batch replays through the consolidated arena as a
+  // sub-batch footprint with zero steady-state heap allocations.
+  Pcg32 r1(911, 1), r2(911, 2);
+  Linear fc1(12, 16, r1, true, "fc1"), fc2(16, 6, r2, true, "fc2");
+  auto mlp = std::make_shared<QuantizedMlp>(fc1, fc2, 8, 3);
+  SessionConfig cfg;
+  cfg.cache_probe = [mlp] { return mlp->cache_depth(); };
+  InferenceSession session(
+      [mlp](const Tensor& in, ExecutionContext& ctx) {
+        return mlp->forward(in, ctx);
+      },
+      cfg);
+
+  session.plan(Tensor({16, 12}));  // zero tensor at the widest batch
+  for (const std::int64_t rows : {2, 8, 16, 1, 16}) {
+    Tensor x = random_tensor({rows, 12}, 912 + static_cast<unsigned>(rows));
+    const Tensor& y = session.run(x);
+    EXPECT_EQ(y.dim(0), rows);
+    EXPECT_EQ(session.last_run_heap_allocs(), 0)
+        << "rows=" << rows << " allocated after planning at 16";
   }
 }
 

@@ -4,12 +4,14 @@
 // contract under concurrent workers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -619,6 +621,285 @@ TEST(ServeHealth, FaultKindNamesCoverEveryKind) {
     EXPECT_NE(name, nullptr);
     EXPECT_STRNE(name, "unknown") << "kind " << k << " has no name";
   }
+}
+
+// ----- queue batch pops -----------------------------------------------------
+
+TEST(ServeQueueBatch, TryPopIfExtractsOnlyMatchingAndPreservesRest) {
+  ShardedBoundedQueue<int> q(32, 4);
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(q.try_push(int(i)));
+  std::vector<int> evens;
+  int v = -1;
+  while (q.try_pop_if(v, [](int x) { return x % 2 == 0; })) {
+    evens.push_back(v);
+  }
+  EXPECT_EQ(evens.size(), 6u);
+  for (int e : evens) EXPECT_EQ(e % 2, 0);
+  EXPECT_EQ(q.size(), 6) << "odd items must stay queued";
+  // Nothing matching is a clean miss: the queue is untouched.
+  EXPECT_FALSE(q.try_pop_if(v, [](int x) { return x % 2 == 0; }));
+  EXPECT_EQ(q.size(), 6);
+  std::vector<int> odds;
+  while (q.try_pop(v)) odds.push_back(v);
+  EXPECT_EQ(odds.size(), 6u);
+  for (int o : odds) EXPECT_EQ(o % 2, 1);
+}
+
+TEST(ServeQueueBatch, TryPopBatchHonorsMaxItems) {
+  ShardedBoundedQueue<int> q(32, 4);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(int(i)));
+  std::vector<int> got;
+  EXPECT_EQ(q.try_pop_batch(got, 4, [](int) { return true; }), 4);
+  EXPECT_EQ(got.size(), 4u);
+  EXPECT_EQ(q.size(), 6);
+  // Appends rather than clobbers, and drains what is left when the queue
+  // holds fewer matches than max_items.
+  EXPECT_EQ(q.try_pop_batch(got, 100, [](int) { return true; }), 6);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(q.size(), 0);
+}
+
+TEST(ServeQueueBatch, ConcurrentBatchPopsDeliverEverythingExactlyOnce) {
+  // Exactly-once across shards under contention: every pushed value must
+  // surface in exactly one consumer's batch vector, and the capacity
+  // accounting must return to zero.
+  constexpr int kTotal = 800;
+  ShardedBoundedQueue<int> q(kTotal, 4);
+  std::vector<std::vector<int>> got(4);
+  std::atomic<int> remaining{kTotal};
+  std::thread producer([&] {
+    for (int i = 0; i < kTotal; ++i) {
+      while (!q.try_push(int(i))) std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&, c] {
+      // Each consumer coalesces only its own congruence class — the same
+      // shape as same-tenant batching, where predicates partition the queue.
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        const int n = q.try_pop_batch(got[static_cast<std::size_t>(c)], 8,
+                                      [c](int x) { return x % 4 == c; });
+        if (n > 0) {
+          remaining.fetch_sub(n, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(q.size(), 0) << "capacity accounting must drain to zero";
+  std::set<int> seen;
+  for (int c = 0; c < 4; ++c) {
+    for (int v : got[static_cast<std::size_t>(c)]) {
+      EXPECT_EQ(v % 4, c) << "a consumer popped outside its predicate";
+      EXPECT_TRUE(seen.insert(v).second) << "value " << v << " popped twice";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), kTotal);
+  // The drained queue's capacity is fully reusable.
+  for (int i = 0; i < kTotal; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  EXPECT_FALSE(q.try_push(0));
+}
+
+// ----- adaptive micro-batching ----------------------------------------------
+
+ServerConfig batching_config(int max_batch) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 64;
+  cfg.watchdog.enabled = false;
+  cfg.batch.max_batch = max_batch;
+  cfg.batch.coalesce_window = 200ms;
+  cfg.batch.plan_rows = static_cast<std::int64_t>(max_batch) * 2;
+  return cfg;
+}
+
+TEST(ServeBatch, BatchedResponsesBitIdenticalToSerialExecution) {
+  auto knobs = std::make_shared<Knobs>();
+  constexpr int kReqs = 8;
+
+  // Serial oracle: the same requests, one at a time, batching disabled.
+  std::vector<Tensor> serial(kReqs);
+  {
+    InferenceServer server(test_factory(knobs), batching_config(1));
+    server.add_tenant(plain_tenant("t"));
+    for (int i = 0; i < kReqs; ++i) {
+      Response r =
+          server.submit(make_request("t", 300 + static_cast<unsigned>(i)))
+              .get();
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(r.batch_size, 1);
+      serial[static_cast<std::size_t>(i)] = r.output;
+    }
+  }
+
+  // Batched run: park the lone worker, queue all requests, release — the
+  // worker pops one and coalesces the rest into a single forward.
+  knobs->block.store(true);
+  InferenceServer server(test_factory(knobs), batching_config(kReqs));
+  server.add_tenant(plain_tenant("t"));
+  std::vector<std::future<Response>> futs;
+  futs.push_back(server.submit(make_request("t", 300)));
+  std::this_thread::sleep_for(20ms);  // worker holds request 0 in the gate
+  for (int i = 1; i < kReqs; ++i) {
+    futs.push_back(server.submit(make_request("t", 300 + static_cast<unsigned>(i))));
+  }
+  std::this_thread::sleep_for(20ms);  // the rest are queued behind it
+  knobs->block.store(false);
+
+  int max_batch_seen = 1;
+  for (int i = 0; i < kReqs; ++i) {
+    Response r = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(bit_equal(r.output, serial[static_cast<std::size_t>(i)]))
+        << "request " << i << " diverged from its serial execution";
+    max_batch_seen = std::max(max_batch_seen, r.batch_size);
+  }
+  EXPECT_GT(max_batch_seen, 1) << "coalescing never happened";
+  server.shutdown();
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, kReqs);
+  EXPECT_GT(s.batches_executed, 0);
+  EXPECT_LT(s.batches_executed, kReqs) << "every forward ran solo";
+}
+
+TEST(ServeBatch, CrossTenantRequestsNeverCoalesce) {
+  auto knobs = std::make_shared<Knobs>();
+  knobs->block.store(true);
+  InferenceServer server(test_factory(knobs), batching_config(8));
+  server.add_tenant(plain_tenant("a"));
+  server.add_tenant(plain_tenant("b"));
+
+  std::vector<std::future<Response>> futs;
+  futs.push_back(server.submit(make_request("a", 400)));
+  std::this_thread::sleep_for(20ms);
+  // 3 more per tenant, interleaved in the queue. max_batch is 8, so only
+  // the tenant predicate can keep batches at 4 or below.
+  for (int i = 1; i < 4; ++i) {
+    futs.push_back(server.submit(make_request("a", 400 + static_cast<unsigned>(i))));
+    futs.push_back(server.submit(make_request("b", 500 + static_cast<unsigned>(i))));
+  }
+  futs.push_back(server.submit(make_request("b", 500)));
+  std::this_thread::sleep_for(20ms);
+  knobs->block.store(false);
+
+  for (auto& f : futs) {
+    Response r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_LE(r.batch_size, 4)
+        << "a batch wider than one tenant's backlog must be cross-tenant";
+  }
+  server.shutdown();
+}
+
+TEST(ServeBatch, CoalesceNeverOutwaitsTheTightestDeadline) {
+  // A lone request with a tight deadline against a huge coalesce window:
+  // the wait bound min(window, deadline - margin) must release the batch
+  // in time for the request to complete ok.
+  auto knobs = std::make_shared<Knobs>();
+  ServerConfig cfg = batching_config(8);
+  cfg.batch.coalesce_window = 2000ms;  // far beyond the deadline
+  InferenceServer server(test_factory(knobs), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  Request req = make_request("t", 600);
+  req.deadline = std::chrono::microseconds(150000);  // 150ms
+  const auto t0 = std::chrono::steady_clock::now();
+  Response r = server.submit(std::move(req)).get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_LT(elapsed, 1000ms)
+      << "the coalesce wait sat out the window past the deadline";
+  server.shutdown();
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.deadline_missed, 0);
+  EXPECT_EQ(s.shed_deadline, 0);
+}
+
+TEST(ServeBatch, ComputeFaultRetriesTheWholeBatchToSuccess) {
+  auto knobs = std::make_shared<Knobs>();
+  knobs->block.store(true);
+  ServerConfig cfg = batching_config(4);
+  InferenceServer server(test_factory(knobs), cfg);
+  TenantConfig t = plain_tenant("t");
+  t.retry.max_retries = 2;
+  t.breaker.fault_threshold = 100;
+  server.add_tenant(t);
+
+  std::vector<std::future<Response>> futs;
+  futs.push_back(server.submit(make_request("t", 700)));
+  std::this_thread::sleep_for(20ms);
+  for (int i = 1; i < 4; ++i) {
+    futs.push_back(server.submit(make_request("t", 700 + static_cast<unsigned>(i))));
+  }
+  std::this_thread::sleep_for(20ms);
+  knobs->fail_next.store(1);  // first batched forward faults, retry succeeds
+  knobs->block.store(false);
+
+  int batched = 0;
+  for (auto& f : futs) {
+    Response r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    if (r.batch_size == 4) {
+      ++batched;
+      EXPECT_EQ(r.retries, 1) << "every member re-executed with its batch";
+    }
+  }
+  EXPECT_EQ(batched, 4) << "the parked backlog should coalesce into one batch";
+  server.shutdown();
+  EXPECT_EQ(server.stats().retries, 1)
+      << "one batch re-execution, not one retry per member";
+}
+
+TEST(ServeBatch, OccupancyHistogramAccountsEveryBatchedRequest) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), batching_config(4));
+  server.add_tenant(plain_tenant("t"));
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 20; ++i) {
+    futs.push_back(server.submit(make_request("t", 800 + static_cast<unsigned>(i))));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+  server.shutdown();
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, 20);
+  EXPECT_EQ(s.batched_requests, 20)
+      << "every executed request flows through count_batch";
+  std::int64_t by_occupancy = 0, batches = 0;
+  for (std::size_t b = 1; b < s.batch_occupancy.size(); ++b) {
+    by_occupancy += static_cast<std::int64_t>(b) * s.batch_occupancy[b];
+    batches += s.batch_occupancy[b];
+  }
+  EXPECT_EQ(by_occupancy, s.batched_requests)
+      << "sum of size x count must equal the requests carried";
+  EXPECT_EQ(batches, s.batches_executed);
+}
+
+TEST(ServeBatch, HealthReportShowsQueueWaitPercentilesAndOccupancy) {
+  auto knobs = std::make_shared<Knobs>();
+  InferenceServer server(test_factory(knobs), batching_config(4));
+  server.add_tenant(plain_tenant("t"));
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(server.submit(make_request("t")));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+  server.shutdown();
+
+  const std::string text = server.health().to_string();
+  EXPECT_NE(text.find("queue_wait_p50_us"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue_wait_p99_us"), std::string::npos) << text;
+  EXPECT_NE(text.find("batch_occupancy"), std::string::npos) << text;
+  EXPECT_NE(text.find("batches="), std::string::npos) << text;
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_GT(s.queue_wait_percentile_us(0.5), 0);
+  EXPECT_GE(s.queue_wait_percentile_us(0.99), s.queue_wait_percentile_us(0.5))
+      << "p99 must dominate p50";
 }
 
 }  // namespace

@@ -1,15 +1,74 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <string>
 
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"
 
 namespace af {
 namespace {
+
+// fault_kind_name is constexpr precisely so this completeness check runs at
+// compile time: adding a FaultKind without bumping kFaultKindCount, or
+// without naming it in the switch, fails the build rather than printing
+// "unknown" from a production counter table.
+constexpr bool fault_name_eq(const char* a, const char* b) {
+  while (*a && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return *a == *b;
+}
+
+constexpr bool all_fault_kinds_named() {
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    if (fault_name_eq(fault_kind_name(static_cast<FaultKind>(i)), "unknown")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+static_assert(all_fault_kinds_named(),
+              "every FaultKind below kFaultKindCount must have a real name");
+static_assert(fault_name_eq(fault_kind_name(
+                                static_cast<FaultKind>(kFaultKindCount)),
+                            "unknown"),
+              "kFaultKindCount must be one past the last named FaultKind");
+
+TEST(FaultKindNames, AllKindsNamedAndDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    const std::string name = fault_kind_name(static_cast<FaultKind>(i));
+    EXPECT_NE(name, "unknown") << "kind " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate fault name: " << name;
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), kFaultKindCount);
+  // Out-of-range casts (corrupted wire values, stale counters) fall through
+  // to the sentinel instead of reading past the switch.
+  EXPECT_STREQ(fault_kind_name(static_cast<FaultKind>(kFaultKindCount)),
+               "unknown");
+}
+
+TEST(FaultKindNames, RecoveryPolicyNamesComplete) {
+  static_assert(fault_name_eq(recovery_policy_name(RecoveryPolicy::kDetect),
+                              "detect"));
+  static_assert(
+      fault_name_eq(recovery_policy_name(RecoveryPolicy::kDegradeToZero),
+                    "degrade-to-zero"));
+  for (const RecoveryPolicy p :
+       {RecoveryPolicy::kDetect, RecoveryPolicy::kCorrect,
+        RecoveryPolicy::kRecompute, RecoveryPolicy::kDegradeToZero}) {
+    EXPECT_STRNE(recovery_policy_name(p), "unknown");
+  }
+}
 
 TEST(Check, ThrowsWithMessage) {
   try {
