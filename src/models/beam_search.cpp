@@ -115,29 +115,39 @@ TokenSeq transformer_beam_decode(TransformerMT& model, const TokenSeq& src,
   std::vector<Hypothesis> live = {{{bos}, 0.0}};
   std::vector<std::pair<double, TokenSeq>> completed;
 
-  for (std::int64_t step = 0; step < cfg.max_steps && !live.empty(); ++step) {
-    // All live hypotheses share a length: batch one forward pass.
-    std::vector<TokenSeq> srcs(live.size(), src);
-    std::vector<TokenSeq> tgts;
-    tgts.reserve(live.size());
-    for (const auto& h : live) tgts.push_back(h.tokens);
-    Tensor logits = model.forward(srcs, tgts, pad);
-    model.clear_caches();
+  // One incremental decoder with beam_size lanes for the whole search.
+  // Fewer live hypotheses than lanes just leaves the trailing lanes
+  // decoding garbage that no score ever reads — attention and every other
+  // layer are lane-independent, so the live rows are bit-identical to a
+  // live-only batch (the old full-recompute loop batched exactly those).
+  TransformerDecoder::Options opts;
+  opts.batch = cfg.beam_size;
+  TransformerDecoder dec(model, opts);
+  dec.begin(src, pad);
 
-    const std::int64_t t_len = static_cast<std::int64_t>(tgts[0].size());
+  std::vector<std::int64_t> last(static_cast<std::size_t>(cfg.beam_size),
+                                 bos);
+  for (std::int64_t step = 0; step < cfg.max_steps && !live.empty(); ++step) {
+    // All live hypotheses share a length: lane h carries hypothesis h.
+    for (std::size_t h = 0; h < live.size(); ++h) {
+      last[h] = live[h].tokens.back();
+    }
+    const Tensor& logits = dec.step(last);  // [beam_size, V]
+
     std::vector<std::vector<double>> scores(live.size());
     for (std::size_t h = 0; h < live.size(); ++h) {
-      const float* row =
-          logits.data() +
-          (static_cast<std::int64_t>(h) * t_len + (t_len - 1)) * vocab;
-      scores[h] = log_softmax_row(row, vocab);
+      scores[h] = log_softmax_row(
+          logits.data() + static_cast<std::int64_t>(h) * vocab, vocab);
     }
-    expand_beam(live, scores, eos, cfg.beam_size, cfg.length_alpha,
-                completed);
-    if (static_cast<std::int64_t>(live.empty() ? 0 : live[0].tokens.size()) >=
-        model.config().max_len) {
+    const std::vector<std::size_t> parents = expand_beam(
+        live, scores, eos, cfg.beam_size, cfg.length_alpha, completed);
+    if (live.empty() ||
+        static_cast<std::int64_t>(live[0].tokens.size()) >=
+            model.config().max_len) {
       break;
     }
+    // Lane r continues parent[r]'s cached history.
+    dec.reorder(parents);
   }
   return best_of(completed, live, cfg.length_alpha);
 }

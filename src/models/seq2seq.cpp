@@ -6,8 +6,41 @@
 #include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
+namespace {
+
+// Forward-path input validation is reachable from a serving request, so a
+// mismatch is a typed, catchable rejection — the ticket fails, the server
+// does not (same contract as the Linear/attention forwards). Backward and
+// training-only checks stay AF_CHECK.
+void check_forward_inputs(const Tensor& frames,
+                          const std::vector<TokenSeq>& tgt_in,
+                          std::int64_t feature_dim) {
+  if (frames.rank() != 3 || frames.dim(2) != feature_dim) {
+    throw FaultError("seq2seq", FaultKind::kMalformedInput,
+                     "frames must be [Ts, B, F=" +
+                         std::to_string(feature_dim) + "], got " +
+                         shape_str(frames.shape()));
+  }
+  const std::int64_t b = frames.dim(1);
+  if (static_cast<std::int64_t>(tgt_in.size()) != b || tgt_in.empty()) {
+    throw FaultError("seq2seq", FaultKind::kMalformedInput,
+                     "target batch size mismatch (frames B=" +
+                         std::to_string(b) + ", targets " +
+                         std::to_string(tgt_in.size()) + ")");
+  }
+  const std::size_t tt = tgt_in[0].size();
+  for (const auto& seq : tgt_in) {
+    if (seq.size() != tt) {
+      throw FaultError("seq2seq", FaultKind::kMalformedInput,
+                       "ragged target batch");
+    }
+  }
+}
+
+}  // namespace
 
 Seq2SeqAttn::Seq2SeqAttn(const Seq2SeqConfig& cfg, std::uint64_t seed)
     : cfg_(cfg),
@@ -113,13 +146,10 @@ Tensor Seq2SeqAttn::attend_backward(const Tensor& dctx, const Tensor& h,
 
 Tensor Seq2SeqAttn::forward(const Tensor& frames,
                             const std::vector<TokenSeq>& tgt_in) {
-  AF_CHECK(frames.rank() == 3 && frames.dim(2) == cfg_.feature_dim,
-           "frames must be [Ts, B, F]");
+  check_forward_inputs(frames, tgt_in, cfg_.feature_dim);
   StepCtx ctx;
   ctx.ts = frames.dim(0);
   ctx.b = frames.dim(1);
-  AF_CHECK(static_cast<std::int64_t>(tgt_in.size()) == ctx.b,
-           "target batch size mismatch");
   ctx.tt = static_cast<std::int64_t>(tgt_in[0].size());
 
   ctx.enc_out = act_quant_.process("enc.out", encoder_.forward(frames));
@@ -130,8 +160,6 @@ Tensor Seq2SeqAttn::forward(const Tensor& frames,
     std::vector<std::int64_t> ids(static_cast<std::size_t>(ctx.b));
     for (std::int64_t bi = 0; bi < ctx.b; ++bi) {
       const auto& seq = tgt_in[static_cast<std::size_t>(bi)];
-      AF_CHECK(static_cast<std::int64_t>(seq.size()) == ctx.tt,
-               "ragged target batch");
       ids[static_cast<std::size_t>(bi)] = seq[static_cast<std::size_t>(t)];
     }
     Tensor x = tgt_emb_.forward(ids);
@@ -156,11 +184,8 @@ Tensor Seq2SeqAttn::forward(const Tensor& frames,
                             const std::vector<TokenSeq>& tgt_in,
                             ExecutionContext& ectx) {
   if (ectx.training) return forward(frames, tgt_in);
-  AF_CHECK(frames.rank() == 3 && frames.dim(2) == cfg_.feature_dim,
-           "frames must be [Ts, B, F]");
+  check_forward_inputs(frames, tgt_in, cfg_.feature_dim);
   const std::int64_t b = frames.dim(1);
-  AF_CHECK(static_cast<std::int64_t>(tgt_in.size()) == b,
-           "target batch size mismatch");
   const std::int64_t tt = static_cast<std::int64_t>(tgt_in[0].size());
 
   Tensor enc = act_quant_.process("enc.out", encoder_.forward(frames, ectx));
@@ -171,8 +196,6 @@ Tensor Seq2SeqAttn::forward(const Tensor& frames,
     std::vector<std::int64_t> ids(static_cast<std::size_t>(b));
     for (std::int64_t bi = 0; bi < b; ++bi) {
       const auto& seq = tgt_in[static_cast<std::size_t>(bi)];
-      AF_CHECK(static_cast<std::int64_t>(seq.size()) == tt,
-               "ragged target batch");
       ids[static_cast<std::size_t>(bi)] = seq[static_cast<std::size_t>(t)];
     }
     Tensor x = tgt_emb_.forward(ids, ectx);

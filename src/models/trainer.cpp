@@ -150,6 +150,31 @@ void calibrate_transformer_activations(TransformerBundle& b, int batches,
   b.model.act_quant().set_mode(prev);
 }
 
+void calibrate_transformer_kv(TransformerBundle& b, int batches,
+                              std::uint64_t seed, Quantizer* weight_q) {
+  // Same protocol as activation calibration — offline teacher-forced
+  // batches — but the recorded statistic is the per-decoder-layer max-abs
+  // of the projected K/V activations, captured inside the attention
+  // modules themselves.
+  Pcg32 rng(seed, 0x7114);
+  b.model.set_kv_range_recording(true);
+  with_optional_weight_quant(b.model.parameters(), weight_q, [&] {
+    for (int i = 0; i < batches; ++i) {
+      auto pairs = b.task.sample_batch(8, rng);
+      std::vector<TokenSeq> src, tgt_in;
+      for (const auto& p : pairs) {
+        src.push_back(p.source);
+        TokenSeq in = {TranslationTask::kBos};
+        in.insert(in.end(), p.target.begin(), p.target.end());
+        tgt_in.push_back(std::move(in));
+      }
+      b.model.forward(src, tgt_in, TranslationTask::kPad);
+      b.model.clear_caches();
+    }
+  });
+  b.model.set_kv_range_recording(false);
+}
+
 // ----- Seq2Seq ---------------------------------------------------------------
 
 Seq2SeqBundle::Seq2SeqBundle(std::uint64_t seed, Seq2SeqConfig config)

@@ -64,6 +64,14 @@ void calibrate_transformer_activations(TransformerBundle& b, int batches,
                                        std::uint64_t seed,
                                        Quantizer* weight_q = nullptr);
 
+/// Records per-decoder-layer K/V projection ranges over `batches`
+/// teacher-forced forwards — the calibration statistic a quantized KV
+/// cache (TransformerDecoder with KvCacheFormat.quantized) derives its
+/// per-layer exp_bias from. Leaves the ActQuant mode untouched.
+void calibrate_transformer_kv(TransformerBundle& b, int batches,
+                              std::uint64_t seed,
+                              Quantizer* weight_q = nullptr);
+
 // ----- Seq2Seq / speech-to-text ----------------------------------------------
 
 struct Seq2SeqBundle {

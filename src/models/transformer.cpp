@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/resilience/codec.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 namespace {
@@ -46,6 +48,21 @@ Tensor TransformerMT::EncoderBlock::forward(
       ln1.forward(add(x, sa).reshaped({b * t, d})).reshaped({b, t, d});
   Tensor h = fc2.forward(gelu.forward(fc1.forward(x1.reshaped({b * t, d}))));
   return ln2.forward(add(x1, h.reshaped({b, t, d})).reshaped({b * t, d}))
+      .reshaped({b, t, d});
+}
+
+Tensor TransformerMT::EncoderBlock::forward(
+    const Tensor& x, const std::vector<std::int64_t>& lengths,
+    ExecutionContext& ctx) {
+  const std::int64_t b = x.dim(0), t = x.dim(1), d = x.dim(2);
+  // Same Post-LN math as the caching forward, through the ctx-dispatched
+  // layer entry points (bit-preserving per the runtime contract).
+  Tensor sa = attn.forward(x, x, /*causal=*/false, &lengths, ctx);
+  Tensor x1 = ln1.forward(add(x, sa).reshaped({b * t, d}), ctx)
+                  .reshaped({b, t, d});
+  Tensor h = fc2.forward(
+      gelu.forward(fc1.forward(x1.reshaped({b * t, d}), ctx), ctx), ctx);
+  return ln2.forward(add(x1, h.reshaped({b, t, d})).reshaped({b * t, d}), ctx)
       .reshaped({b, t, d});
 }
 
@@ -175,6 +192,64 @@ Tensor TransformerMT::embed(Embedding& emb, const std::vector<TokenSeq>& batch) 
   return e;
 }
 
+Tensor TransformerMT::embed(Embedding& emb, const std::vector<TokenSeq>& batch,
+                            ExecutionContext& ctx) {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  AF_CHECK(b > 0, "empty batch");
+  const auto t = static_cast<std::int64_t>(batch[0].size());
+  AF_CHECK(t <= cfg_.max_len, "sequence longer than max_len");
+  std::vector<std::int64_t> flat;
+  flat.reserve(static_cast<std::size_t>(b * t));
+  for (const auto& seq : batch) {
+    AF_CHECK(static_cast<std::int64_t>(seq.size()) == t,
+             "ragged batch: all sequences must share a length");
+    flat.insert(flat.end(), seq.begin(), seq.end());
+  }
+  Tensor e = emb.forward(flat, ctx);
+  for (std::int64_t r = 0; r < b * t; ++r) {
+    const std::int64_t pos = r % t;
+    float* row = e.data() + r * cfg_.d_model;
+    const float* prow = pos_table_.data() + pos * cfg_.d_model;
+    for (std::int64_t j = 0; j < cfg_.d_model; ++j) {
+      row[j] += prow[j];
+    }
+  }
+  return e;
+}
+
+Tensor TransformerMT::encode(const std::vector<TokenSeq>& src,
+                             const std::vector<std::int64_t>& lengths,
+                             ExecutionContext& ctx) {
+  const auto b = static_cast<std::int64_t>(src.size());
+  const auto ts = static_cast<std::int64_t>(src[0].size());
+  const std::int64_t d = cfg_.d_model;
+  Tensor x = act_quant_.process("enc.embed", embed(src_emb_, src, ctx))
+                 .reshaped({b, ts, d});
+  for (std::size_t i = 0; i < enc_blocks_.size(); ++i) {
+    x = act_quant_.process("enc.block" + std::to_string(i),
+                           enc_blocks_[i].forward(x, lengths, ctx));
+  }
+  return act_quant_.process(
+             "enc.out", enc_final_.forward(x.reshaped({b * ts, d}), ctx))
+      .reshaped({b, ts, d});
+}
+
+void TransformerMT::set_kv_range_recording(bool on) {
+  for (auto& blk : dec_blocks_) {
+    blk.self_attn.set_kv_range_recording(on);
+    blk.cross_attn.set_kv_range_recording(on);
+  }
+}
+
+TransformerMT::KvRanges TransformerMT::dec_kv_ranges(std::int64_t layer) const {
+  AF_CHECK(layer >= 0 &&
+               layer < static_cast<std::int64_t>(dec_blocks_.size()),
+           "decoder layer index out of range");
+  const auto& blk = dec_blocks_[static_cast<std::size_t>(layer)];
+  return {blk.self_attn.k_range_seen(), blk.self_attn.v_range_seen(),
+          blk.cross_attn.k_range_seen(), blk.cross_attn.v_range_seen()};
+}
+
 Tensor TransformerMT::forward(const std::vector<TokenSeq>& src,
                               const std::vector<TokenSeq>& tgt_in,
                               std::int64_t pad_id) {
@@ -238,20 +313,21 @@ void TransformerMT::backward(const Tensor& dlogits) {
 TokenSeq TransformerMT::greedy_decode(const TokenSeq& src, std::int64_t pad_id,
                                       std::int64_t bos, std::int64_t eos,
                                       std::int64_t max_steps) {
-  TokenSeq tgt = {bos};
+  // Incremental decode over an fp32 KV cache: bit-identical logits to the
+  // old full-recompute loop (forward over the growing prefix each step) —
+  // the incremental-equality tests and bench_decode --verify pin this.
+  TransformerDecoder dec(*this);
+  dec.begin(src, pad_id);
   TokenSeq out;
+  std::vector<std::int64_t> last = {bos};
+  std::int64_t tgt_len = 1;  // decoded prefix incl. BOS
   for (std::int64_t step = 0; step < max_steps; ++step) {
-    Tensor logits = forward({src}, {tgt}, pad_id);
-    clear_caches();
-    const std::int64_t t_last = static_cast<std::int64_t>(tgt.size()) - 1;
-    Tensor last({1, cfg_.tgt_vocab});
-    std::copy_n(logits.data() + t_last * cfg_.tgt_vocab, cfg_.tgt_vocab,
-                last.data());
-    const std::int64_t next = argmax_rows(last)[0];
+    const Tensor& logits = dec.step(last);
+    const std::int64_t next = argmax_rows(logits)[0];
     if (next == eos) break;
     out.push_back(next);
-    tgt.push_back(next);
-    if (static_cast<std::int64_t>(tgt.size()) >= cfg_.max_len) break;
+    last[0] = next;
+    if (++tgt_len >= cfg_.max_len) break;
   }
   return out;
 }
@@ -279,6 +355,200 @@ void TransformerMT::zero_grad() {
 void TransformerMT::clear_caches() {
   for (Module* m : all_modules()) m->clear_cache();
   ctx_.clear();
+}
+
+// ----- TransformerDecoder ----------------------------------------------------
+
+namespace {
+
+std::shared_ptr<const FormatCodec> kv_codec(const KvCacheFormat& fmt,
+                                            float range, const char* what) {
+  if (range <= 0.0f) {
+    throw FaultError("decode", FaultKind::kMalformedInput,
+                     std::string("quantized KV cache requires a calibrated ") +
+                         what + " range (run calibrate_transformer_kv)");
+  }
+  return std::shared_ptr<const FormatCodec>(
+      make_codec(fmt.kind, fmt.bits, range));
+}
+
+}  // namespace
+
+TransformerDecoder::TransformerDecoder(TransformerMT& model)
+    : TransformerDecoder(model, Options()) {}
+
+TransformerDecoder::TransformerDecoder(TransformerMT& model, Options opts)
+    : model_(model), opts_(std::move(opts)) {
+  const TransformerConfig& cfg = model_.cfg_;
+  if (opts_.batch <= 0) {
+    throw FaultError("decode", FaultKind::kMalformedInput,
+                     "decoder needs a positive lane count");
+  }
+  if (opts_.max_steps == 0) opts_.max_steps = cfg.max_len;
+  if (opts_.max_steps > cfg.max_len) {
+    // The positional table (and the monolithic path it must match) only
+    // covers max_len positions — a longer plan could never be decoded.
+    throw FaultError("decode", FaultKind::kMalformedInput,
+                     "decode plan of " + std::to_string(opts_.max_steps) +
+                         " steps exceeds max_len " +
+                         std::to_string(cfg.max_len));
+  }
+  const auto layers = static_cast<std::size_t>(cfg.dec_layers);
+  self_quant_.resize(layers);
+  cross_quant_.resize(layers);
+  if (opts_.kv.quantized) {
+    for (std::size_t i = 0; i < layers; ++i) {
+      // Per-layer exp_bias recalibration: each codec is bracketed by the
+      // max-abs its layer's K or V projections reached during calibration
+      // (the paper's AdaptivFloat rule, applied to cache storage).
+      const TransformerMT::KvRanges r =
+          model_.dec_kv_ranges(static_cast<std::int64_t>(i));
+      self_quant_[i] = {kv_codec(opts_.kv, r.self_k, "self-attention K"),
+                        kv_codec(opts_.kv, r.self_v, "self-attention V")};
+      cross_quant_[i] = {kv_codec(opts_.kv, r.cross_k, "cross-attention K"),
+                         kv_codec(opts_.kv, r.cross_v, "cross-attention V")};
+    }
+  }
+  self_kv_.resize(layers);
+  cross_kv_.resize(layers);
+
+  DecodeHooks hooks;
+  hooks.setup = [this](ExecutionContext& c) { setup(c); };
+  hooks.prefill = [this](ExecutionContext& c) { prefill(c); };
+  hooks.step = [this](const std::vector<std::int64_t>& t,
+                      ExecutionContext& c) { return decode_step(t, c); };
+  hooks.cache_probe = [this] {
+    std::int64_t depth = 0;
+    for (Module* m : model_.all_modules()) depth += m->cache_depth();
+    return depth;
+  };
+  DecodeSessionConfig scfg;
+  scfg.ctx = opts_.ctx;
+  scfg.max_steps = opts_.max_steps;
+  session_ = std::make_unique<DecodeSession>(std::move(hooks),
+                                             std::move(scfg));
+}
+
+void TransformerDecoder::setup(ExecutionContext&) {
+  // Runs under the session's KV arena: every byte of cache storage (and the
+  // quantized decode scratch) is planned here, once, to full capacity.
+  const TransformerConfig& cfg = model_.cfg_;
+  for (std::size_t i = 0; i < self_kv_.size(); ++i) {
+    self_kv_[i].init(opts_.batch, opts_.max_steps, cfg.d_model,
+                     self_quant_[i]);
+    cross_kv_[i].init(opts_.batch, cfg.max_len, cfg.d_model, cross_quant_[i]);
+  }
+}
+
+void TransformerDecoder::begin(const TokenSeq& src, std::int64_t pad_id) {
+  if (src.empty() ||
+      static_cast<std::int64_t>(src.size()) > model_.cfg_.max_len) {
+    throw FaultError("decode", FaultKind::kMalformedInput,
+                     "decode source must be 1.." +
+                         std::to_string(model_.cfg_.max_len) + " tokens, got " +
+                         std::to_string(src.size()));
+  }
+  src_batch_.assign(static_cast<std::size_t>(opts_.batch), src);
+  src_lengths_ = valid_lengths(src_batch_, pad_id);
+  session_->begin();
+}
+
+void TransformerDecoder::prefill(ExecutionContext& ctx) {
+  Tensor enc = model_.encode(src_batch_, src_lengths_, ctx);
+  for (std::size_t i = 0; i < self_kv_.size(); ++i) {
+    self_kv_[i].reset();
+    cross_kv_[i].reset();
+    // The encoder side never changes during decoding: project K/V once.
+    model_.dec_blocks_[i].cross_attn.prefill_cross(enc, cross_kv_[i], ctx);
+  }
+  pos_ = 0;
+}
+
+const Tensor& TransformerDecoder::step(
+    const std::vector<std::int64_t>& last_tokens) {
+  if (static_cast<std::int64_t>(last_tokens.size()) != opts_.batch) {
+    throw FaultError("decode", FaultKind::kMalformedInput,
+                     "decode step needs one token per lane");
+  }
+  return session_->step(last_tokens);
+}
+
+Tensor TransformerDecoder::embed_step(const std::vector<std::int64_t>& ids,
+                                      ExecutionContext& ctx) {
+  const std::int64_t d = model_.cfg_.d_model;
+  Tensor e = model_.tgt_emb_.forward(ids, ctx);  // [B, D]
+  const float* prow = model_.pos_table_.data() + pos_ * d;
+  for (std::int64_t bi = 0; bi < opts_.batch; ++bi) {
+    float* row = e.data() + bi * d;
+    for (std::int64_t j = 0; j < d; ++j) row[j] += prow[j];
+  }
+  return e;
+}
+
+Tensor TransformerDecoder::decode_step(const std::vector<std::int64_t>& ids,
+                                       ExecutionContext& ctx) {
+  // One decoder timestep, rank-2 [B, D] throughout: every tensor here is a
+  // row slice of what the teacher-forced [B*T, D] path computes, and every
+  // layer is row-independent — the source of the fp32-KV bit-equality.
+  ActQuant& aq = model_.act_quant_;
+  Tensor y = aq.process("dec.embed", embed_step(ids, ctx));
+  for (std::size_t i = 0; i < self_kv_.size(); ++i) {
+    auto& blk = model_.dec_blocks_[i];
+    Tensor sa = blk.self_attn.decode_self_step(y, self_kv_[i], ctx);
+    Tensor x1 = blk.ln1.forward(add(y, sa), ctx);
+    Tensor ca = blk.cross_attn.decode_cross_step(x1, cross_kv_[i],
+                                                 &src_lengths_, ctx);
+    Tensor x2 = blk.ln2.forward(add(x1, ca), ctx);
+    Tensor h = blk.fc2.forward(
+        blk.gelu.forward(blk.fc1.forward(x2, ctx), ctx), ctx);
+    y = aq.process("dec.block" + std::to_string(i),
+                   blk.ln3.forward(add(x2, h), ctx));
+  }
+  Tensor out = aq.process("dec.out", model_.dec_final_.forward(y, ctx));
+  ++pos_;
+  return model_.out_proj_.forward(out, ctx);
+}
+
+void TransformerDecoder::reorder(const std::vector<std::size_t>& parents) {
+  // Cross caches hold the same (replicated) source in every lane, so only
+  // the self-attention history distinguishes hypotheses.
+  for (auto& kv : self_kv_) kv.reorder(parents);
+}
+
+std::size_t TransformerDecoder::kv_bytes() const {
+  std::size_t total = 0;
+  for (const auto& kv : self_kv_) total += kv.payload_bytes();
+  for (const auto& kv : cross_kv_) total += kv.payload_bytes();
+  return total;
+}
+
+std::size_t TransformerDecoder::kv_bytes_per_step() const {
+  std::size_t total = 0;
+  for (const auto& kv : self_kv_) total += kv.bytes_per_step();
+  return total;
+}
+
+// ----- TransformerStreamDecoder ----------------------------------------------
+
+TransformerStreamDecoder::TransformerStreamDecoder(
+    TransformerMT& model, TransformerDecoder::Options opts,
+    std::int64_t pad_id, std::int64_t bos, std::int64_t eos)
+    : dec_(model,
+           [&] {
+             opts.batch = 1;  // a stream is one greedy lane
+             return std::move(opts);
+           }()),
+      pad_id_(pad_id),
+      bos_(bos),
+      eos_(eos) {}
+
+void TransformerStreamDecoder::open(const std::vector<std::int64_t>& src) {
+  dec_.begin(src, pad_id_);
+}
+
+std::int64_t TransformerStreamDecoder::step(std::int64_t last_token) {
+  const Tensor& logits = dec_.step({last_token});
+  return argmax_rows(logits)[0];
 }
 
 }  // namespace af

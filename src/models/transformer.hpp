@@ -19,8 +19,11 @@
 #include "src/nn/layernorm.hpp"
 #include "src/nn/linear.hpp"
 #include "src/nn/quant.hpp"
+#include "src/runtime/decode.hpp"
 
 namespace af {
+
+class TransformerDecoder;
 
 struct TransformerConfig {
   std::int64_t src_vocab = 24;
@@ -58,11 +61,26 @@ class TransformerMT {
   ActQuant& act_quant() { return act_quant_; }
   const TransformerConfig& config() const { return cfg_; }
 
+  /// Calibration-time max-abs of each decoder layer's projected K/V
+  /// activations — what a quantized KV cache recalibrates its per-layer
+  /// exp_bias from. Recorded while `set_kv_range_recording(true)` is in
+  /// effect over teacher-forced forwards (calibrate_transformer_kv).
+  struct KvRanges {
+    float self_k = 0.0f, self_v = 0.0f;
+    float cross_k = 0.0f, cross_v = 0.0f;
+  };
+  void set_kv_range_recording(bool on);
+  KvRanges dec_kv_ranges(std::int64_t layer) const;
+
  private:
+  friend class TransformerDecoder;
   struct EncoderBlock {
     EncoderBlock(const TransformerConfig& cfg, Pcg32& rng, int index);
     // x: [B, T, D]; lengths: valid source lengths per batch row.
     Tensor forward(const Tensor& x, const std::vector<std::int64_t>& lengths);
+    // Context-driven inference forward: same math, no adjoint caches.
+    Tensor forward(const Tensor& x, const std::vector<std::int64_t>& lengths,
+                   ExecutionContext& ctx);
     Tensor backward(const Tensor& dy);
     std::vector<Module*> modules();
 
@@ -89,6 +107,14 @@ class TransformerMT {
 
   // Embedding + scaled sinusoidal position, flattened ids -> [B*T, D].
   Tensor embed(Embedding& emb, const std::vector<TokenSeq>& batch);
+  Tensor embed(Embedding& emb, const std::vector<TokenSeq>& batch,
+               ExecutionContext& ctx);
+
+  // Context-driven encoder pass (embed -> blocks -> final LN, with the
+  // same act_quant sites as the teacher-forced path): [B, Ts, D].
+  Tensor encode(const std::vector<TokenSeq>& src,
+                const std::vector<std::int64_t>& lengths,
+                ExecutionContext& ctx);
 
   std::vector<Module*> all_modules();
 
@@ -109,6 +135,100 @@ class TransformerMT {
     std::vector<std::int64_t> src_lengths;
   };
   std::vector<StepCtx> ctx_;
+};
+
+/// How a TransformerDecoder stores its KV cache.
+struct KvCacheFormat {
+  bool quantized = false;  ///< false = fp32 rows (bit-identical path)
+  FormatKind kind = FormatKind::kAdaptivFloat;
+  int bits = 8;
+};
+
+/// Incremental decoder over a TransformerMT: a DecodeSession whose hooks
+/// run the model's context entry points one timestep at a time against
+/// per-layer KvStates (self-attention caches appended per step,
+/// cross-attention caches prefilled once per sequence).
+///
+/// With fp32 KV the emitted logits are bit-identical to full-recompute
+/// decoding (teacher-forced forward over the growing prefix) whenever the
+/// ActQuant mode is kOff or kApply over calibrated sites — see DESIGN.md
+/// §15 for the contract. With `kv.quantized`, K/V rows are stored as
+/// packed codes through per-layer codecs whose exp_bias is recalibrated
+/// from the ranges recorded by calibrate_transformer_kv; constructing a
+/// quantized decoder from an uncalibrated model is a typed error.
+class TransformerDecoder {
+ public:
+  struct Options {
+    std::int64_t batch = 1;      ///< decode lanes (beam width)
+    std::int64_t max_steps = 0;  ///< KV plan; 0 = model max_len
+    KvCacheFormat kv;
+    ExecutionContext ctx;
+  };
+
+  TransformerDecoder(TransformerMT& model, Options opts);
+  /// Default options: one lane, fp32 KV planned to the model's max_len.
+  explicit TransformerDecoder(TransformerMT& model);
+
+  /// Starts decoding `src` (replicated across all lanes): runs the encoder
+  /// and the cross-attention prefill, resets the self-attention caches.
+  void begin(const TokenSeq& src, std::int64_t pad_id);
+
+  /// Feeds the last emitted token of every lane (size = batch) and returns
+  /// the next-token logits [batch, tgt_vocab]. The reference stays valid
+  /// (and is overwritten) across steps.
+  const Tensor& step(const std::vector<std::int64_t>& last_tokens);
+
+  /// Beam-search lane shuffle: lane r continues the hypothesis that lane
+  /// parents[r] held before the call (self-attention caches only — the
+  /// cross caches are identical across lanes by construction).
+  void reorder(const std::vector<std::size_t>& parents);
+
+  std::int64_t batch() const { return opts_.batch; }
+  std::int64_t position() const { return pos_; }
+  /// Current KV payload across all layers and lanes.
+  std::size_t kv_bytes() const;
+  /// KV payload growth per decoded step (self caches; cross is prefilled).
+  std::size_t kv_bytes_per_step() const;
+
+  DecodeSession& session() { return *session_; }
+  const DecodeSession& session() const { return *session_; }
+
+ private:
+  void setup(ExecutionContext& ctx);
+  void prefill(ExecutionContext& ctx);
+  Tensor decode_step(const std::vector<std::int64_t>& ids,
+                     ExecutionContext& ctx);
+  Tensor embed_step(const std::vector<std::int64_t>& ids,
+                    ExecutionContext& ctx);
+
+  TransformerMT& model_;
+  Options opts_;
+  std::vector<KvQuantConfig> self_quant_, cross_quant_;
+  std::vector<KvState> self_kv_, cross_kv_;
+  std::vector<TokenSeq> src_batch_;
+  std::vector<std::int64_t> src_lengths_;
+  std::int64_t pos_ = 0;
+  std::unique_ptr<DecodeSession> session_;  // last: its ctor runs setup()
+};
+
+/// Serving-facing adapter: one decode lane of a TransformerDecoder behind
+/// the runtime StreamDecoder interface (greedy argmax per step).
+class TransformerStreamDecoder final : public StreamDecoder {
+ public:
+  TransformerStreamDecoder(TransformerMT& model,
+                           TransformerDecoder::Options opts,
+                           std::int64_t pad_id, std::int64_t bos,
+                           std::int64_t eos);
+
+  void open(const std::vector<std::int64_t>& src) override;
+  std::int64_t step(std::int64_t last_token) override;
+  std::int64_t bos_token() const override { return bos_; }
+  std::int64_t eos_token() const override { return eos_; }
+  std::size_t cache_bytes() const override { return dec_.kv_bytes(); }
+
+ private:
+  TransformerDecoder dec_;
+  std::int64_t pad_id_, bos_, eos_;
 };
 
 }  // namespace af

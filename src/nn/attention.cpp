@@ -2,13 +2,64 @@
 
 #include <cmath>
 
+#include "src/runtime/execution_context.hpp"
 #include "src/tensor/ops.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault.hpp"
 
 namespace af {
 namespace {
 constexpr float kMaskValue = -1e30f;
+
+// The shared per-row attend core: scores one query row against `len` cached
+// K rows, softmaxes in place, and accumulates the weighted V rows into
+// `crow` (pre-zeroed, d_head floats). Both the monolithic [B,T,D] forward
+// and the incremental decode steps run THIS function, which is what makes
+// the fp32-KV incremental path bit-identical to row i of the monolithic
+// forward (DESIGN.md §15):
+//  * masked entries (j > causal_limit or j >= valid) get kMaskValue; since
+//    masks only ever hit row tails, exp(kMaskValue - mx) underflows to an
+//    exact 0.0f that neither shifts the double-precision denominator prefix
+//    nor survives the a == 0.0f accumulation skip;
+//  * every float op (double dot ascending in d, double denominator
+//    ascending in j, one 1/denom divide) has one fixed order.
+// k_rows/v_rows point at the head's column offset of row 0; row j lives at
+// k_rows + j * row_stride. srow is caller scratch of len floats and is left
+// holding the softmax weights (the training path persists it for backward).
+void attend_row(const float* qrow, const float* k_rows, const float* v_rows,
+                std::int64_t row_stride, std::int64_t len,
+                std::int64_t causal_limit, std::int64_t valid,
+                std::int64_t d_head, float inv_sqrt_dh, float* srow,
+                float* crow) {
+  for (std::int64_t j = 0; j < len; ++j) {
+    if (j > causal_limit || j >= valid) {
+      srow[j] = kMaskValue;
+      continue;
+    }
+    const float* krow = k_rows + j * row_stride;
+    double dot = 0;
+    for (std::int64_t d = 0; d < d_head; ++d) dot += double(qrow[d]) * krow[d];
+    srow[j] = static_cast<float>(dot) * inv_sqrt_dh;
+  }
+  softmax_row_inplace(srow, len);
+  for (std::int64_t j = 0; j < len; ++j) {
+    const float a = srow[j];
+    if (a == 0.0f) continue;
+    const float* vrow = v_rows + j * row_stride;
+    for (std::int64_t d = 0; d < d_head; ++d) crow[d] += a * vrow[d];
+  }
 }
+
+float max_abs(const Tensor& t) {
+  float m = 0.0f;
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    m = std::max(m, std::fabs(p[i]));
+  }
+  return m;
+}
+
+}  // namespace
 
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
                                        std::int64_t num_heads, Pcg32& rng,
@@ -23,18 +74,42 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
   AF_CHECK(d_model % num_heads == 0, "d_model must divide by num_heads");
 }
 
+// Forward-path shape validation is reachable from a serving request, so a
+// mismatch is a typed, catchable rejection — the ticket fails, the server
+// does not (same contract as the Linear/QuantizedLinear forwards).
+void MultiHeadAttention::check_inputs(
+    const Tensor& q_in, const Tensor& kv_in, bool causal,
+    const std::vector<std::int64_t>* kv_lengths) const {
+  if (q_in.rank() != 3 || q_in.dim(2) != d_model_) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "q must be [B, Tq, " + std::to_string(d_model_) +
+                         "], got " + shape_str(q_in.shape()));
+  }
+  if (kv_in.rank() != 3 || kv_in.dim(2) != d_model_ ||
+      kv_in.dim(0) != q_in.dim(0)) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "kv must be [B, Tk, " + std::to_string(d_model_) +
+                         "] with matching batch, got " +
+                         shape_str(kv_in.shape()));
+  }
+  if (causal && q_in.dim(1) != kv_in.dim(1)) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "causal mask requires square attention (Tq=" +
+                         std::to_string(q_in.dim(1)) + ", Tk=" +
+                         std::to_string(kv_in.dim(1)) + ")");
+  }
+  if (kv_lengths &&
+      static_cast<std::int64_t>(kv_lengths->size()) != q_in.dim(0)) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "kv_lengths must have one entry per batch");
+  }
+}
+
 Tensor MultiHeadAttention::forward(const Tensor& q_in, const Tensor& kv_in,
                                    bool causal,
                                    const std::vector<std::int64_t>* kv_lengths) {
-  AF_CHECK(q_in.rank() == 3 && q_in.dim(2) == d_model_,
-           "attention q must be [B, Tq, D]");
-  AF_CHECK(kv_in.rank() == 3 && kv_in.dim(2) == d_model_ &&
-               kv_in.dim(0) == q_in.dim(0),
-           "attention kv must be [B, Tk, D] with matching batch");
+  check_inputs(q_in, kv_in, causal, kv_lengths);
   const std::int64_t b = q_in.dim(0), tq = q_in.dim(1), tk = kv_in.dim(1);
-  AF_CHECK(!causal || tq == tk, "causal mask requires square attention");
-  AF_CHECK(!kv_lengths || static_cast<std::int64_t>(kv_lengths->size()) == b,
-           "kv_lengths must have one entry per batch");
 
   Cache c;
   c.b = b;
@@ -43,6 +118,10 @@ Tensor MultiHeadAttention::forward(const Tensor& q_in, const Tensor& kv_in,
   c.q = wq_.forward(q_in.reshaped({b * tq, d_model_}));
   c.k = wk_.forward(kv_in.reshaped({b * tk, d_model_}));
   c.v = wv_.forward(kv_in.reshaped({b * tk, d_model_}));
+  if (record_kv_ranges_) {
+    k_range_seen_ = std::max(k_range_seen_, max_abs(c.k));
+    v_range_seen_ = std::max(v_range_seen_, max_abs(c.v));
+  }
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(d_head_));
 
   Tensor ctx({b * tq, d_model_});
@@ -52,31 +131,14 @@ Tensor MultiHeadAttention::forward(const Tensor& q_in, const Tensor& kv_in,
         kv_lengths ? (*kv_lengths)[static_cast<std::size_t>(bi)] : tk;
     for (std::int64_t h = 0; h < heads_; ++h) {
       const std::int64_t col = h * d_head_;
-      Tensor scores({tq, tk});
+      const float* k_rows = c.k.data() + bi * tk * d_model_ + col;
+      const float* v_rows = c.v.data() + bi * tk * d_model_ + col;
+      Tensor attn({tq, tk});  // rows double as score scratch, then persist
       for (std::int64_t i = 0; i < tq; ++i) {
-        const float* qrow = c.q.data() + (bi * tq + i) * d_model_ + col;
-        float* srow = scores.data() + i * tk;
-        for (std::int64_t j = 0; j < tk; ++j) {
-          if ((causal && j > i) || j >= valid) {
-            srow[j] = kMaskValue;
-            continue;
-          }
-          const float* krow = c.k.data() + (bi * tk + j) * d_model_ + col;
-          double dot = 0;
-          for (std::int64_t d = 0; d < d_head_; ++d) dot += double(qrow[d]) * krow[d];
-          srow[j] = static_cast<float>(dot) * inv_sqrt_dh;
-        }
-      }
-      Tensor attn = softmax_rows(scores);
-      for (std::int64_t i = 0; i < tq; ++i) {
-        const float* arow = attn.data() + i * tk;
-        float* crow = ctx.data() + (bi * tq + i) * d_model_ + col;
-        for (std::int64_t j = 0; j < tk; ++j) {
-          const float a = arow[j];
-          if (a == 0.0f) continue;
-          const float* vrow = c.v.data() + (bi * tk + j) * d_model_ + col;
-          for (std::int64_t d = 0; d < d_head_; ++d) crow[d] += a * vrow[d];
-        }
+        attend_row(c.q.data() + (bi * tq + i) * d_model_ + col, k_rows,
+                   v_rows, d_model_, tk, causal ? i : tk, valid, d_head_,
+                   inv_sqrt_dh, attn.data() + i * tk,
+                   ctx.data() + (bi * tq + i) * d_model_ + col);
       }
       c.attn.push_back(std::move(attn));
     }
@@ -84,6 +146,133 @@ Tensor MultiHeadAttention::forward(const Tensor& q_in, const Tensor& kv_in,
   Tensor out = wo_.forward(ctx).reshaped({b, tq, d_model_});
   cache_.push_back(std::move(c));
   return out;
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& q_in, const Tensor& kv_in,
+                                   bool causal,
+                                   const std::vector<std::int64_t>* kv_lengths,
+                                   ExecutionContext& ec) {
+  AF_CHECK(!ec.training, "attention context forward is inference-only");
+  check_inputs(q_in, kv_in, causal, kv_lengths);
+  const std::int64_t b = q_in.dim(0), tq = q_in.dim(1), tk = kv_in.dim(1);
+
+  Tensor q = wq_.forward(q_in.reshaped({b * tq, d_model_}), ec);
+  Tensor k = wk_.forward(kv_in.reshaped({b * tk, d_model_}), ec);
+  Tensor v = wv_.forward(kv_in.reshaped({b * tk, d_model_}), ec);
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  Tensor ctx({b * tq, d_model_});
+  Tensor srow({tk});  // one reusable score/weight row; nothing persists
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const std::int64_t valid =
+        kv_lengths ? (*kv_lengths)[static_cast<std::size_t>(bi)] : tk;
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * d_head_;
+      const float* k_rows = k.data() + bi * tk * d_model_ + col;
+      const float* v_rows = v.data() + bi * tk * d_model_ + col;
+      for (std::int64_t i = 0; i < tq; ++i) {
+        attend_row(q.data() + (bi * tq + i) * d_model_ + col, k_rows, v_rows,
+                   d_model_, tk, causal ? i : tk, valid, d_head_,
+                   inv_sqrt_dh, srow.data(),
+                   ctx.data() + (bi * tq + i) * d_model_ + col);
+      }
+    }
+  }
+  return wo_.forward(ctx, ec).reshaped({b, tq, d_model_});
+}
+
+Tensor MultiHeadAttention::decode_self_step(const Tensor& x, KvState& kv,
+                                            ExecutionContext& ec) {
+  if (!kv.initialized() || kv.dim() != d_model_) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "decode_self_step KvState not initialized for D=" +
+                         std::to_string(d_model_));
+  }
+  if (x.rank() != 2 || x.dim(0) != kv.batch() || x.dim(1) != d_model_) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "decode_self_step expects x [B, D] matching the cache, "
+                     "got " + shape_str(x.shape()));
+  }
+  Tensor q = wq_.forward(x, ec);
+  kv.append(wk_.forward(x, ec), wv_.forward(x, ec));
+
+  const std::int64_t b = kv.batch(), len = kv.len();
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  const KernelBackend& be = ec.kernel_backend();
+
+  Tensor ctx({b, d_model_});
+  Tensor srow({len});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    // rows() may decode into lane-shared scratch — consume the lane fully
+    // before asking for the next one.
+    const KvState::Rows rows = kv.rows(bi, be);
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * d_head_;
+      // The newest key IS the query's own position: the cached prefix is
+      // exactly the causally visible window, so nothing is masked.
+      attend_row(q.data() + bi * d_model_ + col, rows.k + col, rows.v + col,
+                 rows.stride, len, len, len, d_head_, inv_sqrt_dh,
+                 srow.data(), ctx.data() + bi * d_model_ + col);
+    }
+  }
+  return wo_.forward(ctx, ec);
+}
+
+void MultiHeadAttention::prefill_cross(const Tensor& enc, KvState& kv,
+                                       ExecutionContext& ec) {
+  if (!kv.initialized() || kv.dim() != d_model_) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "prefill_cross KvState not initialized for D=" +
+                         std::to_string(d_model_));
+  }
+  if (enc.rank() != 3 || enc.dim(0) != kv.batch() ||
+      enc.dim(2) != d_model_) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "prefill_cross expects enc [B, Tk, D] matching the "
+                     "cache, got " + shape_str(enc.shape()));
+  }
+  const std::int64_t b = enc.dim(0), tk = enc.dim(1);
+  Tensor flat = enc.reshaped({b * tk, d_model_});
+  kv.append_block(wk_.forward(flat, ec), wv_.forward(flat, ec), tk);
+}
+
+Tensor MultiHeadAttention::decode_cross_step(
+    const Tensor& x, const KvState& kv,
+    const std::vector<std::int64_t>* kv_lengths, ExecutionContext& ec) {
+  if (!kv.initialized() || kv.dim() != d_model_ || kv.len() == 0) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "decode_cross_step requires a prefilled KvState");
+  }
+  if (x.rank() != 2 || x.dim(0) != kv.batch() || x.dim(1) != d_model_) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "decode_cross_step expects x [B, D] matching the cache, "
+                     "got " + shape_str(x.shape()));
+  }
+  if (kv_lengths &&
+      static_cast<std::int64_t>(kv_lengths->size()) != kv.batch()) {
+    throw FaultError("attention", FaultKind::kMalformedInput,
+                     "kv_lengths must have one entry per batch");
+  }
+  Tensor q = wq_.forward(x, ec);
+
+  const std::int64_t b = kv.batch(), len = kv.len();
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  const KernelBackend& be = ec.kernel_backend();
+
+  Tensor ctx({b, d_model_});
+  Tensor srow({len});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const std::int64_t valid =
+        kv_lengths ? (*kv_lengths)[static_cast<std::size_t>(bi)] : len;
+    const KvState::Rows rows = kv.rows(bi, be);
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * d_head_;
+      attend_row(q.data() + bi * d_model_ + col, rows.k + col, rows.v + col,
+                 rows.stride, len, len, valid, d_head_, inv_sqrt_dh,
+                 srow.data(), ctx.data() + bi * d_model_ + col);
+    }
+  }
+  return wo_.forward(ctx, ec);
 }
 
 std::pair<Tensor, Tensor> MultiHeadAttention::backward(const Tensor& dy) {

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/nn/kv_cache.hpp"
 #include "src/nn/linear.hpp"
 #include "src/nn/module.hpp"
 
@@ -16,6 +17,13 @@ namespace af {
 /// matrix and the attention itself loops over (batch, head) pairs.
 /// Supports causal masking (self-attention in the decoder) and key padding
 /// via per-batch valid lengths (cross-attention onto padded encodings).
+///
+/// The forward is factored into project / append / attend phases so that
+/// incremental decoding (one new timestep against a KvState of cached
+/// projections) and the monolithic [B, T, D] paths run the exact same
+/// per-row attend core — row i of a monolithic causal forward is
+/// bit-identical to the i-th decode_self_step over an fp32 KvState
+/// (DESIGN.md §15).
 class MultiHeadAttention final : public Module {
  public:
   MultiHeadAttention(std::int64_t d_model, std::int64_t num_heads, Pcg32& rng,
@@ -23,9 +31,51 @@ class MultiHeadAttention final : public Module {
 
   /// q_in: [B, Tq, D]; kv_in: [B, Tk, D]. When `causal`, requires Tq == Tk
   /// and masks j > i. `kv_lengths` (optional, size B) masks keys at
-  /// positions >= length.
+  /// positions >= length. Shape defects throw FaultError(kMalformedInput) —
+  /// a malformed serving request fails its ticket, never the process.
   Tensor forward(const Tensor& q_in, const Tensor& kv_in, bool causal,
                  const std::vector<std::int64_t>* kv_lengths = nullptr);
+
+  /// Context-driven monolithic forward: same math through the ctx-dispatched
+  /// projections (numeric/resilience policy, pinned kernel backend), no
+  /// adjoint caches. Inference only.
+  Tensor forward(const Tensor& q_in, const Tensor& kv_in, bool causal,
+                 const std::vector<std::int64_t>* kv_lengths,
+                 ExecutionContext& ctx);
+
+  // ----- incremental decoding -----------------------------------------------
+
+  /// Causal self-attention step: projects x [B, D] (one new timestep per
+  /// lane), appends the K/V projections to `kv`, and attends the new query
+  /// over all cached steps. Returns [B, D]. The newest key is the query's
+  /// own position, so the cached prefix is exactly the causally visible
+  /// window — no mask needed.
+  Tensor decode_self_step(const Tensor& x, KvState& kv, ExecutionContext& ctx);
+
+  /// Cross-attention prefill: projects the encoder output enc [B, Tk, D]
+  /// once and block-fills `kv` (the encoder side never changes during
+  /// decoding, so its projections are computed exactly once per sequence).
+  void prefill_cross(const Tensor& enc, KvState& kv, ExecutionContext& ctx);
+
+  /// Cross-attention step: projects the query x [B, D] and attends over the
+  /// prefilled encoder-side cache, masking keys at positions >= the lane's
+  /// kv_length (optional, size B). Returns [B, D].
+  Tensor decode_cross_step(const Tensor& x, const KvState& kv,
+                           const std::vector<std::int64_t>* kv_lengths,
+                           ExecutionContext& ctx);
+
+  // ----- KV range recording --------------------------------------------------
+
+  /// When enabled, the caching forward tracks the running max-abs of the
+  /// projected K and V activations — the calibration statistic a quantized
+  /// KV cache recalibrates its per-layer exp_bias from. Enabling resets the
+  /// recorded ranges.
+  void set_kv_range_recording(bool on) {
+    record_kv_ranges_ = on;
+    if (on) k_range_seen_ = v_range_seen_ = 0.0f;
+  }
+  float k_range_seen() const { return k_range_seen_; }
+  float v_range_seen() const { return v_range_seen_; }
 
   /// dy: [B, Tq, D] -> (dq_in, dkv_in). For self-attention the caller adds
   /// the two input gradients.
@@ -54,11 +104,18 @@ class MultiHeadAttention final : public Module {
     std::int64_t b = 0, tq = 0, tk = 0;
   };
 
+  void check_inputs(const Tensor& q_in, const Tensor& kv_in, bool causal,
+                    const std::vector<std::int64_t>* kv_lengths) const;
+
   std::int64_t d_model_;
   std::int64_t heads_;
   std::int64_t d_head_;
   Linear wq_, wk_, wv_, wo_;
   std::vector<Cache> cache_;
+
+  bool record_kv_ranges_ = false;
+  float k_range_seen_ = 0.0f;
+  float v_range_seen_ = 0.0f;
 };
 
 }  // namespace af

@@ -1,0 +1,115 @@
+// Per-layer key/value cache state for incremental attention decoding.
+//
+// A KvState holds the projected K/V rows an attention layer has already
+// seen, one slot per (batch lane, timestep). Two storage modes:
+//
+//  * fp32 — K and V live as plain [B*cap, D] tensors; rows() hands the
+//    attend core the cached rows directly. This mode is bit-identical to
+//    the monolithic forward (the rows ARE the projections the monolithic
+//    path would have computed), which is what makes the fp32-KV decode
+//    path verifiable against full recompute before quantization enters.
+//
+//  * quantized — each appended row is encoded element-by-element through a
+//    FormatCodec (per-layer exp_bias recalibrated from calibration-time
+//    K/V ranges; see DESIGN.md §15) into an LSB-first packed payload, and
+//    rows() decodes a lane's rows into a preallocated scratch through the
+//    kernel backend's fused unpack_decode (the PR-4 LUT). At 4-bit this is
+//    an 8x cache-footprint cut — the KV cache, not the weights, dominates
+//    serving memory at scale.
+//
+// Packed payloads are laid out one byte-aligned region per batch lane
+// (region = ceil(cap*D*bits/8) bytes), so a beam-search lane reorder is a
+// region copy and a lane decode never straddles another lane's bits.
+//
+// All storage is allocated once in init() under the caller's ambient
+// ArenaScope (a DecodeSession's never-reset KV arena); append/rows/reorder
+// allocate nothing, which is what keeps steady-state decode at zero heap
+// allocations per emitted token.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/kernels/backend.hpp"
+#include "src/resilience/codec.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace af {
+
+/// Codec pair for quantized KV storage. Empty (default) = fp32 mode.
+struct KvQuantConfig {
+  std::shared_ptr<const FormatCodec> k_codec;
+  std::shared_ptr<const FormatCodec> v_codec;
+  bool enabled() const { return k_codec != nullptr && v_codec != nullptr; }
+};
+
+class KvState {
+ public:
+  KvState() = default;
+
+  /// Allocates storage for `b` lanes of up to `capacity` timesteps of
+  /// d-dim K/V rows (under the ambient ArenaScope, if any). With a codec
+  /// pair the cache stores packed codes and eagerly builds both decode
+  /// LUTs, so later rows() calls are lock-free and allocation-free.
+  void init(std::int64_t b, std::int64_t capacity, std::int64_t d,
+            KvQuantConfig quant = {});
+
+  /// Rewinds to an empty cache. Storage is retained (stale bits beyond the
+  /// new length are overwritten by later appends, never read).
+  void reset() { len_ = 0; }
+
+  /// Appends one projected timestep: k_step/v_step are [B, D].
+  void append(const Tensor& k_step, const Tensor& v_step);
+
+  /// Bulk prefill of `t` timesteps from flattened [B*t, D] projections
+  /// (cross-attention fills its whole encoder-side cache once per
+  /// sequence). Requires an empty cache.
+  void append_block(const Tensor& k, const Tensor& v, std::int64_t t);
+
+  /// Decoded K/V rows of lane `bi`: row j of len() rows starts at
+  /// k + j*stride. fp32 mode returns the cached rows themselves;
+  /// quantized mode decodes the lane into internal scratch through
+  /// `be.unpack_decode` (valid until the next rows() call on this state).
+  struct Rows {
+    const float* k;
+    const float* v;
+    std::int64_t stride;
+  };
+  Rows rows(std::int64_t bi, const KernelBackend& be) const;
+
+  /// Beam-search lane shuffle: lane r takes the cached history of lane
+  /// parents[r] (parents.size() <= batch; lanes past it keep stale data
+  /// and must be re-parented before use).
+  void reorder(const std::vector<std::size_t>& parents);
+
+  std::int64_t len() const { return len_; }
+  std::int64_t capacity() const { return cap_; }
+  std::int64_t batch() const { return b_; }
+  std::int64_t dim() const { return d_; }
+  bool initialized() const { return cap_ > 0; }
+  bool quantized() const { return quant_.enabled(); }
+
+  /// Bytes the currently cached K+V payload occupies (packed bits for the
+  /// quantized mode, 4 bytes/element for fp32).
+  std::size_t payload_bytes() const;
+  /// Payload bytes one appended timestep adds across all lanes.
+  std::size_t bytes_per_step() const;
+
+ private:
+  void encode_row(const FormatCodec& codec, const float* src,
+                  std::uint8_t* region, std::int64_t j);
+
+  std::int64_t b_ = 0, cap_ = 0, d_ = 0, len_ = 0;
+  KvQuantConfig quant_;
+  int bits_ = 0;                      // quantized mode code width
+  std::size_t region_bytes_ = 0;      // packed bytes per lane
+  const float* k_table_ = nullptr;    // decode LUTs (owned by the codecs)
+  const float* v_table_ = nullptr;
+
+  Tensor k_, v_;                // fp32 mode: [B*cap, D]
+  Tensor k_codes_, v_codes_;    // quantized mode: packed bytes (float storage)
+  mutable Tensor k_scratch_, v_scratch_;  // quantized mode: [cap, D] decode
+  Tensor reorder_tmp_;          // beam shuffle staging (allocated when B > 1)
+};
+
+}  // namespace af

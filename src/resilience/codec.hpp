@@ -64,6 +64,17 @@ class FormatCodec {
   Tensor decode_tensor(const std::vector<std::uint16_t>& codes,
                        const Shape& shape, bool hardened) const;
 
+  /// The code -> FP32 table for this codec, built lazily on first use and
+  /// cached. Exposed so packed consumers (the quantized KV cache) can
+  /// stream payloads through a backend's fused unpack_decode; entries come
+  /// from this codec's own decode()/decode_hardened(), so LUT results are
+  /// bit-identical to the scalar path. Same lazy-build caveat as the
+  /// tensor helpers above: call once before sharing the codec across
+  /// threads (KvState::init does this eagerly).
+  const DecodeLut& decode_lut(bool hardened) const {
+    return cached_decode_lut(hardened);
+  }
+
  private:
   const DecodeLut& cached_decode_lut(bool hardened) const;
   const NearestLut* cached_encode_lut(std::int64_t numel) const;

@@ -2,39 +2,11 @@
 
 #include <utility>
 
+#include "src/runtime/thread_pin.hpp"
 #include "src/util/fault.hpp"
 #include "src/util/parallel.hpp"
 
 namespace af {
-namespace {
-
-// Exception-safe thread pin: restores the previous pool configuration even
-// when the forward throws mid-flight (the serving retry path re-enters the
-// session and must find the ambient resolution intact). A thread carrying a
-// ScopedSerialExecution pin never reconfigures the shared pool — its
-// forwards run inline regardless, and the global setting belongs to the
-// other threads.
-class ScopedThreadPin {
- public:
-  explicit ScopedThreadPin(int threads)
-      : active_(threads > 0 && !serial_execution_pinned()) {
-    if (active_) {
-      previous_ = num_threads();
-      set_num_threads(threads);
-    }
-  }
-  ~ScopedThreadPin() {
-    if (active_) set_num_threads(previous_);
-  }
-  ScopedThreadPin(const ScopedThreadPin&) = delete;
-  ScopedThreadPin& operator=(const ScopedThreadPin&) = delete;
-
- private:
-  bool active_;
-  int previous_ = 0;
-};
-
-}  // namespace
 
 InferenceSession::InferenceSession(ForwardFn forward, SessionConfig cfg)
     : forward_(std::move(forward)), cfg_(std::move(cfg)) {

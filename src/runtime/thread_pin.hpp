@@ -1,0 +1,36 @@
+// Exception-safe thread pin shared by the runtime entry points
+// (InferenceSession::run, DecodeSession::begin/step).
+//
+// Restores the previous pool configuration even when the forward throws
+// mid-flight (the serving retry path re-enters the session and must find
+// the ambient resolution intact). A thread carrying a
+// ScopedSerialExecution pin never reconfigures the shared pool — its
+// forwards run inline regardless, and the global setting belongs to the
+// other threads.
+#pragma once
+
+#include "src/util/parallel.hpp"
+
+namespace af {
+
+class ScopedThreadPin {
+ public:
+  explicit ScopedThreadPin(int threads)
+      : active_(threads > 0 && !serial_execution_pinned()) {
+    if (active_) {
+      previous_ = num_threads();
+      set_num_threads(threads);
+    }
+  }
+  ~ScopedThreadPin() {
+    if (active_) set_num_threads(previous_);
+  }
+  ScopedThreadPin(const ScopedThreadPin&) = delete;
+  ScopedThreadPin& operator=(const ScopedThreadPin&) = delete;
+
+ private:
+  bool active_;
+  int previous_ = 0;
+};
+
+}  // namespace af

@@ -48,6 +48,21 @@ struct InferenceServer::Ticket {
   /// that also publishes the ticket to the watchdog).
   Clock::time_point exec_tp;
   bool executing = false;
+
+  // Decode-stream requests (is_decode): never coalesced, never retried.
+  bool is_decode = false;
+  DecodeOp op = DecodeOp::kStep;
+  std::string stream_key;  ///< "<tenant>#<stream>"
+  std::vector<std::int64_t> src;
+  std::int64_t last_token = -1;
+};
+
+/// One live decode stream. The entry mutex serializes steps against the
+/// stream's decoder (clients must sequence their own steps anyway — step
+/// N+1 needs step N's token — but the server stays safe under misuse).
+struct InferenceServer::StreamEntry {
+  std::mutex mu;
+  std::unique_ptr<StreamDecoder> decoder;
 };
 
 struct InferenceServer::TenantState {
@@ -194,6 +209,82 @@ std::future<Response> InferenceServer::submit(Request req) {
   return fut;
 }
 
+std::future<Response> InferenceServer::submit_decode(DecodeRequest req) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  TenantState* tenant = find_tenant(req.tenant);
+  if (tenant == nullptr) {
+    throw FaultError("serve", FaultKind::kMalformedInput,
+                     "unknown tenant '" + req.tenant + "'");
+  }
+  if (!cfg_.decoder_factory) {
+    throw FaultError("serve", FaultKind::kMalformedInput,
+                     "server has no decoder_factory; decode rejected");
+  }
+  if (req.stream.empty()) {
+    throw FaultError("serve", FaultKind::kMalformedInput,
+                     "decode request needs a stream id");
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    throw FaultError("serve", FaultKind::kShutdown,
+                     "server is draining; request rejected");
+  }
+
+  const CircuitBreaker::Decision d = tenant->breaker.admit();
+  if (!d.admit) {
+    stats_.rejected_open.fetch_add(1, std::memory_order_relaxed);
+    throw FaultError(
+        "serve/" + tenant->cfg.name, FaultKind::kCircuitOpen,
+        "tenant breaker open; request rejected without execution");
+  }
+
+  auto ticket = std::make_shared<Ticket>();
+  ticket->is_decode = true;
+  ticket->op = req.op;
+  ticket->stream_key = req.tenant + "#" + req.stream;
+  ticket->src = std::move(req.src);
+  ticket->last_token = req.last_token;
+  ticket->tenant = tenant;
+  ticket->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ticket->level = d.level;
+  ticket->probe = d.probe;
+  ticket->submit_tp = Clock::now();
+  const auto deadline =
+      req.deadline.count() > 0 ? req.deadline : tenant->cfg.default_deadline;
+  if (deadline.count() > 0) {
+    ticket->has_deadline = true;
+    ticket->deadline_tp = ticket->submit_tp + deadline;
+  }
+
+  std::future<Response> fut = ticket->promise.get_future();
+  if (!queue_.try_push(ticket)) {
+    stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    throw FaultError("serve", FaultKind::kOverloaded,
+                     "request queue at capacity (" +
+                         std::to_string(queue_.capacity()) +
+                         "); request rejected");
+  }
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+bool InferenceServer::evict_stream(const std::string& key) {
+  std::shared_ptr<StreamEntry> victim;
+  {
+    std::lock_guard<std::mutex> lk(streams_mu_);
+    auto it = streams_.find(key);
+    if (it == streams_.end()) return false;
+    victim = std::move(it->second);
+    streams_.erase(it);
+  }
+  // Destroy the decoder (and its KV arenas) outside the map mutex, after
+  // any in-flight step on it has finished.
+  std::lock_guard<std::mutex> lk(victim->mu);
+  victim->decoder.reset();
+  return true;
+}
+
 void InferenceServer::spawn_worker_locked() {
   auto slot = std::make_shared<WorkerSlot>();
   slot->index = next_worker_index_++;
@@ -227,11 +318,16 @@ void InferenceServer::worker_main(std::shared_ptr<WorkerSlot> slot) {
     slot->heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
     std::shared_ptr<Ticket> ticket;
     if (queue_.pop(ticket, std::chrono::milliseconds(2))) {
-      std::vector<std::shared_ptr<Ticket>> batch;
-      batch.push_back(std::move(ticket));
-      std::chrono::microseconds waited{0};
-      if (cfg_.batch.max_batch > 1) waited = coalesce(*slot, batch);
-      process(*slot, batch, waited);
+      if (ticket->is_decode) {
+        // Stateful and stream-ordered: a decode request always runs solo.
+        process_decode(*slot, ticket);
+      } else {
+        std::vector<std::shared_ptr<Ticket>> batch;
+        batch.push_back(std::move(ticket));
+        std::chrono::microseconds waited{0};
+        if (cfg_.batch.max_batch > 1) waited = coalesce(*slot, batch);
+        process(*slot, batch, waited);
+      }
       std::lock_guard<std::mutex> lk(slot->mu);
       slot->inflight.clear();
     } else if (!running_.load(std::memory_order_acquire) &&
@@ -262,9 +358,10 @@ std::chrono::microseconds InferenceServer::coalesce(
   const std::int64_t d = lead->input.dim(1);
   const auto match = [&](const std::shared_ptr<Ticket>& t) {
     // Never cross-tenant, never across ladder levels (one policy must
-    // serve the whole batch), never probes, rank-2 same-width rows only.
-    return t->tenant == tenant && t->level == level && !t->probe &&
-           t->input.rank() == 2 && t->input.dim(1) == d &&
+    // serve the whole batch), never probes, never decode steps (stateful;
+    // they run solo), rank-2 same-width rows only.
+    return !t->is_decode && t->tenant == tenant && t->level == level &&
+           !t->probe && t->input.rank() == 2 && t->input.dim(1) == d &&
            t->input.dim(0) > 0;
   };
   for (;;) {
@@ -531,6 +628,149 @@ void InferenceServer::process(WorkerSlot& slot,
   }
 }
 
+void InferenceServer::process_decode(WorkerSlot& slot,
+                                     const std::shared_ptr<Ticket>& ticket) {
+  if (ticket->completed.load(std::memory_order_acquire)) return;
+  const TenantConfig& tcfg = ticket->tenant->cfg;
+  CircuitBreaker& breaker = ticket->tenant->breaker;
+
+  // Deadline shed before execution. A shed step evicts its whole stream:
+  // the sequence now has a hole no later step could fill, so holding the
+  // KV cache would only leak it.
+  if (ticket->has_deadline && Clock::now() > ticket->deadline_tp) {
+    if (evict_stream(ticket->stream_key)) {
+      stats_.decode_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    Response r;
+    r.error_kind = FaultKind::kDeadlineExceeded;
+    r.error = "deadline expired in queue; decode request shed and stream '" +
+              ticket->stream_key + "' evicted";
+    if (complete(ticket, std::move(r))) {
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      stats_.count_failure(FaultKind::kDeadlineExceeded);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    ticket->exec_tp = Clock::now();
+    ticket->executing = true;
+    slot.inflight = {ticket};
+  }
+  slot.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+
+  const int level = std::min(ticket->level,
+                             static_cast<int>(tcfg.ladder.size()) - 1);
+  const ResiliencePolicy policy = tcfg.ladder[static_cast<std::size_t>(level)];
+
+  try {
+    std::int64_t token = -1;
+    switch (ticket->op) {
+      case DecodeOp::kOpen: {
+        // Build + prefill outside every lock (the encoder forward is the
+        // expensive part); publish to the map only once the stream is
+        // usable. Reopening an id replaces (and frees) the old stream.
+        auto entry = std::make_shared<StreamEntry>();
+        entry->decoder = cfg_.decoder_factory();
+        entry->decoder->open(ticket->src);
+        token = entry->decoder->bos_token();
+        {
+          std::lock_guard<std::mutex> lk(streams_mu_);
+          streams_[ticket->stream_key] = std::move(entry);
+        }
+        stats_.decode_opened.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case DecodeOp::kStep: {
+        std::shared_ptr<StreamEntry> entry;
+        {
+          std::lock_guard<std::mutex> lk(streams_mu_);
+          auto it = streams_.find(ticket->stream_key);
+          if (it != streams_.end()) entry = it->second;
+        }
+        if (entry == nullptr) {
+          throw FaultError("serve/" + tcfg.name, FaultKind::kMalformedInput,
+                           "unknown decode stream '" + ticket->stream_key +
+                               "' (never opened, or already evicted)");
+        }
+        std::lock_guard<std::mutex> lk(entry->mu);
+        if (entry->decoder == nullptr) {
+          // Evicted between lookup and lock.
+          throw FaultError("serve/" + tcfg.name, FaultKind::kMalformedInput,
+                           "unknown decode stream '" + ticket->stream_key +
+                               "' (never opened, or already evicted)");
+        }
+        token = entry->decoder->step(ticket->last_token);
+        stats_.decode_steps.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case DecodeOp::kClose: {
+        if (evict_stream(ticket->stream_key)) {
+          stats_.decode_closed.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+
+    const Clock::time_point done = Clock::now();
+    // Lateness is load, not a compute fault (same rule as process()).
+    breaker.on_success(ticket->probe);
+    Response r;
+    r.breaker_level = level;
+    r.policy = policy;
+    if (ticket->has_deadline && done > ticket->deadline_tp) {
+      if (evict_stream(ticket->stream_key)) {
+        stats_.decode_evicted.fetch_add(1, std::memory_order_relaxed);
+      }
+      r.error_kind = FaultKind::kDeadlineExceeded;
+      r.error = "decode completed after deadline; stale token withheld and "
+                "stream evicted";
+      if (complete(ticket, std::move(r))) {
+        stats_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+        stats_.count_failure(FaultKind::kDeadlineExceeded);
+      }
+      return;
+    }
+    r.ok = true;
+    r.token = token;
+    r.degraded = level > 0;
+    if (complete(ticket, std::move(r))) {
+      stats_.completed.fetch_add(1, std::memory_order_relaxed);
+      if (r.degraded) stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const FaultError& err) {
+    // Never retried: a step is stateful (it appended to the KV cache), so
+    // re-executing after a fault could double-append — the stream is
+    // evicted instead and the client reopens from scratch.
+    if (evict_stream(ticket->stream_key)) {
+      stats_.decode_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (err.kind() != FaultKind::kMalformedInput) {
+      breaker.on_fault(ticket->probe);
+    }
+    Response r;
+    r.error_kind = err.kind();
+    r.error = err.what();
+    r.breaker_level = level;
+    r.policy = policy;
+    if (complete(ticket, std::move(r))) stats_.count_failure(err.kind());
+  } catch (const std::exception& err) {
+    if (evict_stream(ticket->stream_key)) {
+      stats_.decode_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    breaker.on_fault(ticket->probe);
+    Response r;
+    r.error_kind = FaultKind::kUncorrectable;
+    r.error = err.what();
+    r.breaker_level = level;
+    r.policy = policy;
+    if (complete(ticket, std::move(r))) {
+      stats_.count_failure(FaultKind::kUncorrectable);
+    }
+  }
+}
+
 void InferenceServer::watchdog_main() {
   while (running_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(cfg_.watchdog.check_interval);
@@ -599,6 +839,20 @@ void InferenceServer::shutdown() {
   for (auto& t : threads) {
     if (t->joinable()) t->join();
   }
+  // Workers are gone: free every live stream's KV cache state. Counted as
+  // evictions — a drain is the server letting go, not a client close.
+  std::map<std::string, std::shared_ptr<StreamEntry>> streams;
+  {
+    std::lock_guard<std::mutex> lk(streams_mu_);
+    streams.swap(streams_);
+  }
+  stats_.decode_evicted.fetch_add(static_cast<std::int64_t>(streams.size()),
+                                  std::memory_order_relaxed);
+}
+
+std::int64_t InferenceServer::decode_streams() const {
+  std::lock_guard<std::mutex> lk(streams_mu_);
+  return static_cast<std::int64_t>(streams_.size());
 }
 
 int InferenceServer::workers() const {
@@ -628,6 +882,7 @@ HealthReport InferenceServer::health() const {
   h.stats = stats_.snapshot();
   h.queue_depth = queue_.size();
   h.queue_capacity = queue_.capacity();
+  h.decode_streams = decode_streams();
   h.accepting = accepting_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lk(workers_mu_);
@@ -700,6 +955,13 @@ std::string HealthReport::to_string() const {
              std::to_string(stats.batch_occupancy[b]);
     }
     if (!occ.empty()) out += "serve: batch_occupancy " + occ + "\n";
+  }
+  if (stats.decode_opened > 0 || decode_streams > 0) {
+    out += "serve: decode streams=" + std::to_string(decode_streams) +
+           " opened=" + std::to_string(stats.decode_opened) +
+           " steps=" + std::to_string(stats.decode_steps) +
+           " closed=" + std::to_string(stats.decode_closed) +
+           " evicted=" + std::to_string(stats.decode_evicted) + "\n";
   }
   for (std::size_t k = 0; k < stats.failed_by_kind.size(); ++k) {
     if (stats.failed_by_kind[k] == 0) continue;

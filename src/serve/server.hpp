@@ -41,12 +41,14 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/hw/fault_hook.hpp"
+#include "src/runtime/decode.hpp"
 #include "src/runtime/session.hpp"
 #include "src/serve/breaker.hpp"
 #include "src/serve/queue.hpp"
@@ -111,6 +113,28 @@ struct Request {
   std::chrono::microseconds deadline{0};
 };
 
+/// What a decode-stream request asks the server to do.
+enum class DecodeOp {
+  kOpen,   ///< build a StreamDecoder, run the prefill on `src`
+  kStep,   ///< advance one token from `last_token`
+  kClose,  ///< free the stream's KV cache state
+};
+
+/// One request against a decode stream. Streams are keyed per tenant by
+/// `stream` — two tenants never collide on an id, and shedding or a fault
+/// frees exactly one stream's cache.
+struct DecodeRequest {
+  std::string tenant;
+  std::string stream;  ///< caller-chosen stream id, unique per tenant
+  DecodeOp op = DecodeOp::kStep;
+  std::vector<std::int64_t> src;   ///< kOpen: source token ids
+  std::int64_t last_token = -1;    ///< kStep: last emitted token
+  /// Time budget from submission; 0 = tenant default. A step shed or
+  /// finishing past its deadline evicts the whole stream: a sequence with
+  /// a hole in it cannot be continued, so its cache is freed immediately.
+  std::chrono::microseconds deadline{0};
+};
+
 /// Adaptive micro-batching (DESIGN.md §14). A worker that popped a request
 /// keeps coalescing same-tenant, shape-compatible requests until the batch
 /// is full, the coalesce window closes, or waiting any longer would risk a
@@ -157,6 +181,9 @@ struct Response {
   int batch_size = 1;
   /// Time the executing worker spent widening this response's batch.
   std::chrono::microseconds coalesce_us{0};
+  /// Decode responses: the token emitted by this step (kOpen returns the
+  /// stream's BOS token — the value to feed the first kStep).
+  std::int64_t token = -1;
 };
 
 struct WatchdogConfig {
@@ -177,6 +204,13 @@ struct ServerConfig {
   /// the loadgen fault arm). Owned by the worker; one instance per worker
   /// so injection streams never race.
   std::function<std::unique_ptr<PeFaultHook>(int worker)> mac_hook_factory;
+  /// Builds the StreamDecoder behind each decode stream (kOpen calls it
+  /// once per stream). Decoders for different streams may be stepped
+  /// concurrently by different workers, so the factory must hand out
+  /// decoders that are safe side by side — same contract as
+  /// ForwardFactory: replicate mutable model state, or share immutable
+  /// state only. Unset = submit_decode rejects typed (kMalformedInput).
+  std::function<std::unique_ptr<StreamDecoder>()> decoder_factory;
 };
 
 class InferenceServer {
@@ -207,8 +241,18 @@ class InferenceServer {
   ///   FaultError(kMalformedInput) — unregistered tenant
   std::future<Response> submit(Request req);
 
+  /// Admission control for decode-stream requests — same synchronous
+  /// typed rejections as submit(), plus FaultError(kMalformedInput) when
+  /// no decoder_factory is configured or the stream id is empty. Decode
+  /// requests ride the same queue and worker pool as batch requests but
+  /// are never coalesced and never retried: a step is stateful (it
+  /// appends to the stream's KV cache), so re-executing one after a fault
+  /// could double-append — the stream is evicted instead.
+  std::future<Response> submit_decode(DecodeRequest req);
+
   /// Stops intake, serves every queued request (deadlines still enforced),
-  /// joins workers and watchdog. Idempotent.
+  /// joins workers and watchdog, then frees every live decode stream's
+  /// cache state. Idempotent.
   void shutdown();
 
   HealthReport health() const;
@@ -216,6 +260,8 @@ class InferenceServer {
 
   int workers() const;
   std::int64_t queue_depth() const { return queue_.size(); }
+  /// Live decode streams currently holding KV cache state.
+  std::int64_t decode_streams() const;
 
   /// Largest per-run heap-allocation count any worker's session reported
   /// after its planning run at each ladder level — 0 proves the arena
@@ -226,11 +272,16 @@ class InferenceServer {
   struct Ticket;
   struct TenantState;
   struct WorkerSlot;
+  struct StreamEntry;
 
   using Clock = std::chrono::steady_clock;
 
   void worker_main(std::shared_ptr<WorkerSlot> slot);
   void watchdog_main();
+  /// Executes one decode ticket (always solo — never coalesced).
+  void process_decode(WorkerSlot& slot, const std::shared_ptr<Ticket>& t);
+  /// Frees one stream's cache state; returns whether it existed.
+  bool evict_stream(const std::string& key);
   /// Widens `batch` (seeded with one popped ticket) with predicate-matching
   /// queue entries until full / window closed / tightest-deadline bound hit.
   /// Returns the time spent waiting.
@@ -250,6 +301,12 @@ class InferenceServer {
 
   mutable std::mutex tenants_mu_;
   std::vector<std::unique_ptr<TenantState>> tenants_;
+
+  /// Live decode streams, keyed "<tenant>#<stream>". The map mutex covers
+  /// only lookup/insert/erase; each stream's decoder runs under its own
+  /// entry mutex so a long prefill never blocks other streams.
+  mutable std::mutex streams_mu_;
+  std::map<std::string, std::shared_ptr<StreamEntry>> streams_;
 
   mutable std::mutex workers_mu_;
   std::vector<std::unique_ptr<std::thread>> threads_;

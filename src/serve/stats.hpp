@@ -77,6 +77,11 @@ struct StatsSnapshot {
   std::int64_t batches_executed = 0;  ///< batched forwards run (size >= 1)
   std::int64_t batched_requests = 0;  ///< requests carried by those forwards
   std::int64_t coalesce_wait_us = 0;  ///< total time spent widening batches
+
+  std::int64_t decode_opened = 0;   ///< decode streams opened (prefills run)
+  std::int64_t decode_steps = 0;    ///< decode steps served (tokens emitted)
+  std::int64_t decode_closed = 0;   ///< streams closed by kClose requests
+  std::int64_t decode_evicted = 0;  ///< streams freed by shed/fault/drain
   std::array<std::int64_t, kBatchOccupancyBuckets + 1> batch_occupancy{};
   std::array<std::int64_t, kLatencyBuckets> queue_wait_hist{};
 
@@ -116,6 +121,11 @@ struct ServerStats {
   std::atomic<std::int64_t> batches_executed{0};
   std::atomic<std::int64_t> batched_requests{0};
   std::atomic<std::int64_t> coalesce_wait_us{0};
+
+  std::atomic<std::int64_t> decode_opened{0};
+  std::atomic<std::int64_t> decode_steps{0};
+  std::atomic<std::int64_t> decode_closed{0};
+  std::atomic<std::int64_t> decode_evicted{0};
   std::array<std::atomic<std::int64_t>, kBatchOccupancyBuckets + 1>
       batch_occupancy{};
   std::array<std::atomic<std::int64_t>, kLatencyBuckets> queue_wait_hist{};
@@ -162,6 +172,10 @@ struct ServerStats {
     s.batches_executed = batches_executed.load(std::memory_order_relaxed);
     s.batched_requests = batched_requests.load(std::memory_order_relaxed);
     s.coalesce_wait_us = coalesce_wait_us.load(std::memory_order_relaxed);
+    s.decode_opened = decode_opened.load(std::memory_order_relaxed);
+    s.decode_steps = decode_steps.load(std::memory_order_relaxed);
+    s.decode_closed = decode_closed.load(std::memory_order_relaxed);
+    s.decode_evicted = decode_evicted.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < s.batch_occupancy.size(); ++b) {
       s.batch_occupancy[b] = batch_occupancy[b].load(std::memory_order_relaxed);
     }
@@ -191,6 +205,7 @@ struct HealthReport {
   int workers_wedged = 0;
   std::int64_t queue_depth = 0;
   std::int64_t queue_capacity = 0;
+  std::int64_t decode_streams = 0;  ///< live streams holding KV cache
   bool accepting = false;
 
   std::string to_string() const;

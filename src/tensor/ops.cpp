@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "src/tensor/gemm_kernel.hpp"
 #include "src/util/parallel.hpp"
@@ -228,17 +229,10 @@ Tensor softmax_rows(const Tensor& x) {
   Tensor out(x.shape());
   parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      const float* row = x.data() + i * n;
       float* orow = out.data() + i * n;
-      float mx = row[0];
-      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-      double denom = 0.0;
-      for (std::int64_t j = 0; j < n; ++j) {
-        orow[j] = std::exp(row[j] - mx);
-        denom += orow[j];
-      }
-      const float inv = static_cast<float>(1.0 / denom);
-      for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
+      std::memcpy(orow, x.data() + i * n,
+                  static_cast<std::size_t>(n) * sizeof(float));
+      softmax_row_inplace(orow, n);
     }
   });
   return out;

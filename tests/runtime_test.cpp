@@ -13,12 +13,17 @@
 #include "src/models/quantized_mlp.hpp"
 #include "src/models/resnet.hpp"
 #include "src/models/seq2seq.hpp"
+#include "src/models/trainer.hpp"
+#include "src/models/transformer.hpp"
 #include "src/runtime/batch.hpp"
+#include "src/runtime/decode.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/linear.hpp"
 #include "src/nn/lstm.hpp"
+#include "src/nn/quant.hpp"
 #include "src/nn/quantized_linear.hpp"
+#include "src/numerics/registry.hpp"
 #include "src/resilience/guard.hpp"
 #include "src/runtime/execution_context.hpp"
 #include "src/runtime/session.hpp"
@@ -826,6 +831,177 @@ TEST(Session, PlanAtMaxRowsThenSmallerBatchesAllocateNothing) {
     EXPECT_EQ(session.last_run_heap_allocs(), 0)
         << "rows=" << rows << " allocated after planning at 16";
   }
+}
+
+// ----- DecodeSession / TransformerDecoder ------------------------------------
+
+TransformerConfig tiny_transformer_config() {
+  TransformerConfig cfg;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ffn = 64;
+  cfg.enc_layers = 1;
+  cfg.dec_layers = 2;
+  return cfg;
+}
+
+/// The pre-KV-cache greedy loop: a teacher-forced forward over the whole
+/// growing prefix at every step — the bit-equality reference.
+TokenSeq full_recompute_greedy(TransformerMT& model, const TokenSeq& src,
+                               std::int64_t eos, std::int64_t max_steps) {
+  const std::int64_t vocab = model.config().tgt_vocab;
+  std::vector<TokenSeq> src_b = {src};
+  std::vector<TokenSeq> tgt_b = {{TranslationTask::kBos}};
+  TokenSeq out;
+  for (std::int64_t step = 0; step < max_steps; ++step) {
+    Tensor logits = model.forward(src_b, tgt_b, TranslationTask::kPad);
+    model.clear_caches();
+    const std::int64_t t_len = static_cast<std::int64_t>(tgt_b[0].size());
+    const float* row = logits.data() + (t_len - 1) * vocab;
+    std::int64_t next = 0;
+    for (std::int64_t v = 1; v < vocab; ++v) {
+      if (row[v] > row[next]) next = v;
+    }
+    if (next == eos) break;
+    out.push_back(next);
+    tgt_b[0].push_back(next);
+    if (t_len + 1 >= model.config().max_len) break;
+  }
+  return out;
+}
+
+TEST(DecodeSession, GreedyMatchesFullRecomputeAcrossThreads) {
+  // greedy_decode now runs incrementally over an fp32 KV cache; its token
+  // stream must match the full-recompute loop exactly, for every thread
+  // count (eos = -1 forces full-length sequences so every position counts).
+  TransformerBundle b(415, tiny_transformer_config());
+  Pcg32 rng(416);
+  for (const int threads : {1, 4}) {
+    set_num_threads(threads);
+    for (int i = 0; i < 3; ++i) {
+      const TokenSeq src = b.task.sample(rng).source;
+      const TokenSeq full =
+          full_recompute_greedy(b.model, src, -1, b.cfg.max_len);
+      const TokenSeq inc = b.model.greedy_decode(
+          src, TranslationTask::kPad, TranslationTask::kBos, -1,
+          b.cfg.max_len);
+      EXPECT_EQ(full, inc) << "i=" << i << " threads=" << threads;
+    }
+  }
+  set_num_threads(0);
+}
+
+TEST(DecodeSession, HonorsActQuantBetweenSteps) {
+  // Regression for the decode/act-quant seam: with calibrated activation
+  // quantization APPLIED, the incremental decode must keep quantizing at
+  // the same sites as the teacher-forced forward — token streams match.
+  TransformerBundle b(425, tiny_transformer_config());
+  b.model.act_quant().set_quantizer(
+      make_quantizer(FormatKind::kAdaptivFloat, 8));
+  calibrate_transformer_activations(b, 2, 426);
+  b.model.act_quant().set_mode(ActQuantMode::kApply);
+
+  Pcg32 rng(427);
+  for (int i = 0; i < 3; ++i) {
+    const TokenSeq src = b.task.sample(rng).source;
+    const TokenSeq full =
+        full_recompute_greedy(b.model, src, -1, b.cfg.max_len);
+    const TokenSeq inc =
+        b.model.greedy_decode(src, TranslationTask::kPad,
+                              TranslationTask::kBos, -1, b.cfg.max_len);
+    EXPECT_EQ(full, inc) << "i=" << i;
+  }
+  b.model.act_quant().set_mode(ActQuantMode::kOff);
+}
+
+TEST(DecodeSession, QuantizedKvZeroSteadyStateAllocsPerToken) {
+  // The headline runtime contract: from the second sequence on, every
+  // quantized-KV decode step runs entirely out of the planned arenas —
+  // zero owned-buffer heap allocations per emitted token.
+  TransformerBundle b(435, tiny_transformer_config());
+  calibrate_transformer_kv(b, 2, 436);
+
+  TransformerDecoder::Options opts;
+  opts.kv.quantized = true;
+  opts.kv.kind = FormatKind::kAdaptivFloat;
+  opts.kv.bits = 8;
+  TransformerDecoder dec(b.model, opts);
+
+  Pcg32 rng(437);
+  for (int seq = 0; seq < 3; ++seq) {
+    const TokenSeq src = b.task.sample(rng).source;
+    dec.begin(src, TranslationTask::kPad);
+    std::vector<std::int64_t> last = {TranslationTask::kBos};
+    for (std::int64_t step = 0; step + 1 < b.cfg.max_len; ++step) {
+      const Tensor& logits = dec.step(last);
+      last[0] = argmax_rows(logits)[0];
+      if (seq > 0) {
+        EXPECT_EQ(dec.session().last_step_heap_allocs(), 0)
+            << "seq=" << seq << " step=" << step;
+      }
+    }
+  }
+  EXPECT_GT(dec.kv_bytes(), 0u);
+  EXPECT_EQ(dec.session().sequences(), 3);
+}
+
+TEST(DecodeSession, CapacityExhaustionIsTypedAndSessionStaysUsable) {
+  TransformerBundle b(445, tiny_transformer_config());
+  TransformerDecoder::Options opts;
+  opts.max_steps = 3;
+  TransformerDecoder dec(b.model, opts);
+
+  Pcg32 rng(446);
+  const TokenSeq src = b.task.sample(rng).source;
+  dec.begin(src, TranslationTask::kPad);
+  std::vector<std::int64_t> last = {TranslationTask::kBos};
+  for (int step = 0; step < 3; ++step) {
+    last[0] = argmax_rows(dec.step(last))[0];
+  }
+  try {
+    dec.step(last);
+    FAIL() << "stepping past the planned capacity must throw";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+  }
+  // A typed capacity fault must not poison the session: a new sequence
+  // begins cleanly on the same plan.
+  dec.begin(src, TranslationTask::kPad);
+  last[0] = TranslationTask::kBos;
+  EXPECT_NO_THROW(dec.step(last));
+  EXPECT_EQ(dec.session().steps(), 1);
+}
+
+TEST(DecodeSession, MalformedConfigurationThrowsTyped) {
+  TransformerBundle b(455, tiny_transformer_config());
+
+  // Quantized KV without calibration: the per-layer ranges are unset.
+  TransformerDecoder::Options quant;
+  quant.kv.quantized = true;
+  try {
+    TransformerDecoder dec(b.model, quant);
+    FAIL() << "uncalibrated quantized decoder must throw";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kMalformedInput);
+    EXPECT_NE(std::string(e.what()).find("calibrate_transformer_kv"),
+              std::string::npos);
+  }
+
+  // A plan longer than the positional table could never decode.
+  TransformerDecoder::Options long_plan;
+  long_plan.max_steps = b.cfg.max_len + 1;
+  EXPECT_THROW(TransformerDecoder dec(b.model, long_plan), FaultError);
+
+  // Lane-count and step-order misuse.
+  TransformerDecoder dec(b.model);
+  EXPECT_THROW(dec.step({TranslationTask::kBos}), FaultError);  // no begin()
+  Pcg32 rng(456);
+  dec.begin(b.task.sample(rng).source, TranslationTask::kPad);
+  EXPECT_THROW(dec.step({1, 2}), FaultError);  // two tokens, one lane
+
+  // Bare DecodeSession misconfiguration.
+  EXPECT_THROW(DecodeSession(DecodeHooks{}, DecodeSessionConfig{}),
+               FaultError);
 }
 
 }  // namespace

@@ -494,9 +494,13 @@ TEST(ServeMalformed, TypedRejectionLeavesServerAndBreakerIntact) {
   t.breaker.fault_threshold = 1;  // a single *compute* fault would trip it
   server.add_tenant(t);
 
+  // A named string keeps GCC 12's -Wrestrict pass from misfiring on the
+  // literal-assignment memcpy under -O2 (same class of false positive as
+  // the operator+ chains noted elsewhere).
+  const std::string tenant_name("t");
   for (int i = 0; i < 3; ++i) {
     Request req;
-    req.tenant = "t";
+    req.tenant = tenant_name;
     req.input = random_tensor({2, kDim + 3}, 50 + static_cast<unsigned>(i));
     Response r = server.submit(std::move(req)).get();
     EXPECT_FALSE(r.ok);
@@ -900,6 +904,319 @@ TEST(ServeBatch, HealthReportShowsQueueWaitPercentilesAndOccupancy) {
   EXPECT_GT(s.queue_wait_percentile_us(0.5), 0);
   EXPECT_GE(s.queue_wait_percentile_us(0.99), s.queue_wait_percentile_us(0.5))
       << "p99 must dominate p50";
+}
+
+// ----- decode streams -------------------------------------------------------
+
+struct DecodeKnobs {
+  std::atomic<int> fail_next{0};
+  std::atomic<bool> block{false};
+  /// Decoders currently alive — eviction must free the KV-holding object.
+  std::atomic<int> live{0};
+};
+
+// Deterministic stand-in for TransformerStreamDecoder (serve_test does not
+// link af_models): open() folds the source into a sum, step() is a pure
+// function of (sum, last_token), so expected tokens are computable inline.
+class FakeStreamDecoder : public StreamDecoder {
+ public:
+  explicit FakeStreamDecoder(std::shared_ptr<DecodeKnobs> knobs)
+      : knobs_(std::move(knobs)) {
+    knobs_->live.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~FakeStreamDecoder() override {
+    knobs_->live.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void open(const std::vector<std::int64_t>& src) override {
+    sum_ = 0;
+    for (std::int64_t s : src) sum_ += s;
+  }
+
+  std::int64_t step(std::int64_t last_token) override {
+    while (knobs_->block.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    int n = knobs_->fail_next.load(std::memory_order_relaxed);
+    while (n > 0 && !knobs_->fail_next.compare_exchange_weak(n, n - 1)) {
+    }
+    if (n > 0) {
+      throw FaultError("decode-test", FaultKind::kNonFinite,
+                       "injected step fault");
+    }
+    return sum_ + last_token + 1;
+  }
+
+  std::int64_t bos_token() const override { return 1; }
+  std::int64_t eos_token() const override { return 2; }
+  std::size_t cache_bytes() const override { return 64; }
+
+ private:
+  std::shared_ptr<DecodeKnobs> knobs_;
+  std::int64_t sum_ = 0;
+};
+
+ServerConfig decode_config(std::shared_ptr<DecodeKnobs> knobs) {
+  ServerConfig cfg;
+  cfg.decoder_factory = [knobs]() -> std::unique_ptr<StreamDecoder> {
+    return std::make_unique<FakeStreamDecoder>(knobs);
+  };
+  return cfg;
+}
+
+DecodeRequest make_decode(const std::string& tenant, const std::string& stream,
+                          DecodeOp op, std::int64_t last_token = -1) {
+  DecodeRequest req;
+  req.tenant = tenant;
+  req.stream = stream;
+  req.op = op;
+  req.last_token = last_token;
+  if (op == DecodeOp::kOpen) req.src = {3, 4};
+  return req;
+}
+
+TEST(ServeDecode, OpenStepCloseRoundTrip) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+
+  Response opened = server.submit_decode(make_decode("t", "s", DecodeOp::kOpen))
+                        .get();
+  ASSERT_TRUE(opened.ok) << opened.error;
+  EXPECT_EQ(opened.token, 1) << "kOpen returns the stream's BOS token";
+  EXPECT_EQ(server.decode_streams(), 1);
+
+  // sum(src)=7; step(last) = 7 + last + 1.
+  Response s1 =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, opened.token))
+          .get();
+  ASSERT_TRUE(s1.ok) << s1.error;
+  EXPECT_EQ(s1.token, 9);
+  Response s2 =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, s1.token))
+          .get();
+  ASSERT_TRUE(s2.ok) << s2.error;
+  EXPECT_EQ(s2.token, 17);
+
+  Response closed =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kClose)).get();
+  EXPECT_TRUE(closed.ok) << closed.error;
+  EXPECT_EQ(server.decode_streams(), 0);
+  EXPECT_EQ(knobs->live.load(), 0) << "close must free the decoder's cache";
+
+  server.shutdown();
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.decode_opened, 1);
+  EXPECT_EQ(s.decode_steps, 2);
+  EXPECT_EQ(s.decode_closed, 1);
+  EXPECT_EQ(s.decode_evicted, 0);
+}
+
+TEST(ServeDecode, StepOnUnknownStreamFailsTypedNotTheServer) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+
+  Response r =
+      server.submit_decode(make_decode("t", "ghost", DecodeOp::kStep, 1)).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kMalformedInput);
+
+  // The malformed step neither fed the breaker nor wedged the server: a
+  // proper open on the same tenant still succeeds at level 0.
+  Response opened =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kOpen)).get();
+  ASSERT_TRUE(opened.ok) << opened.error;
+  EXPECT_EQ(opened.breaker_level, 0);
+  server.shutdown();
+}
+
+TEST(ServeDecode, SubmitRejectsMisconfigurationTyped) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+
+  // No decoder_factory configured at all.
+  InferenceServer bare(test_factory(std::make_shared<Knobs>()), ServerConfig{});
+  bare.add_tenant(plain_tenant("t"));
+  try {
+    bare.submit_decode(make_decode("t", "s", DecodeOp::kOpen));
+    ADD_FAILURE() << "submit_decode without a factory must throw";
+  } catch (const FaultError& err) {
+    EXPECT_EQ(err.kind(), FaultKind::kMalformedInput);
+  }
+
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+  try {
+    server.submit_decode(make_decode("nope", "s", DecodeOp::kOpen));
+    ADD_FAILURE() << "unknown tenant must throw";
+  } catch (const FaultError& err) {
+    EXPECT_EQ(err.kind(), FaultKind::kMalformedInput);
+  }
+  try {
+    server.submit_decode(make_decode("t", "", DecodeOp::kOpen));
+    ADD_FAILURE() << "empty stream id must throw";
+  } catch (const FaultError& err) {
+    EXPECT_EQ(err.kind(), FaultKind::kMalformedInput);
+  }
+}
+
+TEST(ServeDecode, StepFaultEvictsTheStreamAndFreesItsCache) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+
+  ASSERT_TRUE(
+      server.submit_decode(make_decode("t", "s", DecodeOp::kOpen)).get().ok);
+  EXPECT_EQ(knobs->live.load(), 1);
+
+  knobs->fail_next.store(1);
+  Response r =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, 1)).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kNonFinite);
+  EXPECT_EQ(server.decode_streams(), 0)
+      << "a faulted stream has a hole in its sequence; its cache is freed";
+  EXPECT_EQ(knobs->live.load(), 0);
+
+  // Never retried, so the stream is simply gone: the next step is typed
+  // unknown and the client must reopen from scratch.
+  Response gone =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, 1)).get();
+  EXPECT_FALSE(gone.ok);
+  EXPECT_EQ(gone.error_kind, FaultKind::kMalformedInput);
+  server.shutdown();
+  EXPECT_GE(server.stats().decode_evicted, 1);
+}
+
+TEST(ServeDecode, ReopeningAStreamIdReplacesAndFreesTheOldStream) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+
+  ASSERT_TRUE(
+      server.submit_decode(make_decode("t", "s", DecodeOp::kOpen)).get().ok);
+  DecodeRequest reopen = make_decode("t", "s", DecodeOp::kOpen);
+  reopen.src = {10};
+  ASSERT_TRUE(server.submit_decode(std::move(reopen)).get().ok);
+
+  EXPECT_EQ(server.decode_streams(), 1);
+  EXPECT_EQ(knobs->live.load(), 1) << "the replaced decoder must be freed";
+  // Steps run against the new source: sum(src)=10, step(1) = 12.
+  Response s1 =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, 1)).get();
+  ASSERT_TRUE(s1.ok) << s1.error;
+  EXPECT_EQ(s1.token, 12);
+  server.shutdown();
+  EXPECT_EQ(server.stats().decode_opened, 2);
+}
+
+TEST(ServeDecode, DeadlineExpiredInQueueShedsTheStepAndEvictsTheStream) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  ServerConfig cfg = decode_config(knobs);
+  cfg.workers = 1;
+  cfg.watchdog.enabled = false;
+  InferenceServer server(test_factory(std::make_shared<Knobs>()), cfg);
+  server.add_tenant(plain_tenant("t"));
+
+  ASSERT_TRUE(
+      server.submit_decode(make_decode("t", "s", DecodeOp::kOpen)).get().ok);
+
+  knobs->block.store(true);
+  auto blocked =
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, 1));
+  std::this_thread::sleep_for(10ms);  // worker parked inside the step
+  DecodeRequest hurried = make_decode("t", "s", DecodeOp::kStep, 1);
+  hurried.deadline = std::chrono::microseconds(5000);
+  auto doomed = server.submit_decode(std::move(hurried));
+  std::this_thread::sleep_for(30ms);  // deadline passes while queued
+  knobs->block.store(false);
+
+  EXPECT_TRUE(blocked.get().ok);
+  Response r = doomed.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kDeadlineExceeded);
+  EXPECT_EQ(server.decode_streams(), 0)
+      << "a shed step leaves a hole; the stream's cache must be freed";
+  server.shutdown();
+  EXPECT_EQ(server.stats().shed_deadline, 1);
+}
+
+TEST(ServeDecode, LateStepWithholdsTheTokenAndEvicts) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  ServerConfig cfg = decode_config(knobs);
+  cfg.workers = 1;
+  cfg.watchdog.enabled = false;
+  InferenceServer server(test_factory(std::make_shared<Knobs>()), cfg);
+  TenantConfig t = plain_tenant("t");
+  t.default_deadline = std::chrono::microseconds(15000);
+  server.add_tenant(t);
+
+  ASSERT_TRUE(
+      server.submit_decode(make_decode("t", "s", DecodeOp::kOpen)).get().ok);
+  knobs->block.store(true);
+  auto fut = server.submit_decode(make_decode("t", "s", DecodeOp::kStep, 1));
+  std::this_thread::sleep_for(40ms);  // executing, but past the deadline
+  knobs->block.store(false);
+  Response r = fut.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, FaultKind::kDeadlineExceeded);
+  EXPECT_EQ(r.token, -1) << "a stale token must be withheld";
+  EXPECT_EQ(server.decode_streams(), 0);
+  server.shutdown();
+  EXPECT_EQ(server.stats().deadline_missed, 1);
+}
+
+TEST(ServeDecode, DrainFreesEveryStreamAndRejectsNewDecodes) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+
+  for (int i = 0; i < 4; ++i) {
+    // Built with += rather than operator+ chains: GCC 12's -Wrestrict pass
+    // misfires on the temporary-string concatenation under -O2.
+    std::string stream_id = "s";
+    stream_id += std::to_string(i);
+    ASSERT_TRUE(
+        server.submit_decode(make_decode("t", stream_id, DecodeOp::kOpen))
+            .get()
+            .ok);
+  }
+  EXPECT_EQ(server.decode_streams(), 4);
+
+  server.shutdown();
+  EXPECT_EQ(server.decode_streams(), 0);
+  EXPECT_EQ(knobs->live.load(), 0) << "drain must free every stream's cache";
+  EXPECT_EQ(server.stats().decode_evicted, 4);
+  try {
+    server.submit_decode(make_decode("t", "s", DecodeOp::kOpen));
+    ADD_FAILURE() << "decode after shutdown must be rejected";
+  } catch (const FaultError& err) {
+    EXPECT_EQ(err.kind(), FaultKind::kShutdown);
+  }
+}
+
+TEST(ServeDecode, HealthReportCountsStreams) {
+  auto knobs = std::make_shared<DecodeKnobs>();
+  InferenceServer server(test_factory(std::make_shared<Knobs>()),
+                         decode_config(knobs));
+  server.add_tenant(plain_tenant("t"));
+  ASSERT_TRUE(
+      server.submit_decode(make_decode("t", "s", DecodeOp::kOpen)).get().ok);
+  ASSERT_TRUE(
+      server.submit_decode(make_decode("t", "s", DecodeOp::kStep, 1)).get().ok);
+
+  HealthReport h = server.health();
+  EXPECT_EQ(h.decode_streams, 1);
+  const std::string text = h.to_string();
+  EXPECT_NE(text.find("decode streams=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("opened=1"), std::string::npos) << text;
+  server.shutdown();
 }
 
 }  // namespace
